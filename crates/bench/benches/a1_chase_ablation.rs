@@ -1,0 +1,62 @@
+//! A1 — ablation of the chase design choices DESIGN.md calls out:
+//! skolem (memoized semi-oblivious) vs restricted existential strategy,
+//! and the effect of the null-depth bound, on the regime saturation
+//! workload (τ_owl2ql_core over university ontologies).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use triq::datalog::chase;
+use triq::owl2ql::university_ontology;
+use triq::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_chase_ablation");
+    group.sample_size(10);
+    let graph = ontology_to_graph(&university_ontology(4, 3, 12, 1));
+    let db = tau_db(&graph);
+    let program = tau_owl2ql_core();
+    for (name, strategy) in [
+        ("skolem", ExistentialStrategy::Skolem),
+        ("restricted", ExistentialStrategy::Restricted),
+    ] {
+        group.bench_function(format!("strategy/{name}"), |b| {
+            b.iter(|| {
+                let out = chase(
+                    &db,
+                    &program,
+                    ChaseConfig {
+                        strategy,
+                        ..ChaseConfig::default()
+                    },
+                )
+                .unwrap();
+                // The skolem chase is truncated by the depth bound on
+                // DL-Lite_R with inverses; the restricted chase terminates.
+                if strategy == ExistentialStrategy::Restricted {
+                    assert!(!out.stats.truncated);
+                }
+                out.stats.derived
+            })
+        });
+    }
+    for depth in [2u32, 4, 8] {
+        group.bench_function(format!("null_depth/{depth}"), |b| {
+            b.iter(|| {
+                chase(
+                    &db,
+                    &program,
+                    ChaseConfig {
+                        max_null_depth: depth,
+                        ..ChaseConfig::default()
+                    },
+                )
+                .unwrap()
+                .stats
+                .derived
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E1 — Example 4.3 / Theorem 4.4: k-clique detection, TriQ 1.0 program
+//! vs the direct backtracking baseline. The interesting series is runtime
+//! vs k (the ExpTime-in-data shape).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use triq::datalog::builders::{clique_database, clique_query, has_clique_direct};
+use triq::prelude::*;
+
+fn wheel(n: usize) -> Vec<(usize, usize)> {
+    let mut edges: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
+    for i in 1..n {
+        edges.push((i, if i == n - 1 { 1 } else { i + 1 }));
+    }
+    edges
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_clique");
+    group.sample_size(10);
+    let n = 6;
+    let edges = wheel(n);
+    let query = clique_query();
+    for k in 2..=4usize {
+        group.bench_function(format!("triq/k{k}"), |b| {
+            b.iter(|| {
+                let db = clique_database(n, &edges, k);
+                let config = ChaseConfig {
+                    max_null_depth: (k + 2) as u32,
+                    max_atoms: 100_000_000,
+                    ..ChaseConfig::default()
+                };
+                query.evaluate_with(&db, config).unwrap().is_empty()
+            })
+        });
+        group.bench_function(format!("direct/k{k}"), |b| {
+            b.iter(|| has_clique_direct(n, &edges, k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E2 — Theorem 5.2: translation overhead — direct SPARQL evaluation vs
+//! translate-to-Datalog + chase + decode, on the paper's pattern shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use triq::prelude::*;
+use triq::rdf::random_graph;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_translation");
+    group.sample_size(20);
+    let graph = random_graph(30, 300, &["p", "q", "r", "name"], 5);
+    let patterns = [
+        ("bgp", "{ ?Y p ?Z . ?Y q ?X }"),
+        ("opt", "{ ?X p ?Y } OPTIONAL { ?X q ?Z }"),
+        (
+            "union_opt",
+            "{ { ?X p ?Y } UNION { ?X q ?Y } } OPTIONAL { ?Y r ?W }",
+        ),
+        ("filter", "{ ?X p ?Y } FILTER (?X = ?Y || !bound(?X))"),
+    ];
+    for (name, src) in patterns {
+        let pattern = parse_pattern(src).unwrap();
+        group.bench_function(format!("direct/{name}"), |b| {
+            b.iter(|| evaluate_sparql(&graph, &pattern).len())
+        });
+        group.bench_function(format!("translated/{name}"), |b| {
+            b.iter(|| {
+                triq::translate::evaluate_plain(&graph, &pattern)
+                    .unwrap()
+                    .len()
+            })
+        });
+        // Translation alone (program construction).
+        group.bench_function(format!("translate_only/{name}"), |b| {
+            b.iter(|| translate_pattern(&pattern).unwrap().program.rules.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

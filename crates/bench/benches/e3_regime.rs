@@ -1,0 +1,37 @@
+//! E3 — Theorem 5.3: entailment-regime query answering (translation path)
+//! vs full saturation (oracle baseline) on university ontologies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use triq::engine::{Semantics, SparqlEngine};
+use triq::owl2ql::{university_ontology, EntailmentOracle};
+use triq::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_regime");
+    group.sample_size(10);
+    for scale in [2usize, 8] {
+        let graph = ontology_to_graph(&university_ontology(scale, 3, 10, 1));
+        let pattern = parse_pattern("{ ?X rdf:type person }").unwrap();
+        group.bench_function(format!("translate_eval/{scale}"), |b| {
+            let engine = SparqlEngine::new(graph.clone());
+            b.iter(|| {
+                engine
+                    .bindings_of(&pattern, Semantics::RegimeU, "X")
+                    .unwrap()
+                    .len()
+            })
+        });
+        group.bench_function(format!("saturate_oracle/{scale}"), |b| {
+            b.iter(|| {
+                EntailmentOracle::new(&graph)
+                    .unwrap()
+                    .instances_of(intern("person"))
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

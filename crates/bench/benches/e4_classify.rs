@@ -1,0 +1,37 @@
+//! E4 — Corollary 6.2: cost of classifying the regime translations
+//! (affected positions, variable classes, all eight language deciders).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use triq::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_classify");
+    let patterns = [
+        ("bgp", "{ ?X eats _:B }"),
+        ("opt", "{ ?X p ?Y } OPTIONAL { ?X q ?Z }"),
+        (
+            "nested",
+            "{ { ?A p ?B } UNION { ?A q ?B } } OPTIONAL { ?B r ?C } FILTER (bound(?C))",
+        ),
+    ];
+    for (name, src) in patterns {
+        let pattern = parse_pattern(src).unwrap();
+        let t = translate_pattern_u(&pattern).unwrap();
+        group.bench_function(format!("classify_regime_program/{name}"), |b| {
+            b.iter(|| {
+                let c = classify_program(&t.program);
+                assert!(c.is_triq_lite_1_0());
+                c.warded
+            })
+        });
+    }
+    // The fixed τ_owl2ql_core alone.
+    let core = tau_owl2ql_core();
+    group.bench_function("classify_tau_owl2ql_core", |b| {
+        b.iter(|| classify_program(&core).warded)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

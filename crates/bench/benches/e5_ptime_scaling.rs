@@ -1,0 +1,47 @@
+//! E5 — Theorem 6.7: TriQ-Lite 1.0 evaluation time as |D| grows (the
+//! series whose fitted exponent must stay polynomial), for both a
+//! recursive TriQ-Lite query and the regime query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use triq::datalog::builders::transport_query;
+use triq::engine::{Semantics, SparqlEngine};
+use triq::owl2ql::university_ontology;
+use triq::prelude::*;
+use triq::rdf::{transport_graph, TransportSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_ptime");
+    group.sample_size(10);
+    // Regime query over growing ABoxes.
+    for scale in [4usize, 16, 64] {
+        let graph = ontology_to_graph(&university_ontology(scale, 4, 25, 1));
+        let pattern = parse_pattern("{ ?X rdf:type person }").unwrap();
+        let triples = graph.len();
+        let engine = SparqlEngine::new(graph);
+        group.bench_function(format!("regime_query/{triples}"), |b| {
+            b.iter(|| {
+                engine
+                    .bindings_of(&pattern, Semantics::RegimeU, "X")
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    // Recursive transport query over growing networks.
+    for cities in [25usize, 100, 400] {
+        let graph = transport_graph(TransportSpec {
+            cities,
+            operators: 5,
+            part_of_depth: 3,
+        });
+        let q = transport_query();
+        let db = tau_db(&graph);
+        group.bench_function(format!("transport/{cities}"), |b| {
+            b.iter(|| q.evaluate(&db).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E6 — §6.2: the UGCP measurement — chasing the warded /
+//! nearly-frontier-guarded programs and τ_owl2ql_core over the Lemma 6.5
+//! chain family, then computing mgc.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use triq::datalog::{chase, ugcp};
+use triq::owl2ql::chain_ontology;
+use triq::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_ugcp");
+    group.sample_size(20);
+    for n in [8usize, 64] {
+        let db = ugcp::chain_database(n);
+        let warded = ugcp::warded_ugcp_program();
+        group.bench_function(format!("warded_mgc/{n}"), |b| {
+            b.iter(|| {
+                let out = chase(&db, &warded, ChaseConfig::default()).unwrap();
+                ugcp::max_ground_connection(&out.instance)
+            })
+        });
+        let nfg = ugcp::nfg_ugcp_program();
+        group.bench_function(format!("nfg_mgc/{n}"), |b| {
+            b.iter(|| {
+                let out = chase(&db, &nfg, ChaseConfig::default()).unwrap();
+                ugcp::max_ground_connection(&out.instance)
+            })
+        });
+        let graph = ontology_to_graph(&chain_ontology(n));
+        let regime_db = tau_db(&graph);
+        let core = tau_owl2ql_core();
+        group.bench_function(format!("regime_mgc/{n}"), |b| {
+            b.iter(|| {
+                let out = chase(&regime_db, &core, ChaseConfig::default()).unwrap();
+                ugcp::max_ground_connection(&out.instance)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E7 — Theorem 6.15: simulating an ATM with the fixed
+//! warded-with-minimal-interaction program, runtime vs tape length
+//! (the ExpTime-hardness shape), against the direct simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use triq::datalog::atm::machine_all_ones;
+use triq::datalog::builders::{atm_database, atm_initial_constant, atm_program};
+use triq::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_atm");
+    group.sample_size(10);
+    let machine = machine_all_ones();
+    let query = atm_program();
+    for n in [2usize, 4, 6] {
+        let mut input: Vec<&str> = vec!["1"; n - 1];
+        input.push("$");
+        let depth = (n + 1) as u32;
+        group.bench_function(format!("datalog/{n}"), |b| {
+            b.iter(|| {
+                let db = atm_database(&machine, &input);
+                let config = ChaseConfig {
+                    max_null_depth: depth,
+                    max_atoms: 100_000_000,
+                    ..ChaseConfig::default()
+                };
+                query
+                    .evaluate_with(&db, config)
+                    .unwrap()
+                    .contains(&[atm_initial_constant().as_str()])
+            })
+        });
+        group.bench_function(format!("direct/{n}"), |b| {
+            b.iter(|| machine.accepts_input(&input, depth))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

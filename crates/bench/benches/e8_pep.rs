@@ -1,0 +1,20 @@
+//! E8 — Theorem 7.1: the program-expressive-power witness evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use triq::datalog::pep;
+
+fn bench(c: &mut Criterion) {
+    let witness = pep::theorem_7_1_witness();
+    c.bench_function("e8_pep/witness_pair", |b| {
+        b.iter(|| {
+            let in1 =
+                pep::empty_tuple_in_answer(&witness.pi, &witness.lambda1, &witness.db).unwrap();
+            let in2 =
+                pep::empty_tuple_in_answer(&witness.pi, &witness.lambda2, &witness.db).unwrap();
+            (in1, in2)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

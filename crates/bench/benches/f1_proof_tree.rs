@@ -1,0 +1,42 @@
+//! F1 — Figure 1: chase + proof-tree extraction for Example 6.10, and the
+//! §6.3 ProofTree decision procedure on the same goal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use triq::datalog::{chase, proof_tree, prooftree_decide, GroundAtom, ProofTreeConfig};
+use triq::prelude::*;
+
+fn setup() -> (Database, Program, GroundAtom) {
+    let program = parse_program(
+        "s(?X, ?Y, ?Z) -> exists ?W s(?X, ?Z, ?W).\n\
+         s(?X, ?Y, ?Z), s(?Y, ?Z, ?W) -> q(?X, ?Y).\n\
+         t(?X) -> exists ?Z p(?X, ?Z).\n\
+         p(?X, ?Y), q(?X, ?Z) -> r(?X, ?Y, ?Z).\n\
+         r(?X, ?Y, ?Z) -> p(?X, ?Z).",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    db.add_fact("s", &["a", "a", "a"]);
+    db.add_fact("t", &["a"]);
+    let goal = GroundAtom::new(
+        intern("p"),
+        vec![Term::constant("a"), Term::constant("a")].into(),
+    );
+    (db, program, goal)
+}
+
+fn bench(c: &mut Criterion) {
+    let (db, program, goal) = setup();
+    c.bench_function("f1/chase_and_extract_tree", |b| {
+        b.iter(|| {
+            let outcome = chase(&db, &program, ChaseConfig::default()).unwrap();
+            let id = outcome.instance.find(&goal).unwrap();
+            proof_tree(&outcome.instance, id).size()
+        })
+    });
+    c.bench_function("f1/prooftree_decide", |b| {
+        b.iter(|| prooftree_decide(&db, &program, &goal, ProofTreeConfig::default()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

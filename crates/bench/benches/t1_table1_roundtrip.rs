@@ -1,0 +1,34 @@
+//! T1 — Table 1: ontology → RDF → ontology round-trip throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use triq::owl2ql::{ontology_from_graph, ontology_to_graph, random_ontology, RandomOntologySpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_table1");
+    group.sample_size(20);
+    for axioms in [16usize, 64, 256] {
+        let ontology = random_ontology(RandomOntologySpec {
+            classes: axioms / 2,
+            properties: axioms / 4,
+            tbox_axioms: axioms,
+            abox_assertions: axioms,
+            allow_disjointness: true,
+            seed: 9,
+        });
+        group.bench_function(format!("to_graph/{axioms}"), |b| {
+            b.iter(|| ontology_to_graph(&ontology))
+        });
+        let graph = ontology_to_graph(&ontology);
+        group.bench_function(format!("round_trip/{axioms}"), |b| {
+            b.iter_batched(
+                || graph.clone(),
+                |g| ontology_from_graph(&g).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors raised across the TriQ workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TriqError {
+    /// A parser rejected its input (`what` identifies the parser).
+    Parse { what: &'static str, message: String },
+    /// A program failed a static well-formedness check (arity mismatch,
+    /// unsafe rule, unstratifiable negation, ...).
+    InvalidProgram(String),
+    /// A program failed a language-membership check (e.g. a query handed to
+    /// the TriQ-Lite 1.0 engine is not warded).
+    NotInLanguage { language: &'static str, reason: String },
+    /// The chase exceeded its configured step / depth budget.
+    ResourceExhausted(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for TriqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TriqError::Parse { what, message } => write!(f, "{what} parse error: {message}"),
+            TriqError::InvalidProgram(m) => write!(f, "invalid program: {m}"),
+            TriqError::NotInLanguage { language, reason } => {
+                write!(f, "query is not in {language}: {reason}")
+            }
+            TriqError::ResourceExhausted(m) => write!(f, "resource budget exhausted: {m}"),
+            TriqError::Other(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for TriqError {}
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, TriqError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TriqError::Parse {
+            what: "datalog",
+            message: "unexpected token".into(),
+        };
+        assert_eq!(e.to_string(), "datalog parse error: unexpected token");
+        let e = TriqError::NotInLanguage {
+            language: "TriQ-Lite 1.0",
+            reason: "rule 3 is not warded".into(),
+        };
+        assert!(e.to_string().contains("TriQ-Lite 1.0"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Terms: the disjoint union U ∪ B ∪ V of the paper's §3.
+
+use crate::Symbol;
+use std::fmt;
+
+/// A labeled null (blank node) from the paper's set **B**.
+///
+/// Nulls are created by the chase when existential variables are
+/// instantiated, and by RDF parsers for `_:b`-style blank nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NullId(pub u32);
+
+/// A variable from the paper's set **V** (written `?X` in the paper).
+///
+/// By convention throughout the workspace, the wrapped `u32` is the
+/// interner index of the variable's *name* (including the leading `?`), so
+/// variables display exactly as written. Use [`VarId::new`] to construct
+/// one from a name and [`VarId::name`] to read it back.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Interns a variable name (a leading `?` is added if missing).
+    pub fn new(name: &str) -> Self {
+        let sym = if name.starts_with('?') {
+            crate::intern(name)
+        } else {
+            crate::intern(&format!("?{name}"))
+        };
+        VarId(sym.index())
+    }
+
+    /// The variable's name, e.g. `?X`.
+    pub fn name(self) -> &'static str {
+        crate::resolve(Symbol(self.0))
+    }
+}
+
+/// A term: constant, labeled null, or variable (§3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A constant / URI from **U**.
+    Const(Symbol),
+    /// A labeled null from **B**.
+    Null(NullId),
+    /// A variable from **V**.
+    Var(VarId),
+}
+
+impl Term {
+    /// Interns `s` as a constant term.
+    pub fn constant(s: &str) -> Self {
+        Term::Const(Symbol::new(s))
+    }
+
+    /// True iff this term is a constant (element of **U**).
+    pub fn is_const(self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// True iff this term is a labeled null (element of **B**).
+    pub fn is_null(self) -> bool {
+        matches!(self, Term::Null(_))
+    }
+
+    /// True iff this term is a variable (element of **V**).
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// True iff this term is a constant or null, i.e. may appear in an
+    /// instance (§3.2: instances contain constants and labeled nulls only).
+    pub fn is_ground_or_null(self) -> bool {
+        !self.is_var()
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(self) -> Option<Symbol> {
+        match self {
+            Term::Const(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The variable inside, if any.
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The null inside, if any.
+    pub fn as_null(self) -> Option<NullId> {
+        match self {
+            Term::Null(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+impl From<Symbol> for Term {
+    fn from(s: Symbol) -> Self {
+        Term::Const(s)
+    }
+}
+
+impl From<VarId> for Term {
+    fn from(v: VarId) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<NullId> for Term {
+    fn from(n: NullId) -> Self {
+        Term::Null(n)
+    }
+}
+
+impl fmt::Debug for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:n{}", self.0)
+    }
+}
+
+impl fmt::Display for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:n{}", self.0)
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(s) => write!(f, "{s}"),
+            Term::Null(n) => write!(f, "{n}"),
+            Term::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        let c = Term::constant("a");
+        let n = Term::Null(NullId(0));
+        let v = Term::Var(VarId(0));
+        assert!(c.is_const() && !c.is_null() && !c.is_var());
+        assert!(n.is_null() && n.is_ground_or_null());
+        assert!(v.is_var() && !v.is_ground_or_null());
+        assert_eq!(c.as_const().unwrap().as_str(), "a");
+        assert_eq!(n.as_null(), Some(NullId(0)));
+        assert_eq!(v.as_var(), Some(VarId(0)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::constant("abc").to_string(), "abc");
+        assert_eq!(Term::Null(NullId(3)).to_string(), "_:n3");
+        assert_eq!(Term::Var(VarId::new("X")).to_string(), "?X");
+        assert_eq!(Term::Var(VarId::new("?X")).to_string(), "?X");
+    }
+
+    #[test]
+    fn var_ids_are_name_identities() {
+        assert_eq!(VarId::new("X"), VarId::new("?X"));
+        assert_ne!(VarId::new("X"), VarId::new("Y"));
+        assert_eq!(VarId::new("Foo").name(), "?Foo");
+    }
+}

@@ -1,0 +1,196 @@
+//! `triq-cli` — command-line front end for the TriQ engines.
+//!
+//! ```text
+//! triq-cli sparql <graph.ttl> '<SELECT query>' [--regime u|all]
+//! triq-cli rules <graph.ttl> <rules.dl> <output-pred>
+//! triq-cli classify <rules.dl>
+//! triq-cli entail <graph.ttl> <s> <p> <o>
+//! triq-cli explain <graph.ttl> <s> <p> <o>
+//! triq-cli saturate <graph.ttl>
+//! ```
+
+use std::process::ExitCode;
+use triq::engine::{Semantics, SparqlEngine};
+use triq::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  triq-cli sparql <graph.ttl> '<SELECT query>' [--regime u|all]\n  \
+         triq-cli rules <graph.ttl> <rules.dl> <output-pred>\n  \
+         triq-cli classify <rules.dl>\n  \
+         triq-cli entail <graph.ttl> <s> <p> <o>\n  \
+         triq-cli explain <graph.ttl> <s> <p> <o>\n  \
+         triq-cli saturate <graph.ttl>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("sparql") => cmd_sparql(&args[1..]),
+        Some("rules") => cmd_rules(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("entail") => cmd_entail(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("saturate") => cmd_saturate(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, TriqError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| TriqError::Other(format!("cannot read {path}: {e}")))?;
+    parse_turtle(&text)
+}
+
+fn load_program(path: &str) -> Result<Program, TriqError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| TriqError::Other(format!("cannot read {path}: {e}")))?;
+    parse_program(&text)
+}
+
+fn cmd_sparql(args: &[String]) -> Result<(), TriqError> {
+    let [graph_path, query, rest @ ..] = args else {
+        return Err(TriqError::Other("sparql needs <graph> <query>".into()));
+    };
+    let semantics = match rest {
+        [] => Semantics::Plain,
+        [flag, mode] if flag == "--regime" && mode == "u" => Semantics::RegimeU,
+        [flag, mode] if flag == "--regime" && mode == "all" => Semantics::RegimeAll,
+        _ => return Err(TriqError::Other("unknown trailing arguments".into())),
+    };
+    let graph = load_graph(graph_path)?;
+    let select = parse_select(query)?;
+    let engine = SparqlEngine::new(graph);
+    let pattern = triq::sparql::GraphPattern::Select(
+        select.vars.clone(),
+        Box::new(select.pattern.clone()),
+    );
+    let answers = engine.evaluate(&pattern, semantics)?;
+    match answers {
+        RegimeAnswers::Top => println!("⊤  (the graph is inconsistent with the ontology)"),
+        RegimeAnswers::Mappings(ms) => {
+            let vars: Vec<VarId> = select.vars.iter().copied().collect();
+            println!("{}", vars.iter().map(|v| v.name()).collect::<Vec<_>>().join("\t"));
+            for m in ms {
+                let row: Vec<&str> = vars
+                    .iter()
+                    .map(|v| m.get(*v).map_or("-", |s| s.as_str()))
+                    .collect();
+                println!("{}", row.join("\t"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_rules(args: &[String]) -> Result<(), TriqError> {
+    let [graph_path, rules_path, output] = args else {
+        return Err(TriqError::Other(
+            "rules needs <graph> <rules.dl> <output-pred>".into(),
+        ));
+    };
+    let graph = load_graph(graph_path)?;
+    let program = load_program(rules_path)?;
+    let classification = classify_program(&program);
+    let answers = if classification.is_triq_lite_1_0() {
+        eprintln!("program is TriQ-Lite 1.0 (PTime)");
+        triq::TriqLiteQuery::new(program, output)?.evaluate_on_graph(&graph)?
+    } else if classification.is_triq_1_0() {
+        eprintln!("program is TriQ 1.0 (not Lite) — evaluation may be expensive");
+        triq::TriqQuery::new(program, output)?
+            .evaluate(&tau_db(&graph), ChaseConfig::default())?
+    } else {
+        return Err(TriqError::NotInLanguage {
+            language: "TriQ 1.0",
+            reason: classification.violations.join("; "),
+        });
+    };
+    if answers.is_top() {
+        println!("⊤  (inconsistent)");
+        return Ok(());
+    }
+    for tuple in answers.tuples() {
+        println!(
+            "{}",
+            tuple.iter().map(|s| s.as_str()).collect::<Vec<_>>().join("\t")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), TriqError> {
+    let [rules_path] = args else {
+        return Err(TriqError::Other("classify needs <rules.dl>".into()));
+    };
+    let program = load_program(rules_path)?;
+    let c = classify_program(&program);
+    println!("rules:                     {}", program.rules.len());
+    println!("constraints:               {}", program.constraints.len());
+    println!("stratified:                {}", c.stratified);
+    println!("plain Datalog:             {}", c.plain_datalog);
+    println!("guarded:                   {}", c.guarded);
+    println!("weakly guarded:            {}", c.weakly_guarded);
+    println!("frontier-guarded:          {}", c.frontier_guarded);
+    println!("nearly frontier-guarded:   {}", c.nearly_frontier_guarded);
+    println!("weakly frontier-guarded:   {}", c.weakly_frontier_guarded);
+    println!("warded:                    {}", c.warded);
+    println!("warded (min. interaction): {}", c.warded_minimal_interaction);
+    println!("grounded negation:         {}", c.grounded_negation);
+    println!("=> TriQ 1.0:               {}", c.is_triq_1_0());
+    println!("=> TriQ-Lite 1.0:          {}", c.is_triq_lite_1_0());
+    if !c.violations.is_empty() {
+        println!("\nviolations:");
+        for v in &c.violations {
+            println!("  - {v}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_entail(args: &[String]) -> Result<(), TriqError> {
+    let [graph_path, s, p, o] = args else {
+        return Err(TriqError::Other("entail needs <graph> <s> <p> <o>".into()));
+    };
+    let graph = load_graph(graph_path)?;
+    let oracle = EntailmentOracle::new(&graph)?;
+    if !oracle.is_consistent() {
+        println!("⊤  (inconsistent: every triple is entailed)");
+        return Ok(());
+    }
+    let t = Triple::from_strs(s, p, o);
+    println!("{}", oracle.entails(&t));
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), TriqError> {
+    let [graph_path, s, p, o] = args else {
+        return Err(TriqError::Other("explain needs <graph> <s> <p> <o>".into()));
+    };
+    let graph = load_graph(graph_path)?;
+    let oracle = EntailmentOracle::new(&graph)?;
+    let t = Triple::from_strs(s, p, o);
+    match oracle.explain_text(&t) {
+        Some(text) => print!("{text}"),
+        None => println!("not entailed (or the graph is inconsistent)"),
+    }
+    Ok(())
+}
+
+fn cmd_saturate(args: &[String]) -> Result<(), TriqError> {
+    let [graph_path] = args else {
+        return Err(TriqError::Other("saturate needs <graph>".into()));
+    };
+    let graph = load_graph(graph_path)?;
+    let saturated = triq::owl2ql::saturate(&graph)?;
+    print!("{}", to_turtle(&saturated));
+    Ok(())
+}

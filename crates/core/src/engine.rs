@@ -1,0 +1,220 @@
+//! A high-level engine bundling an RDF graph with the §5 evaluation
+//! semantics: plain SPARQL, J·K^U (the OWL 2 QL core direct-semantics
+//! entailment regime) and J·K^All (§5.3), plus user rule libraries such as
+//! the §2 `owl:sameAs` rules.
+
+use triq_common::{Result, Symbol};
+use triq_datalog::{ChaseConfig, Program, Query};
+use triq_owl2ql::tau_db;
+use triq_rdf::Graph;
+use triq_sparql::{GraphPattern, MappingSet};
+use triq_translate::{
+    decode_answers, translate_pattern, translate_pattern_all, translate_pattern_u, RegimeAnswers,
+};
+
+/// The evaluation semantics for SPARQL patterns (§3.1, §5.2, §5.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Semantics {
+    /// Plain SPARQL over the graph as-is.
+    #[default]
+    Plain,
+    /// The OWL 2 QL core direct-semantics entailment regime (active
+    /// domain).
+    RegimeU,
+    /// The regime without the active-domain restriction on blank nodes.
+    RegimeAll,
+}
+
+/// A SPARQL engine over one RDF graph.
+pub struct SparqlEngine {
+    graph: Graph,
+    /// Extra rule libraries prepended to every translated query (e.g. the
+    /// §2 owl:sameAs rules); must not define `triple` recursively in a way
+    /// that breaks stratification.
+    libraries: Vec<Program>,
+    config: ChaseConfig,
+}
+
+impl SparqlEngine {
+    /// Creates an engine over `graph`.
+    pub fn new(graph: Graph) -> SparqlEngine {
+        SparqlEngine {
+            graph,
+            libraries: Vec::new(),
+            config: triq_translate::regime_chase_config(),
+        }
+    }
+
+    /// Sets the chase configuration.
+    pub fn with_config(mut self, config: ChaseConfig) -> SparqlEngine {
+        self.config = config;
+        self
+    }
+
+    /// Adds a rule library (a fixed set of rules in the sense of §2, e.g.
+    /// the owl:sameAs closure) that is unioned into every query program.
+    pub fn add_library(&mut self, library: Program) {
+        self.libraries.push(library);
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Evaluates a graph pattern under the chosen semantics.
+    pub fn evaluate(
+        &self,
+        pattern: &GraphPattern,
+        semantics: Semantics,
+    ) -> Result<RegimeAnswers> {
+        let translated = match semantics {
+            Semantics::Plain => translate_pattern(pattern)?,
+            Semantics::RegimeU => translate_pattern_u(pattern)?,
+            Semantics::RegimeAll => translate_pattern_all(pattern)?,
+        };
+        let mut program = translated.program.clone();
+        for lib in &self.libraries {
+            program = lib.union(&program);
+        }
+        let query = Query::new(program, translated.answer_pred)?;
+        let answers = query.evaluate_with(&tau_db(&self.graph), self.config)?;
+        Ok(decode_answers(&answers, &translated))
+    }
+
+    /// Evaluates under plain semantics, returning the mapping set
+    /// directly.
+    pub fn evaluate_plain(&self, pattern: &GraphPattern) -> Result<MappingSet> {
+        match self.evaluate(pattern, Semantics::Plain)? {
+            RegimeAnswers::Mappings(m) => Ok(m),
+            RegimeAnswers::Top => Ok(MappingSet::new()),
+        }
+    }
+
+    /// Convenience: the sorted, deduplicated bindings of one variable.
+    pub fn bindings_of(
+        &self,
+        pattern: &GraphPattern,
+        semantics: Semantics,
+        var: &str,
+    ) -> Result<Vec<Symbol>> {
+        let v = triq_common::VarId::new(var);
+        let answers = self.evaluate(pattern, semantics)?;
+        let mut out: Vec<Symbol> = answers
+            .mappings()
+            .map(|ms| ms.iter().filter_map(|m| m.get(v)).collect())
+            .unwrap_or_default();
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+}
+
+/// The §2 `owl:sameAs` rule library: symmetry, transitivity and
+/// substitution in subject/object positions. The library closes `triple1`
+/// (the saturated predicate used by the regimes); for plain semantics,
+/// materialize the closure into the graph with [`materialize_same_as`]
+/// instead.
+pub fn same_as_regime_library() -> Program {
+    triq_datalog::parse_program(
+        "triple1(?X, owl:sameAs, ?Y) -> triple1(?Y, owl:sameAs, ?X).\n\
+         triple1(?X, owl:sameAs, ?Y), triple1(?Y, owl:sameAs, ?Z) -> \
+            triple1(?X, owl:sameAs, ?Z).\n\
+         triple1(?X1, owl:sameAs, ?X2), triple1(?X1, ?U, ?Y) -> triple1(?X2, ?U, ?Y).\n\
+         triple1(?X1, owl:sameAs, ?X2), triple1(?Y, ?U, ?X1) -> triple1(?Y, ?U, ?X2).",
+    )
+    .expect("sameAs library is well-formed")
+}
+
+/// The `owl:sameAs` library for plain semantics: closes a `same` relation
+/// and rewrites `triple` matches through it into `triple1`… plain mode
+/// matches `triple`, so this library *extends* `triple` via an auxiliary
+/// predicate is not possible without recursion through the EDB — instead,
+/// apply [`materialize_same_as`] to the graph up front.
+pub fn materialize_same_as(graph: &Graph) -> Result<Graph> {
+    let program = triq_datalog::parse_program(
+        "triple(?X, owl:sameAs, ?Y) -> same(?X, ?Y).\n\
+         same(?X, ?Y) -> same(?Y, ?X).\n\
+         same(?X, ?Y), same(?Y, ?Z) -> same(?X, ?Z).\n\
+         triple(?S, ?P, ?O) -> closed(?S, ?P, ?O).\n\
+         closed(?S, ?P, ?O), same(?S, ?S2) -> closed(?S2, ?P, ?O).\n\
+         closed(?S, ?P, ?O), same(?O, ?O2) -> closed(?S, ?P, ?O2).",
+    )
+    .expect("sameAs materialization program is well-formed");
+    let outcome = triq_datalog::chase(&tau_db(graph), &program, ChaseConfig::default())?;
+    let mut out = graph.clone();
+    for atom in outcome.instance.atoms_of(triq_common::intern("closed")) {
+        if let (Some(s), Some(p), Some(o)) = (
+            atom.terms[0].as_const(),
+            atom.terms[1].as_const(),
+            atom.terms[2].as_const(),
+        ) {
+            out.insert(triq_rdf::Triple::new(s, p, o));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triq_rdf::parse_turtle;
+    use triq_sparql::parse_pattern;
+
+    /// §2's G4: retrieving authors through owl:sameAs.
+    #[test]
+    fn g4_same_as_materialization() {
+        let g4 = parse_turtle(
+            "dbUllman is_author_of \"The Complete Book\" .\n\
+             dbUllman owl:sameAs yagoUllman .\n\
+             yagoUllman name \"Jeffrey Ullman\" .",
+        )
+        .unwrap();
+        let pattern = parse_pattern("{ ?Y is_author_of ?Z . ?Y name ?X }").unwrap();
+        // Without the library: empty (as §2 observes).
+        let engine = SparqlEngine::new(g4.clone());
+        assert!(engine.evaluate_plain(&pattern).unwrap().is_empty());
+        // With materialized sameAs closure: Ullman is found.
+        let engine = SparqlEngine::new(materialize_same_as(&g4).unwrap());
+        let names = engine
+            .bindings_of(&pattern, Semantics::Plain, "X")
+            .unwrap();
+        assert_eq!(names.len(), 1);
+        assert_eq!(names[0].as_str(), "Jeffrey Ullman");
+    }
+
+    /// The same effect via the regime library on triple1.
+    #[test]
+    fn g4_same_as_regime_library() {
+        let g4 = parse_turtle(
+            "dbUllman is_author_of \"The Complete Book\" .\n\
+             dbUllman owl:sameAs yagoUllman .\n\
+             yagoUllman name \"Jeffrey Ullman\" .",
+        )
+        .unwrap();
+        let pattern = parse_pattern("{ ?Y is_author_of ?Z . ?Y name ?X }").unwrap();
+        let mut engine = SparqlEngine::new(g4);
+        engine.add_library(same_as_regime_library());
+        let names = engine
+            .bindings_of(&pattern, Semantics::RegimeU, "X")
+            .unwrap();
+        assert_eq!(names.len(), 1);
+        assert_eq!(names[0].as_str(), "Jeffrey Ullman");
+    }
+
+    #[test]
+    fn plain_engine_matches_sparql_eval() {
+        let g = parse_turtle(
+            "a name \"Alice\" .\n\
+             b name \"Bob\" .\n\
+             a phone \"123\" .",
+        )
+        .unwrap();
+        let pattern = parse_pattern("{ ?X name ?Y } OPTIONAL { ?X phone ?Z }").unwrap();
+        let engine = SparqlEngine::new(g.clone());
+        assert_eq!(
+            engine.evaluate_plain(&pattern).unwrap(),
+            triq_sparql::evaluate(&g, &pattern)
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! # TriQ — expressive languages for querying the Semantic Web
+//!
+//! A from-scratch Rust implementation of
+//! *Expressive Languages for Querying the Semantic Web* (Arenas, Gottlob,
+//! Pieris; PODS 2014 / ACM TODS 2018): the query languages **TriQ 1.0**
+//! (weakly-frontier-guarded Datalog∃,¬s,⊥) and **TriQ-Lite 1.0** (warded
+//! Datalog∃,¬sg,⊥), the SPARQL → Datalog translations of §5 including the
+//! OWL 2 QL core direct-semantics entailment regime, and every substrate
+//! they need: an RDF store, a SPARQL algebra engine, a Datalog∃,¬s,⊥
+//! chase engine with proof trees and the §6.3 `ProofTree` decision
+//! procedure, and an OWL 2 QL core ontology layer.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use triq::prelude::*;
+//!
+//! // An RDF graph (§2 of the paper).
+//! let graph = parse_turtle(
+//!     "dbUllman is_author_of \"The Complete Book\" .\n\
+//!      dbUllman name \"Jeffrey Ullman\" .",
+//! ).unwrap();
+//!
+//! // Query it with SPARQL…
+//! let q = parse_select("SELECT ?X WHERE { ?Y is_author_of ?Z . ?Y name ?X }").unwrap();
+//! assert_eq!(q.bindings_of(&graph, "X")[0].as_str(), "Jeffrey Ullman");
+//!
+//! // …or with a TriQ-Lite 1.0 rule program over triple(·,·,·).
+//! let rules = parse_program(
+//!     "triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> query(?X).",
+//! ).unwrap();
+//! let answers = TriqLiteQuery::new(rules, "query").unwrap()
+//!     .evaluate_on_graph(&graph).unwrap();
+//! assert!(answers.contains(&["Jeffrey Ullman"]));
+//! ```
+//!
+//! The crate-level types [`TriqQuery`] and [`TriqLiteQuery`] enforce the
+//! paper's language membership (Definition 4.2 / Definition 6.1) at
+//! construction time; [`engine::SparqlEngine`] bundles graph + ontology
+//! reasoning for the §5 entailment regimes.
+
+pub mod engine;
+mod triq_lang;
+
+pub use triq_lang::{TriqLiteQuery, TriqQuery};
+
+/// Re-export: shared term model.
+pub use triq_common as common;
+/// Re-export: Datalog∃,¬s,⊥ engine.
+pub use triq_datalog as datalog;
+/// Re-export: OWL 2 QL core ontology layer.
+pub use triq_owl2ql as owl2ql;
+/// Re-export: RDF substrate.
+pub use triq_rdf as rdf;
+/// Re-export: SPARQL algebra.
+pub use triq_sparql as sparql;
+/// Re-export: SPARQL → Datalog translations.
+pub use triq_translate as translate;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::engine::SparqlEngine;
+    pub use crate::{TriqLiteQuery, TriqQuery};
+    pub use triq_common::{intern, NullId, Symbol, Term, TriqError, VarId};
+    pub use triq_datalog::{
+        classify_program, parse_atom, parse_program, parse_query, Answers, ChaseConfig, Database,
+        ExistentialStrategy, Program, Query,
+    };
+    pub use triq_owl2ql::{
+        ontology_from_graph, ontology_to_graph, parse_functional, tau_db, tau_owl2ql_core,
+        Axiom, BasicClass, BasicProperty, EntailmentOracle, Ontology,
+    };
+    pub use triq_rdf::{parse_turtle, to_turtle, Graph, Triple};
+    pub use triq_sparql::{
+        evaluate as evaluate_sparql, parse_construct, parse_pattern, parse_select,
+    };
+    pub use triq_translate::{
+        evaluate_plain, evaluate_regime_all, evaluate_regime_u, translate_pattern,
+        translate_pattern_all, translate_pattern_u, RegimeAnswers,
+    };
+}

@@ -1,0 +1,178 @@
+//! The TriQ 1.0 and TriQ-Lite 1.0 query types (Definitions 4.2 and 6.1),
+//! with language membership enforced at construction time.
+
+use triq_common::{intern, Result, Symbol, TriqError};
+use triq_datalog::{
+    classify_program, Answers, ChaseConfig, Database, Program, ProgramClassification, Query,
+};
+use triq_owl2ql::tau_db;
+use triq_rdf::Graph;
+
+/// A TriQ 1.0 query: a stratified *weakly-frontier-guarded* Datalog∃,¬s,⊥
+/// query (Definition 4.2). Eval is ExpTime-complete in data complexity
+/// (Theorem 4.4), so evaluation takes an explicit [`ChaseConfig`] budget.
+#[derive(Clone, Debug)]
+pub struct TriqQuery {
+    query: Query,
+    classification: ProgramClassification,
+}
+
+impl TriqQuery {
+    /// Validates membership in TriQ 1.0 and wraps the query.
+    pub fn new(program: Program, output: &str) -> Result<TriqQuery> {
+        let classification = classify_program(&program);
+        if !classification.is_triq_1_0() {
+            return Err(TriqError::NotInLanguage {
+                language: "TriQ 1.0",
+                reason: classification.violations.join("; "),
+            });
+        }
+        Ok(TriqQuery {
+            query: Query::new(program, intern(output))?,
+            classification,
+        })
+    }
+
+    /// The underlying Datalog query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The classification report computed at construction.
+    pub fn classification(&self) -> &ProgramClassification {
+        &self.classification
+    }
+
+    /// Evaluates over a database.
+    pub fn evaluate(&self, db: &Database, config: ChaseConfig) -> Result<Answers> {
+        self.query.evaluate_with(db, config)
+    }
+
+    /// Evaluates over an RDF graph via `τ_db` (§5.1).
+    pub fn evaluate_on_graph(&self, graph: &Graph) -> Result<Answers> {
+        self.query.evaluate_with(&tau_db(graph), ChaseConfig::default())
+    }
+
+    /// The output predicate.
+    pub fn output(&self) -> Symbol {
+        self.query.output
+    }
+}
+
+/// A TriQ-Lite 1.0 query: a stratified *warded* Datalog∃,¬sg,⊥ query with
+/// grounded negation (Definition 6.1). Eval is PTime-complete in data
+/// complexity (Theorem 6.7).
+#[derive(Clone, Debug)]
+pub struct TriqLiteQuery {
+    query: Query,
+    classification: ProgramClassification,
+}
+
+impl TriqLiteQuery {
+    /// Validates membership in TriQ-Lite 1.0 and wraps the query.
+    pub fn new(program: Program, output: &str) -> Result<TriqLiteQuery> {
+        let classification = classify_program(&program);
+        if !classification.is_triq_lite_1_0() {
+            return Err(TriqError::NotInLanguage {
+                language: "TriQ-Lite 1.0",
+                reason: classification.violations.join("; "),
+            });
+        }
+        Ok(TriqLiteQuery {
+            query: Query::new(program, intern(output))?,
+            classification,
+        })
+    }
+
+    /// The underlying Datalog query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The classification report computed at construction.
+    pub fn classification(&self) -> &ProgramClassification {
+        &self.classification
+    }
+
+    /// Evaluates over a database with the default configuration.
+    pub fn evaluate(&self, db: &Database) -> Result<Answers> {
+        self.query.evaluate(db)
+    }
+
+    /// Evaluates with an explicit chase configuration.
+    pub fn evaluate_with(&self, db: &Database, config: ChaseConfig) -> Result<Answers> {
+        self.query.evaluate_with(db, config)
+    }
+
+    /// Evaluates over an RDF graph via `τ_db` (§5.1).
+    pub fn evaluate_on_graph(&self, graph: &Graph) -> Result<Answers> {
+        self.query.evaluate(&tau_db(graph))
+    }
+
+    /// The output predicate.
+    pub fn output(&self) -> Symbol {
+        self.query.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triq_datalog::parse_program;
+
+    #[test]
+    fn lite_accepts_warded_rejects_non_warded() {
+        // Warded (the Theorem 7.1 witness Π plus an output rule).
+        let warded = parse_program(
+            "p(?X) -> exists ?Y s(?X, ?Y).\n s(?X, ?Y) -> out(?X).",
+        )
+        .unwrap();
+        assert!(TriqLiteQuery::new(warded, "out").is_ok());
+        // Not warded (the harmful-escape program from the classifier
+        // tests) — but still TriQ 1.0.
+        let not_warded = parse_program(
+            "p(?X) -> exists ?Y e(?X, ?Y).\n\
+             e(?X, ?Y) -> f(?Y).\n\
+             e(?X, ?Y), f(?Y) -> g(?Y).\n\
+             g(?Y) -> out2(?Y).",
+        )
+        .unwrap();
+        assert!(TriqLiteQuery::new(not_warded.clone(), "out2").is_err());
+        assert!(TriqQuery::new(not_warded, "out2").is_ok());
+    }
+
+    #[test]
+    fn clique_program_is_triq_but_not_lite() {
+        let q = triq_datalog::builders::clique_query();
+        assert!(TriqQuery::new(q.program.clone(), "yes").is_ok());
+        assert!(TriqLiteQuery::new(q.program, "yes").is_err());
+    }
+
+    #[test]
+    fn evaluate_on_graph_uses_tau_db() {
+        let graph = triq_rdf::parse_turtle(
+            "dbUllman is_author_of \"The Complete Book\" .\n\
+             dbUllman name \"Jeffrey Ullman\" .",
+        )
+        .unwrap();
+        let rules = parse_program(
+            "triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> query(?X).",
+        )
+        .unwrap();
+        let q = TriqLiteQuery::new(rules, "query").unwrap();
+        let ans = q.evaluate_on_graph(&graph).unwrap();
+        assert!(ans.contains(&["Jeffrey Ullman"]));
+    }
+
+    #[test]
+    fn error_messages_name_the_language() {
+        let not_warded = parse_program(
+            "p(?X) -> exists ?Y e(?X, ?Y).\n\
+             e(?X, ?Y) -> f(?Y).\n\
+             e(?X, ?Y), f(?Y) -> g(?Y).",
+        )
+        .unwrap();
+        let err = TriqLiteQuery::new(not_warded, "g").unwrap_err();
+        assert!(err.to_string().contains("TriQ-Lite 1.0"));
+    }
+}

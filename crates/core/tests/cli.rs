@@ -1,0 +1,137 @@
+//! Integration tests for the `triq-cli` binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("triq-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_triq-cli"))
+}
+
+const GRAPH: &str = "dbUllman is_author_of \"The Complete Book\" .\n\
+                     dbUllman name \"Jeffrey Ullman\" .\n\
+                     dbAho is_coauthor_of dbUllman .\n\
+                     dbAho name \"Alfred Aho\" .\n";
+
+#[test]
+fn sparql_select() {
+    let g = write_temp("g1.ttl", GRAPH);
+    let out = cli()
+        .args(["sparql", g.to_str().unwrap(), "SELECT ?X WHERE { ?Y name ?X }"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Jeffrey Ullman"));
+    assert!(stdout.contains("Alfred Aho"));
+}
+
+#[test]
+fn rules_evaluation_and_classification() {
+    let g = write_temp("g2.ttl", GRAPH);
+    let rules = write_temp(
+        "authors.dl",
+        "triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> query(?X).\n",
+    );
+    let out = cli()
+        .args([
+            "rules",
+            g.to_str().unwrap(),
+            rules.to_str().unwrap(),
+            "query",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("Jeffrey Ullman"));
+
+    let out = cli()
+        .args(["classify", rules.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("TriQ-Lite 1.0:          true"));
+}
+
+#[test]
+fn entailment_through_cli() {
+    let g = write_temp(
+        "g3.ttl",
+        "dog rdf:type animal .\n\
+         animal rdfs:subClassOf mammal_or_so .\n",
+    );
+    let out = cli()
+        .args(["entail", g.to_str().unwrap(), "dog", "rdf:type", "mammal_or_so"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "true");
+    let out = cli()
+        .args(["entail", g.to_str().unwrap(), "dog", "rdf:type", "plant"])
+        .output()
+        .unwrap();
+    assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "false");
+}
+
+#[test]
+fn regime_flag() {
+    let g = write_temp(
+        "g4.ttl",
+        "dog rdf:type animal .\n\
+         animal rdfs:subClassOf some_eats .\n\
+         some_eats rdf:type owl:Restriction .\n\
+         some_eats owl:onProperty eats .\n\
+         some_eats owl:someValuesFrom owl:Thing .\n",
+    );
+    let out = cli()
+        .args([
+            "sparql",
+            g.to_str().unwrap(),
+            "SELECT ?X WHERE { ?X eats _:B }",
+            "--regime",
+            "all",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("dog"));
+}
+
+#[test]
+fn bad_usage_fails() {
+    let out = cli().args(["nonsense"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = cli().args(["sparql", "/nonexistent.ttl", "SELECT ?X WHERE { ?X p ?Y }"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn explain_shows_derivation() {
+    let g = write_temp(
+        "g5.ttl",
+        "dog rdf:type animal .\n\
+         animal rdfs:subClassOf mammal .\n",
+    );
+    let out = cli()
+        .args(["explain", g.to_str().unwrap(), "dog", "rdf:type", "mammal"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("triple1(dog, rdf:type, mammal)"));
+    assert!(stdout.contains("[database]"));
+    let out = cli()
+        .args(["explain", g.to_str().unwrap(), "dog", "rdf:type", "fish"])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8(out.stdout).unwrap().contains("not entailed"));
+}

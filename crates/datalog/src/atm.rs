@@ -1,0 +1,348 @@
+//! Alternating Turing machines (§6.4) — the machine model behind
+//! Theorem 6.15 — together with a direct simulator used to cross-validate
+//! the fixed warded-with-minimal-interaction Datalog∃ program of
+//! [`crate::builders::atm_program`].
+//!
+//! Following the paper, an ATM is `M = (S, Λ, δ, s₀)` with states
+//! partitioned into universal, existential, accepting and rejecting ones,
+//! and a *binary* transition relation: `δ(s, α)` yields exactly two
+//! successor moves `((s₁,α₁,m₁), (s₂,α₂,m₂))`. A universal configuration
+//! accepts iff both successors accept; an existential one iff at least one
+//! does. The machine is *well-behaved*: a move beyond the tape boundary
+//! makes that successor branch fail (it never accepts), matching the
+//! Datalog encoding where the corresponding `next-cell` atom is missing.
+
+use std::collections::HashMap;
+use triq_common::{intern, Symbol};
+
+/// Shorthand used by [`Machine::new`]: `(state, written-symbol, move)`.
+pub type ActionSpec<'a> = (&'a str, &'a str, Move);
+/// Shorthand used by [`Machine::new`]: one transition table entry.
+pub type TransitionSpec<'a> = (&'a str, &'a str, ActionSpec<'a>, ActionSpec<'a>);
+
+/// State kinds of an ATM.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StateKind {
+    /// Existential state (∃): one successor must accept.
+    Exists,
+    /// Universal state (∀): both successors must accept.
+    Forall,
+    /// Accepting state.
+    Accept,
+    /// Rejecting state.
+    Reject,
+}
+
+/// Cursor directions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Move {
+    /// `-1` in the paper.
+    Left,
+    /// `+1` in the paper.
+    Right,
+}
+
+/// One of the two successor moves of a transition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Action {
+    /// Successor state.
+    pub state: Symbol,
+    /// Symbol written to the current cell.
+    pub write: Symbol,
+    /// Cursor move.
+    pub dir: Move,
+}
+
+/// An alternating Turing machine with binary branching.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Kind of every state.
+    pub kinds: HashMap<Symbol, StateKind>,
+    /// `δ(s, α) = (first, second)`.
+    pub delta: HashMap<(Symbol, Symbol), (Action, Action)>,
+    /// Initial state `s₀`.
+    pub initial: Symbol,
+}
+
+/// A configuration: tape content, cursor position and internal state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Config {
+    /// Internal state.
+    pub state: Symbol,
+    /// Tape cells.
+    pub tape: Vec<Symbol>,
+    /// Cursor position (0-based).
+    pub cursor: usize,
+}
+
+impl Machine {
+    /// Builds a machine; `kinds` lists `(state, kind)` and `delta` lists
+    /// `(state, read, first-action, second-action)`.
+    pub fn new(
+        initial: &str,
+        kinds: &[(&str, StateKind)],
+        delta: &[TransitionSpec<'_>],
+    ) -> Machine {
+        let mut m = Machine {
+            initial: intern(initial),
+            kinds: HashMap::new(),
+            delta: HashMap::new(),
+        };
+        for (s, k) in kinds {
+            m.kinds.insert(intern(s), *k);
+        }
+        for (s, a, first, second) in delta {
+            let mk = |(st, wr, dir): (&str, &str, Move)| Action {
+                state: intern(st),
+                write: intern(wr),
+                dir,
+            };
+            m.delta
+                .insert((intern(s), intern(a)), (mk(*first), mk(*second)));
+        }
+        m
+    }
+
+    /// The initial configuration on `input`.
+    pub fn initial_config(&self, input: &[&str]) -> Config {
+        Config {
+            state: self.initial,
+            tape: input.iter().map(|s| intern(s)).collect(),
+            cursor: 0,
+        }
+    }
+
+    fn successor(&self, c: &Config, action: Action) -> Option<Config> {
+        let mut tape = c.tape.clone();
+        tape[c.cursor] = action.write;
+        let cursor = match action.dir {
+            Move::Left => c.cursor.checked_sub(1)?,
+            Move::Right => {
+                if c.cursor + 1 >= tape.len() {
+                    return None;
+                }
+                c.cursor + 1
+            }
+        };
+        Some(Config {
+            state: action.state,
+            tape,
+            cursor,
+        })
+    }
+
+    /// Whether the machine accepts from `config` within `depth` transition
+    /// steps (the bounded acceptance the Datalog encoding simulates with a
+    /// null-depth budget).
+    pub fn accepts_within(&self, config: &Config, depth: u32) -> bool {
+        let mut memo: HashMap<(Config, u32), bool> = HashMap::new();
+        self.accepts_rec(config, depth, &mut memo)
+    }
+
+    fn accepts_rec(
+        &self,
+        config: &Config,
+        depth: u32,
+        memo: &mut HashMap<(Config, u32), bool>,
+    ) -> bool {
+        let kind = self
+            .kinds
+            .get(&config.state)
+            .copied()
+            .unwrap_or(StateKind::Reject);
+        match kind {
+            StateKind::Accept => return true,
+            StateKind::Reject => return false,
+            _ => {}
+        }
+        if depth == 0 {
+            return false;
+        }
+        if let Some(&r) = memo.get(&(config.clone(), depth)) {
+            return r;
+        }
+        let result = match self.delta.get(&(config.state, config.tape[config.cursor])) {
+            None => false, // no transition: the branch never accepts
+            Some(&(first, second)) => {
+                let branch = |a: Action, memo: &mut HashMap<(Config, u32), bool>| {
+                    self.successor(config, a)
+                        .is_some_and(|c| self.accepts_rec(&c, depth - 1, memo))
+                };
+                match kind {
+                    StateKind::Exists => branch(first, memo) || branch(second, memo),
+                    StateKind::Forall => branch(first, memo) && branch(second, memo),
+                    _ => unreachable!(),
+                }
+            }
+        };
+        memo.insert((config.clone(), depth), result);
+        result
+    }
+
+    /// Convenience: bounded acceptance from the initial configuration.
+    pub fn accepts_input(&self, input: &[&str], depth: u32) -> bool {
+        self.accepts_within(&self.initial_config(input), depth)
+    }
+}
+
+/// A machine that accepts iff the first tape cell is `1` (one existential
+/// step into the accept state).
+pub fn machine_first_cell_one() -> Machine {
+    Machine::new(
+        "s0",
+        &[
+            ("s0", StateKind::Exists),
+            ("s_accept", StateKind::Accept),
+            ("s_reject", StateKind::Reject),
+        ],
+        &[
+            (
+                "s0",
+                "1",
+                ("s_accept", "1", Move::Right),
+                ("s_accept", "1", Move::Right),
+            ),
+            (
+                "s0",
+                "0",
+                ("s_reject", "0", Move::Right),
+                ("s_reject", "0", Move::Right),
+            ),
+        ],
+    )
+}
+
+/// A machine that accepts iff every cell before the end-marker `$` is `1`:
+/// an existential walker moves right while reading `1`, accepts on `$`
+/// (moving left, staying on tape) and rejects on `0`. Exercises the
+/// cursor-movement and frame rules of the Datalog encoding. Inputs must be
+/// `$`-terminated, e.g. `["1", "1", "$"]`.
+pub fn machine_all_ones() -> Machine {
+    Machine::new(
+        "s0",
+        &[
+            ("s0", StateKind::Exists),
+            ("s_accept", StateKind::Accept),
+            ("s_reject", StateKind::Reject),
+        ],
+        &[
+            (
+                "s0",
+                "1",
+                ("s0", "1", Move::Right),
+                ("s0", "1", Move::Right),
+            ),
+            (
+                "s0",
+                "$",
+                ("s_accept", "$", Move::Left),
+                ("s_accept", "$", Move::Left),
+            ),
+            (
+                "s0",
+                "0",
+                ("s_reject", "0", Move::Right),
+                ("s_reject", "0", Move::Right),
+            ),
+        ],
+    )
+}
+
+/// A machine whose initial universal state forks into two checks that must
+/// *both* accept: "cell 2 is 1" and "cell 2 is not 0-then-reject"; used to
+/// exercise ∀-semantics end to end.
+pub fn machine_forall_both() -> Machine {
+    Machine::new(
+        "s0",
+        &[
+            ("s0", StateKind::Forall),
+            ("chk1", StateKind::Exists),
+            ("chk2", StateKind::Exists),
+            ("s_accept", StateKind::Accept),
+            ("s_reject", StateKind::Reject),
+        ],
+        &[
+            (
+                "s0",
+                "1",
+                ("chk1", "1", Move::Right),
+                ("chk2", "1", Move::Right),
+            ),
+            (
+                "chk1",
+                "1",
+                ("s_accept", "1", Move::Right),
+                ("s_accept", "1", Move::Right),
+            ),
+            (
+                "chk1",
+                "0",
+                ("s_accept", "0", Move::Right),
+                ("s_accept", "0", Move::Right),
+            ),
+            (
+                "chk2",
+                "1",
+                ("s_accept", "1", Move::Right),
+                ("s_accept", "1", Move::Right),
+            ),
+            (
+                "chk2",
+                "0",
+                ("s_reject", "0", Move::Right),
+                ("s_reject", "0", Move::Right),
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_cell_machine() {
+        let m = machine_first_cell_one();
+        assert!(m.accepts_input(&["1", "0"], 4));
+        assert!(!m.accepts_input(&["0", "1"], 4));
+        assert!(!m.accepts_input(&["1", "0"], 0)); // budget too small
+    }
+
+    #[test]
+    fn all_ones_machine() {
+        let m = machine_all_ones();
+        assert!(m.accepts_input(&["1", "1", "$"], 8));
+        assert!(!m.accepts_input(&["0", "1", "$"], 8));
+        assert!(!m.accepts_input(&["1", "0", "$"], 8));
+        assert!(m.accepts_input(&["1", "$"], 8));
+    }
+
+    #[test]
+    fn forall_machine_requires_both() {
+        let m = machine_forall_both();
+        assert!(m.accepts_input(&["1", "1", "1"], 4));
+        // Cell 2 reads 0: chk2 rejects while chk1 accepts -> ∀ fails.
+        assert!(!m.accepts_input(&["1", "0", "1"], 4));
+    }
+
+    #[test]
+    fn walking_off_the_tape_fails_the_branch() {
+        let m = machine_all_ones();
+        // Tape without the $ marker: the walker falls off the right edge,
+        // so no successor configuration exists and the input is rejected.
+        assert!(!m.accepts_input(&["1"], 4));
+        assert!(!m.accepts_input(&["1", "1"], 8));
+        // A lone $ cannot accept either: the accept-move goes left off the
+        // tape.
+        assert!(!m.accepts_input(&["$"], 4));
+        assert!(m.accepts_input(&["1", "$"], 8));
+    }
+
+    #[test]
+    fn depth_budget_is_respected() {
+        let m = machine_all_ones();
+        // 1 1 1 $ needs 4 steps (3 walks + 1 accept-move).
+        assert!(m.accepts_input(&["1", "1", "1", "$"], 4));
+        assert!(!m.accepts_input(&["1", "1", "1", "$"], 2));
+    }
+}

@@ -1,0 +1,163 @@
+//! Atoms and built-in literals.
+
+use std::fmt;
+use triq_common::{NullId, Symbol, Term, VarId};
+
+/// An atom `p(t₁, …, tₙ)` (§3.2). Predicate names are interned symbols;
+/// terms may be constants, nulls or variables.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// The predicate `p`.
+    pub pred: Symbol,
+    /// The argument tuple `t₁, …, tₙ`.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(pred: Symbol, terms: Vec<Term>) -> Self {
+        Atom { pred, terms }
+    }
+
+    /// Builds an atom, interning the predicate name.
+    pub fn from_parts(pred: &str, terms: Vec<Term>) -> Self {
+        Atom::new(Symbol::new(pred), terms)
+    }
+
+    /// The arity of the atom's predicate occurrence.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterator over the variables of the atom (with repetitions).
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.terms.iter().filter_map(|t| t.as_var())
+    }
+
+    /// Iterator over the nulls of the atom (with repetitions).
+    pub fn nulls(&self) -> impl Iterator<Item = NullId> + '_ {
+        self.terms.iter().filter_map(|t| t.as_null())
+    }
+
+    /// True iff the atom contains no variables.
+    pub fn is_ground_or_null(&self) -> bool {
+        self.terms.iter().all(|t| !t.is_var())
+    }
+
+    /// Applies a substitution, leaving unmapped variables in place.
+    pub fn apply(&self, subst: &dyn Fn(VarId) -> Option<Term>) -> Atom {
+        Atom {
+            pred: self.pred,
+            terms: self
+                .terms
+                .iter()
+                .map(|&t| match t {
+                    Term::Var(v) => subst(v).unwrap_or(t),
+                    other => other,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A built-in comparison literal in a rule body.
+///
+/// The paper's appendix (omitted in the text) encodes SPARQL FILTER
+/// conditions; built-in (in)equality over rule variables is the standard
+/// engine-level realization and is equivalent to the Datalog¬s encoding via
+/// a domain predicate (tested in `triq-translate`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Builtin {
+    /// `t₁ = t₂`.
+    Eq(Term, Term),
+    /// `t₁ != t₂`.
+    Neq(Term, Term),
+}
+
+impl Builtin {
+    /// The variables mentioned by the builtin.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> {
+        let (a, b) = match *self {
+            Builtin::Eq(a, b) | Builtin::Neq(a, b) => (a, b),
+        };
+        [a, b].into_iter().filter_map(|t| t.as_var())
+    }
+
+    /// Evaluates the builtin under a full substitution of its variables.
+    pub fn holds(&self, subst: &dyn Fn(VarId) -> Option<Term>) -> bool {
+        let resolve = |t: Term| match t {
+            Term::Var(v) => subst(v).expect("builtin variable must be bound"),
+            other => other,
+        };
+        match *self {
+            Builtin::Eq(a, b) => resolve(a) == resolve(b),
+            Builtin::Neq(a, b) => resolve(a) != resolve(b),
+        }
+    }
+}
+
+impl fmt::Display for Builtin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Builtin::Eq(a, b) => write!(f, "{a} = {b}"),
+            Builtin::Neq(a, b) => write!(f, "{a} != {b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triq_common::intern;
+
+    fn v(name: &str) -> Term {
+        Term::Var(VarId::new(name))
+    }
+
+    #[test]
+    fn atom_accessors() {
+        let a = Atom::from_parts("p", vec![v("X"), Term::constant("c"), v("X")]);
+        assert_eq!(a.arity(), 3);
+        assert_eq!(a.vars().count(), 2);
+        assert!(!a.is_ground_or_null());
+        assert_eq!(a.to_string(), "p(?X, c, ?X)");
+    }
+
+    #[test]
+    fn apply_substitution() {
+        let a = Atom::from_parts("p", vec![v("X"), v("Y")]);
+        let b = a.apply(&|var| (var == VarId::new("X")).then(|| Term::constant("x")));
+        assert_eq!(b.terms[0], Term::constant("x"));
+        assert_eq!(b.terms[1], v("Y"));
+    }
+
+    #[test]
+    fn builtin_semantics() {
+        let x = Term::Const(intern("x"));
+        let y = Term::Const(intern("y"));
+        let subst = |var: VarId| Some(if var == VarId::new("X") { x } else { y });
+        assert!(Builtin::Eq(v("X"), x).holds(&subst));
+        assert!(!Builtin::Eq(v("X"), v("Y")).holds(&subst));
+        assert!(Builtin::Neq(v("X"), v("Y")).holds(&subst));
+        assert_eq!(Builtin::Neq(v("X"), v("Y")).vars().count(), 2);
+    }
+}

@@ -1,0 +1,816 @@
+//! The chase procedure (§3.2) with stratified negation, constraints and
+//! provenance, implemented as a semi-naive fixpoint per stratum.
+//!
+//! The paper defines the semantics of a Datalog∃,¬s,⊥ program via the
+//! (possibly infinite) chase `S₀ = chase(D, ex(Π)₀)`,
+//! `Sᵢ = chase(S_{i-1}, (ex(Π)ᵢ)^{S_{i-1}})`. A real engine needs a
+//! terminating realization; we provide two existential strategies:
+//!
+//! * [`ExistentialStrategy::Skolem`] — the semi-oblivious chase: the null
+//!   created for an existential variable is a function of the rule and the
+//!   frontier values, memoized, with a configurable *invention-depth* bound
+//!   (a null built from depth-`d` nulls has depth `d+1`). This terminates
+//!   on every program and is the workhorse; for the warded programs of
+//!   §6 the *ground* atoms (which is all a query answer may contain)
+//!   saturate at shallow depth, and the engine reports via
+//!   [`ChaseStats::truncated`] whether the bound was ever hit.
+//! * [`ExistentialStrategy::Restricted`] — the standard restricted chase:
+//!   an existential rule fires only when its head is not already satisfied
+//!   by an extension of the match. Fewer nulls, same ground semantics,
+//!   but termination is not guaranteed in general, hence the same depth
+//!   bound applies.
+//!
+//! Both strategies respect the paper's indefinite-grounding treatment of
+//! nulls under negation: negated atoms are evaluated against the closed
+//! lower strata (nulls compare by identity, as the grounding of §3.2
+//! prescribes).
+//!
+//! Internally, rules are *compiled*: every rule variable becomes a slot
+//! index, so a candidate match is a flat `Vec<Option<Term>>` instead of a
+//! hash map — the join loop allocates nothing per probed tuple.
+
+use crate::instance::{AtomId, Database, Derivation, GroundAtom, Instance};
+use crate::{Atom, Builtin, Program, Rule, Stratification};
+use std::collections::HashMap;
+use triq_common::{Result, Symbol, Term, TriqError, VarId};
+
+/// How existential rules instantiate their head nulls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExistentialStrategy {
+    /// Semi-oblivious (skolem) chase with memoized nulls.
+    Skolem,
+    /// Restricted chase: fire only if the head is not already satisfied.
+    Restricted,
+}
+
+/// Chase configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaseConfig {
+    /// Existential strategy.
+    pub strategy: ExistentialStrategy,
+    /// Maximum null invention depth; rule applications that would create a
+    /// deeper null are skipped and [`ChaseStats::truncated`] is set.
+    pub max_null_depth: u32,
+    /// Hard budget on the total number of stored atoms.
+    pub max_atoms: usize,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig {
+            strategy: ExistentialStrategy::Skolem,
+            max_null_depth: 6,
+            max_atoms: 10_000_000,
+        }
+    }
+}
+
+/// Counters describing a chase run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaseStats {
+    /// Atoms derived beyond the database.
+    pub derived: usize,
+    /// Fixpoint rounds summed over strata.
+    pub rounds: usize,
+    /// Nulls invented.
+    pub nulls: usize,
+    /// Whether some existential application was skipped because it would
+    /// exceed `max_null_depth`. When `false`, the computed instance is the
+    /// *exact* chase (it happened to be finite within the bound).
+    pub truncated: bool,
+}
+
+/// The result of chasing a database with a program.
+pub struct ChaseOutcome {
+    /// The computed (finite) instance `Π(D)` (up to the depth bound).
+    pub instance: Instance,
+    /// Whether some constraint fired, i.e. `Π(D) = ⊤` (§3.2).
+    pub inconsistent: bool,
+    /// Counters.
+    pub stats: ChaseStats,
+}
+
+// ---------------------------------------------------------------------------
+// Compiled form: variables become slot indexes.
+// ---------------------------------------------------------------------------
+
+/// A term of a compiled atom: a fixed value or a slot.
+#[derive(Clone, Copy, Debug)]
+enum CTerm {
+    Fixed(Term),
+    Slot(u16),
+}
+
+#[derive(Clone, Debug)]
+struct CAtom {
+    pred: Symbol,
+    terms: Vec<CTerm>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum CBuiltin {
+    Eq(CTerm, CTerm),
+    Neq(CTerm, CTerm),
+}
+
+/// A rule with slot-indexed variables.
+struct CompiledRule {
+    n_slots: usize,
+    body_pos: Vec<CAtom>,
+    body_neg: Vec<CAtom>,
+    builtins: Vec<CBuiltin>,
+    heads: Vec<CAtom>,
+    /// Slots of frontier variables, in ascending `VarId` order (stable
+    /// skolem keys).
+    frontier_slots: Vec<u16>,
+    /// Slots of the existential variables, in declaration order.
+    exist_slots: Vec<u16>,
+}
+
+struct SlotMap {
+    map: HashMap<VarId, u16>,
+}
+
+impl SlotMap {
+    fn new() -> Self {
+        SlotMap {
+            map: HashMap::new(),
+        }
+    }
+
+    fn slot(&mut self, v: VarId) -> u16 {
+        let next = self.map.len() as u16;
+        *self.map.entry(v).or_insert(next)
+    }
+
+    fn compile_atom(&mut self, atom: &Atom) -> CAtom {
+        CAtom {
+            pred: atom.pred,
+            terms: atom
+                .terms
+                .iter()
+                .map(|&t| match t {
+                    Term::Var(v) => CTerm::Slot(self.slot(v)),
+                    other => CTerm::Fixed(other),
+                })
+                .collect(),
+        }
+    }
+
+    fn compile_term(&mut self, t: Term) -> CTerm {
+        match t {
+            Term::Var(v) => CTerm::Slot(self.slot(v)),
+            other => CTerm::Fixed(other),
+        }
+    }
+}
+
+fn compile_rule(rule: &Rule) -> CompiledRule {
+    let mut slots = SlotMap::new();
+    let body_pos = rule.body_pos.iter().map(|a| slots.compile_atom(a)).collect();
+    let body_neg = rule.body_neg.iter().map(|a| slots.compile_atom(a)).collect();
+    let builtins = rule
+        .builtins
+        .iter()
+        .map(|b| match *b {
+            Builtin::Eq(x, y) => CBuiltin::Eq(slots.compile_term(x), slots.compile_term(y)),
+            Builtin::Neq(x, y) => CBuiltin::Neq(slots.compile_term(x), slots.compile_term(y)),
+        })
+        .collect();
+    let heads = rule.head.iter().map(|a| slots.compile_atom(a)).collect();
+    let mut frontier: Vec<VarId> = rule.frontier().into_iter().collect();
+    frontier.sort_unstable();
+    let frontier_slots = frontier.iter().map(|&v| slots.slot(v)).collect();
+    let exist_slots = rule.exist_vars.iter().map(|&v| slots.slot(v)).collect();
+    CompiledRule {
+        n_slots: slots.map.len(),
+        body_pos,
+        body_neg,
+        builtins,
+        heads,
+        frontier_slots,
+        exist_slots,
+    }
+}
+
+/// A slot assignment during matching.
+type Slots = Vec<Option<Term>>;
+
+fn resolve(t: CTerm, slots: &Slots) -> Option<Term> {
+    match t {
+        CTerm::Fixed(v) => Some(v),
+        CTerm::Slot(s) => slots[s as usize],
+    }
+}
+
+/// The most selective candidate id slice for `atom` under `slots` within
+/// `range` (smallest per-column index, falling back to the predicate
+/// extent). Ids are ascending, so the range restriction is binary search.
+fn candidates<'a>(
+    inst: &'a Instance,
+    atom: &CAtom,
+    slots: &Slots,
+    range: (AtomId, AtomId),
+) -> &'a [AtomId] {
+    let mut best: &[AtomId] = inst.ids_by_pred(atom.pred);
+    for (i, &t) in atom.terms.iter().enumerate() {
+        if let Some(value) = resolve(t, slots) {
+            let ids = inst.ids_by_column(atom.pred, i as u32, value);
+            if ids.len() < best.len() {
+                best = ids;
+            }
+        }
+    }
+    let lo = best.partition_point(|&id| id < range.0);
+    let hi = best.partition_point(|&id| id < range.1);
+    &best[lo..hi]
+}
+
+/// Enumerates homomorphisms from `atoms` into `inst`, where atom `i` may
+/// only match stored atoms with id in `ranges[i]`. Calls `on_match` for
+/// every complete match; returning `false` stops the enumeration.
+fn enumerate_matches(
+    inst: &Instance,
+    atoms: &[CAtom],
+    ranges: &[(AtomId, AtomId)],
+    slots: &mut Slots,
+    on_match: &mut dyn FnMut(&Slots, &[AtomId]) -> bool,
+) -> bool {
+    let mut chosen: Vec<AtomId> = vec![0; atoms.len()];
+    let mut solved: Vec<bool> = vec![false; atoms.len()];
+    solve(inst, atoms, ranges, slots, &mut chosen, &mut solved, 0, on_match)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve(
+    inst: &Instance,
+    atoms: &[CAtom],
+    ranges: &[(AtomId, AtomId)],
+    slots: &mut Slots,
+    chosen: &mut Vec<AtomId>,
+    solved: &mut Vec<bool>,
+    depth: usize,
+    on_match: &mut dyn FnMut(&Slots, &[AtomId]) -> bool,
+) -> bool {
+    if depth == atoms.len() {
+        return on_match(slots, chosen);
+    }
+    // Pick the unsolved atom with the fewest candidates.
+    let mut pick = usize::MAX;
+    let mut pick_len = usize::MAX;
+    for (i, atom) in atoms.iter().enumerate() {
+        if solved[i] {
+            continue;
+        }
+        let len = candidates(inst, atom, slots, ranges[i]).len();
+        if len < pick_len {
+            pick = i;
+            pick_len = len;
+            if len == 0 {
+                break;
+            }
+        }
+    }
+    let atom = &atoms[pick];
+    solved[pick] = true;
+    let cands: &[AtomId] = candidates(inst, atom, slots, ranges[pick]);
+    let mut trail: Vec<u16> = Vec::with_capacity(atom.terms.len());
+    'cand: for &id in cands {
+        let stored = inst.atom(id);
+        if stored.terms.len() != atom.terms.len() {
+            continue;
+        }
+        for (pat, &val) in atom.terms.iter().zip(stored.terms.iter()) {
+            match *pat {
+                CTerm::Fixed(f) => {
+                    if f != val {
+                        for s in trail.drain(..) {
+                            slots[s as usize] = None;
+                        }
+                        continue 'cand;
+                    }
+                }
+                CTerm::Slot(s) => match slots[s as usize] {
+                    Some(b) if b != val => {
+                        for s in trail.drain(..) {
+                            slots[s as usize] = None;
+                        }
+                        continue 'cand;
+                    }
+                    Some(_) => {}
+                    None => {
+                        slots[s as usize] = Some(val);
+                        trail.push(s);
+                    }
+                },
+            }
+        }
+        chosen[pick] = id;
+        let keep_going = solve(inst, atoms, ranges, slots, chosen, solved, depth + 1, on_match);
+        for s in trail.drain(..) {
+            slots[s as usize] = None;
+        }
+        if !keep_going {
+            solved[pick] = false;
+            return false;
+        }
+    }
+    solved[pick] = false;
+    true
+}
+
+/// Grounds a compiled atom under a total slot assignment.
+fn instantiate(atom: &CAtom, slots: &Slots) -> GroundAtom {
+    GroundAtom::new(
+        atom.pred,
+        atom.terms
+            .iter()
+            .map(|&t| resolve(t, slots).expect("unbound slot at instantiation"))
+            .collect(),
+    )
+}
+
+struct Engine<'a> {
+    program: &'a Program,
+    compiled: Vec<CompiledRule>,
+    config: ChaseConfig,
+    instance: Instance,
+    stats: ChaseStats,
+    /// Skolem memo: (rule, frontier values) → existential null terms.
+    skolem: HashMap<(usize, Box<[Term]>), Vec<Term>>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(program: &'a Program, seed: Instance, config: ChaseConfig) -> Self {
+        Engine {
+            compiled: program.rules.iter().map(compile_rule).collect(),
+            program,
+            config,
+            instance: seed,
+            stats: ChaseStats::default(),
+            skolem: HashMap::new(),
+        }
+    }
+
+    fn builtin_holds(b: CBuiltin, slots: &Slots) -> bool {
+        match b {
+            CBuiltin::Eq(x, y) => resolve(x, slots) == resolve(y, slots),
+            CBuiltin::Neq(x, y) => resolve(x, slots) != resolve(y, slots),
+        }
+    }
+
+    fn check_negatives_and_builtins(&self, rule: &CompiledRule, slots: &Slots) -> bool {
+        for &b in &rule.builtins {
+            if !Self::builtin_holds(b, slots) {
+                return false;
+            }
+        }
+        for neg in &rule.body_neg {
+            if self.instance.contains(&instantiate(neg, slots)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Applies one rule match; `slots` is mutated to hold existential
+    /// values during head instantiation and restored afterwards.
+    fn apply(
+        &mut self,
+        rule_idx: usize,
+        slots: &mut Slots,
+        body_ids: &[AtomId],
+    ) -> Result<()> {
+        let rule = &self.compiled[rule_idx];
+        if !rule.exist_slots.is_empty() {
+            let frontier_vals: Box<[Term]> = rule
+                .frontier_slots
+                .iter()
+                .map(|&s| slots[s as usize].expect("frontier slot bound"))
+                .collect();
+            match self.config.strategy {
+                ExistentialStrategy::Skolem => {
+                    if let Some(known) = self.skolem.get(&(rule_idx, frontier_vals.clone())) {
+                        for (&s, &t) in rule.exist_slots.iter().zip(known.iter()) {
+                            slots[s as usize] = Some(t);
+                        }
+                    } else {
+                        let depth = self.instance.next_depth(&frontier_vals);
+                        if depth > self.config.max_null_depth {
+                            self.stats.truncated = true;
+                            return Ok(());
+                        }
+                        let mut nulls = Vec::with_capacity(rule.exist_slots.len());
+                        for &s in &rule.exist_slots {
+                            let null = Term::Null(self.instance.fresh_null(depth));
+                            self.stats.nulls += 1;
+                            slots[s as usize] = Some(null);
+                            nulls.push(null);
+                        }
+                        self.skolem.insert((rule_idx, frontier_vals), nulls);
+                    }
+                }
+                ExistentialStrategy::Restricted => {
+                    // Is the head already satisfied by some extension?
+                    let cap = self.instance.len() as AtomId;
+                    let ranges = vec![(0, cap); rule.heads.len()];
+                    let mut satisfied = false;
+                    enumerate_matches(
+                        &self.instance,
+                        &rule.heads,
+                        &ranges,
+                        slots,
+                        &mut |_, _| {
+                            satisfied = true;
+                            false
+                        },
+                    );
+                    if satisfied {
+                        return Ok(());
+                    }
+                    let depth = self.instance.next_depth(&frontier_vals);
+                    if depth > self.config.max_null_depth {
+                        self.stats.truncated = true;
+                        return Ok(());
+                    }
+                    for &s in &rule.exist_slots {
+                        let null = Term::Null(self.instance.fresh_null(depth));
+                        self.stats.nulls += 1;
+                        slots[s as usize] = Some(null);
+                    }
+                }
+            }
+        }
+        for head in &rule.heads {
+            let ground = instantiate(head, slots);
+            let (_, fresh) = self.instance.insert(
+                ground,
+                Some(Derivation {
+                    rule: rule_idx,
+                    body: body_ids.to_vec(),
+                }),
+            );
+            if fresh {
+                self.stats.derived += 1;
+                if self.instance.len() > self.config.max_atoms {
+                    return Err(TriqError::ResourceExhausted(format!(
+                        "chase exceeded the atom budget of {}",
+                        self.config.max_atoms
+                    )));
+                }
+            }
+        }
+        // Clear existential slots for the next application of this rule.
+        let rule = &self.compiled[rule_idx];
+        for &s in &rule.exist_slots {
+            slots[s as usize] = None;
+        }
+        Ok(())
+    }
+
+    /// Runs the rules of one stratum to fixpoint (semi-naive).
+    fn run_stratum(&mut self, rule_indices: &[usize]) -> Result<()> {
+        let mut delta_start: AtomId = 0;
+        loop {
+            self.stats.rounds += 1;
+            let prev_len = self.instance.len() as AtomId;
+            if delta_start == prev_len && delta_start != 0 {
+                return Ok(());
+            }
+            for &ri in rule_indices {
+                let n = self.compiled[ri].body_pos.len();
+                for pivot in 0..n {
+                    // Semi-naive windows: atoms before the pivot must be
+                    // old, the pivot must be new, the rest unconstrained
+                    // (but capped at prev_len so this round's output is not
+                    // consumed until the next round).
+                    if delta_start == 0 && pivot > 0 {
+                        break; // first round: single full join
+                    }
+                    let ranges: Vec<(AtomId, AtomId)> = (0..n)
+                        .map(|i| {
+                            if i < pivot {
+                                (0, delta_start)
+                            } else if i == pivot {
+                                (delta_start, prev_len)
+                            } else {
+                                (0, prev_len)
+                            }
+                        })
+                        .collect();
+                    // Collect matches first: applying rules mutates the
+                    // instance, which the matcher borrows.
+                    let mut matches: Vec<(Slots, Vec<AtomId>)> = Vec::new();
+                    let rule = &self.compiled[ri];
+                    let mut slots: Slots = vec![None; rule.n_slots];
+                    enumerate_matches(
+                        &self.instance,
+                        &rule.body_pos,
+                        &ranges,
+                        &mut slots,
+                        &mut |s, ids| {
+                            matches.push((s.clone(), ids.to_vec()));
+                            true
+                        },
+                    );
+                    for (mut s, ids) in matches {
+                        if self.check_negatives_and_builtins(&self.compiled[ri], &s) {
+                            self.apply(ri, &mut s, &ids)?;
+                        }
+                    }
+                }
+            }
+            if self.instance.len() as AtomId == prev_len {
+                return Ok(());
+            }
+            delta_start = prev_len;
+        }
+    }
+
+    fn check_constraints(&self) -> bool {
+        for c in &self.program.constraints {
+            let mut slot_map = SlotMap::new();
+            let atoms: Vec<CAtom> = c.body.iter().map(|a| slot_map.compile_atom(a)).collect();
+            let builtins: Vec<CBuiltin> = c
+                .builtins
+                .iter()
+                .map(|b| match *b {
+                    Builtin::Eq(x, y) => {
+                        CBuiltin::Eq(slot_map.compile_term(x), slot_map.compile_term(y))
+                    }
+                    Builtin::Neq(x, y) => {
+                        CBuiltin::Neq(slot_map.compile_term(x), slot_map.compile_term(y))
+                    }
+                })
+                .collect();
+            let cap = self.instance.len() as AtomId;
+            let ranges = vec![(0, cap); atoms.len()];
+            let mut slots: Slots = vec![None; slot_map.map.len()];
+            let mut fired = false;
+            enumerate_matches(&self.instance, &atoms, &ranges, &mut slots, &mut |s, _| {
+                if builtins.iter().all(|&b| Self::builtin_holds(b, s)) {
+                    fired = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if fired {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Chases `db` with `program` under `config`, computing the stratified
+/// semantics `Π(D)` of §3.2 (up to the configured depth bound) and then
+/// testing the constraints.
+pub fn chase(db: &Database, program: &Program, config: ChaseConfig) -> Result<ChaseOutcome> {
+    let strat: Stratification = crate::stratify(program)?;
+    chase_stratified(db, program, &strat, config)
+}
+
+/// Like [`chase`] but with a precomputed stratification.
+pub fn chase_stratified(
+    db: &Database,
+    program: &Program,
+    strat: &Stratification,
+    config: ChaseConfig,
+) -> Result<ChaseOutcome> {
+    let mut engine = Engine::new(program, db.to_instance(), config);
+    for stratum in 0..=strat.max_stratum {
+        let indices: Vec<usize> = (0..program.rules.len())
+            .filter(|&i| strat.rule_stratum[i] == stratum)
+            .collect();
+        if !indices.is_empty() {
+            engine.run_stratum(&indices)?;
+        }
+    }
+    let inconsistent = engine.check_constraints();
+    Ok(ChaseOutcome {
+        inconsistent,
+        stats: engine.stats,
+        instance: engine.instance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+    use triq_common::intern;
+
+    fn run(program: &str, facts: &[(&str, &[&str])]) -> ChaseOutcome {
+        let p = parse_program(program).unwrap();
+        let mut db = Database::new();
+        for (pred, args) in facts {
+            db.add_fact(pred, args);
+        }
+        chase(&db, &p, ChaseConfig::default()).unwrap()
+    }
+
+    fn has(out: &ChaseOutcome, pred: &str, args: &[&str]) -> bool {
+        let atom = GroundAtom::new(
+            intern(pred),
+            args.iter().map(|a| Term::constant(a)).collect(),
+        );
+        out.instance.contains(&atom)
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let out = run(
+            "e(?X, ?Y) -> t(?X, ?Y).\n e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).",
+            &[("e", &["a", "b"]), ("e", &["b", "c"]), ("e", &["c", "d"])],
+        );
+        assert!(has(&out, "t", &["a", "d"]));
+        assert!(has(&out, "t", &["b", "d"]));
+        assert!(!has(&out, "t", &["d", "a"]));
+        assert_eq!(out.instance.atoms_of(intern("t")).count(), 6);
+        assert!(!out.stats.truncated);
+    }
+
+    #[test]
+    fn stratified_negation_min_max() {
+        // The Πaux fragment of Example 4.3.
+        let out = run(
+            "succ(?X, ?Y) -> less(?X, ?Y).\n\
+             succ(?X, ?Y), less(?Y, ?Z) -> less(?X, ?Z).\n\
+             less(?X, ?Y) -> not_max(?X).\n\
+             less(?X, ?Y) -> not_min(?Y).\n\
+             less(?X, ?Y), !not_min(?X) -> zero(?X).\n\
+             less(?Y, ?X), !not_max(?X) -> max(?X).",
+            &[("succ", &["0", "1"]), ("succ", &["1", "2"]), ("succ", &["2", "3"])],
+        );
+        assert!(has(&out, "zero", &["0"]));
+        assert!(!has(&out, "zero", &["1"]));
+        assert!(has(&out, "max", &["3"]));
+        assert!(!has(&out, "max", &["2"]));
+    }
+
+    #[test]
+    fn existential_skolem_memoizes() {
+        let out = run(
+            "person(?X) -> exists ?Y parent(?X, ?Y).",
+            &[("person", &["alice"])],
+        );
+        // One null for alice, and re-running the rule adds nothing.
+        assert_eq!(out.stats.nulls, 1);
+        assert_eq!(out.instance.atoms_of(intern("parent")).count(), 1);
+    }
+
+    #[test]
+    fn existential_cycle_is_depth_bounded() {
+        let p = parse_program(
+            "person(?X) -> exists ?Y parent(?X, ?Y).\n\
+             parent(?X, ?Y) -> person(?Y).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_fact("person", &["alice"]);
+        let out = chase(
+            &db,
+            &p,
+            ChaseConfig {
+                max_null_depth: 4,
+                ..ChaseConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(out.stats.truncated);
+        assert_eq!(out.stats.nulls, 4);
+        // alice's ancestors: parent(alice, n1) ... parent(n3, n4).
+        assert_eq!(out.instance.atoms_of(intern("parent")).count(), 4);
+    }
+
+    #[test]
+    fn restricted_chase_reuses_witnesses() {
+        // alice already has a parent; restricted chase creates no null.
+        let p = parse_program("person(?X) -> exists ?Y parent(?X, ?Y).").unwrap();
+        let mut db = Database::new();
+        db.add_fact("person", &["alice"]);
+        db.add_fact("parent", &["alice", "bob"]);
+        let out = chase(
+            &db,
+            &p,
+            ChaseConfig {
+                strategy: ExistentialStrategy::Restricted,
+                ..ChaseConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.stats.nulls, 0);
+        // Skolem, by contrast, invents one.
+        let out2 = chase(&db, &p, ChaseConfig::default()).unwrap();
+        assert_eq!(out2.stats.nulls, 1);
+    }
+
+    #[test]
+    fn multi_head_existential_shares_null() {
+        let out = run(
+            "coauthor(?X, ?Y) -> exists ?Z author_of(?X, ?Z), author_of(?Y, ?Z).",
+            &[("coauthor", &["aho", "ullman"])],
+        );
+        assert_eq!(out.stats.nulls, 1);
+        let atoms: Vec<_> = out.instance.atoms_of(intern("author_of")).collect();
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(atoms[0].terms[1], atoms[1].terms[1]);
+    }
+
+    #[test]
+    fn constraints_fire() {
+        let out = run(
+            "type(?X, ?Y), type(?X, ?Z), disj(?Y, ?Z) -> false.",
+            &[
+                ("type", &["a", "c1"]),
+                ("type", &["a", "c2"]),
+                ("disj", &["c1", "c2"]),
+            ],
+        );
+        assert!(out.inconsistent);
+        let out2 = run(
+            "type(?X, ?Y), type(?X, ?Z), disj(?Y, ?Z) -> false.",
+            &[("type", &["a", "c1"]), ("disj", &["c1", "c2"])],
+        );
+        assert!(!out2.inconsistent);
+    }
+
+    #[test]
+    fn builtins_filter_matches() {
+        let out = run(
+            "e(?X, ?Y), ?X != ?Y -> nonloop(?X, ?Y).\n\
+             e(?X, ?Y), ?X = ?Y -> loop(?X).",
+            &[("e", &["a", "a"]), ("e", &["a", "b"])],
+        );
+        assert!(has(&out, "nonloop", &["a", "b"]));
+        assert!(!has(&out, "nonloop", &["a", "a"]));
+        assert!(has(&out, "loop", &["a"]));
+    }
+
+    #[test]
+    fn atom_budget_is_enforced() {
+        let p = parse_program("e(?X, ?Y), e(?Y, ?Z) -> e(?X, ?Z).").unwrap();
+        let mut db = Database::new();
+        for i in 0..50 {
+            db.add_fact("e", &[&format!("n{i}"), &format!("n{}", i + 1)]);
+        }
+        let res = chase(
+            &db,
+            &p,
+            ChaseConfig {
+                max_atoms: 100,
+                ..ChaseConfig::default()
+            },
+        );
+        assert!(matches!(res, Err(TriqError::ResourceExhausted(_))));
+    }
+
+    #[test]
+    fn negation_sees_closed_lower_stratum() {
+        // q must be fully computed before r's negation consults it.
+        let out = run(
+            "e(?X, ?Y) -> q(?Y).\n\
+             e(?X, ?Y), q(?Y), e(?Y, ?Z) -> q(?Z).\n\
+             n(?X), !q(?X) -> r(?X).",
+            &[
+                ("e", &["a", "b"]),
+                ("e", &["b", "c"]),
+                ("n", &["a"]),
+                ("n", &["b"]),
+                ("n", &["c"]),
+            ],
+        );
+        assert!(has(&out, "r", &["a"]));
+        assert!(!has(&out, "r", &["b"]));
+        assert!(!has(&out, "r", &["c"]));
+    }
+
+    #[test]
+    fn repeated_variables_in_atoms_join_correctly() {
+        let out = run(
+            "e(?X, ?X) -> selfloop(?X).\n\
+             t(?X, ?Y, ?X) -> wrap(?X, ?Y).",
+            &[
+                ("e", &["a", "a"]),
+                ("e", &["a", "b"]),
+                ("t", &["a", "b", "a"]),
+                ("t", &["a", "b", "c"]),
+            ],
+        );
+        assert!(has(&out, "selfloop", &["a"]));
+        assert_eq!(out.instance.atoms_of(intern("selfloop")).count(), 1);
+        assert!(has(&out, "wrap", &["a", "b"]));
+        assert_eq!(out.instance.atoms_of(intern("wrap")).count(), 1);
+    }
+
+    #[test]
+    fn constants_in_rule_bodies_restrict_matches() {
+        let out = run(
+            "e(a, ?Y) -> from_a(?Y).",
+            &[("e", &["a", "b"]), ("e", &["c", "d"])],
+        );
+        assert!(has(&out, "from_a", &["b"]));
+        assert!(!has(&out, "from_a", &["d"]));
+    }
+}

@@ -1,0 +1,474 @@
+//! Variable classification (harmless / harmful / dangerous, §4.1) and
+//! language-membership deciders for every class the paper discusses.
+
+use crate::positions::{affected_positions, Pos, PositionSet};
+use crate::{Program, Rule};
+use std::collections::BTreeSet;
+use triq_common::{Term, VarId};
+
+/// The classification of one rule's body variables relative to a program
+/// (§4.1): harmless variables have an occurrence at a non-affected
+/// position; harmful variables do not; dangerous variables are harmful
+/// variables propagated to the head.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleClasses {
+    /// `harmless(ρ, Π)`.
+    pub harmless: BTreeSet<VarId>,
+    /// `harmful(ρ, Π)`.
+    pub harmful: BTreeSet<VarId>,
+    /// `dangerous(ρ, Π)`.
+    pub dangerous: BTreeSet<VarId>,
+}
+
+/// Computes the §4.1 classification of `rule`'s positive-body variables
+/// with respect to the affected positions `affected` (of `ex(Π)⁺`).
+pub fn rule_variable_classes(rule: &Rule, affected: &PositionSet) -> RuleClasses {
+    let mut classes = RuleClasses::default();
+    let head_vars: BTreeSet<VarId> = rule.head.iter().flat_map(|a| a.vars()).collect();
+    let mut seen: BTreeSet<VarId> = BTreeSet::new();
+    for atom in &rule.body_pos {
+        for (i, t) in atom.terms.iter().enumerate() {
+            if let Term::Var(v) = t {
+                seen.insert(*v);
+                if !affected.contains(&Pos {
+                    pred: atom.pred,
+                    index: i,
+                }) {
+                    classes.harmless.insert(*v);
+                }
+            }
+        }
+    }
+    for v in seen {
+        if !classes.harmless.contains(&v) {
+            classes.harmful.insert(v);
+            if head_vars.contains(&v) {
+                classes.dangerous.insert(v);
+            }
+        }
+    }
+    classes
+}
+
+/// The language classes of the paper, ordered roughly by restrictiveness.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LanguageClass {
+    /// Plain Datalog (no ∃).
+    Datalog,
+    /// Guarded Datalog∃: some body atom contains *all* body variables.
+    Guarded,
+    /// Weakly-guarded Datalog∃: some body atom contains all harmful
+    /// variables (§4.1).
+    WeaklyGuarded,
+    /// Frontier-guarded Datalog∃: some body atom contains the frontier.
+    FrontierGuarded,
+    /// Nearly frontier-guarded Datalog∃ (§6.2, ref. \[21\]): each rule is
+    /// frontier-guarded or has only harmless body variables.
+    NearlyFrontierGuarded,
+    /// Weakly-frontier-guarded Datalog∃ — the basis of TriQ 1.0 (§4.2).
+    WeaklyFrontierGuarded,
+    /// Warded Datalog∃ — the basis of TriQ-Lite 1.0 (§6.1).
+    Warded,
+    /// Warded with minimal interaction (§6.4) — the mildest relaxation of
+    /// wardedness, shown ExpTime-hard by Theorem 6.15.
+    WardedMinimalInteraction,
+}
+
+/// The full classification report for a program.
+#[derive(Clone, Debug)]
+pub struct ProgramClassification {
+    /// Affected positions of `ex(Π)⁺`.
+    pub affected: PositionSet,
+    /// Per-rule variable classes (indexed like `Program::rules`).
+    pub per_rule: Vec<RuleClasses>,
+    /// Whether `ex(Π)` is stratified.
+    pub stratified: bool,
+    /// Whether every rule contains no existential variable.
+    pub plain_datalog: bool,
+    /// Membership per language class (on `ex(Π)⁺`, per §4.2/§6.1).
+    pub guarded: bool,
+    /// See [`LanguageClass::WeaklyGuarded`].
+    pub weakly_guarded: bool,
+    /// See [`LanguageClass::FrontierGuarded`].
+    pub frontier_guarded: bool,
+    /// See [`LanguageClass::NearlyFrontierGuarded`].
+    pub nearly_frontier_guarded: bool,
+    /// See [`LanguageClass::WeaklyFrontierGuarded`].
+    pub weakly_frontier_guarded: bool,
+    /// See [`LanguageClass::Warded`].
+    pub warded: bool,
+    /// See [`LanguageClass::WardedMinimalInteraction`].
+    pub warded_minimal_interaction: bool,
+    /// Whether negation is *grounded* (`Datalog∃,¬sg,⊥`, §6.1): every term
+    /// of every negated atom is a constant or a harmless variable.
+    pub grounded_negation: bool,
+    /// Human-readable reasons for each failed membership.
+    pub violations: Vec<String>,
+}
+
+impl ProgramClassification {
+    /// Definition 4.2: a TriQ 1.0 query program is a stratified
+    /// weakly-frontier-guarded Datalog∃,¬s,⊥ program.
+    pub fn is_triq_1_0(&self) -> bool {
+        self.stratified && self.weakly_frontier_guarded
+    }
+
+    /// Definition 6.1: a TriQ-Lite 1.0 query program is a stratified warded
+    /// Datalog∃,¬sg,⊥ program (grounded negation).
+    pub fn is_triq_lite_1_0(&self) -> bool {
+        self.stratified && self.warded && self.grounded_negation
+    }
+
+    /// Membership in a given class.
+    pub fn is_in(&self, class: LanguageClass) -> bool {
+        match class {
+            LanguageClass::Datalog => self.plain_datalog,
+            LanguageClass::Guarded => self.guarded,
+            LanguageClass::WeaklyGuarded => self.weakly_guarded,
+            LanguageClass::FrontierGuarded => self.frontier_guarded,
+            LanguageClass::NearlyFrontierGuarded => self.nearly_frontier_guarded,
+            LanguageClass::WeaklyFrontierGuarded => self.weakly_frontier_guarded,
+            LanguageClass::Warded => self.warded,
+            LanguageClass::WardedMinimalInteraction => self.warded_minimal_interaction,
+        }
+    }
+}
+
+fn atom_vars(atom: &crate::Atom) -> BTreeSet<VarId> {
+    atom.vars().collect()
+}
+
+/// True iff some positive body atom of `rule` contains all of `vars`.
+fn some_atom_contains(rule: &Rule, vars: &BTreeSet<VarId>) -> bool {
+    rule.body_pos
+        .iter()
+        .any(|a| vars.iter().all(|v| atom_vars(a).contains(v)))
+}
+
+/// Checks whether `rule` is warded, and if so returns the index of a ward
+/// (§6.1): an atom containing all dangerous variables that shares only
+/// harmless variables with the rest of the body.
+fn find_ward(rule: &Rule, classes: &RuleClasses) -> Option<usize> {
+    if classes.dangerous.is_empty() {
+        return Some(usize::MAX); // no ward needed
+    }
+    'cand: for (i, a) in rule.body_pos.iter().enumerate() {
+        let a_vars = atom_vars(a);
+        if !classes.dangerous.iter().all(|v| a_vars.contains(v)) {
+            continue;
+        }
+        for (j, b) in rule.body_pos.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            for v in b.vars() {
+                if a_vars.contains(&v) && !classes.harmless.contains(&v) {
+                    continue 'cand;
+                }
+            }
+        }
+        return Some(i);
+    }
+    None
+}
+
+/// Checks the "minimal interaction" relaxation of §6.4: a candidate ward
+/// may share at most one harmful variable `?V` with the rest of the body,
+/// `?V` occurs at most once outside the ward, and the atom carrying that
+/// occurrence has all its other variables harmless.
+fn is_minimal_interaction(rule: &Rule, classes: &RuleClasses) -> bool {
+    if classes.dangerous.is_empty() {
+        return true;
+    }
+    'cand: for (i, a) in rule.body_pos.iter().enumerate() {
+        let a_vars = atom_vars(a);
+        if !classes.dangerous.iter().all(|v| a_vars.contains(v)) {
+            continue;
+        }
+        // Harmful variables of the ward occurring outside it.
+        let mut escaped: Option<VarId> = None;
+        let mut escape_count = 0usize;
+        for (j, b) in rule.body_pos.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            for v in b.vars() {
+                if a_vars.contains(&v) && !classes.harmless.contains(&v) {
+                    match escaped {
+                        None => {
+                            escaped = Some(v);
+                            escape_count = 1;
+                        }
+                        Some(w) if w == v => escape_count += 1,
+                        Some(_) => continue 'cand, // two distinct harmful escapes
+                    }
+                }
+            }
+        }
+        let Some(v) = escaped else {
+            return true; // plain warded
+        };
+        if escape_count > 1 {
+            continue 'cand;
+        }
+        // Condition (3): the atom containing ?V has all other vars harmless.
+        let ok = rule.body_pos.iter().enumerate().all(|(j, b)| {
+            if i == j || !b.vars().any(|x| x == v) {
+                return true;
+            }
+            b.vars()
+                .filter(|&x| x != v)
+                .all(|x| classes.harmless.contains(&x))
+        });
+        if ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// Classifies `program` against every language class of the paper.
+///
+/// Per §4.2 and §6.1, all guardedness notions are evaluated on
+/// `ex(Π)⁺` — the program with negated atoms and constraints removed.
+pub fn classify_program(program: &Program) -> ProgramClassification {
+    let positive = program.positive_part();
+    let affected = affected_positions(&positive);
+    let stratified = crate::stratify(program).is_ok();
+    let mut report = ProgramClassification {
+        per_rule: Vec::with_capacity(program.rules.len()),
+        stratified,
+        plain_datalog: true,
+        guarded: true,
+        weakly_guarded: true,
+        frontier_guarded: true,
+        nearly_frontier_guarded: true,
+        weakly_frontier_guarded: true,
+        warded: true,
+        warded_minimal_interaction: true,
+        grounded_negation: true,
+        violations: Vec::new(),
+        affected,
+    };
+
+    for (idx, rule) in program.rules.iter().enumerate() {
+        let classes = rule_variable_classes(rule, &report.affected);
+        if rule.is_existential() {
+            report.plain_datalog = false;
+        }
+        let body_vars = rule.body_pos_vars();
+        let frontier = rule.frontier();
+
+        if !some_atom_contains(rule, &body_vars) {
+            report.guarded = false;
+        }
+        if !some_atom_contains(rule, &classes.harmful) {
+            report.weakly_guarded = false;
+            report
+                .violations
+                .push(format!("rule {idx} ({rule}) is not weakly guarded"));
+        }
+        let fg = some_atom_contains(rule, &frontier);
+        if !fg {
+            report.frontier_guarded = false;
+        }
+        if !fg && !body_vars.iter().all(|v| classes.harmless.contains(v)) {
+            report.nearly_frontier_guarded = false;
+        }
+        if !some_atom_contains(rule, &classes.dangerous) {
+            report.weakly_frontier_guarded = false;
+            report.violations.push(format!(
+                "rule {idx} ({rule}) is not weakly frontier-guarded: no body \
+                 atom contains all dangerous variables {:?}",
+                classes.dangerous
+            ));
+        }
+        if find_ward(rule, &classes).is_none() {
+            report.warded = false;
+            report.violations.push(format!(
+                "rule {idx} ({rule}) is not warded: no body atom contains the \
+                 dangerous variables {:?} while sharing only harmless \
+                 variables with the rest of the body",
+                classes.dangerous
+            ));
+        }
+        if !is_minimal_interaction(rule, &classes) {
+            report.warded_minimal_interaction = false;
+            report.violations.push(format!(
+                "rule {idx} ({rule}) is not warded with minimal interaction"
+            ));
+        }
+        for neg in &rule.body_neg {
+            for t in &neg.terms {
+                let grounded = match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => classes.harmless.contains(v),
+                    Term::Null(_) => false,
+                };
+                if !grounded {
+                    report.grounded_negation = false;
+                    report.violations.push(format!(
+                        "rule {idx} ({rule}): negated atom {neg} has \
+                         non-grounded term {t}"
+                    ));
+                }
+            }
+        }
+        report.per_rule.push(classes);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn vars(names: &[&str]) -> BTreeSet<VarId> {
+        names.iter().map(|n| VarId::new(n)).collect()
+    }
+
+    /// Example 4.1: weakly-frontier-guarded but not weakly-guarded.
+    #[test]
+    fn example_4_1_classification() {
+        let p = parse_program(
+            "p(?X, ?Y), s(?Y, ?Z) -> exists ?W t(?Y, ?X, ?W).\n\
+             t(?X, ?Y, ?Z) -> exists ?W p(?W, ?Z).\n\
+             t(?X, ?Y, ?Z) -> s(?X, ?Y).",
+        )
+        .unwrap();
+        let c = classify_program(&p);
+        assert!(c.weakly_frontier_guarded);
+        assert!(!c.weakly_guarded);
+        assert!(!c.plain_datalog);
+        assert!(c.is_triq_1_0());
+    }
+
+    #[test]
+    fn plain_datalog_is_everything() {
+        let p = parse_program(
+            "e(?X, ?Y) -> t(?X, ?Y).\n\
+             e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).",
+        )
+        .unwrap();
+        let c = classify_program(&p);
+        assert!(c.plain_datalog);
+        // Every Datalog program is trivially warded (§6.3, before Thm 6.7).
+        assert!(c.warded && c.weakly_frontier_guarded && c.weakly_guarded);
+        assert!(c.is_triq_lite_1_0());
+        // Transitive closure is NOT frontier-guarded (no atom has X,Z
+        // together) — the limitation §6.2 mentions.
+        assert!(!c.frontier_guarded);
+        // ...but nearly frontier-guarded: all variables are harmless.
+        assert!(c.nearly_frontier_guarded);
+    }
+
+    #[test]
+    fn variable_classes_example_6_10() {
+        // ρ1 = s(?X,?Y,?Z) -> exists ?W s(?X,?Z,?W): affected = s[3] only?
+        // ?Z occurs at s[3] (affected) only => harmful; propagated => dangerous.
+        let p = parse_program(
+            "s(?X, ?Y, ?Z) -> exists ?W s(?X, ?Z, ?W).\n\
+             s(?X, ?Y, ?Z), s(?Y, ?Z, ?W) -> q(?X, ?Y).\n\
+             t(?X) -> exists ?Z p(?X, ?Z).\n\
+             p(?X, ?Y), q(?X, ?Z) -> r(?X, ?Y, ?Z).\n\
+             r(?X, ?Y, ?Z) -> p(?X, ?Z).",
+        )
+        .unwrap();
+        let c = classify_program(&p);
+        assert!(c.warded, "Example 6.10's program is warded: {:?}", c.violations);
+        let rho1 = &c.per_rule[0];
+        assert_eq!(rho1.dangerous, vars(&["Z"]));
+        assert!(rho1.harmless.contains(&VarId::new("X")));
+    }
+
+    #[test]
+    fn warded_but_not_guarded_nor_frontier_guarded() {
+        // The ward q(?X) holds dangerous ?X; p(?Y) is separate.
+        let p = parse_program(
+            "a(?X) -> exists ?Y q(?Y).\n\
+             q(?X), b(?Y) -> exists ?Z q2(?X, ?Y, ?Z).",
+        )
+        .unwrap();
+        let c = classify_program(&p);
+        assert!(c.warded, "{:?}", c.violations);
+        assert!(!c.guarded);
+    }
+
+    #[test]
+    fn harmless_via_edb_occurrence_keeps_program_warded() {
+        // ?Y also occurs at r[1], and r is an EDB predicate, so r[1] is not
+        // affected and ?Y is harmless: the program is warded.
+        let p = parse_program(
+            "a(?X) -> exists ?Y q(?X, ?Y).\n\
+             q(?X, ?Y), r(?Y, ?U) -> exists ?Z q(?Y, ?Z).",
+        )
+        .unwrap();
+        let c = classify_program(&p);
+        assert!(c.warded, "{:?}", c.violations);
+    }
+
+    #[test]
+    fn non_warded_due_to_harmful_sharing_is_minimal_interaction() {
+        // ?Y is harmful in rule 3 (both e[2] and f[1] are affected) and
+        // dangerous (propagated to the head). Every candidate ward shares
+        // the harmful ?Y with the rest of the body -> not warded; but the
+        // single escape obeys "minimal interaction" (§6.4), and the rule is
+        // still weakly-frontier-guarded (TriQ 1.0).
+        let p = parse_program(
+            "p(?X) -> exists ?Y e(?X, ?Y).\n\
+             e(?X, ?Y) -> f(?Y).\n\
+             e(?X, ?Y), f(?Y) -> g(?Y).",
+        )
+        .unwrap();
+        let c = classify_program(&p);
+        assert!(!c.warded);
+        assert!(c.weakly_frontier_guarded);
+        assert!(c.warded_minimal_interaction);
+        assert!(!c.is_triq_lite_1_0());
+        assert!(c.is_triq_1_0());
+    }
+
+    #[test]
+    fn minimal_interaction_rejects_double_escape() {
+        // ?Y escapes the candidate ward twice (f(?Y) and h(?Y)).
+        let p = parse_program(
+            "p(?X) -> exists ?Y e(?X, ?Y).\n\
+             e(?X, ?Y) -> f(?Y).\n\
+             e(?X, ?Y) -> h(?Y).\n\
+             e(?X, ?Y), f(?Y), h(?Y) -> g(?Y).",
+        )
+        .unwrap();
+        let c = classify_program(&p);
+        assert!(!c.warded);
+        assert!(!c.warded_minimal_interaction);
+        assert!(c.weakly_frontier_guarded);
+    }
+
+    #[test]
+    fn grounded_negation_check() {
+        // ?Y harmful and negated -> not grounded.
+        let ok = parse_program(
+            "a(?X) -> exists ?Y q(?X, ?Y).\n\
+             a(?X), !b(?X) -> c(?X).",
+        )
+        .unwrap();
+        assert!(classify_program(&ok).grounded_negation);
+        let bad = parse_program(
+            "a(?X) -> exists ?Y q(?X, ?Y).\n\
+             q(?X, ?Y), !q2(?Y) -> c(?X).\n\
+             q2(?U) -> q3(?U).",
+        )
+        .unwrap();
+        // q[2] affected => ?Y harmful in rule 2 => negation not grounded.
+        assert!(!classify_program(&bad).grounded_negation);
+    }
+
+    #[test]
+    fn guarded_single_atom_bodies() {
+        let p = parse_program("p(?X, ?Y) -> exists ?Z p(?Y, ?Z).").unwrap();
+        let c = classify_program(&p);
+        assert!(c.guarded && c.weakly_guarded && c.warded);
+        assert!(c.frontier_guarded);
+    }
+}

@@ -1,0 +1,208 @@
+//! Queries `Q = (Π, p)` and their evaluation `Q(D)` (§3.2).
+
+use crate::chase::{chase, ChaseConfig, ChaseOutcome};
+use crate::instance::Database;
+use crate::Program;
+use std::collections::BTreeSet;
+use triq_common::{Result, Symbol, TriqError};
+
+/// A Datalog∃,¬s,⊥ query `(Π, p)`: a stratified program plus an output
+/// predicate that does not occur in any rule body (§3.2).
+#[derive(Clone, Debug)]
+pub struct Query {
+    /// The query program Π.
+    pub program: Program,
+    /// The output predicate `p`.
+    pub output: Symbol,
+}
+
+impl Query {
+    /// Builds and validates a query: the program must be well-formed and
+    /// stratified, and `output` must not occur in any rule body.
+    pub fn new(program: Program, output: Symbol) -> Result<Query> {
+        program.validate()?;
+        crate::stratify(&program)?;
+        if program.occurs_in_body(output) {
+            return Err(TriqError::InvalidProgram(format!(
+                "output predicate {output} occurs in a rule body (§3.2 \
+                 forbids this)"
+            )));
+        }
+        Ok(Query { program, output })
+    }
+
+    /// Evaluates the query with the default chase configuration.
+    pub fn evaluate(&self, db: &Database) -> Result<Answers> {
+        self.evaluate_with(db, ChaseConfig::default())
+    }
+
+    /// Evaluates the query with an explicit chase configuration.
+    pub fn evaluate_with(&self, db: &Database, config: ChaseConfig) -> Result<Answers> {
+        let outcome = chase(db, &self.program, config)?;
+        Ok(Answers::from_outcome(&outcome, self.output))
+    }
+
+    /// Evaluates and also returns the chase outcome (for provenance /
+    /// diagnostics).
+    pub fn evaluate_full(&self, db: &Database, config: ChaseConfig) -> Result<(Answers, ChaseOutcome)> {
+        let outcome = chase(db, &self.program, config)?;
+        let answers = Answers::from_outcome(&outcome, self.output);
+        Ok((answers, outcome))
+    }
+}
+
+/// The evaluation `Q(D)`: either ⊤ (inconsistency) or a set of constant
+/// tuples (§3.2 — tuples mentioning nulls are not answers).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Answers {
+    /// `Q(D) = ⊤`: the database is inconsistent with the program.
+    Top,
+    /// `Q(D) ⊆ Uⁿ`.
+    Tuples(BTreeSet<Vec<Symbol>>),
+}
+
+impl Answers {
+    fn from_outcome(outcome: &ChaseOutcome, output: Symbol) -> Answers {
+        if outcome.inconsistent {
+            return Answers::Top;
+        }
+        let tuples = outcome
+            .instance
+            .atoms_of(output)
+            .filter_map(|a| {
+                a.terms
+                    .iter()
+                    .map(|t| t.as_const())
+                    .collect::<Option<Vec<Symbol>>>()
+            })
+            .collect();
+        Answers::Tuples(tuples)
+    }
+
+    /// True iff `Q(D) = ⊤`.
+    pub fn is_top(&self) -> bool {
+        matches!(self, Answers::Top)
+    }
+
+    /// The answer tuples (empty for ⊤ — check [`Answers::is_top`] first).
+    pub fn tuples(&self) -> &BTreeSet<Vec<Symbol>> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<Vec<Symbol>>> = std::sync::OnceLock::new();
+        match self {
+            Answers::Top => EMPTY.get_or_init(BTreeSet::new),
+            Answers::Tuples(t) => t,
+        }
+    }
+
+    /// Membership test for a tuple of constant names.
+    pub fn contains(&self, tuple: &[&str]) -> bool {
+        let t: Vec<Symbol> = tuple.iter().map(|s| Symbol::new(s)).collect();
+        self.tuples().contains(&t)
+    }
+
+    /// Number of answer tuples.
+    pub fn len(&self) -> usize {
+        self.tuples().len()
+    }
+
+    /// True iff there are no answers (and no inconsistency).
+    pub fn is_empty(&self) -> bool {
+        self.tuples().is_empty()
+    }
+
+    /// The decision problem Eval of §3.2:
+    /// "does `Q(D) ≠ ⊤` imply `t ∈ Q(D)`?".
+    pub fn eval_decision(&self, tuple: &[&str]) -> bool {
+        self.is_top() || self.contains(tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_program, parse_query};
+
+    #[test]
+    fn query_rejects_output_in_body() {
+        let p = parse_program("q(?X) -> r(?X).").unwrap();
+        assert!(Query::new(p.clone(), Symbol::new("q")).is_err());
+        assert!(Query::new(p, Symbol::new("r")).is_ok());
+    }
+
+    #[test]
+    fn paper_query_1_author_names() {
+        // Query (2) of §2: authors' names.
+        let q = parse_query(
+            "triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> query(?X).",
+            "query",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_fact("triple", &["dbUllman", "is_author_of", "The Complete Book"]);
+        db.add_fact("triple", &["dbUllman", "name", "Jeffrey Ullman"]);
+        let ans = q.evaluate(&db).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&["Jeffrey Ullman"]));
+        assert!(ans.eval_decision(&["Jeffrey Ullman"]));
+        assert!(!ans.eval_decision(&["Alfred Aho"]));
+    }
+
+    #[test]
+    fn transport_reachability_example() {
+        // §2's recursive transport query. The paper's informal rules use
+        // `query` recursively; §3.2 requires the output predicate not to
+        // occur in rule bodies, so we add one output rule.
+        let q = parse_query(
+            "triple(?X, partOf, transportService) -> ts(?X).\n\
+             triple(?X, partOf, ?Y), ts(?Y) -> ts(?X).\n\
+             ts(?T), triple(?X, ?T, ?Y) -> conn(?X, ?Y).\n\
+             ts(?T), triple(?X, ?T, ?Z), conn(?Z, ?Y) -> conn(?X, ?Y).\n\
+             conn(?X, ?Y) -> query(?X, ?Y).",
+            "query",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        for (s, p, o) in [
+            ("TheAirline", "partOf", "transportService"),
+            ("BritishAirways", "partOf", "transportService"),
+            ("Renfe", "partOf", "transportService"),
+            ("A311", "partOf", "TheAirline"),
+            ("BA201", "partOf", "BritishAirways"),
+            ("R502", "partOf", "Renfe"),
+            ("Oxford", "A311", "London"),
+            ("London", "BA201", "Madrid"),
+            ("Madrid", "R502", "Valladolid"),
+        ] {
+            db.add_fact("triple", &[s, p, o]);
+        }
+        let ans = q.evaluate(&db).unwrap();
+        assert!(ans.contains(&["Oxford", "Valladolid"]));
+        assert!(ans.contains(&["London", "Valladolid"]));
+        assert!(!ans.contains(&["Valladolid", "Oxford"]));
+        assert_eq!(ans.len(), 6);
+    }
+
+    #[test]
+    fn nulls_are_not_answers() {
+        let q = parse_query("p(?X) -> exists ?Y out(?X, ?Y).", "out").unwrap();
+        let mut db = Database::new();
+        db.add_fact("p", &["a"]);
+        let ans = q.evaluate(&db).unwrap();
+        assert!(ans.is_empty());
+        assert!(!ans.is_top());
+    }
+
+    #[test]
+    fn top_dominates() {
+        let q = parse_query(
+            "a(?X), b(?X) -> false.\n a(?X) -> out(?X).",
+            "out",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_fact("a", &["x"]);
+        db.add_fact("b", &["x"]);
+        let ans = q.evaluate(&db).unwrap();
+        assert!(ans.is_top());
+        assert!(ans.eval_decision(&["anything"]));
+    }
+}

@@ -1,0 +1,393 @@
+//! Instances and databases (§3.2) with provenance and join indexes.
+//!
+//! An *instance* is a set of atoms over constants and labeled nulls; a
+//! *database* is a finite instance over constants only. [`Instance`] stores
+//! atoms in an append-only arena: every atom gets a stable [`AtomId`] in
+//! insertion order, which the semi-naive chase uses for delta windows and
+//! the proof-tree machinery uses for provenance.
+
+use crate::Atom;
+use std::collections::HashMap;
+use std::fmt;
+use triq_common::{NullId, Result, Symbol, Term, TriqError};
+
+/// Stable identifier of an atom within an [`Instance`] (insertion order).
+pub type AtomId = u32;
+
+/// A variable-free atom as stored in an instance.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GroundAtom {
+    /// The predicate.
+    pub pred: Symbol,
+    /// The argument tuple (constants and nulls only).
+    pub terms: Box<[Term]>,
+}
+
+impl GroundAtom {
+    /// Builds a ground atom, checking the no-variables invariant.
+    pub fn new(pred: Symbol, terms: Box<[Term]>) -> Self {
+        debug_assert!(terms.iter().all(|t| !t.is_var()));
+        GroundAtom { pred, terms }
+    }
+
+    /// True iff the atom mentions only constants (`dom(a) ⊂ U`).
+    pub fn is_fully_ground(&self) -> bool {
+        self.terms.iter().all(|t| t.is_const())
+    }
+}
+
+impl fmt::Display for GroundAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Provenance of a derived atom: which rule fired on which body atoms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Derivation {
+    /// Index of the rule in the evaluated program.
+    pub rule: usize,
+    /// The matched positive body atoms, in body order.
+    pub body: Vec<AtomId>,
+}
+
+struct Record {
+    atom: GroundAtom,
+    derivation: Option<Derivation>,
+    /// 0 for database atoms and null-free derived atoms; otherwise
+    /// 1 + the maximum invention depth of the nulls mentioned.
+    depth: u32,
+}
+
+/// An append-only instance with hash lookup and per-column indexes.
+#[derive(Default)]
+pub struct Instance {
+    records: Vec<Record>,
+    lookup: HashMap<GroundAtom, AtomId>,
+    by_pred: HashMap<Symbol, Vec<AtomId>>,
+    /// (pred, column, term) → ids of atoms with `term` at `column`.
+    column_index: HashMap<(Symbol, u32, Term), Vec<AtomId>>,
+    /// Depth at which each null was invented (indexed by `NullId`).
+    null_depth: Vec<u32>,
+}
+
+impl Instance {
+    /// An empty instance.
+    pub fn new() -> Self {
+        Instance::default()
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True iff the instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The atom with the given id.
+    pub fn atom(&self, id: AtomId) -> &GroundAtom {
+        &self.records[id as usize].atom
+    }
+
+    /// The provenance of the atom with the given id (`None` for database
+    /// atoms).
+    pub fn derivation(&self, id: AtomId) -> Option<&Derivation> {
+        self.records[id as usize].derivation.as_ref()
+    }
+
+    /// The null-invention depth of the atom (0 if it mentions no nulls).
+    pub fn depth(&self, id: AtomId) -> u32 {
+        self.records[id as usize].depth
+    }
+
+    /// Looks up an atom, returning its id if present.
+    pub fn find(&self, atom: &GroundAtom) -> Option<AtomId> {
+        self.lookup.get(atom).copied()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, atom: &GroundAtom) -> bool {
+        self.lookup.contains_key(atom)
+    }
+
+    /// Creates a fresh labeled null invented at `depth`.
+    pub fn fresh_null(&mut self, depth: u32) -> NullId {
+        let id = NullId(self.null_depth.len() as u32);
+        self.null_depth.push(depth);
+        id
+    }
+
+    /// The invention depth of a null.
+    pub fn null_depth(&self, null: NullId) -> u32 {
+        self.null_depth[null.0 as usize]
+    }
+
+    /// Number of nulls invented so far.
+    pub fn null_count(&self) -> usize {
+        self.null_depth.len()
+    }
+
+    /// 1 + the maximum invention depth among the nulls of `terms`
+    /// (0 if there are none). This is the depth a *new* null invented from
+    /// these frontier values gets.
+    pub fn next_depth(&self, terms: &[Term]) -> u32 {
+        terms
+            .iter()
+            .filter_map(|t| t.as_null())
+            .map(|n| self.null_depth(n))
+            .max()
+            .map_or(1, |d| d + 1)
+    }
+
+    /// Inserts an atom, returning `(id, inserted)`.
+    pub fn insert(&mut self, atom: GroundAtom, derivation: Option<Derivation>) -> (AtomId, bool) {
+        if let Some(&id) = self.lookup.get(&atom) {
+            return (id, false);
+        }
+        let depth = atom
+            .terms
+            .iter()
+            .filter_map(|t| t.as_null())
+            .map(|n| self.null_depth(n))
+            .max()
+            .unwrap_or(0);
+        let id = self.records.len() as AtomId;
+        self.by_pred.entry(atom.pred).or_default().push(id);
+        for (i, &t) in atom.terms.iter().enumerate() {
+            self.column_index
+                .entry((atom.pred, i as u32, t))
+                .or_default()
+                .push(id);
+        }
+        self.lookup.insert(atom.clone(), id);
+        self.records.push(Record {
+            atom,
+            derivation,
+            depth,
+        });
+        (id, true)
+    }
+
+    /// Inserts a database fact built from constant strings.
+    pub fn insert_fact(&mut self, pred: &str, constants: &[&str]) -> AtomId {
+        let atom = GroundAtom::new(
+            Symbol::new(pred),
+            constants.iter().map(|c| Term::constant(c)).collect(),
+        );
+        self.insert(atom, None).0
+    }
+
+    /// Ids of all atoms with predicate `pred`, ascending.
+    pub fn ids_by_pred(&self, pred: Symbol) -> &[AtomId] {
+        self.by_pred.get(&pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Ids of atoms with predicate `pred` and `term` at `column`, ascending.
+    pub fn ids_by_column(&self, pred: Symbol, column: u32, term: Term) -> &[AtomId] {
+        self.column_index
+            .get(&(pred, column, term))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over all atoms (with ids), in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (AtomId, &GroundAtom)> + '_ {
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as AtomId, &r.atom))
+    }
+
+    /// All atoms of a predicate.
+    pub fn atoms_of(&self, pred: Symbol) -> impl Iterator<Item = &GroundAtom> + '_ {
+        self.ids_by_pred(pred).iter().map(move |&id| self.atom(id))
+    }
+
+    /// The ground part `Π(D)↓`: all atoms whose terms are constants only
+    /// (§6.3, Step 1).
+    pub fn ground_part(&self) -> Vec<&GroundAtom> {
+        self.records
+            .iter()
+            .map(|r| &r.atom)
+            .filter(|a| a.is_fully_ground())
+            .collect()
+    }
+
+    /// Checks whether a *non-ground* atom pattern has a match (used by the
+    /// restricted chase and tests); see [`crate::ChaseConfig`] for the
+    /// full matcher.
+    pub fn has_pred(&self, pred: Symbol) -> bool {
+        self.by_pred.get(&pred).is_some_and(|v| !v.is_empty())
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set()
+            .entries(self.records.iter().map(|r| &r.atom))
+            .finish()
+    }
+}
+
+/// A database: a finite instance over constants only (§3.2).
+#[derive(Default)]
+pub struct Database {
+    instance: Instance,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Adds a fact; errors if any term is not a constant.
+    pub fn add(&mut self, atom: &Atom) -> Result<()> {
+        let terms: Option<Box<[Term]>> = atom
+            .terms
+            .iter()
+            .map(|&t| t.is_const().then_some(t))
+            .collect();
+        let Some(terms) = terms else {
+            return Err(TriqError::InvalidProgram(format!(
+                "database fact {atom} contains a non-constant term"
+            )));
+        };
+        self.instance.insert(GroundAtom::new(atom.pred, terms), None);
+        Ok(())
+    }
+
+    /// Adds a fact from strings.
+    pub fn add_fact(&mut self, pred: &str, constants: &[&str]) {
+        self.instance.insert_fact(pred, constants);
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.instance.len()
+    }
+
+    /// True iff the database has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.instance.is_empty()
+    }
+
+    /// The facts as a fresh [`Instance`] seed (cloned).
+    pub fn to_instance(&self) -> Instance {
+        let mut inst = Instance::new();
+        for (_, a) in self.instance.iter() {
+            inst.insert(a.clone(), None);
+        }
+        inst
+    }
+
+    /// Iterates over the facts.
+    pub fn iter(&self) -> impl Iterator<Item = &GroundAtom> + '_ {
+        self.instance.iter().map(|(_, a)| a)
+    }
+
+    /// All constants occurring in the database (`dom(D)`).
+    pub fn domain(&self) -> std::collections::BTreeSet<Symbol> {
+        self.iter()
+            .flat_map(|a| a.terms.iter())
+            .filter_map(|t| t.as_const())
+            .collect()
+    }
+
+    /// Membership test for a fully-ground atom.
+    pub fn contains(&self, atom: &GroundAtom) -> bool {
+        self.instance.contains(atom)
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.instance.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triq_common::intern;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut inst = Instance::new();
+        let id = inst.insert_fact("edge", &["a", "b"]);
+        let (id2, fresh) = inst.insert(
+            GroundAtom::new(
+                intern("edge"),
+                vec![Term::constant("a"), Term::constant("b")].into(),
+            ),
+            None,
+        );
+        assert_eq!(id, id2);
+        assert!(!fresh);
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst.atom(id).to_string(), "edge(a, b)");
+    }
+
+    #[test]
+    fn column_index_lookups() {
+        let mut inst = Instance::new();
+        inst.insert_fact("edge", &["a", "b"]);
+        inst.insert_fact("edge", &["a", "c"]);
+        inst.insert_fact("edge", &["b", "c"]);
+        let a = Term::constant("a");
+        assert_eq!(inst.ids_by_column(intern("edge"), 0, a).len(), 2);
+        assert_eq!(inst.ids_by_column(intern("edge"), 1, a).len(), 0);
+        assert_eq!(inst.ids_by_pred(intern("edge")).len(), 3);
+        assert_eq!(inst.ids_by_pred(intern("nothing")).len(), 0);
+    }
+
+    #[test]
+    fn null_depth_tracking() {
+        let mut inst = Instance::new();
+        let n0 = inst.fresh_null(1);
+        let atom = GroundAtom::new(intern("p"), vec![Term::Null(n0)].into());
+        let (id, _) = inst.insert(atom, None);
+        assert_eq!(inst.depth(id), 1);
+        assert_eq!(inst.next_depth(&[Term::Null(n0)]), 2);
+        assert_eq!(inst.next_depth(&[Term::constant("a")]), 1);
+        assert_eq!(inst.ground_part().len(), 0);
+    }
+
+    #[test]
+    fn database_rejects_nulls_and_vars() {
+        let mut db = Database::new();
+        let bad = Atom::from_parts("p", vec![Term::Var(triq_common::VarId::new("X"))]);
+        assert!(db.add(&bad).is_err());
+        db.add_fact("p", &["a"]);
+        assert_eq!(db.len(), 1);
+        assert!(db.domain().contains(&intern("a")));
+    }
+
+    #[test]
+    fn provenance_round_trip() {
+        let mut inst = Instance::new();
+        let body = inst.insert_fact("p", &["a"]);
+        let atom = GroundAtom::new(intern("q"), vec![Term::constant("a")].into());
+        let (id, _) = inst.insert(
+            atom,
+            Some(Derivation {
+                rule: 3,
+                body: vec![body],
+            }),
+        );
+        let d = inst.derivation(id).unwrap();
+        assert_eq!(d.rule, 3);
+        assert_eq!(d.body, vec![body]);
+        assert!(inst.derivation(body).is_none());
+    }
+}

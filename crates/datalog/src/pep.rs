@@ -1,0 +1,101 @@
+//! Program expressive power (§7, Theorems 7.1/7.2).
+//!
+//! `Pep_L[Π]` collects triples `(D, Λ, t)` where `Λ` is a set of output
+//! rules over a fresh output predicate and `t ∈ Q(D)` for `Q = (Π ∪ Λ,
+//! p)`. Theorem 7.1 separates Datalog from warded Datalog∃ under this
+//! notion via a three-line witness, reproduced here verbatim; experiment
+//! E8 exercises it and verifies the coexistence property the proof relies
+//! on for arbitrary Datalog programs.
+
+use crate::chase::ChaseConfig;
+use crate::instance::Database;
+use crate::{parse_program, Program, Query};
+use triq_common::{intern, Result};
+
+/// The witness of Theorem 7.1: `Π = {p(X) → ∃Y s(X,Y)}`,
+/// `Λ₁ = {s(X,Y) → q}`, `Λ₂ = {s(X,Y), p(Y) → q}`, `D = {p(c)}`.
+pub struct PepWitness {
+    /// The warded Datalog∃ program Π.
+    pub pi: Program,
+    /// Output rules Λ₁ (fires on the invented null).
+    pub lambda1: Program,
+    /// Output rules Λ₂ (requires the null to satisfy `p` — never true).
+    pub lambda2: Program,
+    /// The database `{p(c)}`.
+    pub db: Database,
+}
+
+/// Builds the Theorem 7.1 witness.
+pub fn theorem_7_1_witness() -> PepWitness {
+    let pi = parse_program("p(?X) -> exists ?Y s(?X, ?Y).").expect("Π is well-formed");
+    let lambda1 = parse_program("s(?X, ?Y) -> q().").expect("Λ1 is well-formed");
+    let lambda2 = parse_program("s(?X, ?Y), p(?Y) -> q().").expect("Λ2 is well-formed");
+    let mut db = Database::new();
+    db.add_fact("p", &["c"]);
+    PepWitness {
+        pi,
+        lambda1,
+        lambda2,
+        db,
+    }
+}
+
+/// Evaluates `(Π ∪ Λ, q)` on `D` and reports whether the empty tuple `()`
+/// is an answer.
+pub fn empty_tuple_in_answer(pi: &Program, lambda: &Program, db: &Database) -> Result<bool> {
+    let q = Query::new(pi.union(lambda), intern("q"))?;
+    let ans = q.evaluate_with(db, ChaseConfig::default())?;
+    Ok(ans.contains(&[]))
+}
+
+/// The coexistence property of the Theorem 7.1 proof: for a *Datalog*
+/// program `Π'`, `() ∈ Q₁'(D)` implies `() ∈ Q₂'(D)` on the witness
+/// database — because a Datalog program derives no nulls, any `s(a,b)`
+/// it derives has `b ∈ dom(D) ∪ consts(Π')`, and on `D = {p(c)}` the only
+/// candidate is `c` itself, which satisfies `p`. Returns the pair of
+/// membership flags for an arbitrary candidate program.
+pub fn coexistence_flags(datalog_pi: &Program, witness: &PepWitness) -> Result<(bool, bool)> {
+    let in1 = empty_tuple_in_answer(datalog_pi, &witness.lambda1, &witness.db)?;
+    let in2 = empty_tuple_in_answer(datalog_pi, &witness.lambda2, &witness.db)?;
+    Ok((in1, in2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify_program;
+
+    #[test]
+    fn witness_separates_warded_from_datalog() {
+        let w = theorem_7_1_witness();
+        let c = classify_program(&w.pi);
+        assert!(c.warded);
+        assert!(!c.plain_datalog);
+        // () ∈ Q1(D) and () ∉ Q2(D): the separation of Theorem 7.1.
+        assert!(empty_tuple_in_answer(&w.pi, &w.lambda1, &w.db).unwrap());
+        assert!(!empty_tuple_in_answer(&w.pi, &w.lambda2, &w.db).unwrap());
+    }
+
+    #[test]
+    fn datalog_programs_exhibit_coexistence() {
+        let w = theorem_7_1_witness();
+        // A sample of Datalog programs over the schema {p/1, s/2}: in each
+        // case () ∈ Q1'(D) implies () ∈ Q2'(D).
+        let candidates = [
+            "p(?X) -> s(?X, ?X).",
+            "p(?X), p(?Y) -> s(?X, ?Y).",
+            "p(?X) -> s(?X, ?X).\n s(?X, ?Y) -> s(?Y, ?X).",
+            "p(?X), !p0(?X) -> s(?X, ?X).\n p(?X) -> aux(?X).",
+        ];
+        for src in candidates {
+            let pi = parse_program(src).unwrap();
+            assert!(classify_program(&pi).plain_datalog);
+            let (in1, in2) = coexistence_flags(&pi, &w).unwrap();
+            assert!(!in1 || in2, "coexistence violated by: {src}");
+        }
+        // And a program deriving no s at all: both absent.
+        let pi = parse_program("p(?X) -> aux(?X).").unwrap();
+        let (in1, in2) = coexistence_flags(&pi, &w).unwrap();
+        assert!(!in1 && !in2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Affected positions of a Datalog∃ program (§4.1).
+//!
+//! A position `p[i]` is *affected* if (1) an existentially quantified
+//! variable occurs at it in some rule head, or (2) some rule has a variable
+//! occurring in its body *only* at affected positions that is propagated to
+//! the head at `p[i]`. Affected positions over-approximate where labeled
+//! nulls may appear during the chase.
+
+use crate::Program;
+use std::collections::{HashMap, HashSet};
+use triq_common::{Symbol, Term, VarId};
+
+/// A position `p[i]` (0-based internally; the paper is 1-based).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Pos {
+    /// The predicate.
+    pub pred: Symbol,
+    /// The 0-based argument index.
+    pub index: usize,
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Display 1-based like the paper: p[1].
+        write!(f, "{}[{}]", self.pred, self.index + 1)
+    }
+}
+
+/// A set of positions.
+pub type PositionSet = HashSet<Pos>;
+
+/// Computes `affected(Π)` for the *positive, constraint-free* part of the
+/// program handed in. Callers wanting the paper's `affected(ex(Π)⁺)` should
+/// pass `program.positive_part()` — [`crate::classify_program`] does this
+/// for you.
+pub fn affected_positions(program: &Program) -> PositionSet {
+    let mut affected: PositionSet = HashSet::new();
+    // Base case: existential variables in heads.
+    for rule in &program.rules {
+        for head in &rule.head {
+            for (i, t) in head.terms.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    if rule.exist_vars.contains(v) {
+                        affected.insert(Pos {
+                            pred: head.pred,
+                            index: i,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Inductive case, to fixpoint.
+    loop {
+        let mut changed = false;
+        for rule in &program.rules {
+            // Occurrences of each body variable (positive body only: the
+            // definition is stated for Datalog∃ programs).
+            let mut occurrences: HashMap<VarId, Vec<Pos>> = HashMap::new();
+            for atom in &rule.body_pos {
+                for (i, t) in atom.terms.iter().enumerate() {
+                    if let Term::Var(v) = t {
+                        occurrences.entry(*v).or_default().push(Pos {
+                            pred: atom.pred,
+                            index: i,
+                        });
+                    }
+                }
+            }
+            for head in &rule.head {
+                for (i, t) in head.terms.iter().enumerate() {
+                    let Term::Var(v) = t else { continue };
+                    let Some(occ) = occurrences.get(v) else {
+                        continue; // existential — handled in the base case
+                    };
+                    if occ.iter().all(|p| affected.contains(p)) {
+                        let pos = Pos {
+                            pred: head.pred,
+                            index: i,
+                        };
+                        changed |= affected.insert(pos);
+                    }
+                }
+            }
+        }
+        if !changed {
+            return affected;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+    use triq_common::intern;
+
+    fn pos(pred: &str, one_based: usize) -> Pos {
+        Pos {
+            pred: intern(pred),
+            index: one_based - 1,
+        }
+    }
+
+    /// Example 4.1 of the paper, verbatim.
+    #[test]
+    fn example_4_1() {
+        let p = parse_program(
+            "p(?X, ?Y), s(?Y, ?Z) -> exists ?W t(?Y, ?X, ?W).\n\
+             t(?X, ?Y, ?Z) -> exists ?W p(?W, ?Z).\n\
+             t(?X, ?Y, ?Z) -> s(?X, ?Y).",
+        )
+        .unwrap();
+        let aff = affected_positions(&p);
+        // The paper: affected = {t[3], p[1], t[2], p[2], s[2]}; t[1] is NOT
+        // affected because ?Y also occurs at s[1] ∉ affected.
+        let expected: PositionSet = [
+            pos("t", 3),
+            pos("p", 1),
+            pos("t", 2),
+            pos("p", 2),
+            pos("s", 2),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(aff, expected);
+        assert!(!aff.contains(&pos("t", 1)));
+    }
+
+    #[test]
+    fn plain_datalog_has_no_affected_positions() {
+        let p = parse_program(
+            "e(?X, ?Y) -> t(?X, ?Y).\n\
+             e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).",
+        )
+        .unwrap();
+        assert!(affected_positions(&p).is_empty());
+    }
+
+    #[test]
+    fn propagation_through_recursion() {
+        // p[1] affected; r copies p into q, so q[1] affected too.
+        let p = parse_program(
+            "a(?X) -> exists ?Y p(?Y).\n\
+             p(?X) -> q(?X).",
+        )
+        .unwrap();
+        let aff = affected_positions(&p);
+        assert!(aff.contains(&pos("p", 1)));
+        assert!(aff.contains(&pos("q", 1)));
+    }
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(pos("p", 2).to_string(), "p[2]");
+    }
+}

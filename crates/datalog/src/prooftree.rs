@@ -1,0 +1,843 @@
+//! The `ProofTree` decision procedure of §6.3: backward proof search for
+//! warded Datalog∃ programs, deciding whether a ground atom `p(t)` has a
+//! proof tree (Definition 6.11) with respect to `D` and `Π`.
+//!
+//! The paper presents `ProofTree` as an alternating logspace algorithm;
+//! the standard PTime realization of alternation is a least fixpoint over
+//! the (polynomially many) machine states, which is what we implement: a
+//! memoized AND-OR search over *component states*. A component state is a
+//! set of atoms sharing labeled nulls of unknown invention (the paper's
+//! `[N]`-optimal partition components) together with the `R_S` bookkeeping
+//! that records, for each null, the atom where it is invented once that
+//! atom becomes known — the mechanism that keeps parallel branches
+//! consistent (condition (3) of Definition 6.11).
+//!
+//! Universal steps resolve *every* atom of a component simultaneously
+//! (step (7) of the algorithm), then re-partition (`[N]`-optimal = the
+//! connected components under sharing of unknown-invention nulls, steps
+//! (9)–(13)). Existential choices (which rule, which assignment of
+//! body-only variables over `dom(D) ∪ B`) are enumerated exhaustively —
+//! exactly the guesses of the alternating machine. Cycles in the AND-OR
+//! graph are handled with tainted-failure memoization: a failure caused by
+//! an in-progress ancestor is not cached, which makes the search compute
+//! the least fixpoint.
+//!
+//! Negation is handled by Step 1 of the §6.3 algorithm
+//! ([`eliminate_negation`]): for Datalog∃,¬sg programs, each negated atom
+//! `¬s(t)` is replaced by `s̄(t)` where `s̄` holds the complement of `s`
+//! w.r.t. the ground semantics over `dom(D)`.
+
+use crate::chase::{chase, ChaseConfig};
+use crate::classify::{classify_program, rule_variable_classes};
+use crate::instance::{Database, GroundAtom};
+use crate::positions::PositionSet;
+use crate::{Atom, Program, Rule};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use triq_common::{NullId, Result, Symbol, Term, TriqError, VarId};
+
+/// Resource limits for the proof search.
+#[derive(Clone, Copy, Debug)]
+pub struct ProofTreeConfig {
+    /// Maximum number of distinct component states explored.
+    pub max_states: usize,
+    /// Maximum number of atoms in a component (the Lemma 6.14 bound is the
+    /// maximum rule-body size; we allow head-room for non-normalized
+    /// rules).
+    pub max_component_atoms: usize,
+}
+
+impl Default for ProofTreeConfig {
+    fn default() -> Self {
+        ProofTreeConfig {
+            max_states: 500_000,
+            max_component_atoms: 12,
+        }
+    }
+}
+
+/// An abstract atom: terms are constants or *local* nulls (renumbered per
+/// component state).
+type AbsAtom = GroundAtom;
+
+/// A head unification outcome: the body binding plus updated inventions.
+type UnifyChoice = (HashMap<VarId, Term>, BTreeMap<NullId, Option<AbsAtom>>);
+
+/// A component state: atoms sharing unknown-invention nulls, plus the
+/// invention record for every null mentioned (`None` = ε, unknown).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct State {
+    atoms: Vec<AbsAtom>,
+    /// Sorted by null id; entries exist for every null in `atoms`.
+    inventions: Vec<(NullId, Option<AbsAtom>)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    InProgress,
+    Proved,
+    Failed,
+}
+
+struct Searcher<'a> {
+    db: &'a Database,
+    rules: Vec<Rule>,
+    /// Existential variable positions per rule head: (var, position).
+    rule_exist_pos: Vec<Vec<(VarId, usize)>>,
+    /// Harmless variables per rule (w.r.t. the positive program).
+    rule_harmless: Vec<HashSet<VarId>>,
+    domain: Vec<Symbol>,
+    memo: HashMap<State, Status>,
+    states_explored: usize,
+    config: ProofTreeConfig,
+}
+
+/// Renumbers nulls by first occurrence (scanning atoms in sorted order,
+/// then invention atoms) and sorts atoms, producing a canonical-ish key.
+/// Isomorphic states may occasionally get distinct keys (a memo miss, not
+/// a correctness issue).
+fn canonicalize(mut atoms: Vec<AbsAtom>, inventions: &BTreeMap<NullId, Option<AbsAtom>>) -> State {
+    // First pass ordering: by predicate + constant skeleton.
+    atoms.sort_by(|a, b| {
+        let mask = |x: &AbsAtom| {
+            (
+                x.pred,
+                x.terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => (0u8, c.index()),
+                        Term::Null(_) => (1u8, 0),
+                        Term::Var(_) => (2u8, 0),
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        mask(a).cmp(&mask(b))
+    });
+    let mut rename: HashMap<NullId, NullId> = HashMap::new();
+    let touch = |t: &Term, rename: &mut HashMap<NullId, NullId>| {
+        if let Term::Null(n) = t {
+            let next = NullId(rename.len() as u32);
+            rename.entry(*n).or_insert(next);
+        }
+    };
+    for a in &atoms {
+        for t in a.terms.iter() {
+            touch(t, &mut rename);
+        }
+    }
+    for (_, inv) in inventions.iter() {
+        if let Some(a) = inv {
+            for t in a.terms.iter() {
+                touch(t, &mut rename);
+            }
+        }
+    }
+    let apply = |a: &AbsAtom, rename: &HashMap<NullId, NullId>| -> AbsAtom {
+        GroundAtom::new(
+            a.pred,
+            a.terms
+                .iter()
+                .map(|t| match t {
+                    Term::Null(n) => Term::Null(rename[n]),
+                    other => *other,
+                })
+                .collect(),
+        )
+    };
+    let mut new_atoms: Vec<AbsAtom> = atoms.iter().map(|a| apply(a, &rename)).collect();
+    new_atoms.sort_by(|a, b| (a.pred, &a.terms).cmp(&(b.pred, &b.terms)));
+    let mut new_inv: Vec<(NullId, Option<AbsAtom>)> = inventions
+        .iter()
+        .filter(|(n, _)| rename.contains_key(n))
+        .map(|(n, inv)| (rename[n], inv.as_ref().map(|a| apply(a, &rename))))
+        .collect();
+    new_inv.sort_by_key(|(n, _)| *n);
+    State {
+        atoms: new_atoms,
+        inventions: new_inv,
+    }
+}
+
+impl<'a> Searcher<'a> {
+    fn new(db: &'a Database, program: &Program, config: ProofTreeConfig) -> Searcher<'a> {
+        let positive = program.positive_part();
+        let affected: PositionSet = crate::affected_positions(&positive);
+        let rules: Vec<Rule> = positive.rules;
+        let rule_harmless = rules
+            .iter()
+            .map(|r| {
+                rule_variable_classes(r, &affected)
+                    .harmless
+                    .into_iter()
+                    .collect()
+            })
+            .collect();
+        let rule_exist_pos = rules
+            .iter()
+            .map(|r| {
+                let head = &r.head[0];
+                head.terms
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| match t {
+                        Term::Var(v) if r.exist_vars.contains(v) => Some((*v, i)),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        Searcher {
+            db,
+            rules,
+            rule_exist_pos,
+            rule_harmless,
+            domain: db.domain().into_iter().collect(),
+            memo: HashMap::new(),
+            states_explored: 0,
+            config,
+        }
+    }
+
+    /// Proves a component state. Returns `(proved, tainted)`; a tainted
+    /// failure depended on an in-progress ancestor and is not cached.
+    fn prove(
+        &mut self,
+        atoms: Vec<AbsAtom>,
+        inventions: BTreeMap<NullId, Option<AbsAtom>>,
+    ) -> Result<(bool, bool)> {
+        if atoms.len() == 1 && atoms[0].is_fully_ground() && self.db.contains(&atoms[0]) {
+            return Ok((true, false));
+        }
+        if atoms.len() > self.config.max_component_atoms {
+            return Err(TriqError::ResourceExhausted(format!(
+                "ProofTree component grew beyond {} atoms — is the program warded?",
+                self.config.max_component_atoms
+            )));
+        }
+        let state = canonicalize(atoms, &inventions);
+        match self.memo.get(&state) {
+            Some(Status::Proved) => return Ok((true, false)),
+            Some(Status::Failed) => return Ok((false, false)),
+            Some(Status::InProgress) => return Ok((false, true)), // cycle
+            None => {}
+        }
+        self.states_explored += 1;
+        if self.states_explored > self.config.max_states {
+            return Err(TriqError::ResourceExhausted(format!(
+                "ProofTree explored more than {} states",
+                self.config.max_states
+            )));
+        }
+        self.memo.insert(state.clone(), Status::InProgress);
+        let inv_map: BTreeMap<NullId, Option<AbsAtom>> = state.inventions.iter().cloned().collect();
+        let mut tainted = false;
+        let proved = self.resolve_all(&state.atoms, 0, inv_map, Vec::new(), &mut tainted)?;
+        if proved {
+            self.memo.insert(state, Status::Proved);
+            Ok((true, false))
+        } else {
+            if tainted {
+                self.memo.remove(&state);
+            } else {
+                self.memo.insert(state, Status::Failed);
+            }
+            Ok((false, tainted))
+        }
+    }
+
+    /// Step (7): resolve every atom of the component (one rule + one
+    /// assignment each), accumulating the union of instantiated bodies;
+    /// then partition and prove the parts.
+    fn resolve_all(
+        &mut self,
+        atoms: &[AbsAtom],
+        idx: usize,
+        inventions: BTreeMap<NullId, Option<AbsAtom>>,
+        acc: Vec<AbsAtom>,
+        tainted: &mut bool,
+    ) -> Result<bool> {
+        if idx == atoms.len() {
+            return self.prove_partition(acc, inventions, tainted);
+        }
+        let goal = atoms[idx].clone();
+        for ri in 0..self.rules.len() {
+            let choices = self.unify_head(ri, &goal, &inventions);
+            for (binding, new_inventions) in choices {
+                // Enumerate assignments for unbound body variables.
+                let assignments =
+                    self.enumerate_assignments(ri, &binding, &new_inventions, &acc, atoms)?;
+                for full in assignments {
+                    let mut acc2 = acc.clone();
+                    for b in &self.rules[ri].body_pos {
+                        acc2.push(ground_with(b, &full));
+                    }
+                    if self.resolve_all(atoms, idx + 1, new_inventions.clone(), acc2, tainted)? {
+                        return Ok(true);
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Unifies the (single) head of rule `ri` with `goal`, enforcing the
+    /// compatibility condition ρ ◃ a and the invention-consistency rule
+    /// (step 7b). Returns at most one binding (plus updated inventions).
+    fn unify_head(
+        &self,
+        ri: usize,
+        goal: &AbsAtom,
+        inventions: &BTreeMap<NullId, Option<AbsAtom>>,
+    ) -> Vec<UnifyChoice> {
+        let rule = &self.rules[ri];
+        let head = &rule.head[0];
+        if head.pred != goal.pred || head.terms.len() != goal.terms.len() {
+            return Vec::new();
+        }
+        let mut binding: HashMap<VarId, Term> = HashMap::new();
+        for (pat, &val) in head.terms.iter().zip(goal.terms.iter()) {
+            match *pat {
+                Term::Const(c) => {
+                    if val != Term::Const(c) {
+                        return Vec::new();
+                    }
+                }
+                Term::Null(_) => unreachable!("rules contain no nulls"),
+                Term::Var(v) => match binding.get(&v) {
+                    Some(&b) if b != val => return Vec::new(),
+                    Some(_) => {}
+                    None => {
+                        binding.insert(v, val);
+                    }
+                },
+            }
+        }
+        // Compatibility: each existential position must hold a null that
+        // occurs exactly once in the goal.
+        let mut new_inventions = inventions.clone();
+        for &(v, pos) in &self.rule_exist_pos[ri] {
+            let val = goal.terms[pos];
+            let Term::Null(z) = val else {
+                return Vec::new();
+            };
+            let occurrences = goal.terms.iter().filter(|&&t| t == val).count();
+            if occurrences > 1 {
+                return Vec::new();
+            }
+            let _ = v;
+            // Step (7b): the invention atom of z must be this goal.
+            match new_inventions.get(&z) {
+                Some(Some(existing)) if existing != goal => return Vec::new(),
+                _ => {
+                    new_inventions.insert(z, Some(goal.clone()));
+                }
+            }
+        }
+        // Existential variables are not part of the body binding.
+        for &(v, _) in &self.rule_exist_pos[ri] {
+            binding.remove(&v);
+        }
+        vec![(binding, new_inventions)]
+    }
+
+    /// Enumerates total assignments of the unbound body variables of rule
+    /// `ri`: harmless variables range over `dom(D)`; harmful ones
+    /// additionally over the nulls in scope and one fresh null each.
+    fn enumerate_assignments(
+        &self,
+        ri: usize,
+        binding: &HashMap<VarId, Term>,
+        inventions: &BTreeMap<NullId, Option<AbsAtom>>,
+        acc: &[AbsAtom],
+        goal_atoms: &[AbsAtom],
+    ) -> Result<Vec<HashMap<VarId, Term>>> {
+        let rule = &self.rules[ri];
+        let unbound: Vec<VarId> = rule
+            .body_pos_vars()
+            .into_iter()
+            .filter(|v| !binding.contains_key(v))
+            .collect();
+        if unbound.is_empty() {
+            return Ok(vec![binding.clone()]);
+        }
+        // Nulls in scope: in the inventions record, the accumulator, and
+        // the component's own atoms.
+        let mut max_null: u32 = 0;
+        let mut in_scope: Vec<Term> = Vec::new();
+        let mut seen: HashSet<NullId> = HashSet::new();
+        let note = |t: &Term, in_scope: &mut Vec<Term>, seen: &mut HashSet<NullId>| {
+            if let Term::Null(n) = t {
+                if seen.insert(*n) {
+                    in_scope.push(*t);
+                }
+            }
+        };
+        for a in acc.iter().chain(goal_atoms.iter()) {
+            for t in a.terms.iter() {
+                note(t, &mut in_scope, &mut seen);
+            }
+        }
+        for (n, inv) in inventions {
+            seen.insert(*n);
+            if let Some(a) = inv {
+                for t in a.terms.iter() {
+                    note(t, &mut in_scope, &mut seen);
+                }
+            }
+        }
+        for n in &seen {
+            max_null = max_null.max(n.0 + 1);
+        }
+        let mut out: Vec<HashMap<VarId, Term>> = vec![binding.clone()];
+        for (i, v) in unbound.iter().enumerate() {
+            let mut cands: Vec<Term> = self.domain.iter().map(|&c| Term::Const(c)).collect();
+            if !self.rule_harmless[ri].contains(v) {
+                cands.extend(in_scope.iter().copied());
+                // One fresh null per harmful variable, numbered after
+                // everything in scope (distinct per variable index).
+                cands.push(Term::Null(NullId(max_null + i as u32)));
+            }
+            let mut next = Vec::with_capacity(out.len() * cands.len());
+            for partial in &out {
+                for &c in &cands {
+                    let mut m = partial.clone();
+                    m.insert(*v, c);
+                    next.push(m);
+                }
+            }
+            out = next;
+            if out.len() > 1_000_000 {
+                return Err(TriqError::ResourceExhausted(
+                    "ProofTree assignment enumeration exploded".into(),
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Steps (9)–(13): partition the accumulated body atoms into the
+    /// `[N]`-optimal components and prove each (universal step).
+    fn prove_partition(
+        &mut self,
+        acc: Vec<AbsAtom>,
+        inventions: BTreeMap<NullId, Option<AbsAtom>>,
+        tainted: &mut bool,
+    ) -> Result<bool> {
+        if acc.is_empty() {
+            return Ok(true);
+        }
+        // Union-find over atom indices: connect atoms sharing a null of
+        // unknown invention.
+        let n = acc.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let r = find(parent, parent[i]);
+                parent[i] = r;
+                r
+            } else {
+                i
+            }
+        }
+        let mut null_owner: HashMap<NullId, usize> = HashMap::new();
+        for (i, a) in acc.iter().enumerate() {
+            for t in a.terms.iter() {
+                if let Term::Null(z) = t {
+                    let unknown = matches!(inventions.get(z), None | Some(None));
+                    if unknown {
+                        match null_owner.get(z) {
+                            Some(&j) => {
+                                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                                parent[ri] = rj;
+                            }
+                            None => {
+                                null_owner.insert(*z, i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut groups: BTreeMap<usize, Vec<AbsAtom>> = BTreeMap::new();
+        for (i, a) in acc.iter().enumerate() {
+            let r = find(&mut parent, i);
+            groups.entry(r).or_default().push(a.clone());
+        }
+        for (_, group) in groups {
+            // Deduplicate identical atoms within a component.
+            let mut atoms: Vec<AbsAtom> = group;
+            atoms.sort_by(|a, b| (a.pred, &a.terms).cmp(&(b.pred, &b.terms)));
+            atoms.dedup();
+            // Inherit invention records for this component's nulls.
+            let mut sub_inv: BTreeMap<NullId, Option<AbsAtom>> = BTreeMap::new();
+            for a in &atoms {
+                for t in a.terms.iter() {
+                    if let Term::Null(z) = t {
+                        sub_inv.insert(*z, inventions.get(z).cloned().flatten());
+                    }
+                }
+            }
+            let (ok, t) = self.prove(atoms, sub_inv)?;
+            *tainted |= t;
+            if !ok {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Decides whether the fully-ground atom `goal` is in `Π(D)` for a
+/// *positive* (negation-free) warded Datalog∃ program, by searching for a
+/// proof tree per §6.3. Use [`eliminate_negation`] first for Datalog∃,¬sg
+/// programs.
+pub fn prooftree_decide(
+    db: &Database,
+    program: &Program,
+    goal: &GroundAtom,
+    config: ProofTreeConfig,
+) -> Result<bool> {
+    if program.rules.iter().any(|r| !r.body_neg.is_empty()) {
+        return Err(TriqError::InvalidProgram(
+            "prooftree_decide requires a negation-free program; apply \
+             eliminate_negation first (§6.3 Step 1)"
+                .into(),
+        ));
+    }
+    if !goal.is_fully_ground() {
+        return Err(TriqError::InvalidProgram(
+            "the ProofTree goal must mention constants only".into(),
+        ));
+    }
+    let program = single_head_normal_form(program);
+    let mut searcher = Searcher::new(db, &program, config);
+    let (proved, _) = searcher.prove(vec![goal.clone()], BTreeMap::new())?;
+    Ok(proved)
+}
+
+/// Convenience pipeline for Datalog∃,¬sg programs: applies
+/// [`eliminate_negation`] (Step 1 of §6.3) and then decides the goal on
+/// the positive program.
+pub fn prooftree_decide_with_negation(
+    db: &Database,
+    program: &Program,
+    goal: &GroundAtom,
+    config: ProofTreeConfig,
+    chase_config: ChaseConfig,
+) -> Result<bool> {
+    let (db_plus, positive) = eliminate_negation(db, program, chase_config)?;
+    prooftree_decide(&db_plus, &positive, goal, config)
+}
+
+/// Splits multi-head rules. Heads sharing existential variables are routed
+/// through a fresh auxiliary predicate carrying the frontier and the
+/// existential variables (the N(ρ) construction referenced in footnote 6),
+/// which preserves wardedness and the ground semantics.
+pub fn single_head_normal_form(program: &Program) -> Program {
+    let mut out = Program::new();
+    for (i, rule) in program.rules.iter().enumerate() {
+        if rule.head.len() == 1 {
+            out.rules.push(rule.clone());
+            continue;
+        }
+        if rule.exist_vars.is_empty() {
+            out.rules.extend(rule.split_head());
+            continue;
+        }
+        // body -> ∃Y aux(frontier, Y); aux(...) -> head_j.
+        let mut frontier: Vec<VarId> = rule.frontier().into_iter().collect();
+        frontier.sort_unstable();
+        let aux_pred = Symbol::new(&format!("aux_head_{i}"));
+        let aux_terms: Vec<Term> = frontier
+            .iter()
+            .chain(rule.exist_vars.iter())
+            .map(|&v| Term::Var(v))
+            .collect();
+        let aux_atom = Atom::new(aux_pred, aux_terms);
+        out.rules.push(Rule {
+            body_pos: rule.body_pos.clone(),
+            body_neg: rule.body_neg.clone(),
+            builtins: rule.builtins.clone(),
+            exist_vars: rule.exist_vars.clone(),
+            head: vec![aux_atom.clone()],
+        });
+        for h in &rule.head {
+            out.rules.push(Rule::plain(vec![aux_atom.clone()], h.clone()));
+        }
+    }
+    out.constraints = program.constraints.clone();
+    out
+}
+
+/// Step 1 of the §6.3 evaluation algorithm: eliminates (grounded,
+/// stratified) negation by materializing complement relations `s̄` over
+/// `dom(D)` and rewriting `¬s(t)` to `s̄(t)`. Returns the extended
+/// database `D⁺` and the positive program `Π⁺`.
+pub fn eliminate_negation(
+    db: &Database,
+    program: &Program,
+    chase_config: ChaseConfig,
+) -> Result<(Database, Program)> {
+    let classification = classify_program(program);
+    if !classification.grounded_negation {
+        return Err(TriqError::NotInLanguage {
+            language: "Datalog∃,¬sg (grounded negation)",
+            reason: "negation elimination via ground complements requires \
+                     grounded negation"
+                .to_string(),
+        });
+    }
+    let negated: HashSet<(Symbol, usize)> = program
+        .rules
+        .iter()
+        .flat_map(|r| r.body_neg.iter().map(|a| (a.pred, a.arity())))
+        .collect();
+    if negated.is_empty() {
+        return Ok((copy_db(db), program.clone()));
+    }
+    // The ground semantics of the full program over D: lower strata are
+    // closed before any rule negating them runs, so reading the final
+    // instance is equivalent to the stratum-by-stratum construction.
+    let outcome = chase(db, program, chase_config)?;
+    let domain: Vec<Symbol> = db.domain().into_iter().collect();
+    let mut db_plus = copy_db(db);
+    for &(pred, arity) in &negated {
+        let complement_pred = format!("not__{}", pred.as_str());
+        let mut present: HashSet<Vec<Symbol>> = HashSet::new();
+        for a in outcome.instance.atoms_of(pred) {
+            if let Some(t) = a.terms.iter().map(|t| t.as_const()).collect() {
+                present.insert(t);
+            }
+        }
+        // Enumerate dom(D)^arity.
+        let mut tuple = vec![0usize; arity];
+        loop {
+            let t: Vec<Symbol> = tuple.iter().map(|&i| domain[i]).collect();
+            if !present.contains(&t) {
+                let strs: Vec<&str> = t.iter().map(|s| s.as_str()).collect();
+                db_plus.add_fact(&complement_pred, &strs);
+            }
+            // Increment the mixed-radix counter.
+            let mut pos = 0;
+            loop {
+                if pos == arity {
+                    break;
+                }
+                tuple[pos] += 1;
+                if tuple[pos] < domain.len() {
+                    break;
+                }
+                tuple[pos] = 0;
+                pos += 1;
+            }
+            if pos == arity || domain.is_empty() {
+                break;
+            }
+        }
+    }
+    let mut positive = Program::new();
+    for rule in &program.rules {
+        let mut r = rule.clone();
+        for neg in r.body_neg.drain(..) {
+            r.body_pos.push(Atom::new(
+                Symbol::new(&format!("not__{}", neg.pred.as_str())),
+                neg.terms.clone(),
+            ));
+        }
+        positive.rules.push(r);
+    }
+    positive.constraints = program.constraints.clone();
+    Ok((db_plus, positive))
+}
+
+/// Grounds a rule atom under a total assignment of its variables.
+fn ground_with(atom: &Atom, assignment: &HashMap<VarId, Term>) -> AbsAtom {
+    GroundAtom::new(
+        atom.pred,
+        atom.terms
+            .iter()
+            .map(|&t| match t {
+                Term::Var(v) => *assignment
+                    .get(&v)
+                    .unwrap_or_else(|| panic!("unassigned variable {v}")),
+                other => other,
+            })
+            .collect(),
+    )
+}
+
+fn copy_db(db: &Database) -> Database {
+    let mut out = Database::new();
+    for a in db.iter() {
+        let strs: Vec<&str> = a
+            .terms
+            .iter()
+            .map(|t| t.as_const().expect("database atoms are ground").as_str())
+            .collect();
+        out.add_fact(a.pred.as_str(), &strs);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+    use triq_common::intern;
+
+    fn ground(pred: &str, args: &[&str]) -> GroundAtom {
+        GroundAtom::new(
+            intern(pred),
+            args.iter().map(|a| Term::constant(a)).collect(),
+        )
+    }
+
+    fn decide(program: &str, facts: &[(&str, &[&str])], goal: (&str, &[&str])) -> bool {
+        let p = parse_program(program).unwrap();
+        let mut db = Database::new();
+        for (pred, args) in facts {
+            db.add_fact(pred, args);
+        }
+        prooftree_decide(&db, &p, &ground(goal.0, goal.1), ProofTreeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn database_atoms_are_provable() {
+        assert!(decide("p(?X) -> q(?X).", &[("p", &["a"])], ("p", &["a"])));
+        assert!(!decide("p(?X) -> q(?X).", &[("p", &["a"])], ("p", &["b"])));
+    }
+
+    #[test]
+    fn plain_datalog_reachability() {
+        let prog = "e(?X, ?Y) -> t(?X, ?Y).\n e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).";
+        let facts: &[(&str, &[&str])] = &[("e", &["a", "b"]), ("e", &["b", "c"])];
+        assert!(decide(prog, facts, ("t", &["a", "c"])));
+        assert!(decide(prog, facts, ("t", &["a", "b"])));
+        assert!(!decide(prog, facts, ("t", &["c", "a"])));
+    }
+
+    #[test]
+    fn existential_witness_chain() {
+        // A ground atom whose proof must pass through an invented null.
+        let prog = "start(?X) -> exists ?Z w(?X, ?Z).\n\
+                    w(?X, ?Z), first(?A) -> tag(?Z, ?A).\n\
+                    tag(?Z, ?A), next(?A, ?B) -> tag(?Z, ?B).\n\
+                    tag(?Z, ?A), w(?X, ?Z) -> reached(?X, ?A).";
+        let facts: &[(&str, &[&str])] = &[
+            ("start", &["c"]),
+            ("first", &["a1"]),
+            ("next", &["a1", "a2"]),
+        ];
+        assert!(decide(prog, facts, ("reached", &["c", "a1"])));
+        assert!(decide(prog, facts, ("reached", &["c", "a2"])));
+        assert!(!decide(prog, facts, ("reached", &["c", "c"])));
+    }
+
+    /// Example 6.10: p(a,a) is provable (Figure 1 shows its proof tree).
+    #[test]
+    fn example_6_10_goal_is_provable() {
+        let prog = "s(?X, ?Y, ?Z) -> exists ?W s(?X, ?Z, ?W).\n\
+                    s(?X, ?Y, ?Z), s(?Y, ?Z, ?W) -> q(?X, ?Y).\n\
+                    t(?X) -> exists ?Z p(?X, ?Z).\n\
+                    p(?X, ?Y), q(?X, ?Z) -> r(?X, ?Y, ?Z).\n\
+                    r(?X, ?Y, ?Z) -> p(?X, ?Z).";
+        let facts: &[(&str, &[&str])] = &[("s", &["a", "a", "a"]), ("t", &["a"])];
+        assert!(decide(prog, facts, ("q", &["a", "a"])));
+        assert!(decide(prog, facts, ("p", &["a", "a"])));
+        assert!(!decide(prog, facts, ("q", &["a", "b"])));
+    }
+
+    #[test]
+    fn cross_validation_against_chase() {
+        // Every ground atom the chase derives must be ProofTree-provable,
+        // and a sample of non-derived atoms must not be.
+        let prog = "start(?X) -> exists ?Z w(?X, ?Z).\n\
+                    w(?X, ?Z), first(?A) -> tag(?Z, ?A).\n\
+                    tag(?Z, ?A), next(?A, ?B) -> tag(?Z, ?B).\n\
+                    tag(?Z, ?A), w(?X, ?Z) -> reached(?X, ?A).";
+        let p = parse_program(prog).unwrap();
+        let mut db = Database::new();
+        db.add_fact("start", &["c"]);
+        db.add_fact("first", &["a1"]);
+        db.add_fact("next", &["a1", "a2"]);
+        db.add_fact("next", &["a2", "a3"]);
+        let out = chase(&db, &p, ChaseConfig::default()).unwrap();
+        let mut checked = 0;
+        for atom in out.instance.ground_part() {
+            assert!(
+                prooftree_decide(&db, &p, atom, ProofTreeConfig::default()).unwrap(),
+                "chase-derived {atom} must be provable"
+            );
+            checked += 1;
+        }
+        assert!(checked >= 6);
+        assert!(!prooftree_decide(
+            &db,
+            &p,
+            &ground("reached", &["a1", "a2"]),
+            ProofTreeConfig::default()
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn negation_elimination_round_trip() {
+        let prog = "succ(?X, ?Y) -> less(?X, ?Y).\n\
+                    succ(?X, ?Y), less(?Y, ?Z) -> less(?X, ?Z).\n\
+                    less(?X, ?Y) -> not_min(?Y).\n\
+                    less(?X, ?Y), !not_min(?X) -> zero(?X).";
+        let p = parse_program(prog).unwrap();
+        let mut db = Database::new();
+        db.add_fact("succ", &["0", "1"]);
+        db.add_fact("succ", &["1", "2"]);
+        let (db_plus, positive) = eliminate_negation(&db, &p, ChaseConfig::default()).unwrap();
+        assert!(positive.rules.iter().all(|r| r.body_neg.is_empty()));
+        assert!(prooftree_decide(
+            &db_plus,
+            &positive,
+            &ground("zero", &["0"]),
+            ProofTreeConfig::default()
+        )
+        .unwrap());
+        assert!(!prooftree_decide(
+            &db_plus,
+            &positive,
+            &ground("zero", &["1"]),
+            ProofTreeConfig::default()
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn multi_head_normalization_preserves_semantics() {
+        let p = parse_program(
+            "coauthor(?X, ?Y) -> exists ?Z a_of(?X, ?Z), a_of(?Y, ?Z).\n\
+             a_of(?X, ?Z), a_of(?Y, ?Z) -> collab(?X, ?Y).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_fact("coauthor", &["aho", "ullman"]);
+        assert!(prooftree_decide(
+            &db,
+            &p,
+            &ground("collab", &["aho", "ullman"]),
+            ProofTreeConfig::default()
+        )
+        .unwrap());
+        assert!(!prooftree_decide(
+            &db,
+            &p,
+            &ground("collab", &["aho", "knuth"]),
+            ProofTreeConfig::default()
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn rejects_non_ground_goal_and_negation() {
+        let p = parse_program("p(?X), !q(?X) -> r(?X).\n base(?X) -> q(?X).").unwrap();
+        let db = Database::new();
+        assert!(prooftree_decide(&db, &p, &ground("r", &["a"]), ProofTreeConfig::default())
+            .is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Stratification of Datalog∃,¬ programs (§3.2).
+//!
+//! A stratification is a function µ : sch(Π) → [0, ℓ] with µ(head) ≥ µ(p)
+//! for positive body predicates p and µ(head) > µ(p) for negated ones. We
+//! compute the *canonical* (minimal) stratification when one exists: µ(p) =
+//! the maximum number of negative edges on any path into p in the predicate
+//! dependency graph. Π is stratified iff no cycle goes through a negative
+//! edge.
+
+use crate::Program;
+use std::collections::HashMap;
+use triq_common::{Result, Symbol, TriqError};
+
+/// The result of stratifying a program.
+#[derive(Clone, Debug)]
+pub struct Stratification {
+    /// µ : predicate → stratum.
+    pub strata: HashMap<Symbol, usize>,
+    /// ℓ: the largest stratum index.
+    pub max_stratum: usize,
+    /// For each rule (by index in `Program::rules`), the stratum of its head
+    /// predicate(s) — multi-head rules are required to have all heads in the
+    /// same stratum, which our canonical µ guarantees only if forced; we
+    /// place the rule at the max of its head strata and lift the others.
+    pub rule_stratum: Vec<usize>,
+}
+
+impl Stratification {
+    /// The stratum of a predicate (predicates never appearing in the
+    /// program default to stratum 0).
+    pub fn stratum_of(&self, pred: Symbol) -> usize {
+        self.strata.get(&pred).copied().unwrap_or(0)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Edge {
+    Positive,
+    Negative,
+}
+
+/// Computes a stratification of `ex(Π)` (constraints are ignored, as the
+/// paper defines stratifiedness via `ex(Π)`). Returns an error when the
+/// program is not stratified.
+pub fn stratify(program: &Program) -> Result<Stratification> {
+    // Dependency edges body-pred -> head-pred.
+    let mut preds: Vec<Symbol> = Vec::new();
+    let mut index: HashMap<Symbol, usize> = HashMap::new();
+    let touch = |p: Symbol, preds: &mut Vec<Symbol>, index: &mut HashMap<Symbol, usize>| {
+        *index.entry(p).or_insert_with(|| {
+            preds.push(p);
+            preds.len() - 1
+        })
+    };
+    let mut edges: Vec<(usize, usize, Edge)> = Vec::new();
+    for rule in &program.rules {
+        for h in &rule.head {
+            let hi = touch(h.pred, &mut preds, &mut index);
+            for b in &rule.body_pos {
+                let bi = touch(b.pred, &mut preds, &mut index);
+                edges.push((bi, hi, Edge::Positive));
+            }
+            for b in &rule.body_neg {
+                let bi = touch(b.pred, &mut preds, &mut index);
+                edges.push((bi, hi, Edge::Negative));
+            }
+        }
+    }
+    for c in &program.constraints {
+        for b in &c.body {
+            touch(b.pred, &mut preds, &mut index);
+        }
+    }
+
+    let n = preds.len();
+    // Bellman-Ford-style longest path counting negative edges. A change
+    // after n*(#neg edges)+n iterations means a negative cycle.
+    let mut mu = vec![0usize; n];
+    let neg_edges = edges.iter().filter(|e| e.2 == Edge::Negative).count();
+    let max_iters = n.saturating_mul(neg_edges.max(1)) + n + 1;
+    let mut changed = true;
+    let mut iters = 0usize;
+    while changed {
+        changed = false;
+        iters += 1;
+        if iters > max_iters {
+            return Err(TriqError::InvalidProgram(
+                "program is not stratified: negation occurs in a recursive cycle".into(),
+            ));
+        }
+        for &(from, to, kind) in &edges {
+            let required = match kind {
+                Edge::Positive => mu[from],
+                Edge::Negative => mu[from] + 1,
+            };
+            if mu[to] < required {
+                if required > n {
+                    return Err(TriqError::InvalidProgram(
+                        "program is not stratified: negation occurs in a recursive cycle".into(),
+                    ));
+                }
+                mu[to] = required;
+                changed = true;
+            }
+        }
+    }
+
+    let strata: HashMap<Symbol, usize> = preds.iter().enumerate().map(|(i, &p)| (p, mu[i])).collect();
+    let max_stratum = strata.values().copied().max().unwrap_or(0);
+    let rule_stratum = program
+        .rules
+        .iter()
+        .map(|r| {
+            r.head
+                .iter()
+                .map(|h| strata[&h.pred])
+                .max()
+                .expect("rule has a head")
+        })
+        .collect();
+    Ok(Stratification {
+        strata,
+        max_stratum,
+        rule_stratum,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+    use triq_common::intern;
+
+    #[test]
+    fn positive_recursion_is_one_stratum() {
+        let p = parse_program(
+            "e(?X, ?Y) -> t(?X, ?Y).\n\
+             e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.max_stratum, 0);
+        assert_eq!(s.stratum_of(intern("t")), 0);
+    }
+
+    #[test]
+    fn negation_forces_higher_stratum() {
+        let p = parse_program(
+            "succ(?X, ?Y) -> less(?X, ?Y).\n\
+             succ(?X, ?Y), less(?Y, ?Z) -> less(?X, ?Z).\n\
+             less(?X, ?Y) -> not_max(?X).\n\
+             less(?Y, ?X), !not_max(?X) -> max(?X).",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.stratum_of(intern("less")), 0);
+        assert_eq!(s.stratum_of(intern("not_max")), 0);
+        assert_eq!(s.stratum_of(intern("max")), 1);
+        assert_eq!(s.max_stratum, 1);
+        assert_eq!(s.rule_stratum, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn chained_negation_stacks_strata() {
+        let p = parse_program(
+            "base(?X) -> a(?X).\n\
+             base(?X), !a(?X) -> b(?X).\n\
+             base(?X), !b(?X) -> c(?X).",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.stratum_of(intern("a")), 0);
+        assert_eq!(s.stratum_of(intern("b")), 1);
+        assert_eq!(s.stratum_of(intern("c")), 2);
+    }
+
+    #[test]
+    fn negative_cycle_is_rejected() {
+        let p = parse_program(
+            "base(?X), !q(?X) -> p(?X).\n\
+             base(?X), !p(?X) -> q(?X).",
+        )
+        .unwrap();
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn negation_inside_positive_cycle_is_rejected() {
+        let p = parse_program(
+            "e(?X, ?Y), p(?Y) -> q(?X).\n\
+             e(?X, ?Y), !q(?Y) -> p(?X).",
+        )
+        .unwrap();
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn edb_only_constraint_predicates_are_registered() {
+        let p = parse_program("a(?X), b(?X) -> false.").unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.stratum_of(intern("a")), 0);
+    }
+}

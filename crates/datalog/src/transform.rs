@@ -1,0 +1,222 @@
+//! Program transformations from the complexity proofs:
+//!
+//! * [`eliminate_constraints`] — the `Π⊥` construction of Theorem 4.4:
+//!   constraints become rules deriving `p(⋆, …, ⋆)` for the output
+//!   predicate `p`, so that `Q(D) = ⊤ iff (⋆,…,⋆) ∈ Q'(D)`;
+//! * [`instantiate_harmless`] — the `inst(ρ)` construction: harmless
+//!   variables are replaced by database constants in all possible ways,
+//!   turning a weakly-guarded program into a guarded one with the same
+//!   answers over that database (the database-dependent reduction inside
+//!   the Theorem 4.4 upper bound).
+
+use crate::classify::rule_variable_classes;
+use crate::instance::Database;
+use crate::positions::affected_positions;
+use crate::{Atom, Program, Query, Rule};
+use std::collections::BTreeSet;
+use triq_common::{intern, Result, Symbol, Term, VarId};
+
+/// The special constant ⋆ used by the `Π⊥` construction (distinct from
+/// the translation's answer-⋆ by name).
+pub fn constraint_star() -> Symbol {
+    intern("~constraint-star~")
+}
+
+/// Theorem 4.4's `Π⊥`: rewrites `Q = (Π, p)` into the constraint-free
+/// `Q' = (ex(Π) ∪ Π⊥, p)` where each constraint `a₁,…,aₙ → ⊥` becomes
+/// `a₁,…,aₙ → p(⋆,…,⋆)`. Then for every tuple `t` of constants,
+/// `Q(D) ≠ ⊤ implies t ∈ Q(D)` iff `(⋆,…,⋆) ∉ Q'(D) implies t ∈ Q'(D)`.
+pub fn eliminate_constraints(query: &Query) -> Result<(Query, Vec<Symbol>)> {
+    let arity = query
+        .program
+        .schema()
+        .get(&query.output)
+        .copied()
+        .unwrap_or(0);
+    let star_tuple = vec![constraint_star(); arity];
+    let mut program = query.program.without_constraints();
+    for c in &query.program.constraints {
+        program.rules.push(Rule {
+            body_pos: c.body.clone(),
+            body_neg: Vec::new(),
+            builtins: c.builtins.clone(),
+            exist_vars: Vec::new(),
+            head: vec![Atom::new(
+                query.output,
+                star_tuple.iter().map(|&s| Term::Const(s)).collect(),
+            )],
+        });
+    }
+    Ok((Query::new(program, query.output)?, star_tuple))
+}
+
+/// Theorem 4.4's `inst(ρ)`: replaces every `ex(Π)⁺`-harmless variable of
+/// every rule with constants of `dom(D)`, in all possible ways. For a
+/// weakly-guarded input the result is guarded; the answers over `D` are
+/// unchanged. The blow-up is `|dom(D)|^{#harmless}` per rule — polynomial
+/// in the database for a fixed program, exactly as the proof argues.
+pub fn instantiate_harmless(program: &Program, db: &Database) -> Program {
+    let positive = program.positive_part();
+    let affected = affected_positions(&positive);
+    let domain: Vec<Symbol> = db.domain().into_iter().collect();
+    let mut out = Program {
+        rules: Vec::new(),
+        constraints: program.constraints.clone(),
+    };
+    for rule in &program.rules {
+        let classes = rule_variable_classes(rule, &affected);
+        let harmless: Vec<VarId> = classes.harmless.iter().copied().collect();
+        if harmless.is_empty() || domain.is_empty() {
+            out.rules.push(rule.clone());
+            continue;
+        }
+        // Enumerate dom(D)^{|harmless|} assignments.
+        let mut assignments: Vec<Vec<(VarId, Symbol)>> = vec![Vec::new()];
+        for &v in &harmless {
+            let mut next = Vec::with_capacity(assignments.len() * domain.len());
+            for partial in &assignments {
+                for &c in &domain {
+                    let mut a = partial.clone();
+                    a.push((v, c));
+                    next.push(a);
+                }
+            }
+            assignments = next;
+        }
+        for assignment in assignments {
+            let subst = |v: VarId| -> Option<Term> {
+                assignment
+                    .iter()
+                    .find(|(w, _)| *w == v)
+                    .map(|(_, c)| Term::Const(*c))
+            };
+            out.rules.push(Rule {
+                body_pos: rule.body_pos.iter().map(|a| a.apply(&subst)).collect(),
+                body_neg: rule.body_neg.iter().map(|a| a.apply(&subst)).collect(),
+                builtins: rule
+                    .builtins
+                    .iter()
+                    .map(|b| apply_builtin(b, &subst))
+                    .collect(),
+                exist_vars: rule.exist_vars.clone(),
+                head: rule.head.iter().map(|a| a.apply(&subst)).collect(),
+            });
+        }
+    }
+    out
+}
+
+fn apply_builtin(b: &crate::Builtin, subst: &dyn Fn(VarId) -> Option<Term>) -> crate::Builtin {
+    let ap = |t: Term| match t {
+        Term::Var(v) => subst(v).unwrap_or(t),
+        other => other,
+    };
+    match *b {
+        crate::Builtin::Eq(x, y) => crate::Builtin::Eq(ap(x), ap(y)),
+        crate::Builtin::Neq(x, y) => crate::Builtin::Neq(ap(x), ap(y)),
+    }
+}
+
+/// Checks that every rule of `program` is guarded (some positive body atom
+/// contains all body variables) — the target class of
+/// [`instantiate_harmless`].
+pub fn is_guarded(program: &Program) -> bool {
+    program.rules.iter().all(|rule| {
+        let body_vars: BTreeSet<VarId> = rule.body_vars();
+        rule.body_pos.iter().any(|a| {
+            let av: BTreeSet<VarId> = a.vars().collect();
+            body_vars.iter().all(|v| av.contains(v))
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::ChaseConfig;
+    use crate::{classify_program, parse_program, parse_query, Answers};
+
+    #[test]
+    fn pi_bottom_encodes_inconsistency() {
+        let q = parse_query(
+            "a(?X), b(?X) -> false.\n a(?X) -> out(?X).",
+            "out",
+        )
+        .unwrap();
+        let (q2, star_tuple) = eliminate_constraints(&q).unwrap();
+        assert!(q2.program.constraints.is_empty());
+        let mut db = Database::new();
+        db.add_fact("a", &["x"]);
+        db.add_fact("b", &["x"]);
+        // Original: ⊤. Transformed: (⋆) is derived.
+        assert!(q.evaluate(&db).unwrap().is_top());
+        let ans = q2.evaluate(&db).unwrap();
+        let star: Vec<&str> = star_tuple.iter().map(|s| s.as_str()).collect();
+        assert!(ans.contains(&star));
+        // Consistent database: both agree, no ⋆.
+        let mut db2 = Database::new();
+        db2.add_fact("a", &["y"]);
+        assert!(!q.evaluate(&db2).unwrap().is_top());
+        let ans2 = q2.evaluate(&db2).unwrap();
+        assert!(!ans2.contains(&star));
+        assert!(ans2.contains(&["y"]));
+    }
+
+    #[test]
+    fn instantiation_makes_weakly_guarded_programs_guarded() {
+        // Weakly guarded but not guarded: harmless ?A joins outside the
+        // guard. (?X harmful via p[1]; guard q(?X,?A) holds it.)
+        let program = parse_program(
+            "b(?A) -> exists ?Y p(?Y).\n\
+             p(?X), q(?X, ?A), r(?A, ?B) -> s(?X, ?A).",
+        )
+        .unwrap();
+        let c = classify_program(&program);
+        assert!(c.weakly_guarded);
+        assert!(!c.guarded);
+        let mut db = Database::new();
+        db.add_fact("b", &["c1"]);
+        db.add_fact("q", &["c1", "c2"]);
+        db.add_fact("r", &["c2", "c1"]);
+        db.add_fact("p", &["c1"]);
+        let instantiated = instantiate_harmless(&program, &db);
+        assert!(is_guarded(&instantiated), "{instantiated}");
+        // Answers coincide.
+        let q1 = Query::new(program, intern("s")).unwrap();
+        let q2 = Query::new(instantiated, intern("s")).unwrap();
+        let a1 = q1.evaluate_with(&db, ChaseConfig::default()).unwrap();
+        let a2 = q2.evaluate_with(&db, ChaseConfig::default()).unwrap();
+        assert_eq!(a1, a2);
+        assert!(matches!(a1, Answers::Tuples(ref t) if t.len() == 1));
+    }
+
+    #[test]
+    fn instantiation_size_is_dom_to_the_harmless() {
+        let program = parse_program("p(?X), q(?A) -> s(?X, ?A).").unwrap();
+        let mut db = Database::new();
+        db.add_fact("p", &["c1"]);
+        db.add_fact("q", &["c2"]);
+        db.add_fact("q", &["c3"]);
+        let instantiated = instantiate_harmless(&program, &db);
+        // 2 harmless vars × |dom| = 3 ⇒ 9 instantiated rules.
+        assert_eq!(instantiated.rules.len(), 9);
+        let q1 = Query::new(program, intern("s")).unwrap();
+        let q2 = Query::new(instantiated, intern("s")).unwrap();
+        assert_eq!(q1.evaluate(&db).unwrap(), q2.evaluate(&db).unwrap());
+    }
+
+    #[test]
+    fn rules_without_harmless_vars_pass_through() {
+        let program = parse_program("p(?X) -> exists ?Y p2(?X, ?Y).\n p2(?X, ?Y) -> p3(?Y).")
+            .unwrap();
+        // ?Y in rule 2 is harmful (p2[2] affected); ?X harmless.
+        let mut db = Database::new();
+        db.add_fact("p", &["a"]);
+        let inst = instantiate_harmless(&program, &db);
+        // Rule 1: ?X harmless → 1 instantiation (|dom| = 1). Rule 2: ?X
+        // harmless → 1 instantiation. Total still 2 rules, now ground in
+        // their harmless positions.
+        assert_eq!(inst.rules.len(), 2);
+        assert!(inst.rules[0].body_pos[0].terms[0].is_const());
+    }
+}

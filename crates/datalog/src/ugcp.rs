@@ -1,0 +1,130 @@
+//! The unbounded ground-connection property (UGCP, §6.2).
+//!
+//! The *ground connection* of a null `z` in an instance `I` is the set of
+//! constants that jointly appear with `z` in some atom of `I`; `mgc(n)` is
+//! the maximum ground-connection size over all nulls of `Π(Dₙ)`. A
+//! Datalog∃ language has the UGCP if some fixed program and database
+//! family make `mgc` unbounded. Lemma 6.5 shows every "good candidate"
+//! language has the UGCP; Lemma 6.6 shows nearly frontier-guarded Datalog∃
+//! does not — experiment E6 measures both sides.
+
+use crate::instance::Instance;
+use std::collections::{HashMap, HashSet};
+use triq_common::{NullId, Symbol};
+
+/// `gc(z, I)`: all constants that appear together with `z` in an atom.
+pub fn ground_connection(instance: &Instance, z: NullId) -> HashSet<Symbol> {
+    let mut gc = HashSet::new();
+    for (_, atom) in instance.iter() {
+        if atom.terms.iter().any(|t| t.as_null() == Some(z)) {
+            for t in atom.terms.iter() {
+                if let Some(c) = t.as_const() {
+                    gc.insert(c);
+                }
+            }
+        }
+    }
+    gc
+}
+
+/// `mgc(I) = max_z |gc(z, I)|` (0 when the instance has no nulls).
+pub fn max_ground_connection(instance: &Instance) -> usize {
+    let mut per_null: HashMap<NullId, HashSet<Symbol>> = HashMap::new();
+    for (_, atom) in instance.iter() {
+        let nulls: Vec<NullId> = atom.terms.iter().filter_map(|t| t.as_null()).collect();
+        if nulls.is_empty() {
+            continue;
+        }
+        let consts: Vec<Symbol> = atom.terms.iter().filter_map(|t| t.as_const()).collect();
+        for z in nulls {
+            per_null.entry(z).or_default().extend(consts.iter().copied());
+        }
+    }
+    per_null.values().map(HashSet::len).max().unwrap_or(0)
+}
+
+/// A *warded* program that exhibits the UGCP on chain databases: it
+/// invents one null per `start` constant and then connects the null to
+/// every constant reachable along `next` edges — the Datalog∃ analogue of
+/// the ontology family in the proof of Lemma 6.5.
+///
+/// Database family `D_n`: `start(c)`, `next(a_1, a_2), …, next(a_{n-1},
+/// a_n)`, `first(a_1)`. Then `Π(D_n)` contains `tag(z, a_i)` for all i, so
+/// `mgc(n) ≥ n`.
+pub fn warded_ugcp_program() -> crate::Program {
+    crate::parse_program(
+        "start(?X) -> exists ?Z witness(?X, ?Z).\n\
+         witness(?X, ?Z), first(?A) -> tag(?Z, ?A).\n\
+         tag(?Z, ?A), next(?A, ?B) -> tag(?Z, ?B).",
+    )
+    .expect("UGCP program is well-formed")
+}
+
+/// A *nearly frontier-guarded* program over the same schema. By
+/// Lemma 6.6 its `mgc` is bounded by a constant independent of `n` — nulls
+/// can only co-occur with constants present at their invention atom.
+pub fn nfg_ugcp_program() -> crate::Program {
+    crate::parse_program(
+        "start(?X) -> exists ?Z witness(?X, ?Z).\n\
+         witness(?X, ?Z) -> seen(?X).\n\
+         seen(?A), next(?A, ?B) -> seen(?B).",
+    )
+    .expect("NFG program is well-formed")
+}
+
+/// The chain database `D_n` used by both programs.
+pub fn chain_database(n: usize) -> crate::Database {
+    let mut db = crate::Database::new();
+    db.add_fact("start", &["c"]);
+    db.add_fact("first", &["a1"]);
+    for i in 1..n {
+        db.add_fact("next", &[&format!("a{i}"), &format!("a{}", i + 1)]);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::{chase, ChaseConfig};
+    use crate::classify_program;
+
+    #[test]
+    fn warded_program_has_unbounded_mgc() {
+        let program = warded_ugcp_program();
+        let c = classify_program(&program);
+        assert!(c.warded, "{:?}", c.violations);
+        for n in [2usize, 5, 9] {
+            let db = chain_database(n);
+            let out = chase(&db, &program, ChaseConfig::default()).unwrap();
+            // witness(c, z) plus tag(z, a_1..a_n): gc(z) = {c, a_1..a_n},
+            // i.e. mgc = n + 1, growing linearly with n.
+            assert_eq!(max_ground_connection(&out.instance), n + 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn nfg_program_has_constant_mgc() {
+        let program = nfg_ugcp_program();
+        let c = classify_program(&program);
+        assert!(c.nearly_frontier_guarded);
+        let mut values = Vec::new();
+        for n in [2usize, 5, 9] {
+            let db = chain_database(n);
+            let out = chase(&db, &program, ChaseConfig::default()).unwrap();
+            values.push(max_ground_connection(&out.instance));
+        }
+        // Bounded: the null only ever co-occurs with its invention constant.
+        assert_eq!(values, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn ground_connection_of_specific_null() {
+        let program = warded_ugcp_program();
+        let db = chain_database(3);
+        let out = chase(&db, &program, ChaseConfig::default()).unwrap();
+        assert_eq!(out.stats.nulls, 1);
+        let gc = ground_connection(&out.instance, triq_common::NullId(0));
+        assert_eq!(gc.len(), 3 + 1); // a1, a2, a3 and the start constant c
+    }
+}

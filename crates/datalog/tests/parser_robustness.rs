@@ -1,0 +1,32 @@
+//! Fuzz-style robustness: the parsers must reject garbage with an error,
+//! never panic, on arbitrary input.
+
+use proptest::prelude::*;
+use triq_datalog::{parse_atom, parse_program};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parse_program_never_panics(input in "\\PC{0,120}") {
+        let _ = parse_program(&input);
+    }
+
+    #[test]
+    fn parse_atom_never_panics(input in "\\PC{0,60}") {
+        let _ = parse_atom(&input);
+    }
+
+    /// Near-miss inputs built from real tokens.
+    #[test]
+    fn token_soup_never_panics(tokens in prop::collection::vec(
+        prop::sample::select(vec![
+            "p(?X)", "->", "exists", "?Y", ",", ".", "!", "false", "(", ")",
+            "q(?X, ?Y)", "?X != ?Y", "\"lit\"", "triple(?A, rdf:type, ?B)",
+        ]),
+        0..12,
+    )) {
+        let input = tokens.join(" ");
+        let _ = parse_program(&input);
+    }
+}

@@ -1,0 +1,327 @@
+//! The entailment relation `G |= t` of §5.2 (DL-Lite_R entailment over the
+//! RDF representation), realized via the chase of `τ_owl2ql_core`.
+
+use crate::rules::{tau_db, tau_owl2ql_core, triple1_pred};
+use triq_common::{Result, Symbol, Term};
+use triq_datalog::{
+    chase, proof_tree, render_proof_tree, ChaseConfig, ChaseOutcome, GroundAtom, Program,
+    ProofTree,
+};
+use triq_rdf::{Graph, Triple};
+
+/// A saturated graph: the chase of `τ_owl2ql_core` over `τ_db(G)`, ready
+/// to answer many entailment queries.
+pub struct EntailmentOracle {
+    outcome: ChaseOutcome,
+    program: Program,
+}
+
+impl EntailmentOracle {
+    /// Saturates `graph` with the *restricted* chase, which terminates on
+    /// DL-Lite_R ontologies (the skolem chase does not: inverse axioms
+    /// make it ping-pong new nulls forever even though witnesses exist).
+    /// Ground consequences are identical under both strategies.
+    pub fn new(graph: &Graph) -> Result<EntailmentOracle> {
+        Self::with_config(
+            graph,
+            ChaseConfig {
+                strategy: triq_datalog::ExistentialStrategy::Restricted,
+                max_null_depth: 6,
+                ..ChaseConfig::default()
+            },
+        )
+    }
+
+    /// Saturates `graph` with an explicit chase configuration.
+    pub fn with_config(graph: &Graph, config: ChaseConfig) -> Result<EntailmentOracle> {
+        let db = tau_db(graph);
+        let program = tau_owl2ql_core();
+        let outcome = chase(&db, &program, config)?;
+        Ok(EntailmentOracle { outcome, program })
+    }
+
+    /// Whether the graph is consistent w.r.t. the OWL 2 QL core semantics
+    /// (no disjointness constraint fires).
+    pub fn is_consistent(&self) -> bool {
+        !self.outcome.inconsistent
+    }
+
+    /// `G |= (s, p, o)` for constants. On an inconsistent graph every
+    /// triple is entailed.
+    pub fn entails(&self, t: &Triple) -> bool {
+        if self.outcome.inconsistent {
+            return true;
+        }
+        let atom = GroundAtom::new(
+            triple1_pred(),
+            vec![Term::Const(t.s), Term::Const(t.p), Term::Const(t.o)].into(),
+        );
+        self.outcome.instance.contains(&atom)
+    }
+
+    /// All entailed triples over constants (the saturation of `G`).
+    pub fn entailed_triples(&self) -> Vec<Triple> {
+        self.outcome
+            .instance
+            .atoms_of(triple1_pred())
+            .filter_map(|a| {
+                match (a.terms[0].as_const(), a.terms[1].as_const(), a.terms[2].as_const()) {
+                    (Some(s), Some(p), Some(o)) => Some(Triple::new(s, p, o)),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// All constants `x` with `G |= (x, rdf:type, class_uri)`.
+    pub fn instances_of(&self, class_uri: Symbol) -> Vec<Symbol> {
+        let mut out: Vec<Symbol> = self
+            .entailed_triples()
+            .into_iter()
+            .filter(|t| t.p == triq_rdf::vocab::rdf_type() && t.o == class_uri)
+            .map(|t| t.s)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Access to the underlying chase outcome (instance + stats).
+    pub fn outcome(&self) -> &ChaseOutcome {
+        &self.outcome
+    }
+
+    /// A proof tree (Definition 6.11) explaining why `t` is entailed —
+    /// the chase provenance of `triple1(s, p, o)` — or `None` if `t` is
+    /// not entailed (or the graph is inconsistent, where entailment is
+    /// trivial and has no meaningful proof).
+    pub fn explain(&self, t: &Triple) -> Option<ProofTree> {
+        if self.outcome.inconsistent {
+            return None;
+        }
+        let atom = GroundAtom::new(
+            triple1_pred(),
+            vec![Term::Const(t.s), Term::Const(t.p), Term::Const(t.o)].into(),
+        );
+        let id = self.outcome.instance.find(&atom)?;
+        Some(proof_tree(&self.outcome.instance, id))
+    }
+
+    /// [`EntailmentOracle::explain`], rendered as ASCII.
+    pub fn explain_text(&self, t: &Triple) -> Option<String> {
+        self.explain(t)
+            .map(|tree| render_proof_tree(&tree, &self.program))
+    }
+}
+
+/// One-shot entailment check (prefer [`EntailmentOracle`] for repeated
+/// queries against the same graph).
+pub fn entails(graph: &Graph, t: &Triple) -> Result<bool> {
+    Ok(EntailmentOracle::new(graph)?.entails(t))
+}
+
+/// One-shot consistency check.
+pub fn is_consistent(graph: &Graph) -> Result<bool> {
+    Ok(EntailmentOracle::new(graph)?.is_consistent())
+}
+
+/// Saturates a graph: returns `G` extended with every entailed triple over
+/// constants (a materialization useful as a baseline in the experiments).
+pub fn saturate(graph: &Graph) -> Result<Graph> {
+    let oracle = EntailmentOracle::new(graph)?;
+    let mut out = graph.clone();
+    for t in oracle.entailed_triples() {
+        out.insert(t);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::{Axiom, BasicClass, BasicProperty};
+    use crate::rdf_mapping::ontology_to_graph;
+    use crate::Ontology;
+    use triq_common::intern;
+
+    /// §5.2's animal example: G = {(dog, rdf:type, animal),
+    /// (animal, rdfs:subClassOf, ∃eats)}.
+    fn animal_graph() -> Graph {
+        let mut o = Ontology::new();
+        o.add(Axiom::ClassAssertion(
+            BasicClass::Named(intern("animal")),
+            intern("dog"),
+        ));
+        o.add(Axiom::SubClassOf(
+            BasicClass::Named(intern("animal")),
+            BasicClass::Some(BasicProperty::Named(intern("eats"))),
+        ));
+        ontology_to_graph(&o)
+    }
+
+    #[test]
+    fn dog_is_typed_exists_eats() {
+        let g = animal_graph();
+        let oracle = EntailmentOracle::new(&g).unwrap();
+        assert!(oracle.is_consistent());
+        // (dog, rdf:type, ∃eats) is entailed — the paper's point about the
+        // active-domain workaround pattern (?X, rdf:type, ∃eats).
+        assert!(oracle.entails(&Triple::from_strs("dog", "rdf:type", "some~eats")));
+        // But no concrete (dog, eats, b) for any constant b.
+        for c in ["dog", "animal", "some~eats"] {
+            assert!(!oracle.entails(&Triple::from_strs("dog", "eats", c)));
+        }
+        assert_eq!(oracle.instances_of(intern("some~eats")), vec![intern("dog")]);
+    }
+
+    #[test]
+    fn subproperty_and_inverse_reasoning() {
+        let mut o = Ontology::new();
+        o.add(Axiom::SubObjectPropertyOf(
+            BasicProperty::Named(intern("advises")),
+            BasicProperty::Named(intern("worksWith")),
+        ));
+        o.add(Axiom::ObjectPropertyAssertion(
+            intern("advises"),
+            intern("alice"),
+            intern("bob"),
+        ));
+        let g = ontology_to_graph(&o);
+        let oracle = EntailmentOracle::new(&g).unwrap();
+        assert!(oracle.entails(&Triple::from_strs("alice", "worksWith", "bob")));
+        // Inverses: (bob, advises⁻, alice).
+        assert!(oracle.entails(&Triple::from_strs("bob", "advises~inv", "alice")));
+        assert!(oracle.entails(&Triple::from_strs("bob", "worksWith~inv", "alice")));
+        assert!(!oracle.entails(&Triple::from_strs("bob", "worksWith", "alice")));
+    }
+
+    #[test]
+    fn subclass_chain_reasoning() {
+        let mut o = Ontology::new();
+        o.add(Axiom::ClassAssertion(
+            BasicClass::Named(intern("professor")),
+            intern("knuth"),
+        ));
+        o.add(Axiom::SubClassOf(
+            BasicClass::Named(intern("professor")),
+            BasicClass::Named(intern("faculty")),
+        ));
+        o.add(Axiom::SubClassOf(
+            BasicClass::Named(intern("faculty")),
+            BasicClass::Named(intern("person")),
+        ));
+        let g = ontology_to_graph(&o);
+        let oracle = EntailmentOracle::new(&g).unwrap();
+        assert!(oracle.entails(&Triple::from_strs("knuth", "rdf:type", "person")));
+        assert!(!oracle.entails(&Triple::from_strs("knuth", "rdf:type", "student")));
+    }
+
+    /// ∃eats⁻ ⊑ plant_material: the herbivore scenario of §5.3. Anything
+    /// eaten by a constant is plant material.
+    #[test]
+    fn inverse_restriction_typing() {
+        let mut o = Ontology::new();
+        let eats = BasicProperty::Named(intern("eats"));
+        o.add(Axiom::SubClassOf(
+            BasicClass::Some(eats.inverse()),
+            BasicClass::Named(intern("plant_material")),
+        ));
+        o.add(Axiom::ObjectPropertyAssertion(
+            intern("eats"),
+            intern("cow"),
+            intern("grass"),
+        ));
+        let g = ontology_to_graph(&o);
+        let oracle = EntailmentOracle::new(&g).unwrap();
+        assert!(oracle.entails(&Triple::from_strs("grass", "rdf:type", "plant_material")));
+        assert!(!oracle.entails(&Triple::from_strs("cow", "rdf:type", "plant_material")));
+    }
+
+    #[test]
+    fn disjointness_inconsistency() {
+        let mut o = Ontology::new();
+        o.add(Axiom::DisjointClasses(
+            BasicClass::Named(intern("cat")),
+            BasicClass::Named(intern("dog")),
+        ));
+        o.add(Axiom::ClassAssertion(BasicClass::Named(intern("cat")), intern("felix")));
+        let mut g = ontology_to_graph(&o);
+        assert!(is_consistent(&g).unwrap());
+        g.insert(Triple::from_strs("felix", "rdf:type", "dog"));
+        let oracle = EntailmentOracle::new(&g).unwrap();
+        assert!(!oracle.is_consistent());
+        // ⊤ entails everything.
+        assert!(oracle.entails(&Triple::from_strs("x", "y", "z")));
+    }
+
+    #[test]
+    fn disjointness_propagates_down_subclasses() {
+        let mut o = Ontology::new();
+        o.add(Axiom::DisjointClasses(
+            BasicClass::Named(intern("plant")),
+            BasicClass::Named(intern("animal")),
+        ));
+        o.add(Axiom::SubClassOf(
+            BasicClass::Named(intern("dog")),
+            BasicClass::Named(intern("animal")),
+        ));
+        o.add(Axiom::SubClassOf(
+            BasicClass::Named(intern("tree")),
+            BasicClass::Named(intern("plant")),
+        ));
+        o.add(Axiom::ClassAssertion(BasicClass::Named(intern("dog")), intern("rex")));
+        let mut g = ontology_to_graph(&o);
+        assert!(is_consistent(&g).unwrap());
+        g.insert(Triple::from_strs("rex", "rdf:type", "tree"));
+        assert!(!is_consistent(&g).unwrap());
+    }
+
+    #[test]
+    fn explain_produces_a_proof_tree() {
+        let g = animal_graph();
+        let oracle = EntailmentOracle::new(&g).unwrap();
+        let t = Triple::from_strs("dog", "rdf:type", "some~eats");
+        let tree = oracle.explain(&t).expect("entailed, so explainable");
+        // The proof bottoms out in asserted triples.
+        for leaf in tree.root.leaves() {
+            assert_eq!(leaf.pred.as_str(), "triple");
+        }
+        let text = oracle.explain_text(&t).unwrap();
+        assert!(text.contains("triple1(dog, rdf:type, some~eats)"));
+        // Non-entailed triples have no proof.
+        assert!(oracle.explain(&Triple::from_strs("dog", "rdf:type", "robot")).is_none());
+    }
+
+    #[test]
+    fn paper_spelling_some_value_from_is_accepted() {
+        // §5.2 writes owl:someValueFrom (no 's'); the fixed program
+        // accepts both spellings.
+        let mut g = Graph::new();
+        g.insert_strs("dog", "rdf:type", "animal");
+        g.insert_strs("animal", "rdfs:subClassOf", "r2");
+        g.insert_strs("r2", "rdf:type", "owl:Restriction");
+        g.insert_strs("r2", "owl:onProperty", "eats");
+        g.insert_strs("r2", "owl:someValueFrom", "owl:Thing");
+        let oracle = EntailmentOracle::new(&g).unwrap();
+        assert!(oracle.entails(&Triple::from_strs("dog", "rdf:type", "r2")));
+    }
+
+    #[test]
+    fn saturate_materializes() {
+        let g = animal_graph();
+        let s = saturate(&g).unwrap();
+        assert!(s.len() > g.len());
+        assert!(s.contains(&Triple::from_strs("dog", "rdf:type", "some~eats")));
+    }
+
+    /// owl:sameAs is NOT part of OWL 2 QL core — §2's sameAs rules are a
+    /// user-supplied library. Check the regime alone does not merge URIs.
+    #[test]
+    fn same_as_is_not_built_in() {
+        let mut g = Graph::new();
+        g.insert_strs("a", "owl:sameAs", "b");
+        g.insert_strs("a", "p", "c");
+        let oracle = EntailmentOracle::new(&g).unwrap();
+        assert!(!oracle.entails(&Triple::from_strs("b", "p", "c")));
+    }
+}

@@ -1,0 +1,194 @@
+//! A parser for the OWL functional-style syntax fragment the paper uses
+//! (§5.2): one axiom per line, `#` comments, inverses written `p-` and
+//! restrictions `some(r)`:
+//!
+//! ```text
+//! SubClassOf(animal, some(eats))
+//! SubClassOf(some(eats-), plant_material)
+//! SubObjectPropertyOf(advises, worksWith)
+//! DisjointClasses(plant, animal)
+//! DisjointObjectProperties(eats, avoids)
+//! ClassAssertion(animal, dog)
+//! ObjectPropertyAssertion(eats, dog, kibble)
+//! ```
+
+use crate::ontology::{Axiom, BasicClass, BasicProperty, Ontology};
+use triq_common::{intern, Result, TriqError};
+
+fn err(message: impl Into<String>) -> TriqError {
+    TriqError::Parse {
+        what: "owl-functional",
+        message: message.into(),
+    }
+}
+
+/// Splits `SubClassOf(a, b)` into `("SubClassOf", ["a", "b"])`, respecting
+/// nested parentheses in arguments (for `some(...)`).
+fn split_call(line: &str) -> Result<(&str, Vec<&str>)> {
+    let open = line
+        .find('(')
+        .ok_or_else(|| err(format!("expected '(', got {line:?}")))?;
+    let name = line[..open].trim();
+    let rest = line[open + 1..].trim_end();
+    let inner = rest
+        .strip_suffix(')')
+        .ok_or_else(|| err(format!("missing ')' in {line:?}")))?;
+    let mut args = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| err(format!("unbalanced ')' in {line:?}")))?
+            }
+            ',' if depth == 0 => {
+                args.push(inner[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(err(format!("unbalanced '(' in {line:?}")));
+    }
+    let last = inner[start..].trim();
+    if !last.is_empty() {
+        args.push(last);
+    }
+    Ok((name, args))
+}
+
+fn parse_property(s: &str) -> Result<BasicProperty> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(err("empty property name"));
+    }
+    if let Some(base) = s.strip_suffix('-') {
+        Ok(BasicProperty::Inverse(intern(base.trim())))
+    } else {
+        Ok(BasicProperty::Named(intern(s)))
+    }
+}
+
+fn parse_class(s: &str) -> Result<BasicClass> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix("some(") {
+        let inner = rest
+            .strip_suffix(')')
+            .ok_or_else(|| err(format!("missing ')' in {s:?}")))?;
+        Ok(BasicClass::Some(parse_property(inner)?))
+    } else if s.is_empty() {
+        Err(err("empty class name"))
+    } else {
+        Ok(BasicClass::Named(intern(s)))
+    }
+}
+
+/// Parses functional-style text into an [`Ontology`].
+pub fn parse_functional(input: &str) -> Result<Ontology> {
+    let mut ontology = Ontology::new();
+    for raw in input.lines() {
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, args) = split_call(line)?;
+        let arity_err = || err(format!("wrong number of arguments in {line:?}"));
+        let axiom = match name {
+            "SubClassOf" => {
+                let [a, b] = args[..] else { return Err(arity_err()) };
+                Axiom::SubClassOf(parse_class(a)?, parse_class(b)?)
+            }
+            "SubObjectPropertyOf" | "SubObjectProperty" => {
+                let [a, b] = args[..] else { return Err(arity_err()) };
+                Axiom::SubObjectPropertyOf(parse_property(a)?, parse_property(b)?)
+            }
+            "DisjointClasses" => {
+                let [a, b] = args[..] else { return Err(arity_err()) };
+                Axiom::DisjointClasses(parse_class(a)?, parse_class(b)?)
+            }
+            "DisjointObjectProperties" => {
+                let [a, b] = args[..] else { return Err(arity_err()) };
+                Axiom::DisjointObjectProperties(parse_property(a)?, parse_property(b)?)
+            }
+            "ClassAssertion" => {
+                let [b, a] = args[..] else { return Err(arity_err()) };
+                Axiom::ClassAssertion(parse_class(b)?, intern(a))
+            }
+            "ObjectPropertyAssertion" => {
+                let [p, a1, a2] = args[..] else { return Err(arity_err()) };
+                Axiom::ObjectPropertyAssertion(intern(p), intern(a1), intern(a2))
+            }
+            other => {
+                return Err(err(format!(
+                    "unknown axiom form {other:?} (OWL 2 QL core has six, Table 1)"
+                )))
+            }
+        };
+        ontology.add(axiom);
+    }
+    Ok(ontology)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdf_mapping::ontology_to_graph;
+    use crate::EntailmentOracle;
+    use triq_rdf::Triple;
+
+    #[test]
+    fn parses_all_six_axiom_forms() {
+        let o = parse_functional(
+            "# the §5.2 animal ontology\n\
+             SubClassOf(animal, some(eats))\n\
+             SubClassOf(some(eats-), plant_material)\n\
+             SubObjectPropertyOf(devours, eats)\n\
+             DisjointClasses(plant_material, animal)\n\
+             DisjointObjectProperties(eats, avoids)\n\
+             ClassAssertion(animal, dog)\n\
+             ObjectPropertyAssertion(eats, dog, kibble)\n",
+        )
+        .unwrap();
+        assert_eq!(o.len(), 7);
+        assert!(o.properties.contains(&intern("eats")));
+        assert!(!o.is_positive());
+    }
+
+    #[test]
+    fn parsed_ontology_reasons_end_to_end() {
+        let o = parse_functional(
+            "SubClassOf(animal, some(eats))\n\
+             SubClassOf(some(eats-), plant_material)\n\
+             ClassAssertion(animal, dog)\n\
+             ObjectPropertyAssertion(eats, cow, grass)\n",
+        )
+        .unwrap();
+        let oracle = EntailmentOracle::new(&ontology_to_graph(&o)).unwrap();
+        assert!(oracle.entails(&Triple::from_strs("dog", "rdf:type", "some~eats")));
+        assert!(oracle.entails(&Triple::from_strs("grass", "rdf:type", "plant_material")));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_functional("SubClassOf(a)").is_err());
+        assert!(parse_functional("SubClassOf(a, b, c)").is_err());
+        assert!(parse_functional("Nonsense(a, b)").is_err());
+        assert!(parse_functional("SubClassOf(a, some(p)").is_err());
+        assert!(parse_functional("SubClassOf a b").is_err());
+        assert!(parse_functional("SubClassOf(, b)").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let o = parse_functional("\n# only a comment\n\nClassAssertion(c, a) # trailing\n").unwrap();
+        assert_eq!(o.len(), 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! OWL 2 QL core ontologies (§5.2): vocabulary, basic classes/properties
+//! and the six axiom forms of Table 1.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use triq_common::Symbol;
+
+/// A basic property over a vocabulary Σ: `p` or `p⁻`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum BasicProperty {
+    /// A named property `p`.
+    Named(Symbol),
+    /// The inverse `p⁻`.
+    Inverse(Symbol),
+}
+
+impl BasicProperty {
+    /// The underlying property name.
+    pub fn name(self) -> Symbol {
+        match self {
+            BasicProperty::Named(p) | BasicProperty::Inverse(p) => p,
+        }
+    }
+
+    /// The inverse of this basic property.
+    pub fn inverse(self) -> BasicProperty {
+        match self {
+            BasicProperty::Named(p) => BasicProperty::Inverse(p),
+            BasicProperty::Inverse(p) => BasicProperty::Named(p),
+        }
+    }
+}
+
+impl fmt::Display for BasicProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BasicProperty::Named(p) => write!(f, "{p}"),
+            BasicProperty::Inverse(p) => write!(f, "{p}^-"),
+        }
+    }
+}
+
+/// A basic class over Σ: a named class `a` or an existential restriction
+/// `∃r` for a basic property `r`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum BasicClass {
+    /// A named class.
+    Named(Symbol),
+    /// `∃r`.
+    Some(BasicProperty),
+}
+
+impl fmt::Display for BasicClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BasicClass::Named(a) => write!(f, "{a}"),
+            BasicClass::Some(r) => write!(f, "∃{r}"),
+        }
+    }
+}
+
+/// The OWL 2 QL core axioms of Table 1 (functional-style syntax, §5.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Axiom {
+    /// `SubClassOf(b₁, b₂)`.
+    SubClassOf(BasicClass, BasicClass),
+    /// `SubObjectPropertyOf(r₁, r₂)`.
+    SubObjectPropertyOf(BasicProperty, BasicProperty),
+    /// `DisjointClasses(b₁, b₂)`.
+    DisjointClasses(BasicClass, BasicClass),
+    /// `DisjointObjectProperties(r₁, r₂)`.
+    DisjointObjectProperties(BasicProperty, BasicProperty),
+    /// `ClassAssertion(b, a)`.
+    ClassAssertion(BasicClass, Symbol),
+    /// `ObjectPropertyAssertion(p, a₁, a₂)` — `p` is a *named* property
+    /// per Table 1.
+    ObjectPropertyAssertion(Symbol, Symbol, Symbol),
+}
+
+impl fmt::Display for Axiom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axiom::SubClassOf(a, b) => write!(f, "SubClassOf({a}, {b})"),
+            Axiom::SubObjectPropertyOf(a, b) => write!(f, "SubObjectPropertyOf({a}, {b})"),
+            Axiom::DisjointClasses(a, b) => write!(f, "DisjointClasses({a}, {b})"),
+            Axiom::DisjointObjectProperties(a, b) => {
+                write!(f, "DisjointObjectProperties({a}, {b})")
+            }
+            Axiom::ClassAssertion(b, a) => write!(f, "ClassAssertion({b}, {a})"),
+            Axiom::ObjectPropertyAssertion(p, a1, a2) => {
+                write!(f, "ObjectPropertyAssertion({p}, {a1}, {a2})")
+            }
+        }
+    }
+}
+
+/// An OWL 2 QL core ontology: a vocabulary Σ (classes and properties) plus
+/// axioms over it.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Ontology {
+    /// The named classes of Σ.
+    pub classes: BTreeSet<Symbol>,
+    /// The named properties of Σ.
+    pub properties: BTreeSet<Symbol>,
+    /// The axioms.
+    pub axioms: BTreeSet<Axiom>,
+}
+
+impl Ontology {
+    /// An empty ontology.
+    pub fn new() -> Self {
+        Ontology::default()
+    }
+
+    /// Declares a class.
+    pub fn declare_class(&mut self, name: &str) -> Symbol {
+        let s = Symbol::new(name);
+        self.classes.insert(s);
+        s
+    }
+
+    /// Declares a property.
+    pub fn declare_property(&mut self, name: &str) -> Symbol {
+        let s = Symbol::new(name);
+        self.properties.insert(s);
+        s
+    }
+
+    /// Adds an axiom, auto-declaring any vocabulary it mentions.
+    pub fn add(&mut self, axiom: Axiom) {
+        let touch_class = |b: BasicClass, classes: &mut BTreeSet<Symbol>, props: &mut BTreeSet<Symbol>| match b {
+            BasicClass::Named(a) => {
+                classes.insert(a);
+            }
+            BasicClass::Some(r) => {
+                props.insert(r.name());
+            }
+        };
+        match axiom {
+            Axiom::SubClassOf(a, b) | Axiom::DisjointClasses(a, b) => {
+                touch_class(a, &mut self.classes, &mut self.properties);
+                touch_class(b, &mut self.classes, &mut self.properties);
+            }
+            Axiom::SubObjectPropertyOf(r1, r2) | Axiom::DisjointObjectProperties(r1, r2) => {
+                self.properties.insert(r1.name());
+                self.properties.insert(r2.name());
+            }
+            Axiom::ClassAssertion(b, _) => {
+                touch_class(b, &mut self.classes, &mut self.properties);
+            }
+            Axiom::ObjectPropertyAssertion(p, _, _) => {
+                self.properties.insert(p);
+            }
+        }
+        self.axioms.insert(axiom);
+    }
+
+    /// True iff the ontology contains no `DisjointClasses` /
+    /// `DisjointObjectProperties` axioms — the "positive" ontologies of
+    /// Definition 6.3.
+    pub fn is_positive(&self) -> bool {
+        !self.axioms.iter().any(|a| {
+            matches!(
+                a,
+                Axiom::DisjointClasses(..) | Axiom::DisjointObjectProperties(..)
+            )
+        })
+    }
+
+    /// Number of axioms.
+    pub fn len(&self) -> usize {
+        self.axioms.len()
+    }
+
+    /// True iff there are no axioms.
+    pub fn is_empty(&self) -> bool {
+        self.axioms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triq_common::intern;
+
+    #[test]
+    fn add_auto_declares() {
+        let mut o = Ontology::new();
+        o.add(Axiom::SubClassOf(
+            BasicClass::Named(intern("dog")),
+            BasicClass::Some(BasicProperty::Named(intern("eats"))),
+        ));
+        assert!(o.classes.contains(&intern("dog")));
+        assert!(o.properties.contains(&intern("eats")));
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn positivity() {
+        let mut o = Ontology::new();
+        o.add(Axiom::ClassAssertion(
+            BasicClass::Named(intern("a0")),
+            intern("c"),
+        ));
+        assert!(o.is_positive());
+        o.add(Axiom::DisjointClasses(
+            BasicClass::Named(intern("a")),
+            BasicClass::Named(intern("b")),
+        ));
+        assert!(!o.is_positive());
+    }
+
+    #[test]
+    fn inverse_involution() {
+        let p = BasicProperty::Named(intern("p"));
+        assert_eq!(p.inverse().inverse(), p);
+        assert_eq!(p.inverse().to_string(), "p^-");
+        assert_eq!(BasicClass::Some(p.inverse()).to_string(), "∃p^-");
+    }
+}

@@ -1,0 +1,265 @@
+//! Table 1: storing OWL 2 QL core ontologies as RDF graphs, and reading
+//! them back.
+//!
+//! Following §5.2, the representation of an ontology over Σ contains
+//! vocabulary-declaration triples (each class is typed `owl:Class`, each
+//! property `p` introduces the four URIs `p`, `p⁻`, `∃p`, `∃p⁻` with their
+//! `owl:inverseOf` / `owl:Restriction` scaffolding) plus one triple per
+//! axiom, exactly as in Table 1.
+
+use crate::ontology::{Axiom, BasicClass, BasicProperty, Ontology};
+use std::collections::{HashMap, HashSet};
+use triq_common::{intern, Result, Symbol, TriqError};
+use triq_rdf::{vocab, Graph, Triple};
+
+/// The URI chosen for a basic property: `p` itself, or the distinct URI
+/// `p⁻` (spelled `p~inv`).
+pub fn basic_property_uri(r: BasicProperty) -> Symbol {
+    match r {
+        BasicProperty::Named(p) => p,
+        BasicProperty::Inverse(p) => intern(&format!("{}~inv", p.as_str())),
+    }
+}
+
+/// The URI chosen for a basic class: the class name itself, or the
+/// distinct restriction URI `∃r` (spelled `some~r`).
+pub fn basic_class_uri(b: BasicClass) -> Symbol {
+    match b {
+        BasicClass::Named(a) => a,
+        BasicClass::Some(r) => intern(&format!("some~{}", basic_property_uri(r).as_str())),
+    }
+}
+
+/// Serializes an ontology to its RDF graph representation (§5.2/Table 1).
+pub fn ontology_to_graph(ontology: &Ontology) -> Graph {
+    let mut g = Graph::new();
+    let rdf_type = vocab::rdf_type();
+    // Class declarations.
+    for &a in &ontology.classes {
+        g.insert(Triple::new(a, rdf_type, vocab::owl_class()));
+    }
+    // Property declarations: p, p⁻, ∃p, ∃p⁻.
+    for &p in &ontology.properties {
+        let p_inv = basic_property_uri(BasicProperty::Inverse(p));
+        g.insert(Triple::new(p, rdf_type, vocab::owl_object_property()));
+        g.insert(Triple::new(p_inv, rdf_type, vocab::owl_object_property()));
+        g.insert(Triple::new(p, vocab::owl_inverse_of(), p_inv));
+        g.insert(Triple::new(p_inv, vocab::owl_inverse_of(), p));
+        for r in [BasicProperty::Named(p), BasicProperty::Inverse(p)] {
+            let some_r = basic_class_uri(BasicClass::Some(r));
+            let r_uri = basic_property_uri(r);
+            g.insert(Triple::new(some_r, rdf_type, vocab::owl_restriction()));
+            g.insert(Triple::new(some_r, vocab::owl_on_property(), r_uri));
+            g.insert(Triple::new(
+                some_r,
+                vocab::owl_some_values_from(),
+                vocab::owl_thing(),
+            ));
+            g.insert(Triple::new(some_r, rdf_type, vocab::owl_class()));
+        }
+    }
+    // Axioms per Table 1.
+    for &axiom in &ontology.axioms {
+        let triple = match axiom {
+            Axiom::SubClassOf(b1, b2) => Triple::new(
+                basic_class_uri(b1),
+                vocab::rdfs_sub_class_of(),
+                basic_class_uri(b2),
+            ),
+            Axiom::SubObjectPropertyOf(r1, r2) => Triple::new(
+                basic_property_uri(r1),
+                vocab::rdfs_sub_property_of(),
+                basic_property_uri(r2),
+            ),
+            Axiom::DisjointClasses(b1, b2) => Triple::new(
+                basic_class_uri(b1),
+                vocab::owl_disjoint_with(),
+                basic_class_uri(b2),
+            ),
+            Axiom::DisjointObjectProperties(r1, r2) => Triple::new(
+                basic_property_uri(r1),
+                vocab::owl_property_disjoint_with(),
+                basic_property_uri(r2),
+            ),
+            Axiom::ClassAssertion(b, a) => Triple::new(a, rdf_type, basic_class_uri(b)),
+            Axiom::ObjectPropertyAssertion(p, a1, a2) => Triple::new(a1, p, a2),
+        };
+        g.insert(triple);
+    }
+    g
+}
+
+/// Reads an ontology back from its RDF representation (the inverse of
+/// [`ontology_to_graph`]); errors if the graph is not the representation
+/// of any OWL 2 QL core ontology.
+pub fn ontology_from_graph(graph: &Graph) -> Result<Ontology> {
+    let rdf_type = vocab::rdf_type();
+    let mut ontology = Ontology::new();
+    // Pass 1: vocabulary. Properties are the subjects typed
+    // owl:ObjectProperty that are not `~inv` URIs; restrictions map their
+    // URI to the basic class they stand for.
+    let mut restriction_of: HashMap<Symbol, BasicProperty> = HashMap::new();
+    let mut inverses: HashMap<Symbol, Symbol> = HashMap::new();
+    for t in graph.iter() {
+        if t.p == vocab::owl_inverse_of() {
+            inverses.insert(t.s, t.o);
+        }
+    }
+    let mut property_uris: HashSet<Symbol> = HashSet::new();
+    for t in graph.iter() {
+        if t.p == rdf_type && t.o == vocab::owl_object_property() {
+            property_uris.insert(t.s);
+            if !t.s.as_str().ends_with("~inv") {
+                ontology.properties.insert(t.s);
+            }
+        }
+    }
+    let as_basic_property = |uri: Symbol| -> BasicProperty {
+        match uri.as_str().strip_suffix("~inv") {
+            Some(base) => BasicProperty::Inverse(intern(base)),
+            None => BasicProperty::Named(uri),
+        }
+    };
+    for t in graph.iter() {
+        if t.p == vocab::owl_on_property() {
+            restriction_of.insert(t.s, as_basic_property(t.o));
+        }
+    }
+    let as_basic_class = |uri: Symbol| -> BasicClass {
+        match restriction_of.get(&uri) {
+            Some(&r) => BasicClass::Some(r),
+            None => BasicClass::Named(uri),
+        }
+    };
+    for t in graph.iter() {
+        if t.p == rdf_type && t.o == vocab::owl_class() && !restriction_of.contains_key(&t.s) {
+            ontology.classes.insert(t.s);
+        }
+    }
+    // Pass 2: axioms.
+    let scaffolding = |t: &Triple| -> bool {
+        (t.p == rdf_type
+            && (t.o == vocab::owl_class()
+                || t.o == vocab::owl_object_property()
+                || t.o == vocab::owl_restriction()))
+            || t.p == vocab::owl_inverse_of()
+            || t.p == vocab::owl_on_property()
+            || t.p == vocab::owl_some_values_from()
+    };
+    for t in graph.iter() {
+        if scaffolding(t) {
+            continue;
+        }
+        let axiom = if t.p == vocab::rdfs_sub_class_of() {
+            Axiom::SubClassOf(as_basic_class(t.s), as_basic_class(t.o))
+        } else if t.p == vocab::rdfs_sub_property_of() {
+            Axiom::SubObjectPropertyOf(as_basic_property(t.s), as_basic_property(t.o))
+        } else if t.p == vocab::owl_disjoint_with() {
+            Axiom::DisjointClasses(as_basic_class(t.s), as_basic_class(t.o))
+        } else if t.p == vocab::owl_property_disjoint_with() {
+            Axiom::DisjointObjectProperties(as_basic_property(t.s), as_basic_property(t.o))
+        } else if t.p == rdf_type {
+            Axiom::ClassAssertion(as_basic_class(t.o), t.s)
+        } else if property_uris.contains(&t.p) || !t.p.as_str().contains(':') {
+            Axiom::ObjectPropertyAssertion(t.p, t.s, t.o)
+        } else {
+            return Err(TriqError::Parse {
+                what: "owl2ql",
+                message: format!("triple {t} is not an OWL 2 QL core axiom"),
+            });
+        };
+        ontology.add(axiom);
+    }
+    Ok(ontology)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triq_common::intern;
+
+    fn sample() -> Ontology {
+        let mut o = Ontology::new();
+        let eats = BasicProperty::Named(intern("eats"));
+        o.add(Axiom::ClassAssertion(
+            BasicClass::Named(intern("animal")),
+            intern("dog"),
+        ));
+        o.add(Axiom::SubClassOf(
+            BasicClass::Named(intern("animal")),
+            BasicClass::Some(eats),
+        ));
+        o.add(Axiom::SubClassOf(
+            BasicClass::Some(eats.inverse()),
+            BasicClass::Named(intern("plant_material")),
+        ));
+        o.add(Axiom::SubObjectPropertyOf(
+            BasicProperty::Named(intern("devours")),
+            eats,
+        ));
+        o.add(Axiom::DisjointClasses(
+            BasicClass::Named(intern("plant_material")),
+            BasicClass::Named(intern("animal")),
+        ));
+        o.add(Axiom::DisjointObjectProperties(
+            BasicProperty::Named(intern("eats")),
+            BasicProperty::Named(intern("avoids")),
+        ));
+        o.add(Axiom::ObjectPropertyAssertion(
+            intern("eats"),
+            intern("dog"),
+            intern("kibble"),
+        ));
+        o
+    }
+
+    /// Table 1 round-trip: every axiom form survives RDF encoding.
+    #[test]
+    fn table_1_round_trip() {
+        let o = sample();
+        let g = ontology_to_graph(&o);
+        let o2 = ontology_from_graph(&g).unwrap();
+        assert_eq!(o.axioms, o2.axioms);
+        assert!(o2.classes.contains(&intern("animal")));
+        assert!(o2.properties.contains(&intern("eats")));
+        assert!(!o2.properties.contains(&intern("eats~inv")));
+    }
+
+    /// The §5.2 example: G3's restriction triples appear in the encoding.
+    #[test]
+    fn restriction_scaffolding_matches_paper() {
+        let mut o = Ontology::new();
+        o.declare_property("is_author_of");
+        let g = ontology_to_graph(&o);
+        assert!(g.contains(&Triple::from_strs(
+            "some~is_author_of",
+            "rdf:type",
+            "owl:Restriction"
+        )));
+        assert!(g.contains(&Triple::from_strs(
+            "some~is_author_of",
+            "owl:onProperty",
+            "is_author_of"
+        )));
+        assert!(g.contains(&Triple::from_strs(
+            "some~is_author_of",
+            "owl:someValuesFrom",
+            "owl:Thing"
+        )));
+        assert!(g.contains(&Triple::from_strs(
+            "is_author_of",
+            "owl:inverseOf",
+            "is_author_of~inv"
+        )));
+    }
+
+    #[test]
+    fn graph_size_is_linear_in_vocabulary() {
+        let mut o = Ontology::new();
+        o.declare_class("c1");
+        o.declare_property("p1");
+        let g = ontology_to_graph(&o);
+        // 1 class triple + 4 property triples + 2×4 restriction triples.
+        assert_eq!(g.len(), 1 + 4 + 8);
+    }
+}

@@ -1,0 +1,118 @@
+//! The fixed program `τ_owl2ql_core` of §5.2 — the Datalog∃,¬s,⊥ encoding
+//! of the OWL 2 QL core direct-semantics entailment regime — and the
+//! database bridge `τ_db`.
+//!
+//! The program is *fixed*: it does not depend on the queried graph pattern
+//! or on the ontology, which is exactly the "black box" property §5.2
+//! emphasizes (and the notion behind "good candidates" in §6.2).
+
+use triq_common::intern;
+use triq_datalog::{parse_program, Database, Program};
+use triq_rdf::Graph;
+
+/// `τ_db(G)`: the database `{triple(a,b,c) | (a,b,c) ∈ G}` (§5.1).
+pub fn tau_db(graph: &Graph) -> Database {
+    let mut db = Database::new();
+    for t in graph.iter() {
+        db.add_fact("triple", &[t.s.as_str(), t.p.as_str(), t.o.as_str()]);
+    }
+    db
+}
+
+/// The fixed program `τ_owl2ql_core` (§5.2), with the predicate `C`
+/// spelled `adom` and `owl:someValueFrom` normalized to the W3C spelling
+/// `owl:someValuesFrom`.
+///
+/// One deliberate deviation from the listing in the paper (recorded in
+/// DESIGN.md): the paper's reflexivity rules
+/// `type(?X, owl:Class) → sc(?X, ?X)` and
+/// `type(?X, owl:ObjectProperty) → sp(?X, ?X)` read off the *derived*
+/// `type` predicate, whose first position is affected (nulls can be typed
+/// via restrictions). That would make the `sc`/`sp` positions affected and
+/// the transitivity rules non-warded — contradicting Corollary 6.2. We
+/// instead derive reflexivity from the *declaration triples*, which the
+/// §5.2 RDF representation of an ontology always contains; this preserves
+/// the entailment regime (reflexivity is only ever needed for declared
+/// vocabulary elements, which are constants) and makes the program warded
+/// as the paper claims.
+pub fn tau_owl2ql_core() -> Program {
+    parse_program(
+        "# the active domain predicate C (rule 16)\n\
+         triple(?X, ?Y, ?Z) -> adom(?X), adom(?Y), adom(?Z).\n\
+         # ontology-element extraction\n\
+         triple(?X, rdf:type, ?Y) -> type(?X, ?Y).\n\
+         triple(?X, rdfs:subPropertyOf, ?Y) -> sp(?X, ?Y).\n\
+         triple(?X, owl:inverseOf, ?Y) -> inv(?X, ?Y).\n\
+         triple(?X, rdf:type, owl:Restriction), \
+         triple(?X, owl:onProperty, ?Y), \
+         triple(?X, owl:someValuesFrom, owl:Thing) -> restriction(?X, ?Y).\n\
+         # the paper's §5.2 spelling of the same primitive\n\
+         triple(?X, rdf:type, owl:Restriction), \
+         triple(?X, owl:onProperty, ?Y), \
+         triple(?X, owl:someValueFrom, owl:Thing) -> restriction(?X, ?Y).\n\
+         triple(?X, rdfs:subClassOf, ?Y) -> sc(?X, ?Y).\n\
+         triple(?X, owl:disjointWith, ?Y) -> disj(?X, ?Y).\n\
+         triple(?X, owl:propertyDisjointWith, ?Y) -> disj_property(?X, ?Y).\n\
+         triple(?X, ?Y, ?Z) -> triple1(?X, ?Y, ?Z).\n\
+         # reasoning about properties\n\
+         sp(?X1, ?X2), inv(?Y1, ?X1), inv(?Y2, ?X2) -> sp(?Y1, ?Y2).\n\
+         triple(?X, rdf:type, owl:ObjectProperty) -> sp(?X, ?X).\n\
+         sp(?X, ?Y), sp(?Y, ?Z) -> sp(?X, ?Z).\n\
+         # reasoning about classes\n\
+         sp(?X1, ?X2), restriction(?Y1, ?X1), restriction(?Y2, ?X2) -> sc(?Y1, ?Y2).\n\
+         triple(?X, rdf:type, owl:Class) -> sc(?X, ?X).\n\
+         sc(?X, ?Y), sc(?Y, ?Z) -> sc(?X, ?Z).\n\
+         # reasoning about disjointness\n\
+         disj(?X1, ?X2), sc(?Y1, ?X1), sc(?Y2, ?X2) -> disj(?Y1, ?Y2).\n\
+         disj_property(?X1, ?X2), sp(?Y1, ?X1), sp(?Y2, ?X2) -> disj_property(?Y1, ?Y2).\n\
+         # reasoning about membership assertions\n\
+         triple1(?X, ?U, ?Y), sp(?U, ?V) -> triple1(?X, ?V, ?Y).\n\
+         triple1(?X, ?U, ?Y), inv(?U, ?V) -> triple1(?Y, ?V, ?X).\n\
+         type(?X, ?Y), restriction(?Y, ?U) -> exists ?Z triple1(?X, ?U, ?Z).\n\
+         type(?X, ?Y) -> triple1(?X, rdf:type, ?Y).\n\
+         type(?X, ?Y), sc(?Y, ?Z) -> type(?X, ?Z).\n\
+         triple1(?X, ?U, ?Y), restriction(?Z, ?U) -> type(?X, ?Z).\n\
+         # negative constraints\n\
+         type(?X, ?Y), type(?X, ?Z), disj(?Y, ?Z) -> false.\n\
+         triple1(?X, ?U, ?Y), triple1(?X, ?V, ?Y), disj_property(?U, ?V) -> false.",
+    )
+    .expect("τ_owl2ql_core is well-formed")
+}
+
+/// The predicate holding the saturated triples (`triple1` in §5.2).
+pub fn triple1_pred() -> triq_common::Symbol {
+    intern("triple1")
+}
+
+/// The active-domain predicate (`C` in §5.2).
+pub fn adom_pred() -> triq_common::Symbol {
+    intern("adom")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triq_datalog::classify_program;
+
+    #[test]
+    fn tau_owl2ql_core_is_warded_and_stratified() {
+        let p = tau_owl2ql_core();
+        let c = classify_program(&p);
+        assert!(c.stratified);
+        assert!(c.warded, "Corollary 6.2 requires wardedness: {:?}", c.violations);
+        assert!(c.grounded_negation); // no negation at all
+        assert!(c.is_triq_lite_1_0());
+        // It is NOT nearly frontier-guarded — the model-theoretic point of
+        // §6.2 (Proposition 6.4): the regime needs the UGCP.
+        assert!(!c.nearly_frontier_guarded);
+    }
+
+    #[test]
+    fn tau_db_bridges_graphs() {
+        let mut g = Graph::new();
+        g.insert_strs("a", "p", "b");
+        let db = tau_db(&g);
+        assert_eq!(db.len(), 1);
+        assert!(db.domain().contains(&intern("p")));
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests for the entailment oracle: DL-Lite_R entailment over
+//! positive ontologies is *monotone* (adding axioms never retracts
+//! entailed triples) and *extensive* (every asserted data triple is
+//! entailed).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use triq_owl2ql::{ontology_to_graph, random_ontology, EntailmentOracle, RandomOntologySpec};
+use triq_rdf::Triple;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn saturation_is_monotone_and_extensive(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = RandomOntologySpec {
+            classes: 4,
+            properties: 2,
+            tbox_axioms: 5,
+            abox_assertions: 6,
+            allow_disjointness: false,
+            seed: rng.gen(),
+        };
+        let small = random_ontology(spec);
+        // A strictly larger ontology: same axioms plus more.
+        let big = {
+            let mut o = random_ontology(RandomOntologySpec {
+                tbox_axioms: 3,
+                abox_assertions: 4,
+                seed: rng.gen(),
+                ..spec
+            });
+            for ax in &small.axioms {
+                o.add(*ax);
+            }
+            o
+        };
+        let g_small = ontology_to_graph(&small);
+        let g_big = ontology_to_graph(&big);
+        let oracle_small = EntailmentOracle::new(&g_small).unwrap();
+        let oracle_big = EntailmentOracle::new(&g_big).unwrap();
+        prop_assert!(oracle_small.is_consistent());
+        prop_assert!(oracle_big.is_consistent());
+        let entailed_small: BTreeSet<Triple> =
+            oracle_small.entailed_triples().into_iter().collect();
+        let entailed_big: BTreeSet<Triple> =
+            oracle_big.entailed_triples().into_iter().collect();
+        // Monotonicity.
+        for t in &entailed_small {
+            prop_assert!(
+                entailed_big.contains(t),
+                "monotonicity violated on {t}"
+            );
+        }
+        // Extensivity: every asserted triple is entailed.
+        for t in g_small.iter() {
+            prop_assert!(oracle_small.entails(t), "asserted {t} not entailed");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Well-known vocabulary URIs used throughout the paper (§2, §5.2).
+//!
+//! The paper writes prefixed names (`rdf:type`, `owl:Class`, ...); we keep
+//! exactly those spellings as the interned constants, which makes programs
+//! and test fixtures read like the paper.
+
+use triq_common::{intern, Symbol};
+
+/// `rdf:type`.
+pub fn rdf_type() -> Symbol {
+    intern("rdf:type")
+}
+
+/// `rdfs:subClassOf`.
+pub fn rdfs_sub_class_of() -> Symbol {
+    intern("rdfs:subClassOf")
+}
+
+/// `rdfs:subPropertyOf`.
+pub fn rdfs_sub_property_of() -> Symbol {
+    intern("rdfs:subPropertyOf")
+}
+
+/// `owl:Class`.
+pub fn owl_class() -> Symbol {
+    intern("owl:Class")
+}
+
+/// `owl:ObjectProperty`.
+pub fn owl_object_property() -> Symbol {
+    intern("owl:ObjectProperty")
+}
+
+/// `owl:Restriction`.
+pub fn owl_restriction() -> Symbol {
+    intern("owl:Restriction")
+}
+
+/// `owl:onProperty`.
+pub fn owl_on_property() -> Symbol {
+    intern("owl:onProperty")
+}
+
+/// `owl:someValuesFrom` — the paper's §5.2 program spells this
+/// `owl:someValueFrom`; we follow the W3C spelling and accept both on parse.
+pub fn owl_some_values_from() -> Symbol {
+    intern("owl:someValuesFrom")
+}
+
+/// `owl:Thing`.
+pub fn owl_thing() -> Symbol {
+    intern("owl:Thing")
+}
+
+/// `owl:inverseOf`.
+pub fn owl_inverse_of() -> Symbol {
+    intern("owl:inverseOf")
+}
+
+/// `owl:disjointWith`.
+pub fn owl_disjoint_with() -> Symbol {
+    intern("owl:disjointWith")
+}
+
+/// `owl:propertyDisjointWith`.
+pub fn owl_property_disjoint_with() -> Symbol {
+    intern("owl:propertyDisjointWith")
+}
+
+/// `owl:sameAs`.
+pub fn owl_same_as() -> Symbol {
+    intern("owl:sameAs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocab_is_stable() {
+        assert_eq!(rdf_type(), rdf_type());
+        assert_eq!(rdf_type().as_str(), "rdf:type");
+        assert_eq!(owl_some_values_from().as_str(), "owl:someValuesFrom");
+    }
+}

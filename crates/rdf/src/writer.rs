@@ -1,0 +1,78 @@
+//! Turtle-lite serialization (inverse of [`crate::parse_turtle`]).
+
+use crate::Graph;
+
+fn needs_quoting(s: &str) -> bool {
+    s.is_empty()
+        || s.chars().any(|c| c.is_whitespace() || c == '"' || c == '.')
+        || s == "a"
+        || s.starts_with('<')
+        || s.starts_with('@')
+        || s.starts_with('#')
+}
+
+fn write_term(out: &mut String, s: &str) {
+    if needs_quoting(s) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                other => out.push(other),
+            }
+        }
+        out.push('"');
+    } else {
+        out.push_str(s);
+    }
+}
+
+/// Serializes a graph to Turtle-lite text, one triple per line, in
+/// insertion order.
+pub fn to_turtle(graph: &Graph) -> String {
+    let mut out = String::with_capacity(graph.len() * 32);
+    for t in graph.iter() {
+        write_term(&mut out, t.s.as_str());
+        out.push(' ');
+        write_term(&mut out, t.p.as_str());
+        out.push(' ');
+        write_term(&mut out, t.o.as_str());
+        out.push_str(" .\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_turtle;
+
+    #[test]
+    fn round_trip() {
+        let src = "dbUllman is_author_of \"The Complete Book\" .\n\
+                   dbAho is_coauthor_of dbUllman .\n\
+                   x rdf:type owl:Class .";
+        let g = parse_turtle(src).unwrap();
+        let g2 = parse_turtle(&to_turtle(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn quotes_the_keyword_a_in_subject_and_object() {
+        let mut g = Graph::new();
+        g.insert_strs("a", "p", "a");
+        let text = to_turtle(&g);
+        assert_eq!(text, "\"a\" p \"a\" .\n");
+        assert_eq!(parse_turtle(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn escapes_specials() {
+        let mut g = Graph::new();
+        g.insert_strs("s", "p", "multi\nline \"x\"");
+        let g2 = parse_turtle(&to_turtle(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+}

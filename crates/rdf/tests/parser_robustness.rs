@@ -1,0 +1,25 @@
+//! Fuzz-style robustness for the Turtle-lite parser.
+
+use proptest::prelude::*;
+use triq_rdf::parse_turtle;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn turtle_parser_never_panics(input in "\\PC{0,160}") {
+        let _ = parse_turtle(&input);
+    }
+
+    #[test]
+    fn token_soup_never_panics(tokens in prop::collection::vec(
+        prop::sample::select(vec![
+            "@prefix", "ex:", "<http://x>", ".", "a", "s", "p", "o",
+            "\"literal\"", "#comment", "\n", "_:b",
+        ]),
+        0..12,
+    )) {
+        let input = tokens.join(" ");
+        let _ = parse_turtle(&input);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests: Turtle-lite serialization round-trips arbitrary graphs,
+//! and pattern matching agrees with a naive scan.
+
+use proptest::prelude::*;
+use triq_rdf::{parse_turtle, to_turtle, Graph, Triple};
+
+/// Term strings: bare words, prefixed names and nasty literals.
+fn term_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,8}",
+        "[a-z]{1,4}:[a-zA-Z][a-zA-Z0-9_]{0,6}",
+        // Literals with spaces, quotes, escapes, keywords.
+        Just("a".to_string()),
+        Just("multi word literal".to_string()),
+        Just("quote \" inside".to_string()),
+        Just("line\nbreak".to_string()),
+        Just("dot.inside".to_string()),
+        Just("@weird".to_string()),
+    ]
+}
+
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    prop::collection::vec(
+        (term_strategy(), term_strategy(), term_strategy()),
+        0..20,
+    )
+    .prop_map(|triples| {
+        triples
+            .into_iter()
+            .map(|(s, p, o)| Triple::from_strs(&s, &p, &o))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn turtle_round_trip(graph in graph_strategy()) {
+        let text = to_turtle(&graph);
+        let parsed = parse_turtle(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- text ---\n{text}"));
+        prop_assert_eq!(parsed, graph);
+    }
+
+    #[test]
+    fn matching_agrees_with_scan(graph in graph_strategy(), which in 0u8..8) {
+        let Some(probe) = graph.iter().next().copied() else { return Ok(()); };
+        let s = (which & 1 != 0).then_some(probe.s);
+        let p = (which & 2 != 0).then_some(probe.p);
+        let o = (which & 4 != 0).then_some(probe.o);
+        let mut indexed = graph.matching(s, p, o);
+        let mut scanned: Vec<Triple> = graph
+            .iter()
+            .copied()
+            .filter(|t| {
+                s.is_none_or(|x| t.s == x)
+                    && p.is_none_or(|x| t.p == x)
+                    && o.is_none_or(|x| t.o == x)
+            })
+            .collect();
+        indexed.sort();
+        scanned.sort();
+        prop_assert_eq!(indexed, scanned);
+    }
+}

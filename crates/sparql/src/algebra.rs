@@ -1,0 +1,249 @@
+//! The graph-pattern algebra (§3.1).
+
+use crate::Condition;
+use std::collections::BTreeSet;
+use std::fmt;
+use triq_common::{Result, Symbol, TriqError, VarId};
+
+/// A term of a triple pattern: an element of U ∪ B ∪ V.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum PatternTerm {
+    /// A URI / literal constant.
+    Const(Symbol),
+    /// A blank node, acting as an existential variable scoped to its basic
+    /// graph pattern (the function `h : B → U` in the semantics).
+    Blank(Symbol),
+    /// A variable.
+    Var(VarId),
+}
+
+impl PatternTerm {
+    /// The variable inside, if any.
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            PatternTerm::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PatternTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternTerm::Const(c) => write!(f, "{c}"),
+            PatternTerm::Blank(b) => write!(f, "_:{b}"),
+            PatternTerm::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A triple pattern `t ∈ (U∪B∪V) × (U∪B∪V) × (U∪B∪V)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TriplePattern {
+    /// Subject.
+    pub s: PatternTerm,
+    /// Predicate.
+    pub p: PatternTerm,
+    /// Object.
+    pub o: PatternTerm,
+}
+
+impl TriplePattern {
+    /// Builds a triple pattern.
+    pub fn new(s: PatternTerm, p: PatternTerm, o: PatternTerm) -> Self {
+        TriplePattern { s, p, o }
+    }
+
+    /// The terms, in (s, p, o) order.
+    pub fn terms(&self) -> [PatternTerm; 3] {
+        [self.s, self.p, self.o]
+    }
+
+    /// The variables of the pattern.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> {
+        self.terms().into_iter().filter_map(PatternTerm::as_var)
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.s, self.p, self.o)
+    }
+}
+
+/// A SPARQL graph pattern (§3.1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GraphPattern {
+    /// A basic graph pattern `{t₁, …, tₙ}`.
+    Basic(Vec<TriplePattern>),
+    /// `(P₁ AND P₂)`.
+    And(Box<GraphPattern>, Box<GraphPattern>),
+    /// `(P₁ UNION P₂)`.
+    Union(Box<GraphPattern>, Box<GraphPattern>),
+    /// `(P₁ OPT P₂)`.
+    Opt(Box<GraphPattern>, Box<GraphPattern>),
+    /// `(P FILTER R)`.
+    Filter(Box<GraphPattern>, Condition),
+    /// `(SELECT W P)`.
+    Select(BTreeSet<VarId>, Box<GraphPattern>),
+}
+
+impl GraphPattern {
+    /// `var(P)`: the set of variables occurring in the pattern.
+    ///
+    /// For `SELECT W P` the visible variables are `W ∩ var(P)` — the
+    /// projection hides the rest.
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        match self {
+            GraphPattern::Basic(ts) => ts.iter().flat_map(TriplePattern::vars).collect(),
+            GraphPattern::And(a, b) | GraphPattern::Union(a, b) | GraphPattern::Opt(a, b) => {
+                a.vars().union(&b.vars()).copied().collect()
+            }
+            GraphPattern::Filter(p, _) => p.vars(),
+            GraphPattern::Select(w, p) => p.vars().intersection(w).copied().collect(),
+        }
+    }
+
+    /// Validates the §3.1 side condition: in every `(P FILTER R)`,
+    /// `var(R) ⊆ var(P)`.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            GraphPattern::Basic(_) => Ok(()),
+            GraphPattern::And(a, b)
+            | GraphPattern::Union(a, b)
+            | GraphPattern::Opt(a, b) => {
+                a.validate()?;
+                b.validate()
+            }
+            GraphPattern::Filter(p, r) => {
+                p.validate()?;
+                let pv = p.vars();
+                for v in r.vars() {
+                    if !pv.contains(&v) {
+                        return Err(TriqError::InvalidProgram(format!(
+                            "FILTER uses variable {v} outside var(P) (§3.1 \
+                             requires var(R) ⊆ var(P))"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            GraphPattern::Select(_, p) => p.validate(),
+        }
+    }
+
+    /// All basic graph patterns occurring in the pattern, left to right.
+    pub fn basic_patterns(&self) -> Vec<&Vec<TriplePattern>> {
+        match self {
+            GraphPattern::Basic(ts) => vec![ts],
+            GraphPattern::And(a, b)
+            | GraphPattern::Union(a, b)
+            | GraphPattern::Opt(a, b) => {
+                let mut v = a.basic_patterns();
+                v.extend(b.basic_patterns());
+                v
+            }
+            GraphPattern::Filter(p, _) | GraphPattern::Select(_, p) => p.basic_patterns(),
+        }
+    }
+}
+
+impl fmt::Display for GraphPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphPattern::Basic(ts) => {
+                f.write_str("{ ")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" . ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(" }")
+            }
+            GraphPattern::And(a, b) => write!(f, "({a} AND {b})"),
+            GraphPattern::Union(a, b) => write!(f, "({a} UNION {b})"),
+            GraphPattern::Opt(a, b) => write!(f, "({a} OPT {b})"),
+            GraphPattern::Filter(p, r) => write!(f, "({p} FILTER {r})"),
+            GraphPattern::Select(w, p) => {
+                f.write_str("(SELECT")?;
+                for v in w {
+                    write!(f, " {v}")?;
+                }
+                write!(f, " {p})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triq_common::intern;
+
+    fn var(n: &str) -> PatternTerm {
+        PatternTerm::Var(VarId::new(n))
+    }
+
+    fn c(s: &str) -> PatternTerm {
+        PatternTerm::Const(intern(s))
+    }
+
+    #[test]
+    fn vars_of_nested_pattern() {
+        let p = GraphPattern::Opt(
+            Box::new(GraphPattern::Basic(vec![TriplePattern::new(
+                var("X"),
+                c("name"),
+                var("Y"),
+            )])),
+            Box::new(GraphPattern::Basic(vec![TriplePattern::new(
+                var("X"),
+                c("phone"),
+                var("Z"),
+            )])),
+        );
+        let vars = p.vars();
+        assert_eq!(vars.len(), 3);
+        assert!(vars.contains(&VarId::new("Z")));
+    }
+
+    #[test]
+    fn select_hides_variables() {
+        let inner = GraphPattern::Basic(vec![TriplePattern::new(var("X"), c("p"), var("Y"))]);
+        let p = GraphPattern::Select(
+            [VarId::new("X")].into_iter().collect(),
+            Box::new(inner),
+        );
+        assert_eq!(p.vars().len(), 1);
+    }
+
+    #[test]
+    fn filter_validation() {
+        let p = GraphPattern::Filter(
+            Box::new(GraphPattern::Basic(vec![TriplePattern::new(
+                var("X"),
+                c("p"),
+                c("o"),
+            )])),
+            Condition::Bound(VarId::new("Y")),
+        );
+        assert!(p.validate().is_err());
+        let ok = GraphPattern::Filter(
+            Box::new(GraphPattern::Basic(vec![TriplePattern::new(
+                var("X"),
+                c("p"),
+                c("o"),
+            )])),
+            Condition::Bound(VarId::new("X")),
+        );
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn blank_nodes_are_not_variables() {
+        let t = TriplePattern::new(var("X"), c("name"), PatternTerm::Blank(intern("B")));
+        assert_eq!(t.vars().count(), 1);
+        assert_eq!(t.to_string(), "?X name _:B");
+    }
+}

@@ -1,0 +1,118 @@
+//! Built-in conditions of FILTER expressions (§3.1).
+
+use crate::Mapping;
+use std::fmt;
+use triq_common::{Symbol, VarId};
+
+/// A SPARQL built-in condition `R`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Condition {
+    /// `bound(?X)`.
+    Bound(VarId),
+    /// `?X = c`.
+    EqConst(VarId, Symbol),
+    /// `?X = ?Y`.
+    EqVar(VarId, VarId),
+    /// `(¬R)`.
+    Not(Box<Condition>),
+    /// `(R₁ ∨ R₂)`.
+    Or(Box<Condition>, Box<Condition>),
+    /// `(R₁ ∧ R₂)`.
+    And(Box<Condition>, Box<Condition>),
+}
+
+impl Condition {
+    /// `var(R)`.
+    pub fn vars(&self) -> Vec<VarId> {
+        match self {
+            Condition::Bound(v) => vec![*v],
+            Condition::EqConst(v, _) => vec![*v],
+            Condition::EqVar(v, w) => vec![*v, *w],
+            Condition::Not(r) => r.vars(),
+            Condition::Or(a, b) | Condition::And(a, b) => {
+                let mut v = a.vars();
+                v.extend(b.vars());
+                v
+            }
+        }
+    }
+
+    /// µ |= R, exactly as defined in §3.1 (an unbound variable falsifies
+    /// the atomic conditions; negation is classical).
+    pub fn satisfied(&self, mu: &Mapping) -> bool {
+        match self {
+            Condition::Bound(v) => mu.get(*v).is_some(),
+            Condition::EqConst(v, c) => mu.get(*v) == Some(*c),
+            Condition::EqVar(v, w) => match (mu.get(*v), mu.get(*w)) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+            Condition::Not(r) => !r.satisfied(mu),
+            Condition::Or(a, b) => a.satisfied(mu) || b.satisfied(mu),
+            Condition::And(a, b) => a.satisfied(mu) && b.satisfied(mu),
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Bound(v) => write!(f, "bound({v})"),
+            Condition::EqConst(v, c) => write!(f, "{v} = {c}"),
+            Condition::EqVar(v, w) => write!(f, "{v} = {w}"),
+            Condition::Not(r) => write!(f, "(!{r})"),
+            Condition::Or(a, b) => write!(f, "({a} || {b})"),
+            Condition::And(a, b) => write!(f, "({a} && {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triq_common::intern;
+
+    fn mu() -> Mapping {
+        Mapping::from_pairs([
+            (VarId::new("X"), intern("a")),
+            (VarId::new("Y"), intern("a")),
+            (VarId::new("Z"), intern("b")),
+        ])
+    }
+
+    #[test]
+    fn atomic_conditions() {
+        let m = mu();
+        assert!(Condition::Bound(VarId::new("X")).satisfied(&m));
+        assert!(!Condition::Bound(VarId::new("W")).satisfied(&m));
+        assert!(Condition::EqConst(VarId::new("X"), intern("a")).satisfied(&m));
+        assert!(!Condition::EqConst(VarId::new("Z"), intern("a")).satisfied(&m));
+        assert!(Condition::EqVar(VarId::new("X"), VarId::new("Y")).satisfied(&m));
+        assert!(!Condition::EqVar(VarId::new("X"), VarId::new("Z")).satisfied(&m));
+        // Unbound variable: equality is false (paper's clauses 2 and 3).
+        assert!(!Condition::EqVar(VarId::new("X"), VarId::new("W")).satisfied(&m));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let m = mu();
+        let bound_x = Condition::Bound(VarId::new("X"));
+        let bound_w = Condition::Bound(VarId::new("W"));
+        assert!(Condition::Or(Box::new(bound_w.clone()), Box::new(bound_x.clone())).satisfied(&m));
+        assert!(!Condition::And(Box::new(bound_w.clone()), Box::new(bound_x.clone())).satisfied(&m));
+        assert!(Condition::Not(Box::new(bound_w)).satisfied(&m));
+        assert!(
+            Condition::Not(Box::new(Condition::EqVar(VarId::new("X"), VarId::new("W"))))
+                .satisfied(&m)
+        );
+    }
+
+    #[test]
+    fn vars_collects_all() {
+        let c = Condition::And(
+            Box::new(Condition::EqVar(VarId::new("X"), VarId::new("Y"))),
+            Box::new(Condition::Bound(VarId::new("Z"))),
+        );
+        assert_eq!(c.vars().len(), 3);
+    }
+}

@@ -1,0 +1,254 @@
+//! Evaluation of graph patterns over RDF graphs: the function J·K_G of
+//! §3.1.
+
+use crate::algebra::{GraphPattern, PatternTerm, TriplePattern};
+use crate::mapping::{join, left_outer_join, union, Mapping, MappingSet};
+use std::collections::HashMap;
+use triq_common::{Symbol, VarId};
+use triq_rdf::Graph;
+
+/// Evaluates `pattern` over `graph`, returning JPK_G.
+pub fn evaluate(graph: &Graph, pattern: &GraphPattern) -> MappingSet {
+    match pattern {
+        GraphPattern::Basic(triples) => eval_basic(graph, triples),
+        GraphPattern::And(a, b) => join(&evaluate(graph, a), &evaluate(graph, b)),
+        GraphPattern::Union(a, b) => union(&evaluate(graph, a), &evaluate(graph, b)),
+        GraphPattern::Opt(a, b) => left_outer_join(&evaluate(graph, a), &evaluate(graph, b)),
+        GraphPattern::Filter(p, r) => evaluate(graph, p)
+            .into_iter()
+            .filter(|mu| r.satisfied(mu))
+            .collect(),
+        GraphPattern::Select(w, p) => evaluate(graph, p)
+            .into_iter()
+            .map(|mu| mu.restrict(w))
+            .collect(),
+    }
+}
+
+/// Bindings for both variables and blank nodes during BGP matching.
+#[derive(Clone, Default)]
+struct Assignment {
+    vars: HashMap<VarId, Symbol>,
+    blanks: HashMap<Symbol, Symbol>,
+}
+
+/// JPK_G for a basic graph pattern: all µ with dom(µ) = var(P) such that
+/// some h : B → U makes µ(h(P)) ⊆ G. Blank nodes are matched like
+/// variables but projected away.
+fn eval_basic(graph: &Graph, triples: &[TriplePattern]) -> MappingSet {
+    let mut out = MappingSet::new();
+    let mut assignment = Assignment::default();
+    search(graph, triples, 0, &mut assignment, &mut out);
+    out
+}
+
+fn search(
+    graph: &Graph,
+    triples: &[TriplePattern],
+    idx: usize,
+    assignment: &mut Assignment,
+    out: &mut MappingSet,
+) {
+    if idx == triples.len() {
+        out.insert(Mapping::from_pairs(
+            assignment.vars.iter().map(|(&v, &s)| (v, s)),
+        ));
+        return;
+    }
+    let t = &triples[idx];
+    let resolve = |term: PatternTerm, a: &Assignment| -> Option<Symbol> {
+        match term {
+            PatternTerm::Const(c) => Some(c),
+            PatternTerm::Var(v) => a.vars.get(&v).copied(),
+            PatternTerm::Blank(b) => a.blanks.get(&b).copied(),
+        }
+    };
+    let s = resolve(t.s, assignment);
+    let p = resolve(t.p, assignment);
+    let o = resolve(t.o, assignment);
+    for triple in graph.matching(s, p, o) {
+        let mut undo_vars: Vec<VarId> = Vec::new();
+        let mut undo_blanks: Vec<Symbol> = Vec::new();
+        let mut ok = true;
+        for (term, value) in [(t.s, triple.s), (t.p, triple.p), (t.o, triple.o)] {
+            match term {
+                PatternTerm::Const(c) => {
+                    if c != value {
+                        ok = false;
+                        break;
+                    }
+                }
+                PatternTerm::Var(v) => match assignment.vars.get(&v) {
+                    Some(&bound) if bound != value => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        assignment.vars.insert(v, value);
+                        undo_vars.push(v);
+                    }
+                },
+                PatternTerm::Blank(b) => match assignment.blanks.get(&b) {
+                    Some(&bound) if bound != value => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        assignment.blanks.insert(b, value);
+                        undo_blanks.push(b);
+                    }
+                },
+            }
+        }
+        if ok {
+            search(graph, triples, idx + 1, assignment, out);
+        }
+        for v in undo_vars {
+            assignment.vars.remove(&v);
+        }
+        for b in undo_blanks {
+            assignment.blanks.remove(&b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_pattern;
+    use triq_common::intern;
+    use triq_rdf::parse_turtle;
+
+    fn g1() -> Graph {
+        parse_turtle(
+            "dbUllman is_author_of \"The Complete Book\" .\n\
+             dbUllman name \"Jeffrey Ullman\" .",
+        )
+        .unwrap()
+    }
+
+    fn g2() -> Graph {
+        let mut g = g1();
+        g.insert_strs("dbAho", "is_coauthor_of", "dbUllman");
+        g.insert_strs("dbAho", "name", "Alfred Aho");
+        g
+    }
+
+    fn names(set: &MappingSet, var: &str) -> Vec<&'static str> {
+        let v = VarId::new(var);
+        let mut out: Vec<&'static str> = set.iter().filter_map(|m| m.get(v)).map(|s| s.as_str()).collect();
+        out.sort();
+        out
+    }
+
+    /// Query (1) of §2 over G1: the authors' names.
+    #[test]
+    fn paper_query_1() {
+        let p = parse_pattern("{ ?Y is_author_of ?Z . ?Y name ?X }").unwrap();
+        let result = evaluate(&g1(), &p);
+        assert_eq!(result.len(), 1);
+        assert_eq!(names(&result, "X"), vec!["Jeffrey Ullman"]);
+    }
+
+    /// Over G2 the coauthor triple does not make Aho an author (§2).
+    #[test]
+    fn aho_is_not_an_author_without_reasoning() {
+        let p = parse_pattern("{ ?Y is_author_of ?Z . ?Y name ?X }").unwrap();
+        let result = evaluate(&g2(), &p);
+        assert_eq!(names(&result, "X"), vec!["Jeffrey Ullman"]);
+    }
+
+    #[test]
+    fn blank_nodes_are_existential_and_projected() {
+        let p = parse_pattern("{ ?X name _:B }").unwrap();
+        let result = evaluate(&g2(), &p);
+        assert_eq!(result.len(), 2);
+        for m in &result {
+            assert_eq!(m.len(), 1); // only ?X, the blank is hidden
+        }
+    }
+
+    #[test]
+    fn blank_node_joins_within_bgp() {
+        // _:B must take the SAME value at both occurrences.
+        let p = parse_pattern("{ _:B is_author_of ?Z . _:B name ?X }").unwrap();
+        let result = evaluate(&g2(), &p);
+        assert_eq!(result.len(), 1);
+        assert_eq!(names(&result, "X"), vec!["Jeffrey Ullman"]);
+    }
+
+    /// Example 5.1's P3: OPT keeps authors without phones.
+    #[test]
+    fn optional_semantics() {
+        let mut g = Graph::new();
+        g.insert_strs("a", "name", "Alice");
+        g.insert_strs("b", "name", "Bob");
+        g.insert_strs("a", "phone", "123");
+        let p = parse_pattern("{ ?X name ?Y } OPTIONAL { ?X phone ?Z }").unwrap();
+        let result = evaluate(&g, &p);
+        assert_eq!(result.len(), 2);
+        let with_phone = result.iter().find(|m| m.get(VarId::new("Z")).is_some()).unwrap();
+        assert_eq!(with_phone.get(VarId::new("Y")).unwrap().as_str(), "Alice");
+        let without = result.iter().find(|m| m.get(VarId::new("Z")).is_none()).unwrap();
+        assert_eq!(without.get(VarId::new("Y")).unwrap().as_str(), "Bob");
+    }
+
+    /// Query (6) of §2: UNION with explicit sameAs handling.
+    #[test]
+    fn union_same_as_workaround() {
+        let g = parse_turtle(
+            "dbUllman is_author_of \"The Complete Book\" .\n\
+             dbUllman owl:sameAs yagoUllman .\n\
+             yagoUllman name \"Jeffrey Ullman\" .",
+        )
+        .unwrap();
+        let direct = parse_pattern("{ ?Y is_author_of ?Z . ?Y name ?X }").unwrap();
+        assert!(evaluate(&g, &direct).is_empty());
+        let fixed = parse_pattern(
+            "{ ?Y is_author_of ?Z . ?Y name ?X } UNION \
+             { ?Y is_author_of ?Z . ?Y owl:sameAs ?W . ?W name ?X }",
+        )
+        .unwrap();
+        assert_eq!(names(&evaluate(&g, &fixed), "X"), vec!["Jeffrey Ullman"]);
+    }
+
+    #[test]
+    fn filter_and_select() {
+        let p = parse_pattern(
+            "{ SELECT ?X WHERE { { ?X name ?N } FILTER (?N = \"Alfred Aho\") } }",
+        )
+        .unwrap();
+        let result = evaluate(&g2(), &p);
+        assert_eq!(result.len(), 1);
+        let m = result.iter().next().unwrap();
+        assert_eq!(m.get(VarId::new("X")).unwrap(), intern("dbAho"));
+        assert!(m.get(VarId::new("N")).is_none());
+    }
+
+    /// The cartesian-product phenomenon of Example 5.1's P4.
+    #[test]
+    fn opt_then_and_cartesian() {
+        let mut g = Graph::new();
+        g.insert_strs("a", "name", "Alice");
+        g.insert_strs("b", "name", "Bob");
+        g.insert_strs("a", "phone", "123");
+        g.insert_strs("123", "phone_company", "ACME");
+        g.insert_strs("999", "phone_company", "Globex");
+        let p = parse_pattern(
+            "{ { ?X name ?Y } OPTIONAL { ?X phone ?Z } } AND \
+             { ?Z phone_company ?W }",
+        )
+        .unwrap();
+        let result = evaluate(&g, &p);
+        // Alice joins only with ACME (Z=123); Bob (unbound Z) joins with
+        // BOTH companies — the paper's "difficult to interpret" case.
+        assert_eq!(result.len(), 3);
+        let bobs: Vec<_> = result
+            .iter()
+            .filter(|m| m.get(VarId::new("Y")) == Some(intern("Bob")))
+            .collect();
+        assert_eq!(bobs.len(), 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! Mappings and the algebra of mapping sets (§3.1).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use triq_common::{Symbol, VarId};
+
+/// A mapping: a partial function µ : V → U.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct Mapping {
+    bindings: BTreeMap<VarId, Symbol>,
+}
+
+impl Mapping {
+    /// The empty mapping µ∅ (compatible with every mapping).
+    pub fn empty() -> Self {
+        Mapping::default()
+    }
+
+    /// Builds a mapping from pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (VarId, Symbol)>>(pairs: I) -> Self {
+        Mapping {
+            bindings: pairs.into_iter().collect(),
+        }
+    }
+
+    /// µ(?X).
+    pub fn get(&self, var: VarId) -> Option<Symbol> {
+        self.bindings.get(&var).copied()
+    }
+
+    /// Binds a variable (overwrites any previous binding).
+    pub fn bind(&mut self, var: VarId, value: Symbol) {
+        self.bindings.insert(var, value);
+    }
+
+    /// `dom(µ)`.
+    pub fn domain(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.bindings.keys().copied()
+    }
+
+    /// |dom(µ)|.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True iff dom(µ) = ∅.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Compatibility µ₁ ∼ µ₂: agreement on the shared domain.
+    pub fn compatible(&self, other: &Mapping) -> bool {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .bindings
+            .iter()
+            .all(|(v, s)| large.bindings.get(v).is_none_or(|t| t == s))
+    }
+
+    /// µ₁ ∪ µ₂ (callers must ensure compatibility).
+    pub fn merge(&self, other: &Mapping) -> Mapping {
+        debug_assert!(self.compatible(other));
+        let mut out = self.clone();
+        for (&v, &s) in &other.bindings {
+            out.bindings.insert(v, s);
+        }
+        out
+    }
+
+    /// µ|_W : the restriction of µ to the variables in `W`.
+    pub fn restrict(&self, w: &BTreeSet<VarId>) -> Mapping {
+        Mapping {
+            bindings: self
+                .bindings
+                .iter()
+                .filter(|(v, _)| w.contains(v))
+                .map(|(&v, &s)| (v, s))
+                .collect(),
+        }
+    }
+
+    /// Iterates over the bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Symbol)> + '_ {
+        self.bindings.iter().map(|(&v, &s)| (v, s))
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (v, s)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v} -> {s}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// A set of mappings Ω.
+pub type MappingSet = BTreeSet<Mapping>;
+
+/// Ω₁ ⋈ Ω₂ = {µ₁ ∪ µ₂ | µ₁ ∈ Ω₁, µ₂ ∈ Ω₂, µ₁ ∼ µ₂}.
+pub fn join(a: &MappingSet, b: &MappingSet) -> MappingSet {
+    let mut out = MappingSet::new();
+    for m1 in a {
+        for m2 in b {
+            if m1.compatible(m2) {
+                out.insert(m1.merge(m2));
+            }
+        }
+    }
+    out
+}
+
+/// Ω₁ ∪ Ω₂.
+pub fn union(a: &MappingSet, b: &MappingSet) -> MappingSet {
+    a.union(b).cloned().collect()
+}
+
+/// Ω₁ ∖ Ω₂ = {µ ∈ Ω₁ | ∀µ' ∈ Ω₂ : µ ≁ µ'}.
+pub fn minus(a: &MappingSet, b: &MappingSet) -> MappingSet {
+    a.iter()
+        .filter(|m| b.iter().all(|m2| !m.compatible(m2)))
+        .cloned()
+        .collect()
+}
+
+/// Ω₁ ⟕ Ω₂ = (Ω₁ ⋈ Ω₂) ∪ (Ω₁ ∖ Ω₂).
+pub fn left_outer_join(a: &MappingSet, b: &MappingSet) -> MappingSet {
+    union(&join(a, b), &minus(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triq_common::intern;
+
+    fn m(pairs: &[(&str, &str)]) -> Mapping {
+        Mapping::from_pairs(pairs.iter().map(|(v, s)| (VarId::new(v), intern(s))))
+    }
+
+    fn set(ms: &[Mapping]) -> MappingSet {
+        ms.iter().cloned().collect()
+    }
+
+    #[test]
+    fn compatibility() {
+        let a = m(&[("X", "1"), ("Y", "2")]);
+        let b = m(&[("Y", "2"), ("Z", "3")]);
+        let c = m(&[("Y", "9")]);
+        assert!(a.compatible(&b));
+        assert!(!a.compatible(&c));
+        assert!(Mapping::empty().compatible(&a));
+        assert_eq!(a.merge(&b).len(), 3);
+    }
+
+    #[test]
+    fn join_semantics() {
+        let out = join(
+            &set(&[m(&[("X", "1")]), m(&[("X", "2")])]),
+            &set(&[m(&[("X", "1"), ("Y", "a")]), m(&[("Y", "b")])]),
+        );
+        // (X=1) joins with both; (X=2) only with (Y=b).
+        assert_eq!(out.len(), 3);
+        assert!(out.contains(&m(&[("X", "1"), ("Y", "a")])));
+        assert!(out.contains(&m(&[("X", "2"), ("Y", "b")])));
+    }
+
+    #[test]
+    fn minus_and_left_outer_join() {
+        let left = set(&[m(&[("X", "1")]), m(&[("X", "2")])]);
+        let right = set(&[m(&[("X", "1"), ("Y", "a")])]);
+        let diff = minus(&left, &right);
+        assert_eq!(diff, set(&[m(&[("X", "2")])]));
+        let loj = left_outer_join(&left, &right);
+        assert_eq!(
+            loj,
+            set(&[m(&[("X", "1"), ("Y", "a")]), m(&[("X", "2")])])
+        );
+    }
+
+    #[test]
+    fn restriction() {
+        let a = m(&[("X", "1"), ("Y", "2")]);
+        let w: BTreeSet<VarId> = [VarId::new("X"), VarId::new("Z")].into_iter().collect();
+        let r = a.restrict(&w);
+        assert_eq!(r, m(&[("X", "1")]));
+    }
+
+    /// The algebra satisfies the laws the §3.1 semantics relies on.
+    #[test]
+    fn algebra_laws() {
+        let a = set(&[m(&[("X", "1")]), m(&[("Y", "2")])]);
+        let b = set(&[m(&[("X", "1"), ("Z", "3")])]);
+        // Join commutes.
+        assert_eq!(join(&a, &b), join(&b, &a));
+        // Union is idempotent.
+        assert_eq!(union(&a, &a), a);
+        // µ∅ is the join identity.
+        let id = set(&[Mapping::empty()]);
+        assert_eq!(join(&a, &id), a);
+        // Ω ∖ Ω = ∅ unless incompatible pairs exist… here empty.
+        assert!(minus(&a, &a).is_empty());
+    }
+}

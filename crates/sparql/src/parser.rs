@@ -1,0 +1,595 @@
+//! A parser for a SPARQL-style concrete syntax covering the §3.1 algebra:
+//!
+//! ```text
+//! SELECT ?X WHERE { ?Y is_author_of ?Z . ?Y name ?X }
+//! { ?X name ?Y } OPTIONAL { ?X phone ?Z }
+//! { P1 } UNION { P2 }
+//! { ?X name ?N } FILTER (?N = "Alfred Aho" && bound(?X))
+//! { SELECT ?X WHERE { ... } }
+//! CONSTRUCT { ?X name_author ?Z } WHERE { ?Y is_author_of ?Z . ?Y name ?X }
+//! ```
+//!
+//! Variables are `?X`, blank nodes `_:B`, everything else (bare words,
+//! `pre:name`, quoted strings) is a constant.
+
+use crate::algebra::{GraphPattern, PatternTerm, TriplePattern};
+use crate::condition::Condition;
+use crate::query::{ConstructQuery, SelectQuery};
+use std::collections::BTreeSet;
+use triq_common::{intern, Result, TriqError, VarId};
+
+fn err(message: impl Into<String>) -> TriqError {
+    TriqError::Parse {
+        what: "sparql",
+        message: message.into(),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Word(String),
+    Var(String),
+    Blank(String),
+    Str(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Dot,
+    Eq,
+    AndAnd,
+    OrOr,
+    Bang,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            '#' => {
+                for (_, ch) in chars.by_ref() {
+                    if ch == '\n' {
+                        break;
+                    }
+                }
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '{' => {
+                chars.next();
+                toks.push(Tok::LBrace);
+            }
+            '}' => {
+                chars.next();
+                toks.push(Tok::RBrace);
+            }
+            '(' => {
+                chars.next();
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                toks.push(Tok::RParen);
+            }
+            '.' => {
+                chars.next();
+                toks.push(Tok::Dot);
+            }
+            '=' => {
+                chars.next();
+                toks.push(Tok::Eq);
+            }
+            '!' => {
+                chars.next();
+                toks.push(Tok::Bang);
+            }
+            '&' => {
+                chars.next();
+                match chars.next() {
+                    Some((_, '&')) => toks.push(Tok::AndAnd),
+                    _ => return Err(err(format!("stray '&' at byte {i}"))),
+                }
+            }
+            '|' => {
+                chars.next();
+                match chars.next() {
+                    Some((_, '|')) => toks.push(Tok::OrOr),
+                    _ => return Err(err(format!("stray '|' at byte {i}"))),
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some((_, '"')) => break,
+                        Some((_, '\\')) => match chars.next() {
+                            Some((_, 'n')) => s.push('\n'),
+                            Some((_, 't')) => s.push('\t'),
+                            Some((_, other)) => s.push(other),
+                            None => return Err(err("dangling escape")),
+                        },
+                        Some((_, other)) => s.push(other),
+                        None => return Err(err("unterminated string")),
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            '?' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&(_, ch)) = chars.peek() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        name.push(ch);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(err(format!("empty variable name at byte {i}")));
+                }
+                toks.push(Tok::Var(name));
+            }
+            '_' if matches!(chars.clone().nth(1), Some((_, ':'))) => {
+                chars.next();
+                chars.next();
+                let mut name = String::new();
+                while let Some(&(_, ch)) = chars.peek() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        name.push(ch);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(err("empty blank node label"));
+                }
+                toks.push(Tok::Blank(name));
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '~' => {
+                let mut name = String::new();
+                while let Some(&(_, ch)) = chars.peek() {
+                    if ch.is_alphanumeric() || matches!(ch, '_' | ':' | '/' | '\'' | '~') {
+                        name.push(ch);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Word(name));
+            }
+            other => return Err(err(format!("unexpected character {other:?} at byte {i}"))),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<()> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(err(format!("expected {tok:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(Tok::Word(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(err(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn term(&mut self) -> Result<PatternTerm> {
+        match self.next() {
+            Some(Tok::Var(v)) => Ok(PatternTerm::Var(VarId::new(&v))),
+            Some(Tok::Blank(b)) => Ok(PatternTerm::Blank(intern(&b))),
+            Some(Tok::Word(w)) => Ok(PatternTerm::Const(intern(&w))),
+            Some(Tok::Str(s)) => Ok(PatternTerm::Const(intern(&s))),
+            other => Err(err(format!("expected a term, found {other:?}"))),
+        }
+    }
+
+    fn triple(&mut self) -> Result<TriplePattern> {
+        let s = self.term()?;
+        // `a` sugar in predicate position.
+        let p = if self.peek_keyword("a") {
+            self.next();
+            PatternTerm::Const(intern("rdf:type"))
+        } else {
+            self.term()?
+        };
+        let o = self.term()?;
+        Ok(TriplePattern::new(s, p, o))
+    }
+
+    /// A group `{ ... }` or a combinator expression at the current level.
+    fn pattern_expr(&mut self) -> Result<GraphPattern> {
+        let mut current = self.pattern_unit()?;
+        loop {
+            if self.peek_keyword("UNION") {
+                self.next();
+                let rhs = self.pattern_unit()?;
+                current = GraphPattern::Union(Box::new(current), Box::new(rhs));
+            } else if self.peek_keyword("OPTIONAL") || self.peek_keyword("OPT") {
+                self.next();
+                let rhs = self.pattern_unit()?;
+                current = GraphPattern::Opt(Box::new(current), Box::new(rhs));
+            } else if self.peek_keyword("AND") {
+                self.next();
+                let rhs = self.pattern_unit()?;
+                current = GraphPattern::And(Box::new(current), Box::new(rhs));
+            } else if self.peek_keyword("FILTER") {
+                self.next();
+                self.expect(Tok::LParen)?;
+                let cond = self.condition()?;
+                self.expect(Tok::RParen)?;
+                current = GraphPattern::Filter(Box::new(current), cond);
+            } else {
+                return Ok(current);
+            }
+        }
+    }
+
+    /// A unit: `{ ... }` (group, possibly a sub-SELECT) or a bare BGP.
+    fn pattern_unit(&mut self) -> Result<GraphPattern> {
+        if self.peek() == Some(&Tok::LBrace) {
+            self.next();
+            if self.peek_keyword("SELECT") {
+                let q = self.select_query()?;
+                self.expect(Tok::RBrace)?;
+                return Ok(GraphPattern::Select(q.vars, Box::new(q.pattern)));
+            }
+            let inner = self.group_body()?;
+            self.expect(Tok::RBrace)?;
+            Ok(inner)
+        } else {
+            // Bare triple block.
+            self.triple_block()
+        }
+    }
+
+    fn triple_block(&mut self) -> Result<GraphPattern> {
+        let mut triples = vec![self.triple()?];
+        while self.peek() == Some(&Tok::Dot) {
+            self.next();
+            // Allow a trailing dot before '}' or a combinator keyword.
+            match self.peek() {
+                Some(Tok::Var(_) | Tok::Word(_) | Tok::Str(_) | Tok::Blank(_))
+                    if !self.peek_combinator() =>
+                {
+                    triples.push(self.triple()?)
+                }
+                _ => break,
+            }
+        }
+        Ok(GraphPattern::Basic(triples))
+    }
+
+    fn peek_combinator(&self) -> bool {
+        ["UNION", "OPTIONAL", "OPT", "AND", "FILTER", "SELECT"]
+            .iter()
+            .any(|k| self.peek_keyword(k))
+    }
+
+    /// The inside of a `{ ... }` group: triples and nested sub-patterns
+    /// combined left-associatively (adjacency = AND).
+    fn group_body(&mut self) -> Result<GraphPattern> {
+        let mut current: Option<GraphPattern> = None;
+        let attach = |cur: Option<GraphPattern>, new: GraphPattern| match cur {
+            None => new,
+            Some(c) => GraphPattern::And(Box::new(c), Box::new(new)),
+        };
+        loop {
+            match self.peek() {
+                None | Some(Tok::RBrace) => {
+                    return current.ok_or_else(|| err("empty group pattern"));
+                }
+                Some(Tok::Dot) => {
+                    self.next();
+                }
+                Some(Tok::LBrace) => {
+                    let unit = self.pattern_unit()?;
+                    current = Some(attach(current, unit));
+                }
+                Some(Tok::Word(w)) if w.eq_ignore_ascii_case("UNION") => {
+                    self.next();
+                    let rhs = self.pattern_unit()?;
+                    let lhs = current.ok_or_else(|| err("UNION without left operand"))?;
+                    current = Some(GraphPattern::Union(Box::new(lhs), Box::new(rhs)));
+                }
+                Some(Tok::Word(w))
+                    if w.eq_ignore_ascii_case("OPTIONAL") || w.eq_ignore_ascii_case("OPT") =>
+                {
+                    self.next();
+                    let rhs = self.pattern_unit()?;
+                    let lhs = current.ok_or_else(|| err("OPTIONAL without left operand"))?;
+                    current = Some(GraphPattern::Opt(Box::new(lhs), Box::new(rhs)));
+                }
+                Some(Tok::Word(w)) if w.eq_ignore_ascii_case("AND") => {
+                    self.next();
+                    let rhs = self.pattern_unit()?;
+                    let lhs = current.ok_or_else(|| err("AND without left operand"))?;
+                    current = Some(GraphPattern::And(Box::new(lhs), Box::new(rhs)));
+                }
+                Some(Tok::Word(w)) if w.eq_ignore_ascii_case("FILTER") => {
+                    self.next();
+                    self.expect(Tok::LParen)?;
+                    let cond = self.condition()?;
+                    self.expect(Tok::RParen)?;
+                    let lhs = current.ok_or_else(|| err("FILTER without a pattern"))?;
+                    current = Some(GraphPattern::Filter(Box::new(lhs), cond));
+                }
+                Some(Tok::Word(w)) if w.eq_ignore_ascii_case("SELECT") => {
+                    let q = self.select_query()?;
+                    current = Some(attach(
+                        current,
+                        GraphPattern::Select(q.vars, Box::new(q.pattern)),
+                    ));
+                }
+                _ => {
+                    let block = self.triple_block()?;
+                    current = Some(attach(current, block));
+                }
+            }
+        }
+    }
+
+    // --- conditions: ! binds tightest, then &&, then || ------------------
+    fn condition(&mut self) -> Result<Condition> {
+        let mut left = self.condition_and()?;
+        while self.peek() == Some(&Tok::OrOr) {
+            self.next();
+            let right = self.condition_and()?;
+            left = Condition::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn condition_and(&mut self) -> Result<Condition> {
+        let mut left = self.condition_atom()?;
+        while self.peek() == Some(&Tok::AndAnd) {
+            self.next();
+            let right = self.condition_atom()?;
+            left = Condition::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn condition_atom(&mut self) -> Result<Condition> {
+        match self.next() {
+            Some(Tok::Bang) => Ok(Condition::Not(Box::new(self.condition_atom()?))),
+            Some(Tok::LParen) => {
+                let c = self.condition()?;
+                self.expect(Tok::RParen)?;
+                Ok(c)
+            }
+            Some(Tok::Word(w)) if w.eq_ignore_ascii_case("bound") => {
+                self.expect(Tok::LParen)?;
+                let v = match self.next() {
+                    Some(Tok::Var(v)) => VarId::new(&v),
+                    other => return Err(err(format!("bound() expects a variable, got {other:?}"))),
+                };
+                self.expect(Tok::RParen)?;
+                Ok(Condition::Bound(v))
+            }
+            Some(Tok::Var(v)) => {
+                self.expect(Tok::Eq)?;
+                let lhs = VarId::new(&v);
+                match self.next() {
+                    Some(Tok::Var(w)) => Ok(Condition::EqVar(lhs, VarId::new(&w))),
+                    Some(Tok::Word(c)) => Ok(Condition::EqConst(lhs, intern(&c))),
+                    Some(Tok::Str(c)) => Ok(Condition::EqConst(lhs, intern(&c))),
+                    other => Err(err(format!("expected term after '=', got {other:?}"))),
+                }
+            }
+            other => Err(err(format!("expected condition, found {other:?}"))),
+        }
+    }
+
+    fn select_query(&mut self) -> Result<SelectQuery> {
+        self.expect_keyword("SELECT")?;
+        let mut vars: BTreeSet<VarId> = BTreeSet::new();
+        while let Some(Tok::Var(_)) = self.peek() {
+            if let Some(Tok::Var(v)) = self.next() {
+                vars.insert(VarId::new(&v));
+            }
+        }
+        if vars.is_empty() {
+            return Err(err("SELECT needs at least one variable"));
+        }
+        self.expect_keyword("WHERE")?;
+        let pattern = self.pattern_unit()?;
+        // Allow trailing FILTER etc. after the WHERE group.
+        let pattern = self.continue_expr(pattern)?;
+        Ok(SelectQuery { vars, pattern })
+    }
+
+    fn continue_expr(&mut self, mut current: GraphPattern) -> Result<GraphPattern> {
+        loop {
+            if self.peek_keyword("UNION") {
+                self.next();
+                let rhs = self.pattern_unit()?;
+                current = GraphPattern::Union(Box::new(current), Box::new(rhs));
+            } else if self.peek_keyword("OPTIONAL") || self.peek_keyword("OPT") {
+                self.next();
+                let rhs = self.pattern_unit()?;
+                current = GraphPattern::Opt(Box::new(current), Box::new(rhs));
+            } else if self.peek_keyword("FILTER") {
+                self.next();
+                self.expect(Tok::LParen)?;
+                let cond = self.condition()?;
+                self.expect(Tok::RParen)?;
+                current = GraphPattern::Filter(Box::new(current), cond);
+            } else {
+                return Ok(current);
+            }
+        }
+    }
+}
+
+/// Parses a graph-pattern expression.
+pub fn parse_pattern(input: &str) -> Result<GraphPattern> {
+    let mut p = Parser {
+        toks: lex(input)?,
+        pos: 0,
+    };
+    let pattern = p.pattern_expr()?;
+    if p.peek().is_some() {
+        return Err(err(format!("trailing input: {:?}", p.peek())));
+    }
+    pattern.validate()?;
+    Ok(pattern)
+}
+
+/// Parses `SELECT ?X ... WHERE { ... }`.
+pub fn parse_select(input: &str) -> Result<SelectQuery> {
+    let mut p = Parser {
+        toks: lex(input)?,
+        pos: 0,
+    };
+    let q = p.select_query()?;
+    if p.peek().is_some() {
+        return Err(err(format!("trailing input: {:?}", p.peek())));
+    }
+    q.pattern.validate()?;
+    Ok(q)
+}
+
+/// Parses `CONSTRUCT { template } WHERE { ... }`.
+pub fn parse_construct(input: &str) -> Result<ConstructQuery> {
+    let mut p = Parser {
+        toks: lex(input)?,
+        pos: 0,
+    };
+    p.expect_keyword("CONSTRUCT")?;
+    p.expect(Tok::LBrace)?;
+    let mut template = vec![p.triple()?];
+    while p.peek() == Some(&Tok::Dot) {
+        p.next();
+        if p.peek() == Some(&Tok::RBrace) {
+            break;
+        }
+        template.push(p.triple()?);
+    }
+    p.expect(Tok::RBrace)?;
+    p.expect_keyword("WHERE")?;
+    let pattern = p.pattern_unit()?;
+    let pattern = p.continue_expr(pattern)?;
+    if p.peek().is_some() {
+        return Err(err(format!("trailing input: {:?}", p.peek())));
+    }
+    pattern.validate()?;
+    Ok(ConstructQuery { template, pattern })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_select() {
+        let q = parse_select("SELECT ?X WHERE { ?Y is_author_of ?Z . ?Y name ?X }").unwrap();
+        assert_eq!(q.vars.len(), 1);
+        match &q.pattern {
+            GraphPattern::Basic(ts) => assert_eq!(ts.len(), 2),
+            other => panic!("expected BGP, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_union_and_optional() {
+        let p = parse_pattern("{ ?A p ?B } UNION { ?A q ?B } OPTIONAL { ?B r ?C }").unwrap();
+        match p {
+            GraphPattern::Opt(inner, _) => match *inner {
+                GraphPattern::Union(..) => {}
+                other => panic!("expected UNION, got {other}"),
+            },
+            other => panic!("expected OPT at top, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_groups_with_inline_optional() {
+        let p = parse_pattern("{ { ?X name ?Y OPTIONAL { ?X phone ?Z } } AND { ?Z c ?W } }")
+            .unwrap();
+        match p {
+            GraphPattern::And(l, _) => match *l {
+                GraphPattern::Opt(..) => {}
+                other => panic!("expected OPT on the left, got {other}"),
+            },
+            other => panic!("expected AND, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_filters_with_precedence() {
+        let p = parse_pattern(
+            "{ ?X p ?Y } FILTER (bound(?X) && !bound(?Y) || ?X = ?Y)",
+        )
+        .unwrap();
+        let GraphPattern::Filter(_, cond) = p else {
+            panic!("expected FILTER");
+        };
+        // || at the top.
+        assert!(matches!(cond, Condition::Or(..)));
+    }
+
+    #[test]
+    fn parses_construct_with_blank() {
+        // Query (4) of §2.
+        let q = parse_construct(
+            "CONSTRUCT { ?X is_author_of _:B . ?Y is_author_of _:B } \
+             WHERE { ?X is_coauthor_of ?Y }",
+        )
+        .unwrap();
+        assert_eq!(q.template.len(), 2);
+        assert!(matches!(q.template[0].o, PatternTerm::Blank(_)));
+    }
+
+    #[test]
+    fn parses_subselect() {
+        let p = parse_pattern("{ SELECT ?X WHERE { ?X p ?Y } }").unwrap();
+        assert!(matches!(p, GraphPattern::Select(..)));
+        assert_eq!(p.vars().len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_filter_scope_and_garbage() {
+        assert!(parse_pattern("{ ?X p ?Y } FILTER (bound(?Z))").is_err());
+        assert!(parse_pattern("{ }").is_err());
+        assert!(parse_pattern("{ ?X p }").is_err());
+        assert!(parse_select("SELECT WHERE { ?X p ?Y }").is_err());
+    }
+
+    #[test]
+    fn a_keyword_in_predicate_position() {
+        let p = parse_pattern("{ ?X a owl:Class }").unwrap();
+        let GraphPattern::Basic(ts) = p else { panic!() };
+        assert_eq!(ts[0].p, PatternTerm::Const(intern("rdf:type")));
+    }
+}

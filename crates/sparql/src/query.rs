@@ -1,0 +1,169 @@
+//! `SELECT` and `CONSTRUCT` query forms (§2).
+
+use crate::algebra::{GraphPattern, PatternTerm, TriplePattern};
+use crate::eval::evaluate;
+use crate::mapping::Mapping;
+use std::collections::{BTreeSet, HashMap};
+use triq_common::{intern, Symbol, VarId};
+use triq_rdf::{Graph, Triple};
+
+/// A `SELECT W WHERE P` query.
+#[derive(Clone, Debug)]
+pub struct SelectQuery {
+    /// The projected variables `W`.
+    pub vars: BTreeSet<VarId>,
+    /// The `WHERE` pattern.
+    pub pattern: GraphPattern,
+}
+
+impl SelectQuery {
+    /// Evaluates the query: `J(SELECT W P)K_G`.
+    pub fn evaluate(&self, graph: &Graph) -> crate::MappingSet {
+        evaluate(
+            graph,
+            &GraphPattern::Select(self.vars.clone(), Box::new(self.pattern.clone())),
+        )
+    }
+
+    /// Convenience: the multiset of bindings of a single projected
+    /// variable, sorted.
+    pub fn bindings_of(&self, graph: &Graph, var: &str) -> Vec<Symbol> {
+        let v = VarId::new(var);
+        let mut out: Vec<Symbol> = self
+            .evaluate(graph)
+            .into_iter()
+            .filter_map(|m| m.get(v))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// A `CONSTRUCT { template } WHERE P` query (§2).
+#[derive(Clone, Debug)]
+pub struct ConstructQuery {
+    /// The template triples (may contain blank nodes).
+    pub template: Vec<TriplePattern>,
+    /// The `WHERE` pattern.
+    pub pattern: GraphPattern,
+}
+
+impl ConstructQuery {
+    /// Evaluates the query, producing an RDF graph. Per the SPARQL
+    /// semantics the paper describes in §2, a *fresh* blank node is
+    /// generated for each template blank node *per match* of the WHERE
+    /// pattern, and template triples with unbound variables are skipped.
+    pub fn evaluate(&self, graph: &Graph) -> Graph {
+        let mut out = Graph::new();
+        let mut blank_counter = 0usize;
+        let mut matches: Vec<Mapping> = evaluate(graph, &self.pattern).into_iter().collect();
+        matches.sort();
+        for m in matches {
+            let mut blanks: HashMap<Symbol, Symbol> = HashMap::new();
+            let mut resolve = |t: PatternTerm| -> Option<Symbol> {
+                match t {
+                    PatternTerm::Const(c) => Some(c),
+                    PatternTerm::Var(v) => m.get(v),
+                    PatternTerm::Blank(b) => Some(*blanks.entry(b).or_insert_with(|| {
+                        let fresh = intern(&format!("_:c{blank_counter}"));
+                        blank_counter += 1;
+                        fresh
+                    })),
+                }
+            };
+            for t in &self.template {
+                if let (Some(s), Some(p), Some(o)) = (resolve(t.s), resolve(t.p), resolve(t.o)) {
+                    out.insert(Triple::new(s, p, o));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_construct, parse_select};
+    use triq_rdf::parse_turtle;
+
+    /// §2: CONSTRUCT building name_author triples.
+    #[test]
+    fn construct_name_author() {
+        let g = parse_turtle(
+            "dbUllman is_author_of \"The Complete Book\" .\n\
+             dbUllman name \"Jeffrey Ullman\" .",
+        )
+        .unwrap();
+        let q = parse_construct(
+            "CONSTRUCT { ?X name_author ?Z } WHERE { ?Y is_author_of ?Z . ?Y name ?X }",
+        )
+        .unwrap();
+        let out = q.evaluate(&g);
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&Triple::from_strs(
+            "Jeffrey Ullman",
+            "name_author",
+            "The Complete Book"
+        )));
+    }
+
+    /// §2 query (4): fresh blank node per match.
+    #[test]
+    fn construct_fresh_blank_per_match() {
+        let g = parse_turtle(
+            "a is_coauthor_of b .\n\
+             c is_coauthor_of d .",
+        )
+        .unwrap();
+        let q = parse_construct(
+            "CONSTRUCT { ?X is_author_of _:B . ?Y is_author_of _:B } \
+             WHERE { ?X is_coauthor_of ?Y }",
+        )
+        .unwrap();
+        let out = q.evaluate(&g);
+        // 2 matches × 2 template triples, each match sharing ONE blank.
+        assert_eq!(out.len(), 4);
+        let objects: BTreeSet<Symbol> = out.iter().map(|t| t.o).collect();
+        assert_eq!(objects.len(), 2, "each match gets its own blank node");
+        // Within a match, both authors point at the same blank.
+        let a_obj = out
+            .matching(Some(intern("a")), None, None)
+            .first()
+            .unwrap()
+            .o;
+        let b_obj = out
+            .matching(Some(intern("b")), None, None)
+            .first()
+            .unwrap()
+            .o;
+        assert_eq!(a_obj, b_obj);
+    }
+
+    #[test]
+    fn select_bindings_of() {
+        let g = parse_turtle(
+            "a name \"Alice\" .\n\
+             b name \"Bob\" .",
+        )
+        .unwrap();
+        let q = parse_select("SELECT ?N WHERE { ?X name ?N }").unwrap();
+        let names: Vec<&str> = q
+            .bindings_of(&g, "N")
+            .into_iter()
+            .map(|s| s.as_str())
+            .collect();
+        assert_eq!(names, vec!["Alice", "Bob"]);
+    }
+
+    #[test]
+    fn construct_skips_unbound_template_vars() {
+        let g = parse_turtle("a name \"Alice\" .").unwrap();
+        let q = parse_construct(
+            "CONSTRUCT { ?X has_phone ?Z } WHERE { ?X name ?N } OPTIONAL { ?X phone ?Z }",
+        )
+        .unwrap();
+        assert!(q.evaluate(&g).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! Fuzz-style robustness for the SPARQL and property-path parsers.
+
+use proptest::prelude::*;
+use triq_sparql::{parse_construct, parse_path, parse_pattern, parse_select};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn pattern_parser_never_panics(input in "\\PC{0,120}") {
+        let _ = parse_pattern(&input);
+        let _ = parse_select(&input);
+        let _ = parse_construct(&input);
+    }
+
+    #[test]
+    fn path_parser_never_panics(input in "\\PC{0,60}") {
+        let _ = parse_path(&input);
+    }
+
+    #[test]
+    fn token_soup_never_panics(tokens in prop::collection::vec(
+        prop::sample::select(vec![
+            "SELECT", "WHERE", "{", "}", "?X", "?Y", "UNION", "OPTIONAL",
+            "FILTER", "(", ")", "bound", "=", "&&", "||", "!", ".",
+            "name", "_:B", "\"lit\"", "a",
+        ]),
+        0..14,
+    )) {
+        let input = tokens.join(" ");
+        let _ = parse_pattern(&input);
+        let _ = parse_select(&input);
+    }
+}

@@ -1,0 +1,81 @@
+//! Decoding Datalog answers back into SPARQL mapping sets: the
+//! correspondence `J(P_dat, τ_db(G))K = {µ_{t,P} | t ∈ P_dat(τ_db(G))}`
+//! of §5.1.
+
+use crate::translator::{star, TranslatedPattern};
+use triq_common::Symbol;
+use triq_datalog::Answers;
+use triq_sparql::{Mapping, MappingSet};
+
+/// Answers under an entailment regime: either ⊤ (the graph is
+/// inconsistent w.r.t. the OWL 2 QL core semantics) or a set of mappings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegimeAnswers {
+    /// The ontology constraints fired.
+    Top,
+    /// The mapping set.
+    Mappings(MappingSet),
+}
+
+impl RegimeAnswers {
+    /// The mappings, if consistent.
+    pub fn mappings(&self) -> Option<&MappingSet> {
+        match self {
+            RegimeAnswers::Top => None,
+            RegimeAnswers::Mappings(m) => Some(m),
+        }
+    }
+
+    /// True iff the result is ⊤.
+    pub fn is_top(&self) -> bool {
+        matches!(self, RegimeAnswers::Top)
+    }
+}
+
+/// Decodes one answer tuple into the mapping `µ_{t,P}`: positions holding
+/// ⋆ are left out of the domain.
+pub fn decode_tuple(tuple: &[Symbol], translated: &TranslatedPattern) -> Mapping {
+    debug_assert_eq!(tuple.len(), translated.vars.len());
+    Mapping::from_pairs(
+        translated
+            .vars
+            .iter()
+            .zip(tuple.iter())
+            .filter(|(_, &s)| s != star())
+            .map(|(&v, &s)| (v, s)),
+    )
+}
+
+/// Decodes a full answer set.
+pub fn decode_answers(answers: &Answers, translated: &TranslatedPattern) -> RegimeAnswers {
+    match answers {
+        Answers::Top => RegimeAnswers::Top,
+        Answers::Tuples(tuples) => RegimeAnswers::Mappings(
+            tuples
+                .iter()
+                .map(|t| decode_tuple(t, translated))
+                .collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translator::translate_pattern;
+    use triq_common::{intern, VarId};
+    use triq_sparql::parse_pattern;
+
+    #[test]
+    fn star_positions_are_unbound() {
+        let pattern = parse_pattern("{ ?X name ?Y } OPTIONAL { ?X phone ?Z }").unwrap();
+        let t = translate_pattern(&pattern).unwrap();
+        assert_eq!(t.vars.len(), 3);
+        let z_pos = t.vars.iter().position(|&v| v == VarId::new("Z")).unwrap();
+        let mut tuple = vec![intern("a"), intern("b"), intern("c")];
+        tuple[z_pos] = star();
+        let m = decode_tuple(&tuple, &t);
+        assert_eq!(m.len(), 2);
+        assert!(m.get(VarId::new("Z")).is_none());
+    }
+}

@@ -1,0 +1,163 @@
+//! Compilation of SPARQL built-in conditions to Datalog builtins.
+//!
+//! The translation of `(P FILTER R)` fixes a *variant* of the sub-pattern,
+//! i.e. a set `B` of bound variables (the supra-index machinery of §5.1).
+//! Relative to `B`, every `bound(?X)` is statically true or false, and the
+//! remaining (in)equalities become engine builtins; we compile `R` to a
+//! disjunctive normal form, one Datalog rule per satisfiable disjunct.
+
+use std::collections::BTreeSet;
+use triq_common::{Term, VarId};
+use triq_datalog::Builtin;
+use triq_sparql::Condition;
+
+/// An intermediate Boolean value: constant, or a literal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Lit {
+    True,
+    False,
+    B(Builtin),
+}
+
+/// Compiles `condition` under bound-set `bound` into DNF: the result is a
+/// list of conjunctions of builtins; the condition holds iff some
+/// conjunction holds. An empty list means statically false; a list
+/// containing an empty conjunction means (that disjunct is) statically
+/// true.
+pub fn compile_condition(condition: &Condition, bound: &BTreeSet<VarId>) -> Vec<Vec<Builtin>> {
+    dnf(condition, bound, false)
+}
+
+/// DNF of `condition` (negated if `neg`).
+fn dnf(condition: &Condition, bound: &BTreeSet<VarId>, neg: bool) -> Vec<Vec<Builtin>> {
+    match condition {
+        Condition::Not(inner) => dnf(inner, bound, !neg),
+        Condition::And(a, b) if !neg => conjoin(dnf(a, bound, false), dnf(b, bound, false)),
+        Condition::And(a, b) => disjoin(dnf(a, bound, true), dnf(b, bound, true)),
+        Condition::Or(a, b) if !neg => disjoin(dnf(a, bound, false), dnf(b, bound, false)),
+        Condition::Or(a, b) => conjoin(dnf(a, bound, true), dnf(b, bound, true)),
+        atomic => match literal(atomic, bound, neg) {
+            Lit::True => vec![vec![]],
+            Lit::False => vec![],
+            Lit::B(b) => vec![vec![b]],
+        },
+    }
+}
+
+/// An atomic condition under `bound`, possibly negated. Per §3.1, an
+/// atomic condition mentioning an unbound variable is false (so its
+/// negation is true).
+fn literal(condition: &Condition, bound: &BTreeSet<VarId>, neg: bool) -> Lit {
+    let flip = |l: Lit| match (l, neg) {
+        (l, false) => l,
+        (Lit::True, true) => Lit::False,
+        (Lit::False, true) => Lit::True,
+        (Lit::B(Builtin::Eq(a, b)), true) => Lit::B(Builtin::Neq(a, b)),
+        (Lit::B(Builtin::Neq(a, b)), true) => Lit::B(Builtin::Eq(a, b)),
+    };
+    let base = match condition {
+        Condition::Bound(v) => {
+            if bound.contains(v) {
+                Lit::True
+            } else {
+                Lit::False
+            }
+        }
+        Condition::EqConst(v, c) => {
+            if bound.contains(v) {
+                Lit::B(Builtin::Eq(Term::Var(*v), Term::Const(*c)))
+            } else {
+                Lit::False
+            }
+        }
+        Condition::EqVar(v, w) => {
+            if bound.contains(v) && bound.contains(w) {
+                Lit::B(Builtin::Eq(Term::Var(*v), Term::Var(*w)))
+            } else {
+                Lit::False
+            }
+        }
+        _ => unreachable!("non-atomic condition passed to literal()"),
+    };
+    flip(base)
+}
+
+fn conjoin(a: Vec<Vec<Builtin>>, b: Vec<Vec<Builtin>>) -> Vec<Vec<Builtin>> {
+    let mut out = Vec::new();
+    for x in &a {
+        for y in &b {
+            let mut c = x.clone();
+            c.extend(y.iter().copied());
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn disjoin(mut a: Vec<Vec<Builtin>>, b: Vec<Vec<Builtin>>) -> Vec<Vec<Builtin>> {
+    a.extend(b);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triq_common::intern;
+
+    fn bset(names: &[&str]) -> BTreeSet<VarId> {
+        names.iter().map(|n| VarId::new(n)).collect()
+    }
+
+    #[test]
+    fn bound_is_static() {
+        let c = Condition::Bound(VarId::new("X"));
+        assert_eq!(compile_condition(&c, &bset(&["X"])), vec![vec![]]);
+        assert!(compile_condition(&c, &bset(&[])).is_empty());
+        let n = Condition::Not(Box::new(c));
+        assert_eq!(compile_condition(&n, &bset(&[])), vec![vec![]]);
+    }
+
+    #[test]
+    fn equality_becomes_builtin() {
+        let c = Condition::EqConst(VarId::new("X"), intern("a"));
+        let d = compile_condition(&c, &bset(&["X"]));
+        assert_eq!(
+            d,
+            vec![vec![Builtin::Eq(
+                Term::Var(VarId::new("X")),
+                Term::Const(intern("a"))
+            )]]
+        );
+        // Unbound: statically false; negated: true.
+        assert!(compile_condition(&c, &bset(&[])).is_empty());
+        let neg = Condition::Not(Box::new(c));
+        assert_eq!(compile_condition(&neg, &bset(&["X"])).len(), 1);
+        assert_eq!(compile_condition(&neg, &bset(&[]))[0].len(), 0);
+    }
+
+    #[test]
+    fn demorgan() {
+        // !(X = a && Y = b) == X != a || Y != b.
+        let c = Condition::Not(Box::new(Condition::And(
+            Box::new(Condition::EqConst(VarId::new("X"), intern("a"))),
+            Box::new(Condition::EqConst(VarId::new("Y"), intern("b"))),
+        )));
+        let d = compile_condition(&c, &bset(&["X", "Y"]));
+        assert_eq!(d.len(), 2);
+        assert!(matches!(d[0][0], Builtin::Neq(..)));
+    }
+
+    #[test]
+    fn or_of_ands_expands() {
+        let c = Condition::And(
+            Box::new(Condition::Or(
+                Box::new(Condition::EqConst(VarId::new("X"), intern("a"))),
+                Box::new(Condition::EqConst(VarId::new("X"), intern("b"))),
+            )),
+            Box::new(Condition::EqVar(VarId::new("X"), VarId::new("Y"))),
+        );
+        let d = compile_condition(&c, &bset(&["X", "Y"]));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].len(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! The §2/§5 ontology scenarios: querying under the OWL 2 QL core
+//! direct-semantics entailment regime.
+//!
+//! * G3: restriction axioms make every coauthor an author of *something*,
+//!   so the regime finds Alfred Aho where plain SPARQL does not.
+//! * G4: `owl:sameAs` as a user rule library.
+//! * The animal/eats example of §5.2–§5.3: the active-domain restriction
+//!   and the J·K^All semantics that lifts it.
+//!
+//! Run with: `cargo run --example ontology_authors`
+
+use triq::engine::{materialize_same_as, Semantics, SparqlEngine};
+use triq::prelude::*;
+
+fn main() -> Result<(), TriqError> {
+    // --- G3: restriction reasoning --------------------------------------
+    let g3 = parse_turtle(
+        "dbUllman is_author_of \"The Complete Book\" .\n\
+         dbUllman name \"Jeffrey Ullman\" .\n\
+         dbAho is_coauthor_of dbUllman .\n\
+         dbAho name \"Alfred Aho\" .\n\
+         r1 rdf:type owl:Restriction .\n\
+         r2 rdf:type owl:Restriction .\n\
+         r1 owl:onProperty is_coauthor_of .\n\
+         r2 owl:onProperty is_author_of .\n\
+         r1 owl:someValuesFrom owl:Thing .\n\
+         r2 owl:someValuesFrom owl:Thing .\n\
+         r1 rdfs:subClassOf r2 .",
+    )?;
+    let engine = SparqlEngine::new(g3);
+    let plain_pattern = parse_pattern("{ ?Y is_author_of ?Z . ?Y name ?X }")?;
+    println!("G3, plain SPARQL (no reasoning):");
+    for n in engine.bindings_of(&plain_pattern, Semantics::Plain, "X")? {
+        println!("  {n}");
+    }
+    // Under J.K^All the natural blank-node query finds Aho: the regime
+    // invents the publication he must have authored.
+    let natural = parse_pattern("{ ?Y is_author_of _:B . ?Y name ?X }")?;
+    println!("G3, entailment regime without active-domain restriction:");
+    for n in engine.bindings_of(&natural, Semantics::RegimeAll, "X")? {
+        println!("  {n}");
+    }
+
+    // --- G4: owl:sameAs --------------------------------------------------
+    let g4 = parse_turtle(
+        "dbUllman is_author_of \"The Complete Book\" .\n\
+         dbUllman owl:sameAs yagoUllman .\n\
+         yagoUllman name \"Jeffrey Ullman\" .",
+    )?;
+    let engine = SparqlEngine::new(materialize_same_as(&g4)?);
+    println!("G4 with the owl:sameAs rule library:");
+    for n in engine.bindings_of(&plain_pattern, Semantics::Plain, "X")? {
+        println!("  {n}");
+    }
+
+    // --- §5.2: dogs eat something ----------------------------------------
+    let mut animals = Ontology::new();
+    animals.add(Axiom::ClassAssertion(
+        BasicClass::Named(intern("animal")),
+        intern("dog"),
+    ));
+    animals.add(Axiom::SubClassOf(
+        BasicClass::Named(intern("animal")),
+        BasicClass::Some(BasicProperty::Named(intern("eats"))),
+    ));
+    // §5.3: herbivores — everything eaten is plant material.
+    animals.add(Axiom::SubClassOf(
+        BasicClass::Some(BasicProperty::Inverse(intern("eats"))),
+        BasicClass::Named(intern("plant_material")),
+    ));
+    let graph = ontology_to_graph(&animals);
+    let engine = SparqlEngine::new(graph);
+
+    let eats_pattern = parse_pattern("{ ?X eats _:B }")?;
+    let u = engine.bindings_of(&eats_pattern, Semantics::RegimeU, "X")?;
+    println!("\nWho eats something (active-domain semantics)? {u:?} (empty: the witness is a null)");
+    let all = engine.bindings_of(&eats_pattern, Semantics::RegimeAll, "X")?;
+    println!("Who eats something (J.K^All)? {all:?}");
+
+    // §5.3's query Q: animals eating some plant material — provable only
+    // through the ontology, without a concrete witness.
+    let q = parse_pattern("{ ?X eats _:B . _:B rdf:type plant_material }")?;
+    let all = engine.bindings_of(&q, Semantics::RegimeAll, "X")?;
+    println!("Who eats plant material (J.K^All)? {all:?}");
+    Ok(())
+}

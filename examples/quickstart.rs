@@ -1,0 +1,70 @@
+//! Quickstart: load an RDF graph, query it with SPARQL, with a TriQ-Lite
+//! 1.0 rule program, and produce a new graph with CONSTRUCT — the opening
+//! examples of §2 of the paper.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use triq::prelude::*;
+
+fn main() -> Result<(), TriqError> {
+    // The graph G2 of §2.
+    let graph = parse_turtle(
+        "dbUllman is_author_of \"The Complete Book\" .\n\
+         dbUllman name \"Jeffrey Ullman\" .\n\
+         dbAho is_coauthor_of dbUllman .\n\
+         dbAho name \"Alfred Aho\" .",
+    )?;
+    println!("Loaded {} triples.", graph.len());
+
+    // --- SPARQL query (1): the authors' names ---------------------------
+    let select = parse_select("SELECT ?X WHERE { ?Y is_author_of ?Z . ?Y name ?X }")?;
+    println!("\nSPARQL query (1) — authors:");
+    for name in select.bindings_of(&graph, "X") {
+        println!("  {name}");
+    }
+
+    // --- The same query as a rule program, query (2) of the paper -------
+    let rules = parse_program(
+        "triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> query(?X).",
+    )?;
+    let rule_query = TriqLiteQuery::new(rules, "query")?;
+    let answers = rule_query.evaluate_on_graph(&graph)?;
+    println!("\nTriQ-Lite 1.0 rule (2) — authors:");
+    for tuple in answers.tuples() {
+        println!("  {}", tuple[0]);
+    }
+
+    // --- CONSTRUCT query (3): produce a new RDF graph -------------------
+    let construct = parse_construct(
+        "CONSTRUCT { ?X name_author ?Z } WHERE { ?Y is_author_of ?Z . ?Y name ?X }",
+    )?;
+    let derived = construct.evaluate(&graph);
+    println!("\nCONSTRUCT output graph:");
+    print!("{}", to_turtle(&derived));
+
+    // --- Rule (3): the same CONSTRUCT as a plain rule --------------------
+    let rules = parse_program(
+        "triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> \
+            result(?X, name_author, ?Z).",
+    )?;
+    let q = TriqLiteQuery::new(rules, "result")?;
+    let answers = q.evaluate_on_graph(&graph)?;
+    println!("\nRule (3) output triples:");
+    for t in answers.tuples() {
+        println!("  ({}, {}, {})", t[0], t[1], t[2]);
+    }
+
+    // --- Query (4): invent a shared publication per coauthor pair -------
+    let rules = parse_program(
+        "triple(?X, is_coauthor_of, ?Y) -> exists ?Z \
+            authored(?X, ?Z), authored(?Y, ?Z).\n\
+         authored(?X, ?Z), authored(?Y, ?Z), ?X != ?Y -> collaborated(?X, ?Y).",
+    )?;
+    let q = TriqLiteQuery::new(rules, "collaborated")?;
+    let answers = q.evaluate_on_graph(&graph)?;
+    println!("\nExistential rule (4) — collaborations via an invented publication:");
+    for t in answers.tuples() {
+        println!("  {} collaborated with {}", t[0], t[1]);
+    }
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Workspace facade: the root package hosts the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`). The
+//! library surface simply re-exports the [`triq`] crate.
+
+pub use triq::*;

@@ -1,0 +1,62 @@
+//! Invariants of chase provenance, over randomized programs and
+//! databases: derivations are well-founded (body ids strictly below the
+//! derived id), every derived atom's proof tree bottoms out in database
+//! atoms, and database atoms have no derivation.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use triq::datalog::{chase, proof_tree, ChaseConfig, Database};
+use triq::prelude::*;
+
+const PROGRAMS: &[&str] = &[
+    "e(?X, ?Y) -> t(?X, ?Y).\n e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).",
+    "e(?X, ?Y) -> exists ?W w(?Y, ?W).\n w(?Y, ?W), e(?Y, ?Z) -> w2(?Y).",
+    "e(?X, ?Y), !blocked(?X) -> ok(?X).\n e(?X, ?Y), e(?Y, ?X) -> blocked(?X).",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn provenance_is_well_founded(seed in any::<u64>(), pi in 0usize..3) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let program = parse_program(PROGRAMS[pi]).unwrap();
+        let mut db = Database::new();
+        let consts = ["a", "b", "c", "d"];
+        for _ in 0..rng.gen_range(1..8) {
+            db.add_fact(
+                "e",
+                &[
+                    consts[rng.gen_range(0..consts.len())],
+                    consts[rng.gen_range(0..consts.len())],
+                ],
+            );
+        }
+        let n_db = db.len();
+        let out = chase(&db, &program, ChaseConfig::default()).unwrap();
+        for (id, _) in out.instance.iter() {
+            match out.instance.derivation(id) {
+                None => prop_assert!(
+                    (id as usize) < n_db,
+                    "underived atom {id} beyond the database prefix"
+                ),
+                Some(d) => {
+                    prop_assert!((id as usize) >= n_db);
+                    for &b in &d.body {
+                        prop_assert!(b < id, "derivation of {id} uses later atom {b}");
+                    }
+                    prop_assert!(d.rule < program.rules.len());
+                    // The proof tree exists and bottoms out in the DB.
+                    let tree = proof_tree(&out.instance, id);
+                    for leaf in tree.root.leaves() {
+                        prop_assert!(
+                            db.contains(leaf),
+                            "leaf {leaf} of {id}'s proof is not a database atom"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
