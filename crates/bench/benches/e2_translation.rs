@@ -1,6 +1,9 @@
 //! E2 — Theorem 5.2: translation overhead — direct SPARQL evaluation vs
 //! translate-to-Datalog + chase + decode, on the paper's pattern shapes.
 
+// Measures the one-shot translate+chase path on purpose.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use triq::prelude::*;
 use triq::rdf::random_graph;

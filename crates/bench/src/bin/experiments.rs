@@ -5,6 +5,10 @@
 //! Run all:   `cargo run -p triq-bench --release --bin experiments`
 //! Run one:   `cargo run -p triq-bench --release --bin experiments -- e5`
 
+// The harness deliberately measures the legacy one-shot paths alongside
+// direct evaluation; their deprecation is expected.
+#![allow(deprecated)]
+
 use std::collections::BTreeSet;
 use triq::datalog::builders::{
     atm_database, atm_initial_constant, atm_program, clique_database, clique_query,
@@ -14,9 +18,7 @@ use triq::datalog::{
     chase, proof_tree, prooftree_decide, render_proof_tree, ugcp, GroundAtom, ProofTreeConfig,
 };
 use triq::engine::{Semantics, SparqlEngine};
-use triq::owl2ql::{
-    chain_ontology, ontology_from_graph, university_ontology, EntailmentOracle,
-};
+use triq::owl2ql::{chain_ontology, ontology_from_graph, university_ontology, EntailmentOracle};
 use triq::prelude::*;
 use triq_bench::{fitted_exponent, growth_ratios, time_ms};
 
@@ -70,7 +72,10 @@ fn t1_table1() {
     let axioms = [
         Axiom::SubClassOf(BasicClass::Named(intern("b1")), BasicClass::Some(eats)),
         Axiom::SubObjectPropertyOf(BasicProperty::Named(intern("r1")), eats.inverse()),
-        Axiom::DisjointClasses(BasicClass::Named(intern("b1")), BasicClass::Named(intern("b2"))),
+        Axiom::DisjointClasses(
+            BasicClass::Named(intern("b1")),
+            BasicClass::Named(intern("b2")),
+        ),
         Axiom::DisjointObjectProperties(BasicProperty::Named(intern("r1")), eats),
         Axiom::ClassAssertion(BasicClass::Named(intern("b1")), intern("a")),
         Axiom::ObjectPropertyAssertion(intern("eats"), intern("a1"), intern("a2")),
@@ -149,8 +154,7 @@ fn e1_clique() {
             max_atoms: 100_000_000,
             ..ChaseConfig::default()
         };
-        let ((answers, outcome), ms) =
-            time_ms(|| query.evaluate_full(&db, config).unwrap());
+        let ((answers, outcome), ms) = time_ms(|| query.evaluate_full(&db, config).unwrap());
         let triq_says = !answers.is_empty();
         let direct = has_clique_direct(n, &wheel, k);
         assert_eq!(triq_says, direct);
@@ -213,7 +217,10 @@ fn e2_translation() {
 
 /// E3 — Theorem 5.3: the entailment regime, translation vs oracle.
 fn e3_regime() {
-    header("E3", "Thm 5.3 — entailment regime: translation vs saturation oracle");
+    header(
+        "E3",
+        "Thm 5.3 — entailment regime: translation vs saturation oracle",
+    );
     println!("  |ABox| | entailed type-atoms | agree | translate+eval (ms) | saturate (ms)");
     for scale in [2usize, 6, 12] {
         let graph = triq::owl2ql::ontology_to_graph(&university_ontology(scale, 3, 10, 1));
@@ -239,7 +246,10 @@ fn e3_regime() {
 
 /// E4 — Corollaries 5.4 / 6.2: the translations are TriQ(-Lite) 1.0.
 fn e4_classification() {
-    header("E4", "Cor 5.4 / 6.2 — regime translations are TriQ-Lite 1.0");
+    header(
+        "E4",
+        "Cor 5.4 / 6.2 — regime translations are TriQ-Lite 1.0",
+    );
     let patterns = [
         "{ ?X eats _:B }",
         "{ ?Y is_author_of _:B . ?Y name ?X }",
@@ -266,7 +276,10 @@ fn e4_classification() {
 
 /// E5 — Theorem 6.7: PTime data complexity of TriQ-Lite 1.0.
 fn e5_ptime_scaling() {
-    header("E5", "Thm 6.7 — TriQ-Lite 1.0 evaluation scales polynomially");
+    header(
+        "E5",
+        "Thm 6.7 — TriQ-Lite 1.0 evaluation scales polynomially",
+    );
     // A fixed TriQ-Lite query: the regime query over growing ABoxes.
     let pattern = parse_pattern("{ ?X rdf:type person }").unwrap();
     let mut points = Vec::new();
@@ -311,7 +324,10 @@ fn e5_ptime_scaling() {
 
 /// E6 — §6.2: UGCP separation (Lemmas 6.5/6.6, Proposition 6.4).
 fn e6_ugcp() {
-    header("E6", "§6.2 — unbounded ground connection: warded vs nearly-frontier-guarded");
+    header(
+        "E6",
+        "§6.2 — unbounded ground connection: warded vs nearly-frontier-guarded",
+    );
     println!("  n | mgc warded | mgc nfg | regime mgc on O_n");
     for n in [2usize, 8, 32, 128] {
         let warded = ugcp::warded_ugcp_program();
@@ -320,12 +336,7 @@ fn e6_ugcp() {
         let out_n = chase(&ugcp::chain_database(n), &nfg, ChaseConfig::default()).unwrap();
         // And the real thing: τ_owl2ql_core over the Lemma 6.5 ontology.
         let graph = triq::owl2ql::ontology_to_graph(&chain_ontology(n));
-        let out_r = chase(
-            &tau_db(&graph),
-            &tau_owl2ql_core(),
-            ChaseConfig::default(),
-        )
-        .unwrap();
+        let out_r = chase(&tau_db(&graph), &tau_owl2ql_core(), ChaseConfig::default()).unwrap();
         println!(
             "  {n:>3} | {:>10} | {:>7} | {:>17}",
             ugcp::max_ground_connection(&out_w.instance),
@@ -338,7 +349,10 @@ fn e6_ugcp() {
 
 /// E7 — Theorem 6.15: ATM simulation with the minimal-interaction program.
 fn e7_atm() {
-    header("E7", "Thm 6.15 — ATM via warded-with-minimal-interaction program");
+    header(
+        "E7",
+        "Thm 6.15 — ATM via warded-with-minimal-interaction program",
+    );
     let q = atm_program();
     let c = classify_program(&q.program);
     println!(

@@ -1,29 +1,72 @@
-//! Workspace-wide error type.
+//! Workspace-wide error type with stable, programmatically matchable
+//! error codes.
 
 use std::fmt;
 
 /// Errors raised across the TriQ workspace.
+///
+/// Every variant carries a stable [code](TriqError::code) (`E-…`) that API
+/// users can match on without parsing display strings; codes are part of
+/// the public contract and never change meaning.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TriqError {
-    /// A parser rejected its input (`what` identifies the parser).
+    /// `E-PARSE`: a parser rejected its input (`what` identifies the
+    /// parser).
     Parse { what: &'static str, message: String },
-    /// A program failed a static well-formedness check (arity mismatch,
-    /// unsafe rule, unstratifiable negation, ...).
+    /// `E-INVALID-PROGRAM`: a program failed a static well-formedness
+    /// check (arity mismatch, unsafe rule, ...).
     InvalidProgram(String),
-    /// A program failed a language-membership check (e.g. a query handed to
-    /// the TriQ-Lite 1.0 engine is not warded).
-    NotInLanguage { language: &'static str, reason: String },
-    /// The chase exceeded its configured step / depth budget.
+    /// `E-STRATIFY`: the program is not stratified — negation occurs in a
+    /// recursive cycle (§3.2).
+    Unstratifiable(String),
+    /// `E-OUTPUT-IN-BODY`: the query output predicate occurs in a rule
+    /// body, which §3.2 forbids.
+    OutputInBody(String),
+    /// `E-LANG-MEMBERSHIP`: a program failed a language-membership check
+    /// (e.g. a query handed to the TriQ-Lite 1.0 engine is not warded).
+    NotInLanguage {
+        language: &'static str,
+        reason: String,
+    },
+    /// `E-RESOURCE`: the chase exceeded its configured step / depth
+    /// budget.
     ResourceExhausted(String),
-    /// Anything else.
+    /// `E-OTHER`: anything else.
     Other(String),
+}
+
+impl TriqError {
+    /// The stable error code of this error.
+    ///
+    /// Codes are `E-`-prefixed SCREAMING-KEBAB identifiers; match on them
+    /// for programmatic failure handling:
+    ///
+    /// ```
+    /// use triq_common::TriqError;
+    /// let e = TriqError::Unstratifiable("negative cycle".into());
+    /// assert_eq!(e.code(), "E-STRATIFY");
+    /// ```
+    pub fn code(&self) -> &'static str {
+        match self {
+            TriqError::Parse { .. } => "E-PARSE",
+            TriqError::InvalidProgram(_) => "E-INVALID-PROGRAM",
+            TriqError::Unstratifiable(_) => "E-STRATIFY",
+            TriqError::OutputInBody(_) => "E-OUTPUT-IN-BODY",
+            TriqError::NotInLanguage { .. } => "E-LANG-MEMBERSHIP",
+            TriqError::ResourceExhausted(_) => "E-RESOURCE",
+            TriqError::Other(_) => "E-OTHER",
+        }
+    }
 }
 
 impl fmt::Display for TriqError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.code())?;
         match self {
             TriqError::Parse { what, message } => write!(f, "{what} parse error: {message}"),
             TriqError::InvalidProgram(m) => write!(f, "invalid program: {m}"),
+            TriqError::Unstratifiable(m) => write!(f, "program is not stratified: {m}"),
+            TriqError::OutputInBody(m) => write!(f, "output predicate in rule body: {m}"),
             TriqError::NotInLanguage { language, reason } => {
                 write!(f, "query is not in {language}: {reason}")
             }
@@ -48,11 +91,49 @@ mod tests {
             what: "datalog",
             message: "unexpected token".into(),
         };
-        assert_eq!(e.to_string(), "datalog parse error: unexpected token");
+        assert_eq!(
+            e.to_string(),
+            "[E-PARSE] datalog parse error: unexpected token"
+        );
         let e = TriqError::NotInLanguage {
             language: "TriQ-Lite 1.0",
             reason: "rule 3 is not warded".into(),
         };
         assert!(e.to_string().contains("TriQ-Lite 1.0"));
+        assert!(e.to_string().contains("E-LANG-MEMBERSHIP"));
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let errors = [
+            TriqError::Parse {
+                what: "x",
+                message: String::new(),
+            },
+            TriqError::InvalidProgram(String::new()),
+            TriqError::Unstratifiable(String::new()),
+            TriqError::OutputInBody(String::new()),
+            TriqError::NotInLanguage {
+                language: "x",
+                reason: String::new(),
+            },
+            TriqError::ResourceExhausted(String::new()),
+            TriqError::Other(String::new()),
+        ];
+        let codes: Vec<&str> = errors.iter().map(TriqError::code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "E-PARSE",
+                "E-INVALID-PROGRAM",
+                "E-STRATIFY",
+                "E-OUTPUT-IN-BODY",
+                "E-LANG-MEMBERSHIP",
+                "E-RESOURCE",
+                "E-OTHER",
+            ]
+        );
+        let unique: std::collections::BTreeSet<&str> = codes.iter().copied().collect();
+        assert_eq!(unique.len(), codes.len());
     }
 }

@@ -4,10 +4,9 @@
 //! which lets [`Symbol::as_str`] hand out `&'static str` without holding a
 //! lock. The write path takes a mutex only on a miss.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned constant (a URI or literal from the paper's set **U**).
 ///
@@ -34,12 +33,12 @@ fn global() -> &'static RwLock<Interner> {
 /// Interns `s`, returning its stable [`Symbol`].
 pub fn intern(s: &str) -> Symbol {
     {
-        let guard = global().read();
+        let guard = global().read().expect("interner lock poisoned");
         if let Some(&id) = guard.map.get(s) {
             return Symbol(id);
         }
     }
-    let mut guard = global().write();
+    let mut guard = global().write().expect("interner lock poisoned");
     if let Some(&id) = guard.map.get(s) {
         return Symbol(id);
     }
@@ -52,7 +51,7 @@ pub fn intern(s: &str) -> Symbol {
 
 /// Resolves a symbol back to its string.
 pub fn resolve(sym: Symbol) -> &'static str {
-    global().read().strings[sym.0 as usize]
+    global().read().expect("interner lock poisoned").strings[sym.0 as usize]
 }
 
 impl Symbol {

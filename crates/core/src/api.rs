@@ -1,0 +1,895 @@
+//! The unified `Engine` / `Session` / `PreparedQuery` facade.
+//!
+//! The paper gives four ways to ask a question — SPARQL patterns under
+//! three semantics (§3.1, §5.2, §5.3), TriQ 1.0 programs (Def. 4.2),
+//! TriQ-Lite 1.0 programs (Def. 6.1) and raw Datalog∃,¬s,⊥ queries
+//! (§3.2) — and the seed exposed one ad-hoc entry point per way, each
+//! re-parsing, re-translating, re-classifying, re-stratifying and
+//! re-compiling on every call. This module replaces them with one
+//! prepare-once / execute-many lifecycle:
+//!
+//! * [`Engine`] (built via [`EngineBuilder`]) holds policy: chase
+//!   configuration, default [`Semantics`], rule libraries (§2), and
+//!   usage [statistics](Engine::stats);
+//! * [`Engine::prepare`] accepts *any* query form through [`IntoQuery`]
+//!   and pays translation (§5), classification (Def. 4.2 / 6.1),
+//!   stratification (§3.2) and rule compilation exactly **once**,
+//!   yielding a [`PreparedQuery`];
+//! * [`Session`] holds loaded data — an RDF [`Graph`] bridged through
+//!   `τ_db` (§5.1) and/or a raw [`Database`] — plus a chase-state cache,
+//!   so re-executing a prepared query against unchanged data is free;
+//! * a [`PreparedQuery`] executes against any number of sessions, either
+//!   materialized ([`PreparedQuery::execute`]) or streaming
+//!   ([`PreparedQuery::execute_iter`]).
+//!
+//! ```
+//! use triq::prelude::*;
+//!
+//! let engine = Engine::new();
+//! let authors = engine.prepare(Sparql(
+//!     "SELECT ?X WHERE { ?Y is_author_of ?Z . ?Y name ?X }",
+//! ))?;
+//!
+//! let session = engine.load_turtle(
+//!     "dbUllman is_author_of \"The Complete Book\" .\n\
+//!      dbUllman name \"Jeffrey Ullman\" .",
+//! )?;
+//! assert_eq!(authors.bindings_of(&session, "X")?[0].as_str(), "Jeffrey Ullman");
+//! # Ok::<(), TriqError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use triq_common::{Result, Symbol, TriqError, VarId};
+use triq_datalog::{
+    classify_program, AnswerIter, Answers, ChaseConfig, ChaseOutcome, ChaseRunner, Database,
+    ExistentialStrategy, Program, ProgramClassification,
+};
+use triq_owl2ql::tau_db;
+use triq_rdf::Graph;
+use triq_sparql::{GraphPattern, MappingSet, SelectQuery};
+use triq_translate::{
+    decode_tuple_vars, regime_chase_config, translate_pattern, translate_pattern_all,
+    translate_pattern_u, RegimeAnswers,
+};
+
+use crate::{TriqLiteQuery, TriqQuery};
+
+/// The evaluation semantics for SPARQL patterns (§3.1, §5.2, §5.3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Semantics {
+    /// Plain SPARQL over the graph as-is (Theorem 5.2).
+    #[default]
+    Plain,
+    /// The OWL 2 QL core direct-semantics entailment regime J·K^U, with
+    /// the active-domain restriction (Theorem 5.3).
+    RegimeU,
+    /// J·K^All (§5.3): the regime without the active-domain restriction
+    /// on blank nodes.
+    RegimeAll,
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// Builder for [`Engine`]: chase policy, default semantics and rule
+/// libraries.
+#[derive(Clone, Debug)]
+pub struct EngineBuilder {
+    plain_config: ChaseConfig,
+    regime_config: ChaseConfig,
+    default_semantics: Semantics,
+    libraries: Vec<Program>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            plain_config: ChaseConfig::default(),
+            regime_config: regime_chase_config(),
+            default_semantics: Semantics::Plain,
+            libraries: Vec::new(),
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// A builder with the default policy: skolem chase for plain /
+    /// datalog queries, restricted chase for the entailment regimes
+    /// (see [`regime_chase_config`]), plain semantics, no libraries.
+    pub fn new() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Replaces the chase configuration for **all** query kinds.
+    pub fn chase_config(mut self, config: ChaseConfig) -> EngineBuilder {
+        self.plain_config = config;
+        self.regime_config = config;
+        self
+    }
+
+    /// Sets the existential strategy for all query kinds.
+    pub fn existential_strategy(mut self, strategy: ExistentialStrategy) -> EngineBuilder {
+        self.plain_config.strategy = strategy;
+        self.regime_config.strategy = strategy;
+        self
+    }
+
+    /// Sets the null invention-depth bound for all query kinds.
+    pub fn max_null_depth(mut self, depth: u32) -> EngineBuilder {
+        self.plain_config.max_null_depth = depth;
+        self.regime_config.max_null_depth = depth;
+        self
+    }
+
+    /// Sets the atom budget for all query kinds.
+    pub fn max_atoms(mut self, atoms: usize) -> EngineBuilder {
+        self.plain_config.max_atoms = atoms;
+        self.regime_config.max_atoms = atoms;
+        self
+    }
+
+    /// Sets the semantics used when a SPARQL query is prepared without an
+    /// explicit one.
+    pub fn default_semantics(mut self, semantics: Semantics) -> EngineBuilder {
+        self.default_semantics = semantics;
+        self
+    }
+
+    /// Adds a rule library (a fixed set of rules in the sense of §2, e.g.
+    /// the `owl:sameAs` closure) that is unioned into every prepared
+    /// program. Libraries must not redefine `triple` recursively in a way
+    /// that breaks stratification.
+    pub fn library(mut self, library: Program) -> EngineBuilder {
+        self.libraries.push(library);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Engine {
+        Engine {
+            inner: Arc::new(EngineInner {
+                plain_config: self.plain_config,
+                regime_config: self.regime_config,
+                default_semantics: self.default_semantics,
+                libraries: self.libraries,
+                stats: EngineCounters::default(),
+            }),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct EngineCounters {
+    prepared_queries: AtomicUsize,
+    executions: AtomicUsize,
+    chase_runs: AtomicUsize,
+    cache_hits: AtomicUsize,
+}
+
+#[derive(Debug)]
+struct EngineInner {
+    plain_config: ChaseConfig,
+    regime_config: ChaseConfig,
+    default_semantics: Semantics,
+    libraries: Vec<Program>,
+    stats: EngineCounters,
+}
+
+/// Usage counters of an [`Engine`] (a point-in-time snapshot).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries prepared (each pays translation + stratification once).
+    pub prepared_queries: usize,
+    /// Prepared-query executions (including cache hits).
+    pub executions: usize,
+    /// Chase runs actually performed.
+    pub chase_runs: usize,
+    /// Executions answered from a session's chase-state cache.
+    pub cache_hits: usize,
+}
+
+/// The top-level handle: policy + prepared-query factory.
+///
+/// Cloning an `Engine` is cheap (an [`Arc`] bump) and clones share
+/// statistics; sessions and prepared queries keep their engine alive.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        EngineBuilder::new().build()
+    }
+}
+
+/// Global source of prepared-query identities (used as session cache
+/// keys).
+static NEXT_PLAN_ID: AtomicU64 = AtomicU64::new(1);
+
+impl Engine {
+    /// An engine with the default policy.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Starts configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The semantics used when none is given at prepare time.
+    pub fn default_semantics(&self) -> Semantics {
+        self.inner.default_semantics
+    }
+
+    /// A snapshot of the usage counters.
+    pub fn stats(&self) -> EngineStats {
+        let s = &self.inner.stats;
+        EngineStats {
+            prepared_queries: s.prepared_queries.load(Ordering::Relaxed),
+            executions: s.executions.load(Ordering::Relaxed),
+            chase_runs: s.chase_runs.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// An empty session.
+    pub fn session(&self) -> Session {
+        Session {
+            engine: self.clone(),
+            graph: None,
+            db: Database::new(),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A session over an RDF graph, bridged through `τ_db` (§5.1) once.
+    pub fn load_graph(&self, graph: Graph) -> Session {
+        Session {
+            engine: self.clone(),
+            db: tau_db(&graph),
+            graph: Some(graph),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A session over a graph given in Turtle-lite text.
+    pub fn load_turtle(&self, turtle: &str) -> Result<Session> {
+        Ok(self.load_graph(triq_rdf::parse_turtle(turtle)?))
+    }
+
+    /// A session over a raw Datalog database.
+    pub fn load_database(&self, db: Database) -> Session {
+        Session {
+            engine: self.clone(),
+            graph: None,
+            db,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Prepares a query: parsing, translation (§5), classification
+    /// (Def. 4.2 / 6.1), stratification and rule compilation happen here,
+    /// exactly once; the result executes against any number of sessions.
+    pub fn prepare<Q: IntoQuery>(&self, query: Q) -> Result<PreparedQuery> {
+        let spec = query.into_query()?;
+        self.prepare_spec(spec)
+    }
+
+    fn prepare_spec(&self, spec: QuerySpec) -> Result<PreparedQuery> {
+        let (program, output, decode) = match spec {
+            QuerySpec::Sparql { pattern, semantics } => {
+                let semantics = semantics.unwrap_or(self.inner.default_semantics);
+                let translated = match semantics {
+                    Semantics::Plain => translate_pattern(&pattern)?,
+                    Semantics::RegimeU => translate_pattern_u(&pattern)?,
+                    Semantics::RegimeAll => translate_pattern_all(&pattern)?,
+                };
+                let decode = SparqlDecode {
+                    vars: translated.vars,
+                    semantics,
+                };
+                (translated.program, translated.answer_pred, Some(decode))
+            }
+            QuerySpec::Datalog { program, output } => (program, output, None),
+        };
+        // Union the engine's rule libraries into the prepared program.
+        let mut program = program;
+        for lib in &self.inner.libraries {
+            program = lib.union(&program);
+        }
+        // §3.2: the output predicate must not occur in any rule body.
+        if program.occurs_in_body(output) {
+            return Err(TriqError::OutputInBody(format!(
+                "output predicate {output} occurs in a rule body (§3.2 \
+                 forbids this)"
+            )));
+        }
+        let classification = classify_program(&program);
+        let config = match &decode {
+            Some(d) if d.semantics != Semantics::Plain => self.inner.regime_config,
+            _ => self.inner.plain_config,
+        };
+        let runner = ChaseRunner::new(program, config)?;
+        self.inner
+            .stats
+            .prepared_queries
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(PreparedQuery {
+            engine: self.clone(),
+            plan_id: NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed),
+            runner,
+            output,
+            classification,
+            decode,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IntoQuery
+// ---------------------------------------------------------------------------
+
+/// A query in some source language, normalized for [`Engine::prepare`].
+#[derive(Clone, Debug)]
+pub enum QuerySpec {
+    /// A SPARQL graph pattern, optionally pinned to a semantics (else the
+    /// engine default applies).
+    Sparql {
+        /// The pattern.
+        pattern: GraphPattern,
+        /// `None` = use [`Engine::default_semantics`].
+        semantics: Option<Semantics>,
+    },
+    /// A Datalog∃,¬s,⊥ query `(Π, p)`.
+    Datalog {
+        /// The program Π.
+        program: Program,
+        /// The output predicate `p`.
+        output: Symbol,
+    },
+}
+
+/// Conversion into a [`QuerySpec`] — the single doorway every query
+/// language enters the engine through. Implemented for SPARQL patterns
+/// and `SELECT` queries (optionally paired with a [`Semantics`]), for
+/// validated [`TriqQuery`] / [`TriqLiteQuery`] programs, for raw
+/// [`triq_datalog::Query`] values and `(Program, output)` pairs, and for
+/// source text via the [`Sparql`] and [`Datalog`] wrappers.
+pub trait IntoQuery {
+    /// Normalizes `self`.
+    fn into_query(self) -> Result<QuerySpec>;
+}
+
+/// SPARQL `SELECT` source text, e.g. `Sparql("SELECT ?X WHERE { ?X p ?Y }")`.
+#[derive(Clone, Copy, Debug)]
+pub struct Sparql<'a>(pub &'a str);
+
+/// Datalog∃,¬s,⊥ source text plus output predicate, e.g.
+/// `Datalog("triple(?X, p, ?Y) -> out(?X).", "out")`.
+#[derive(Clone, Copy, Debug)]
+pub struct Datalog<'a>(pub &'a str, pub &'a str);
+
+impl IntoQuery for QuerySpec {
+    fn into_query(self) -> Result<QuerySpec> {
+        Ok(self)
+    }
+}
+
+impl IntoQuery for Sparql<'_> {
+    fn into_query(self) -> Result<QuerySpec> {
+        triq_sparql::parse_select(self.0)?.into_query()
+    }
+}
+
+impl IntoQuery for Datalog<'_> {
+    fn into_query(self) -> Result<QuerySpec> {
+        let program = triq_datalog::parse_program(self.0)?;
+        Ok(QuerySpec::Datalog {
+            program,
+            output: triq_common::intern(self.1),
+        })
+    }
+}
+
+impl IntoQuery for GraphPattern {
+    fn into_query(self) -> Result<QuerySpec> {
+        self.validate()?;
+        Ok(QuerySpec::Sparql {
+            pattern: self,
+            semantics: None,
+        })
+    }
+}
+
+impl IntoQuery for (GraphPattern, Semantics) {
+    fn into_query(self) -> Result<QuerySpec> {
+        self.0.validate()?;
+        Ok(QuerySpec::Sparql {
+            pattern: self.0,
+            semantics: Some(self.1),
+        })
+    }
+}
+
+impl IntoQuery for &GraphPattern {
+    fn into_query(self) -> Result<QuerySpec> {
+        self.clone().into_query()
+    }
+}
+
+impl IntoQuery for (&GraphPattern, Semantics) {
+    fn into_query(self) -> Result<QuerySpec> {
+        (self.0.clone(), self.1).into_query()
+    }
+}
+
+impl IntoQuery for SelectQuery {
+    fn into_query(self) -> Result<QuerySpec> {
+        let pattern = GraphPattern::Select(self.vars, Box::new(self.pattern));
+        pattern.into_query()
+    }
+}
+
+impl IntoQuery for (SelectQuery, Semantics) {
+    fn into_query(self) -> Result<QuerySpec> {
+        let QuerySpec::Sparql { pattern, .. } = self.0.into_query()? else {
+            unreachable!("SelectQuery normalizes to a SPARQL spec");
+        };
+        Ok(QuerySpec::Sparql {
+            pattern,
+            semantics: Some(self.1),
+        })
+    }
+}
+
+impl IntoQuery for triq_datalog::Query {
+    fn into_query(self) -> Result<QuerySpec> {
+        Ok(QuerySpec::Datalog {
+            program: self.program,
+            output: self.output,
+        })
+    }
+}
+
+impl IntoQuery for (Program, &str) {
+    fn into_query(self) -> Result<QuerySpec> {
+        Ok(QuerySpec::Datalog {
+            program: self.0,
+            output: triq_common::intern(self.1),
+        })
+    }
+}
+
+impl IntoQuery for TriqQuery {
+    fn into_query(self) -> Result<QuerySpec> {
+        self.query().clone().into_query()
+    }
+}
+
+impl IntoQuery for TriqLiteQuery {
+    fn into_query(self) -> Result<QuerySpec> {
+        self.query().clone().into_query()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// Upper bound on cached chase outcomes per session. An outcome holds the
+/// whole materialized instance, so the cache is kept small; when full it
+/// is cleared wholesale (coarse, but bounded — recomputation is always
+/// correct).
+const MAX_CACHED_OUTCOMES: usize = 32;
+
+/// Loaded data plus a chase-state cache.
+///
+/// A session belongs to the [`Engine`] that created it. The cache maps a
+/// prepared query's identity to the [`ChaseOutcome`] it produced over this
+/// session's data, so re-executing the same [`PreparedQuery`] is a lookup;
+/// any mutation of the session data invalidates the cache, and the cache
+/// holds at most [`MAX_CACHED_OUTCOMES`] entries.
+#[derive(Debug)]
+pub struct Session {
+    engine: Engine,
+    graph: Option<Graph>,
+    db: Database,
+    cache: Mutex<HashMap<u64, Arc<ChaseOutcome>>>,
+}
+
+impl Session {
+    /// The engine this session belongs to.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The loaded RDF graph, if the session was created from one.
+    pub fn graph(&self) -> Option<&Graph> {
+        self.graph.as_ref()
+    }
+
+    /// The underlying Datalog database (`τ_db(G)` for graph sessions).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Adds an RDF triple (both to the graph, if any, and to the `τ_db`
+    /// bridge), invalidating cached chase state.
+    pub fn insert_triple(&mut self, s: &str, p: &str, o: &str) {
+        if let Some(g) = &mut self.graph {
+            g.insert_strs(s, p, o);
+        }
+        self.db.add_fact("triple", &[s, p, o]);
+        self.invalidate();
+    }
+
+    /// Adds a raw Datalog fact, invalidating cached chase state.
+    pub fn add_fact(&mut self, pred: &str, constants: &[&str]) {
+        self.db.add_fact(pred, constants);
+        self.invalidate();
+    }
+
+    /// Drops all cached chase state.
+    pub fn invalidate(&mut self) {
+        self.cache
+            .get_mut()
+            .expect("session cache poisoned")
+            .clear();
+    }
+
+    /// Convenience mirror of [`PreparedQuery::execute`].
+    pub fn execute(&self, query: &PreparedQuery) -> Result<Answers> {
+        query.execute(self)
+    }
+
+    fn cached_outcome(&self, plan_id: u64) -> Option<Arc<ChaseOutcome>> {
+        self.cache
+            .lock()
+            .expect("session cache poisoned")
+            .get(&plan_id)
+            .cloned()
+    }
+
+    fn store_outcome(&self, plan_id: u64, outcome: Arc<ChaseOutcome>) {
+        let mut cache = self.cache.lock().expect("session cache poisoned");
+        if cache.len() >= MAX_CACHED_OUTCOMES {
+            cache.clear();
+        }
+        cache.insert(plan_id, outcome);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PreparedQuery
+// ---------------------------------------------------------------------------
+
+/// Decoding info for SPARQL-origin queries: the answer-tuple argument
+/// order and the semantics the pattern was compiled for.
+#[derive(Clone, Debug)]
+struct SparqlDecode {
+    vars: Vec<VarId>,
+    semantics: Semantics,
+}
+
+/// A query that has been parsed, translated, classified, stratified and
+/// rule-compiled once, ready to execute against any [`Session`].
+///
+/// Cloning copies the compiled plan without re-preparing it; the clone
+/// keeps the same cache identity until [`PreparedQuery::with_config`]
+/// assigns a new one.
+#[derive(Clone)]
+pub struct PreparedQuery {
+    engine: Engine,
+    plan_id: u64,
+    runner: ChaseRunner,
+    output: Symbol,
+    classification: ProgramClassification,
+    decode: Option<SparqlDecode>,
+}
+
+impl PreparedQuery {
+    /// The compiled program (libraries included).
+    pub fn program(&self) -> &Program {
+        self.runner.program()
+    }
+
+    /// The output predicate.
+    pub fn output(&self) -> Symbol {
+        self.output
+    }
+
+    /// The language-classification report computed at prepare time.
+    pub fn classification(&self) -> &ProgramClassification {
+        &self.classification
+    }
+
+    /// The semantics this query was compiled for (`None` for raw Datalog
+    /// queries, which have no SPARQL decoding).
+    pub fn semantics(&self) -> Option<Semantics> {
+        self.decode.as_ref().map(|d| d.semantics)
+    }
+
+    /// The chase configuration executions use.
+    pub fn config(&self) -> ChaseConfig {
+        self.runner.config()
+    }
+
+    /// Returns a variant with a different chase configuration. The
+    /// compiled rules and stratification are reused; a new cache identity
+    /// is assigned only when the configuration actually changes (a config
+    /// change can change results).
+    pub fn with_config(mut self, config: ChaseConfig) -> PreparedQuery {
+        if self.runner.config() != config {
+            self.runner.set_config(config);
+            self.plan_id = NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed);
+        }
+        self
+    }
+
+    /// The chase outcome for this query over `session`, from cache when
+    /// available.
+    fn outcome(&self, session: &Session) -> Result<Arc<ChaseOutcome>> {
+        let stats = &self.engine.inner.stats;
+        stats.executions.fetch_add(1, Ordering::Relaxed);
+        if let Some(hit) = session.cached_outcome(self.plan_id) {
+            stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        stats.chase_runs.fetch_add(1, Ordering::Relaxed);
+        let outcome = Arc::new(self.runner.run(&session.db)?);
+        session.store_outcome(self.plan_id, outcome.clone());
+        Ok(outcome)
+    }
+
+    /// Executes, materializing the answers (§3.2's `Q(D)`).
+    pub fn execute(&self, session: &Session) -> Result<Answers> {
+        let outcome = self.outcome(session)?;
+        Ok(Answers::from_chase(&outcome, self.output))
+    }
+
+    /// Executes, streaming the answer tuples without materializing a set.
+    /// Check [`AnswerIter::is_top`] before interpreting emptiness.
+    pub fn execute_iter(&self, session: &Session) -> Result<AnswerIter> {
+        let outcome = self.outcome(session)?;
+        Ok(AnswerIter::new(outcome, self.output))
+    }
+
+    /// Executes and decodes into SPARQL mappings (`µ_{t,P}` of §5.1).
+    /// Errors with `E-OTHER` for raw Datalog queries, which have no
+    /// variable decoding.
+    pub fn mappings(&self, session: &Session) -> Result<RegimeAnswers> {
+        let decode = self.decode.as_ref().ok_or_else(|| {
+            TriqError::Other(
+                "prepared query has no SPARQL variable decoding (it was built \
+                 from a Datalog program); use execute() instead"
+                    .into(),
+            )
+        })?;
+        let mut iter = self.execute_iter(session)?;
+        if iter.is_top() {
+            return Ok(RegimeAnswers::Top);
+        }
+        let mut out = MappingSet::new();
+        for tuple in &mut iter {
+            out.insert(decode_tuple_vars(&tuple, &decode.vars));
+        }
+        Ok(RegimeAnswers::Mappings(out))
+    }
+
+    /// Convenience: the sorted, deduplicated bindings of one variable
+    /// (SPARQL-origin queries only).
+    ///
+    /// When the session data is inconsistent with the ontology semantics
+    /// (`Q(D) = ⊤`, where *every* mapping is an answer), this returns an
+    /// error rather than an empty list — a flat binding list cannot
+    /// represent ⊤. Use [`PreparedQuery::mappings`] to handle ⊤
+    /// explicitly.
+    pub fn bindings_of(&self, session: &Session, var: &str) -> Result<Vec<Symbol>> {
+        let v = VarId::new(var);
+        match self.mappings(session)? {
+            RegimeAnswers::Top => Err(TriqError::Other(
+                "the session data is inconsistent with the ontology \
+                 semantics (Q(D) = ⊤): every binding is an answer; use \
+                 mappings() to handle ⊤"
+                    .into(),
+            )),
+            RegimeAnswers::Mappings(ms) => {
+                let mut out: Vec<Symbol> = ms.iter().filter_map(|m| m.get(v)).collect();
+                out.sort();
+                out.dedup();
+                Ok(out)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PreparedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("plan_id", &self.plan_id)
+            .field("output", &self.output)
+            .field("rules", &self.runner.program().rules.len())
+            .field("semantics", &self.semantics())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triq_rdf::parse_turtle;
+    use triq_sparql::parse_pattern;
+
+    fn g2() -> Graph {
+        parse_turtle(
+            "dbUllman is_author_of \"The Complete Book\" .\n\
+             dbUllman name \"Jeffrey Ullman\" .\n\
+             dbAho is_coauthor_of dbUllman .\n\
+             dbAho name \"Alfred Aho\" .",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sparql_text_roundtrip() {
+        let engine = Engine::new();
+        let q = engine
+            .prepare(Sparql(
+                "SELECT ?X WHERE { ?Y is_author_of ?Z . ?Y name ?X }",
+            ))
+            .unwrap();
+        let session = engine.load_graph(g2());
+        let names = q.bindings_of(&session, "X").unwrap();
+        assert_eq!(names.len(), 1);
+        assert_eq!(names[0].as_str(), "Jeffrey Ullman");
+    }
+
+    #[test]
+    fn one_prepared_query_many_sessions() {
+        let engine = Engine::new();
+        let q = engine
+            .prepare(Datalog("triple(?Y, name, ?X) -> query(?X).", "query"))
+            .unwrap();
+        let s1 = engine.load_graph(g2());
+        let s2 = engine
+            .load_turtle("someone name \"Somebody Else\" .")
+            .unwrap();
+        let s3 = engine.session();
+        assert_eq!(q.execute(&s1).unwrap().len(), 2);
+        assert!(q.execute(&s2).unwrap().contains(&["Somebody Else"]));
+        assert!(q.execute(&s3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn session_cache_hits_and_invalidation() {
+        let engine = Engine::new();
+        let q = engine
+            .prepare(Datalog("triple(?Y, name, ?X) -> q(?X).", "q"))
+            .unwrap();
+        let mut session = engine.load_graph(g2());
+        assert_eq!(q.execute(&session).unwrap().len(), 2);
+        let after_first = engine.stats();
+        assert_eq!(q.execute(&session).unwrap().len(), 2);
+        let after_second = engine.stats();
+        assert_eq!(after_second.chase_runs, after_first.chase_runs);
+        assert_eq!(after_second.cache_hits, after_first.cache_hits + 1);
+        // Mutation invalidates.
+        session.insert_triple("x", "name", "X New");
+        assert_eq!(q.execute(&session).unwrap().len(), 3);
+        let after_third = engine.stats();
+        assert_eq!(after_third.chase_runs, after_first.chase_runs + 1);
+    }
+
+    #[test]
+    fn streaming_matches_materialized() {
+        let engine = Engine::new();
+        let q = engine
+            .prepare(Datalog("triple(?X, ?P, ?Y) -> pair(?X, ?Y).", "pair"))
+            .unwrap();
+        let session = engine.load_graph(g2());
+        let materialized = q.execute(&session).unwrap();
+        let mut streamed: Vec<Vec<Symbol>> = q.execute_iter(&session).unwrap().collect();
+        streamed.sort();
+        let expected: Vec<Vec<Symbol>> = materialized.tuples().iter().cloned().collect();
+        assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn semantics_selection_and_default() {
+        let engine = Engine::builder()
+            .default_semantics(Semantics::RegimeAll)
+            .build();
+        let pattern = parse_pattern("{ ?X eats _:B }").unwrap();
+        let q_default = engine.prepare(&pattern).unwrap();
+        assert_eq!(q_default.semantics(), Some(Semantics::RegimeAll));
+        let q_pinned = engine.prepare((&pattern, Semantics::Plain)).unwrap();
+        assert_eq!(q_pinned.semantics(), Some(Semantics::Plain));
+    }
+
+    #[test]
+    fn output_in_body_is_rejected_with_code() {
+        let engine = Engine::new();
+        let err = engine.prepare(Datalog("q(?X) -> r(?X).", "q")).unwrap_err();
+        assert_eq!(err.code(), "E-OUTPUT-IN-BODY");
+    }
+
+    #[test]
+    fn bindings_of_errors_on_inconsistent_graph() {
+        let engine = Engine::new();
+        let session = engine
+            .load_turtle(
+                "cat owl:disjointWith dog .\n\
+                 cat rdf:type owl:Class .\n\
+                 dog rdf:type owl:Class .\n\
+                 felix rdf:type cat .\n\
+                 felix rdf:type dog .",
+            )
+            .unwrap();
+        let q = engine
+            .prepare((
+                parse_pattern("{ ?X rdf:type cat }").unwrap(),
+                Semantics::RegimeU,
+            ))
+            .unwrap();
+        // mappings() reports ⊤ explicitly…
+        assert!(q.mappings(&session).unwrap().is_top());
+        // …while the flat binding list refuses to flatten it away.
+        assert!(q.bindings_of(&session, "X").is_err());
+    }
+
+    #[test]
+    fn with_config_keeps_identity_when_unchanged() {
+        let engine = Engine::new();
+        let q = engine
+            .prepare(Datalog("triple(?X, ?P, ?Y) -> out(?X).", "out"))
+            .unwrap();
+        let session = engine.load_turtle("a p b .").unwrap();
+        let same = q.clone().with_config(q.config());
+        q.execute(&session).unwrap();
+        let runs_before = engine.stats().chase_runs;
+        // Same config → same cache identity → cache hit, no extra chase.
+        same.execute(&session).unwrap();
+        assert_eq!(engine.stats().chase_runs, runs_before);
+        // A different config is a different plan and re-runs the chase.
+        let deeper = q.clone().with_config(ChaseConfig {
+            max_null_depth: 9,
+            ..q.config()
+        });
+        deeper.execute(&session).unwrap();
+        assert_eq!(engine.stats().chase_runs, runs_before + 1);
+    }
+
+    #[test]
+    fn mappings_on_datalog_query_errors() {
+        let engine = Engine::new();
+        let q = engine
+            .prepare(Datalog("triple(?X, ?P, ?Y) -> out(?X).", "out"))
+            .unwrap();
+        let session = engine.session();
+        assert!(q.mappings(&session).is_err());
+    }
+
+    #[test]
+    fn libraries_are_unioned_at_prepare_time() {
+        let engine = Engine::builder()
+            .library(crate::engine::same_as_regime_library())
+            .build();
+        let pattern = parse_pattern("{ ?Y is_author_of ?Z . ?Y name ?X }").unwrap();
+        let q = engine.prepare((pattern, Semantics::RegimeU)).unwrap();
+        let session = engine
+            .load_turtle(
+                "dbUllman is_author_of \"The Complete Book\" .\n\
+             dbUllman owl:sameAs yagoUllman .\n\
+             yagoUllman name \"Jeffrey Ullman\" .",
+            )
+            .unwrap();
+        let names = q.bindings_of(&session, "X").unwrap();
+        assert_eq!(names.len(), 1);
+        assert_eq!(names[0].as_str(), "Jeffrey Ullman");
+    }
+}

@@ -1,4 +1,5 @@
-//! `triq-cli` — command-line front end for the TriQ engines.
+//! `triq-cli` — command-line front end for the TriQ engines, built on the
+//! `Engine`/`Session`/`PreparedQuery` facade.
 //!
 //! ```text
 //! triq-cli sparql <graph.ttl> '<SELECT query>' [--regime u|all]
@@ -8,9 +9,11 @@
 //! triq-cli explain <graph.ttl> <s> <p> <o>
 //! triq-cli saturate <graph.ttl>
 //! ```
+//!
+//! Errors print their stable code (e.g. `E-STRATIFY`, `E-LANG-MEMBERSHIP`)
+//! so scripts can match failures without parsing prose.
 
 use std::process::ExitCode;
-use triq::engine::{Semantics, SparqlEngine};
 use triq::prelude::*;
 
 fn usage() -> ExitCode {
@@ -45,16 +48,12 @@ fn main() -> ExitCode {
     }
 }
 
-fn load_graph(path: &str) -> Result<Graph, TriqError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| TriqError::Other(format!("cannot read {path}: {e}")))?;
-    parse_turtle(&text)
+fn read_file(path: &str) -> Result<String, TriqError> {
+    std::fs::read_to_string(path).map_err(|e| TriqError::Other(format!("cannot read {path}: {e}")))
 }
 
-fn load_program(path: &str) -> Result<Program, TriqError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| TriqError::Other(format!("cannot read {path}: {e}")))?;
-    parse_program(&text)
+fn load_graph(path: &str) -> Result<Graph, TriqError> {
+    parse_turtle(&read_file(path)?)
 }
 
 fn cmd_sparql(args: &[String]) -> Result<(), TriqError> {
@@ -67,19 +66,18 @@ fn cmd_sparql(args: &[String]) -> Result<(), TriqError> {
         [flag, mode] if flag == "--regime" && mode == "all" => Semantics::RegimeAll,
         _ => return Err(TriqError::Other("unknown trailing arguments".into())),
     };
-    let graph = load_graph(graph_path)?;
+    let engine = Engine::builder().default_semantics(semantics).build();
     let select = parse_select(query)?;
-    let engine = SparqlEngine::new(graph);
-    let pattern = triq::sparql::GraphPattern::Select(
-        select.vars.clone(),
-        Box::new(select.pattern.clone()),
-    );
-    let answers = engine.evaluate(&pattern, semantics)?;
-    match answers {
+    let vars: Vec<VarId> = select.vars.iter().copied().collect();
+    let prepared = engine.prepare(select)?;
+    let session = engine.load_graph(load_graph(graph_path)?);
+    match prepared.mappings(&session)? {
         RegimeAnswers::Top => println!("⊤  (the graph is inconsistent with the ontology)"),
         RegimeAnswers::Mappings(ms) => {
-            let vars: Vec<VarId> = select.vars.iter().copied().collect();
-            println!("{}", vars.iter().map(|v| v.name()).collect::<Vec<_>>().join("\t"));
+            println!(
+                "{}",
+                vars.iter().map(|v| v.name()).collect::<Vec<_>>().join("\t")
+            );
             for m in ms {
                 let row: Vec<&str> = vars
                     .iter()
@@ -98,31 +96,37 @@ fn cmd_rules(args: &[String]) -> Result<(), TriqError> {
             "rules needs <graph> <rules.dl> <output-pred>".into(),
         ));
     };
-    let graph = load_graph(graph_path)?;
-    let program = load_program(rules_path)?;
-    let classification = classify_program(&program);
-    let answers = if classification.is_triq_lite_1_0() {
+    let engine = Engine::new();
+    let prepared = engine.prepare(Datalog(&read_file(rules_path)?, output))?;
+    let classification = prepared.classification();
+    if classification.is_triq_lite_1_0() {
         eprintln!("program is TriQ-Lite 1.0 (PTime)");
-        triq::TriqLiteQuery::new(program, output)?.evaluate_on_graph(&graph)?
     } else if classification.is_triq_1_0() {
         eprintln!("program is TriQ 1.0 (not Lite) — evaluation may be expensive");
-        triq::TriqQuery::new(program, output)?
-            .evaluate(&tau_db(&graph), ChaseConfig::default())?
     } else {
         return Err(TriqError::NotInLanguage {
             language: "TriQ 1.0",
             reason: classification.violations.join("; "),
         });
-    };
+    }
+    let session = engine.load_graph(load_graph(graph_path)?);
+    let mut answers = prepared.execute_iter(&session)?;
     if answers.is_top() {
         println!("⊤  (inconsistent)");
         return Ok(());
     }
-    for tuple in answers.tuples() {
-        println!(
-            "{}",
-            tuple.iter().map(|s| s.as_str()).collect::<Vec<_>>().join("\t")
-        );
+    let mut rows: Vec<String> = (&mut answers)
+        .map(|tuple| {
+            tuple
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>()
+                .join("\t")
+        })
+        .collect();
+    rows.sort();
+    for row in rows {
+        println!("{row}");
     }
     Ok(())
 }
@@ -131,7 +135,7 @@ fn cmd_classify(args: &[String]) -> Result<(), TriqError> {
     let [rules_path] = args else {
         return Err(TriqError::Other("classify needs <rules.dl>".into()));
     };
-    let program = load_program(rules_path)?;
+    let program = parse_program(&read_file(rules_path)?)?;
     let c = classify_program(&program);
     println!("rules:                     {}", program.rules.len());
     println!("constraints:               {}", program.constraints.len());
@@ -143,7 +147,10 @@ fn cmd_classify(args: &[String]) -> Result<(), TriqError> {
     println!("nearly frontier-guarded:   {}", c.nearly_frontier_guarded);
     println!("weakly frontier-guarded:   {}", c.weakly_frontier_guarded);
     println!("warded:                    {}", c.warded);
-    println!("warded (min. interaction): {}", c.warded_minimal_interaction);
+    println!(
+        "warded (min. interaction): {}",
+        c.warded_minimal_interaction
+    );
     println!("grounded negation:         {}", c.grounded_negation);
     println!("=> TriQ 1.0:               {}", c.is_triq_1_0());
     println!("=> TriQ-Lite 1.0:          {}", c.is_triq_lite_1_0());

@@ -1,53 +1,86 @@
-//! A high-level engine bundling an RDF graph with the §5 evaluation
-//! semantics: plain SPARQL, J·K^U (the OWL 2 QL core direct-semantics
-//! entailment regime) and J·K^All (§5.3), plus user rule libraries such as
-//! the §2 `owl:sameAs` rules.
+//! The legacy one-graph engine, now a thin shim over the
+//! [`Engine`](crate::api::Engine) / [`Session`](crate::api::Session) /
+//! [`PreparedQuery`](crate::api::PreparedQuery) facade, plus the §2
+//! `owl:sameAs` rule libraries.
+//!
+//! [`SparqlEngine`] is deprecated: it re-prepares the query on every
+//! `evaluate` call. Prefer preparing once:
+//!
+//! ```
+//! use triq::prelude::*;
+//!
+//! let engine = Engine::new();
+//! let q = engine.prepare(Sparql("SELECT ?X WHERE { ?Y name ?X }"))?;
+//! let session = engine.load_turtle("a name \"Alice\" .")?;
+//! assert_eq!(q.bindings_of(&session, "X")?[0].as_str(), "Alice");
+//! # Ok::<(), TriqError>(())
+//! ```
 
+use std::collections::HashMap;
+use std::sync::Mutex;
 use triq_common::{Result, Symbol};
-use triq_datalog::{ChaseConfig, Program, Query};
+use triq_datalog::{ChaseConfig, Program};
 use triq_owl2ql::tau_db;
 use triq_rdf::Graph;
 use triq_sparql::{GraphPattern, MappingSet};
-use triq_translate::{
-    decode_answers, translate_pattern, translate_pattern_all, translate_pattern_u, RegimeAnswers,
-};
+use triq_translate::RegimeAnswers;
 
-/// The evaluation semantics for SPARQL patterns (§3.1, §5.2, §5.3).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub enum Semantics {
-    /// Plain SPARQL over the graph as-is.
-    #[default]
-    Plain,
-    /// The OWL 2 QL core direct-semantics entailment regime (active
-    /// domain).
-    RegimeU,
-    /// The regime without the active-domain restriction on blank nodes.
-    RegimeAll,
-}
+pub use crate::api::Semantics;
 
 /// A SPARQL engine over one RDF graph.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Engine::prepare + Session: build with triq::Engine::builder(), \
+            load the graph with Engine::load_graph, prepare the pattern once"
+)]
 pub struct SparqlEngine {
-    graph: Graph,
     /// Extra rule libraries prepended to every translated query (e.g. the
     /// §2 owl:sameAs rules); must not define `triple` recursively in a way
     /// that breaks stratification.
     libraries: Vec<Program>,
     config: ChaseConfig,
+    /// The facade engine backing this shim, rebuilt only when the
+    /// configuration or libraries change.
+    facade: crate::api::Engine,
+    /// The session holding the graph + τ_db bridge, built once: neither
+    /// config nor library changes touch the loaded data.
+    session: crate::api::Session,
+    /// Prepared-query memo so repeated `evaluate` calls on the same
+    /// pattern reuse one plan (and hence the session's chase cache)
+    /// instead of minting dead cache entries. Keyed by the pattern's
+    /// debug rendering, which is injective on the algebra.
+    memo: Mutex<HashMap<(String, Semantics), crate::api::PreparedQuery>>,
 }
 
+#[allow(deprecated)]
 impl SparqlEngine {
     /// Creates an engine over `graph`.
     pub fn new(graph: Graph) -> SparqlEngine {
+        let config = triq_translate::regime_chase_config();
+        let facade = Self::build_facade(&[], config);
+        let session = facade.load_graph(graph);
         SparqlEngine {
-            graph,
             libraries: Vec::new(),
-            config: triq_translate::regime_chase_config(),
+            config,
+            facade,
+            session,
+            memo: Mutex::new(HashMap::new()),
         }
+    }
+
+    fn build_facade(libraries: &[Program], config: ChaseConfig) -> crate::api::Engine {
+        let mut builder = crate::api::Engine::builder().chase_config(config);
+        for lib in libraries {
+            builder = builder.library(lib.clone());
+        }
+        builder.build()
     }
 
     /// Sets the chase configuration.
     pub fn with_config(mut self, config: ChaseConfig) -> SparqlEngine {
         self.config = config;
+        self.facade = Self::build_facade(&self.libraries, config);
+        self.memo.get_mut().expect("memo poisoned").clear();
         self
     }
 
@@ -55,31 +88,39 @@ impl SparqlEngine {
     /// the owl:sameAs closure) that is unioned into every query program.
     pub fn add_library(&mut self, library: Program) {
         self.libraries.push(library);
+        self.facade = Self::build_facade(&self.libraries, self.config);
+        self.memo.get_mut().expect("memo poisoned").clear();
     }
 
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        self.session
+            .graph()
+            .expect("shim sessions are always graph-backed")
     }
 
+    /// Upper bound on memoized prepared plans; when full the memo is
+    /// cleared wholesale (coarse but bounded, mirroring the session's
+    /// chase-outcome cache).
+    const MAX_MEMOIZED_PLANS: usize = 32;
+
     /// Evaluates a graph pattern under the chosen semantics.
-    pub fn evaluate(
-        &self,
-        pattern: &GraphPattern,
-        semantics: Semantics,
-    ) -> Result<RegimeAnswers> {
-        let translated = match semantics {
-            Semantics::Plain => translate_pattern(pattern)?,
-            Semantics::RegimeU => translate_pattern_u(pattern)?,
-            Semantics::RegimeAll => translate_pattern_all(pattern)?,
+    pub fn evaluate(&self, pattern: &GraphPattern, semantics: Semantics) -> Result<RegimeAnswers> {
+        let key = (format!("{pattern:?}"), semantics);
+        let memoized = self.memo.lock().expect("memo poisoned").get(&key).cloned();
+        let prepared = match memoized {
+            Some(p) => p,
+            None => {
+                let p = self.facade.prepare((pattern, semantics))?;
+                let mut memo = self.memo.lock().expect("memo poisoned");
+                if memo.len() >= Self::MAX_MEMOIZED_PLANS {
+                    memo.clear();
+                }
+                memo.insert(key, p.clone());
+                p
+            }
         };
-        let mut program = translated.program.clone();
-        for lib in &self.libraries {
-            program = lib.union(&program);
-        }
-        let query = Query::new(program, translated.answer_pred)?;
-        let answers = query.evaluate_with(&tau_db(&self.graph), self.config)?;
-        Ok(decode_answers(&answers, &translated))
+        prepared.mappings(&self.session)
     }
 
     /// Evaluates under plain semantics, returning the mapping set
@@ -92,6 +133,8 @@ impl SparqlEngine {
     }
 
     /// Convenience: the sorted, deduplicated bindings of one variable.
+    /// Legacy quirk, preserved: an inconsistent graph (⊤) yields an empty
+    /// list — the facade's `PreparedQuery::bindings_of` errors instead.
     pub fn bindings_of(
         &self,
         pattern: &GraphPattern,
@@ -156,6 +199,7 @@ pub fn materialize_same_as(graph: &Graph) -> Result<Graph> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use triq_rdf::parse_turtle;
@@ -176,9 +220,7 @@ mod tests {
         assert!(engine.evaluate_plain(&pattern).unwrap().is_empty());
         // With materialized sameAs closure: Ullman is found.
         let engine = SparqlEngine::new(materialize_same_as(&g4).unwrap());
-        let names = engine
-            .bindings_of(&pattern, Semantics::Plain, "X")
-            .unwrap();
+        let names = engine.bindings_of(&pattern, Semantics::Plain, "X").unwrap();
         assert_eq!(names.len(), 1);
         assert_eq!(names[0].as_str(), "Jeffrey Ullman");
     }
@@ -216,5 +258,21 @@ mod tests {
             engine.evaluate_plain(&pattern).unwrap(),
             triq_sparql::evaluate(&g, &pattern)
         );
+    }
+
+    /// Repeated legacy `evaluate` calls reuse one prepared plan and hit
+    /// the session's chase cache instead of minting dead entries.
+    #[test]
+    fn shim_memoizes_prepared_plans() {
+        let g = parse_turtle("a name \"Alice\" .").unwrap();
+        let engine = SparqlEngine::new(g);
+        let pattern = parse_pattern("{ ?X name ?Y }").unwrap();
+        for _ in 0..3 {
+            assert_eq!(engine.evaluate_plain(&pattern).unwrap().len(), 1);
+        }
+        let stats = engine.facade.stats();
+        assert_eq!(stats.prepared_queries, 1, "prepared once, not per call");
+        assert_eq!(stats.chase_runs, 1, "chase once, then cache hits");
+        assert_eq!(stats.cache_hits, 2);
     }
 }

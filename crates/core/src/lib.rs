@@ -12,36 +12,67 @@
 //!
 //! ## Quick start
 //!
+//! Everything goes through one lifecycle: build an [`Engine`], **prepare**
+//! a query once (parse → translate → classify → stratify → compile), open
+//! a [`Session`] per dataset, and **execute** the prepared query as often
+//! as you like — against any number of sessions.
+//!
 //! ```
 //! use triq::prelude::*;
 //!
-//! // An RDF graph (§2 of the paper).
-//! let graph = parse_turtle(
+//! let engine = Engine::new();
+//!
+//! // An RDF graph (§2 of the paper) loaded into a session; τ_db runs once.
+//! let session = engine.load_turtle(
 //!     "dbUllman is_author_of \"The Complete Book\" .\n\
 //!      dbUllman name \"Jeffrey Ullman\" .",
-//! ).unwrap();
+//! )?;
 //!
-//! // Query it with SPARQL…
-//! let q = parse_select("SELECT ?X WHERE { ?Y is_author_of ?Z . ?Y name ?X }").unwrap();
-//! assert_eq!(q.bindings_of(&graph, "X")[0].as_str(), "Jeffrey Ullman");
+//! // Prepare a SPARQL query…
+//! let authors = engine.prepare(Sparql(
+//!     "SELECT ?X WHERE { ?Y is_author_of ?Z . ?Y name ?X }",
+//! ))?;
+//! assert_eq!(authors.bindings_of(&session, "X")?[0].as_str(), "Jeffrey Ullman");
 //!
-//! // …or with a TriQ-Lite 1.0 rule program over triple(·,·,·).
-//! let rules = parse_program(
+//! // …or a TriQ-Lite 1.0 rule program over triple(·,·,·) — same session,
+//! // same engine, prepared once and reusable across sessions.
+//! let rules = engine.prepare(Datalog(
 //!     "triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> query(?X).",
-//! ).unwrap();
-//! let answers = TriqLiteQuery::new(rules, "query").unwrap()
-//!     .evaluate_on_graph(&graph).unwrap();
-//! assert!(answers.contains(&["Jeffrey Ullman"]));
+//!     "query",
+//! ))?;
+//! assert!(rules.execute(&session)?.contains(&["Jeffrey Ullman"]));
+//!
+//! // Large result sets can stream instead of materializing:
+//! assert_eq!(rules.execute_iter(&session)?.count(), 1);
+//! # Ok::<(), TriqError>(())
+//! ```
+//!
+//! SPARQL queries evaluate under any of the three semantics of §3.1 /
+//! §5.2 / §5.3 — pass a [`Semantics`] when preparing, or set an
+//! engine-wide default via [`EngineBuilder::default_semantics`]:
+//!
+//! ```
+//! use triq::prelude::*;
+//!
+//! let engine = Engine::new();
+//! let pattern = parse_pattern("{ ?X eats _:B }")?;
+//! let q = engine.prepare((pattern, Semantics::RegimeAll))?;
+//! # Ok::<(), TriqError>(())
 //! ```
 //!
 //! The crate-level types [`TriqQuery`] and [`TriqLiteQuery`] enforce the
 //! paper's language membership (Definition 4.2 / Definition 6.1) at
-//! construction time; [`engine::SparqlEngine`] bundles graph + ontology
-//! reasoning for the §5 entailment regimes.
+//! construction time and plug into [`Engine::prepare`] like every other
+//! query form.
 
+pub mod api;
 pub mod engine;
 mod triq_lang;
 
+pub use api::{
+    Datalog, Engine, EngineBuilder, EngineStats, IntoQuery, PreparedQuery, QuerySpec, Semantics,
+    Session, Sparql,
+};
 pub use triq_lang::{TriqLiteQuery, TriqQuery};
 
 /// Re-export: shared term model.
@@ -59,23 +90,31 @@ pub use triq_translate as translate;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use crate::engine::SparqlEngine;
+    pub use crate::api::{
+        Datalog, Engine, EngineBuilder, EngineStats, IntoQuery, PreparedQuery, QuerySpec,
+        Semantics, Session, Sparql,
+    };
     pub use crate::{TriqLiteQuery, TriqQuery};
     pub use triq_common::{intern, NullId, Symbol, Term, TriqError, VarId};
     pub use triq_datalog::{
-        classify_program, parse_atom, parse_program, parse_query, Answers, ChaseConfig, Database,
-        ExistentialStrategy, Program, Query,
+        classify_program, parse_atom, parse_program, parse_query, AnswerIter, Answers, ChaseConfig,
+        ChaseRunner, Database, ExistentialStrategy, Program, Query,
     };
     pub use triq_owl2ql::{
-        ontology_from_graph, ontology_to_graph, parse_functional, tau_db, tau_owl2ql_core,
-        Axiom, BasicClass, BasicProperty, EntailmentOracle, Ontology,
+        ontology_from_graph, ontology_to_graph, parse_functional, tau_db, tau_owl2ql_core, Axiom,
+        BasicClass, BasicProperty, EntailmentOracle, Ontology,
     };
     pub use triq_rdf::{parse_turtle, to_turtle, Graph, Triple};
     pub use triq_sparql::{
         evaluate as evaluate_sparql, parse_construct, parse_pattern, parse_select,
     };
     pub use triq_translate::{
-        evaluate_plain, evaluate_regime_all, evaluate_regime_u, translate_pattern,
-        translate_pattern_all, translate_pattern_u, RegimeAnswers,
+        translate_pattern, translate_pattern_all, translate_pattern_u, RegimeAnswers,
     };
+    // Deprecated entry points, kept importable so pre-facade code keeps
+    // compiling (with deprecation warnings at the use sites).
+    #[allow(deprecated)]
+    pub use crate::engine::SparqlEngine;
+    #[allow(deprecated)]
+    pub use triq_translate::{evaluate_plain, evaluate_regime_all, evaluate_regime_u};
 }

@@ -50,7 +50,8 @@ impl TriqQuery {
 
     /// Evaluates over an RDF graph via `τ_db` (§5.1).
     pub fn evaluate_on_graph(&self, graph: &Graph) -> Result<Answers> {
-        self.query.evaluate_with(&tau_db(graph), ChaseConfig::default())
+        self.query
+            .evaluate_with(&tau_db(graph), ChaseConfig::default())
     }
 
     /// The output predicate.
@@ -123,10 +124,8 @@ mod tests {
     #[test]
     fn lite_accepts_warded_rejects_non_warded() {
         // Warded (the Theorem 7.1 witness Π plus an output rule).
-        let warded = parse_program(
-            "p(?X) -> exists ?Y s(?X, ?Y).\n s(?X, ?Y) -> out(?X).",
-        )
-        .unwrap();
+        let warded =
+            parse_program("p(?X) -> exists ?Y s(?X, ?Y).\n s(?X, ?Y) -> out(?X).").unwrap();
         assert!(TriqLiteQuery::new(warded, "out").is_ok());
         // Not warded (the harmful-escape program from the classifier
         // tests) — but still TriQ 1.0.
@@ -155,10 +154,9 @@ mod tests {
              dbUllman name \"Jeffrey Ullman\" .",
         )
         .unwrap();
-        let rules = parse_program(
-            "triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> query(?X).",
-        )
-        .unwrap();
+        let rules =
+            parse_program("triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> query(?X).")
+                .unwrap();
         let q = TriqLiteQuery::new(rules, "query").unwrap();
         let ans = q.evaluate_on_graph(&graph).unwrap();
         assert!(ans.contains(&["Jeffrey Ullman"]));

@@ -25,7 +25,11 @@ const GRAPH: &str = "dbUllman is_author_of \"The Complete Book\" .\n\
 fn sparql_select() {
     let g = write_temp("g1.ttl", GRAPH);
     let out = cli()
-        .args(["sparql", g.to_str().unwrap(), "SELECT ?X WHERE { ?Y name ?X }"])
+        .args([
+            "sparql",
+            g.to_str().unwrap(),
+            "SELECT ?X WHERE { ?Y name ?X }",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -51,7 +55,9 @@ fn rules_evaluation_and_classification() {
         .output()
         .unwrap();
     assert!(out.status.success());
-    assert!(String::from_utf8(out.stdout).unwrap().contains("Jeffrey Ullman"));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("Jeffrey Ullman"));
 
     let out = cli()
         .args(["classify", rules.to_str().unwrap()])
@@ -70,7 +76,13 @@ fn entailment_through_cli() {
          animal rdfs:subClassOf mammal_or_so .\n",
     );
     let out = cli()
-        .args(["entail", g.to_str().unwrap(), "dog", "rdf:type", "mammal_or_so"])
+        .args([
+            "entail",
+            g.to_str().unwrap(),
+            "dog",
+            "rdf:type",
+            "mammal_or_so",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -110,7 +122,10 @@ fn regime_flag() {
 fn bad_usage_fails() {
     let out = cli().args(["nonsense"]).output().unwrap();
     assert!(!out.status.success());
-    let out = cli().args(["sparql", "/nonexistent.ttl", "SELECT ?X WHERE { ?X p ?Y }"]).output().unwrap();
+    let out = cli()
+        .args(["sparql", "/nonexistent.ttl", "SELECT ?X WHERE { ?X p ?Y }"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 
@@ -133,5 +148,7 @@ fn explain_shows_derivation() {
         .args(["explain", g.to_str().unwrap(), "dog", "rdf:type", "fish"])
         .output()
         .unwrap();
-    assert!(String::from_utf8(out.stdout).unwrap().contains("not entailed"));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("not entailed"));
 }

@@ -44,7 +44,7 @@ pub enum ExistentialStrategy {
 }
 
 /// Chase configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ChaseConfig {
     /// Existential strategy.
     pub strategy: ExistentialStrategy,
@@ -81,6 +81,7 @@ pub struct ChaseStats {
 }
 
 /// The result of chasing a database with a program.
+#[derive(Debug)]
 pub struct ChaseOutcome {
     /// The computed (finite) instance `Π(D)` (up to the depth bound).
     pub instance: Instance,
@@ -114,6 +115,7 @@ enum CBuiltin {
 }
 
 /// A rule with slot-indexed variables.
+#[derive(Clone, Debug)]
 struct CompiledRule {
     n_slots: usize,
     body_pos: Vec<CAtom>,
@@ -167,8 +169,16 @@ impl SlotMap {
 
 fn compile_rule(rule: &Rule) -> CompiledRule {
     let mut slots = SlotMap::new();
-    let body_pos = rule.body_pos.iter().map(|a| slots.compile_atom(a)).collect();
-    let body_neg = rule.body_neg.iter().map(|a| slots.compile_atom(a)).collect();
+    let body_pos = rule
+        .body_pos
+        .iter()
+        .map(|a| slots.compile_atom(a))
+        .collect();
+    let body_neg = rule
+        .body_neg
+        .iter()
+        .map(|a| slots.compile_atom(a))
+        .collect();
     let builtins = rule
         .builtins
         .iter()
@@ -238,7 +248,16 @@ fn enumerate_matches(
 ) -> bool {
     let mut chosen: Vec<AtomId> = vec![0; atoms.len()];
     let mut solved: Vec<bool> = vec![false; atoms.len()];
-    solve(inst, atoms, ranges, slots, &mut chosen, &mut solved, 0, on_match)
+    solve(
+        inst,
+        atoms,
+        ranges,
+        slots,
+        &mut chosen,
+        &mut solved,
+        0,
+        on_match,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -306,7 +325,16 @@ fn solve(
             }
         }
         chosen[pick] = id;
-        let keep_going = solve(inst, atoms, ranges, slots, chosen, solved, depth + 1, on_match);
+        let keep_going = solve(
+            inst,
+            atoms,
+            ranges,
+            slots,
+            chosen,
+            solved,
+            depth + 1,
+            on_match,
+        );
         for s in trail.drain(..) {
             slots[s as usize] = None;
         }
@@ -332,7 +360,7 @@ fn instantiate(atom: &CAtom, slots: &Slots) -> GroundAtom {
 
 struct Engine<'a> {
     program: &'a Program,
-    compiled: Vec<CompiledRule>,
+    compiled: &'a [CompiledRule],
     config: ChaseConfig,
     instance: Instance,
     stats: ChaseStats,
@@ -341,9 +369,14 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(program: &'a Program, seed: Instance, config: ChaseConfig) -> Self {
+    fn new(
+        program: &'a Program,
+        compiled: &'a [CompiledRule],
+        seed: Instance,
+        config: ChaseConfig,
+    ) -> Self {
         Engine {
-            compiled: program.rules.iter().map(compile_rule).collect(),
+            compiled,
             program,
             config,
             instance: seed,
@@ -375,12 +408,7 @@ impl<'a> Engine<'a> {
 
     /// Applies one rule match; `slots` is mutated to hold existential
     /// values during head instantiation and restored afterwards.
-    fn apply(
-        &mut self,
-        rule_idx: usize,
-        slots: &mut Slots,
-        body_ids: &[AtomId],
-    ) -> Result<()> {
+    fn apply(&mut self, rule_idx: usize, slots: &mut Slots, body_ids: &[AtomId]) -> Result<()> {
         let rule = &self.compiled[rule_idx];
         if !rule.exist_slots.is_empty() {
             let frontier_vals: Box<[Term]> = rule
@@ -415,16 +443,10 @@ impl<'a> Engine<'a> {
                     let cap = self.instance.len() as AtomId;
                     let ranges = vec![(0, cap); rule.heads.len()];
                     let mut satisfied = false;
-                    enumerate_matches(
-                        &self.instance,
-                        &rule.heads,
-                        &ranges,
-                        slots,
-                        &mut |_, _| {
-                            satisfied = true;
-                            false
-                        },
-                    );
+                    enumerate_matches(&self.instance, &rule.heads, &ranges, slots, &mut |_, _| {
+                        satisfied = true;
+                        false
+                    });
                     if satisfied {
                         return Ok(());
                     }
@@ -563,9 +585,153 @@ impl<'a> Engine<'a> {
     }
 }
 
+/// Rejects a stratification that does not describe `program` — a stale
+/// one computed before rules were added, or with out-of-range strata —
+/// which would otherwise silently skip rules during the chase.
+fn check_stratification(program: &Program, strat: &Stratification) -> Result<()> {
+    if strat.rule_stratum.len() != program.rules.len() {
+        return Err(TriqError::InvalidProgram(format!(
+            "stratification covers {} rules but the program has {} — it was \
+             computed for a different program",
+            strat.rule_stratum.len(),
+            program.rules.len()
+        )));
+    }
+    if let Some(&bad) = strat.rule_stratum.iter().find(|&&s| s > strat.max_stratum) {
+        return Err(TriqError::InvalidProgram(format!(
+            "stratification assigns stratum {bad} beyond its max_stratum {}",
+            strat.max_stratum
+        )));
+    }
+    Ok(())
+}
+
+/// Groups rule indices by stratum, in ascending stratum order. The
+/// stratification must already have passed [`check_stratification`].
+fn rules_by_stratum(program: &Program, strat: &Stratification) -> Vec<Vec<usize>> {
+    let mut grouped: Vec<Vec<usize>> = vec![Vec::new(); strat.max_stratum + 1];
+    for (i, &s) in strat
+        .rule_stratum
+        .iter()
+        .enumerate()
+        .take(program.rules.len())
+    {
+        grouped[s].push(i);
+    }
+    grouped
+}
+
+/// One full chase over an already-compiled program.
+fn run_compiled(
+    program: &Program,
+    compiled: &[CompiledRule],
+    strata_rules: &[Vec<usize>],
+    seed: Instance,
+    config: ChaseConfig,
+) -> Result<ChaseOutcome> {
+    let mut engine = Engine::new(program, compiled, seed, config);
+    for indices in strata_rules {
+        if !indices.is_empty() {
+            engine.run_stratum(indices)?;
+        }
+    }
+    let inconsistent = engine.check_constraints();
+    Ok(ChaseOutcome {
+        inconsistent,
+        stats: engine.stats,
+        instance: engine.instance,
+    })
+}
+
+/// A prepared chase: stratification and rule compilation are paid **once**
+/// at construction, and [`ChaseRunner::run`] can then be called any number
+/// of times against different databases. This is the execution backend of
+/// prepared queries — the one-shot [`chase`] / [`chase_stratified`]
+/// functions re-derive this state on every call. Cloning copies the
+/// compiled state without re-deriving it.
+#[derive(Clone, Debug)]
+pub struct ChaseRunner {
+    program: Program,
+    strat: Stratification,
+    compiled: Vec<CompiledRule>,
+    strata_rules: Vec<Vec<usize>>,
+    config: ChaseConfig,
+}
+
+impl ChaseRunner {
+    /// Validates and stratifies `program`, then compiles its rules into
+    /// the slot-indexed form the join loop consumes.
+    pub fn new(program: Program, config: ChaseConfig) -> Result<ChaseRunner> {
+        program.validate()?;
+        let strat = crate::stratify(&program)?;
+        ChaseRunner::with_stratification(program, strat, config)
+    }
+
+    /// Like [`ChaseRunner::new`] with a precomputed stratification. The
+    /// program is not re-validated, but the stratification must match it
+    /// (same rule count, in-range strata) — a stale one, e.g. computed
+    /// before extra rules were unioned in, is rejected rather than
+    /// silently skipping rules.
+    pub fn with_stratification(
+        program: Program,
+        strat: Stratification,
+        config: ChaseConfig,
+    ) -> Result<ChaseRunner> {
+        check_stratification(&program, &strat)?;
+        let compiled: Vec<CompiledRule> = program.rules.iter().map(compile_rule).collect();
+        let strata_rules = rules_by_stratum(&program, &strat);
+        Ok(ChaseRunner {
+            program,
+            strat,
+            compiled,
+            strata_rules,
+            config,
+        })
+    }
+
+    /// The prepared program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The cached stratification.
+    pub fn stratification(&self) -> &Stratification {
+        &self.strat
+    }
+
+    /// The chase configuration used by [`ChaseRunner::run`].
+    pub fn config(&self) -> ChaseConfig {
+        self.config
+    }
+
+    /// Replaces the chase configuration (the compiled rules are kept).
+    pub fn set_config(&mut self, config: ChaseConfig) {
+        self.config = config;
+    }
+
+    /// Chases `db`, computing `Π(D)` and testing the constraints.
+    pub fn run(&self, db: &Database) -> Result<ChaseOutcome> {
+        self.run_seed(db.to_instance())
+    }
+
+    /// Chases an explicit seed instance (which may already contain nulls).
+    pub fn run_seed(&self, seed: Instance) -> Result<ChaseOutcome> {
+        run_compiled(
+            &self.program,
+            &self.compiled,
+            &self.strata_rules,
+            seed,
+            self.config,
+        )
+    }
+}
+
 /// Chases `db` with `program` under `config`, computing the stratified
 /// semantics `Π(D)` of §3.2 (up to the configured depth bound) and then
 /// testing the constraints.
+///
+/// This one-shot entry point re-stratifies and re-compiles the program on
+/// every call; use a [`ChaseRunner`] to pay that cost once.
 pub fn chase(db: &Database, program: &Program, config: ChaseConfig) -> Result<ChaseOutcome> {
     let strat: Stratification = crate::stratify(program)?;
     chase_stratified(db, program, &strat, config)
@@ -578,21 +744,10 @@ pub fn chase_stratified(
     strat: &Stratification,
     config: ChaseConfig,
 ) -> Result<ChaseOutcome> {
-    let mut engine = Engine::new(program, db.to_instance(), config);
-    for stratum in 0..=strat.max_stratum {
-        let indices: Vec<usize> = (0..program.rules.len())
-            .filter(|&i| strat.rule_stratum[i] == stratum)
-            .collect();
-        if !indices.is_empty() {
-            engine.run_stratum(&indices)?;
-        }
-    }
-    let inconsistent = engine.check_constraints();
-    Ok(ChaseOutcome {
-        inconsistent,
-        stats: engine.stats,
-        instance: engine.instance,
-    })
+    check_stratification(program, strat)?;
+    let compiled: Vec<CompiledRule> = program.rules.iter().map(compile_rule).collect();
+    let strata_rules = rules_by_stratum(program, strat);
+    run_compiled(program, &compiled, &strata_rules, db.to_instance(), config)
 }
 
 #[cfg(test)]
@@ -641,7 +796,11 @@ mod tests {
              less(?X, ?Y) -> not_min(?Y).\n\
              less(?X, ?Y), !not_min(?X) -> zero(?X).\n\
              less(?Y, ?X), !not_max(?X) -> max(?X).",
-            &[("succ", &["0", "1"]), ("succ", &["1", "2"]), ("succ", &["2", "3"])],
+            &[
+                ("succ", &["0", "1"]),
+                ("succ", &["1", "2"]),
+                ("succ", &["2", "3"]),
+            ],
         );
         assert!(has(&out, "zero", &["0"]));
         assert!(!has(&out, "zero", &["1"]));
@@ -802,6 +961,55 @@ mod tests {
         assert_eq!(out.instance.atoms_of(intern("selfloop")).count(), 1);
         assert!(has(&out, "wrap", &["a", "b"]));
         assert_eq!(out.instance.atoms_of(intern("wrap")).count(), 1);
+    }
+
+    #[test]
+    fn stale_stratification_is_rejected() {
+        let p1 = parse_program("e(?X, ?Y) -> t(?X, ?Y).").unwrap();
+        let strat = crate::stratify(&p1).unwrap();
+        // Union in an extra rule after stratifying: the old stratification
+        // no longer covers the program and must be rejected, not silently
+        // skip the new rule.
+        let p2 = p1.union(&parse_program("t(?X, ?Y) -> reach(?X).").unwrap());
+        let err =
+            ChaseRunner::with_stratification(p2.clone(), strat.clone(), ChaseConfig::default())
+                .unwrap_err();
+        assert!(matches!(err, TriqError::InvalidProgram(_)), "{err}");
+        let db = Database::new();
+        assert!(chase_stratified(&db, &p2, &strat, ChaseConfig::default()).is_err());
+        // A matching stratification is accepted.
+        let fresh = crate::stratify(&p2).unwrap();
+        assert!(ChaseRunner::with_stratification(p2, fresh, ChaseConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn chase_runner_reuses_compiled_state_across_databases() {
+        let p = parse_program(
+            "e(?X, ?Y) -> t(?X, ?Y).\n e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).\n\
+             n(?X), !t(?X, ?X) -> acyclic(?X).",
+        )
+        .unwrap();
+        let runner = ChaseRunner::new(p.clone(), ChaseConfig::default()).unwrap();
+        for facts in [
+            vec![
+                ("e", vec!["a", "b"]),
+                ("e", vec!["b", "c"]),
+                ("n", vec!["a"]),
+            ],
+            vec![("e", vec!["x", "x"]), ("n", vec!["x"])],
+            vec![("n", vec!["lonely"])],
+        ] {
+            let mut db = Database::new();
+            for (pred, args) in &facts {
+                db.add_fact(pred, args);
+            }
+            let prepared = runner.run(&db).unwrap();
+            let oneshot = chase(&db, &p, ChaseConfig::default()).unwrap();
+            assert_eq!(prepared.instance.len(), oneshot.instance.len());
+            for (_, atom) in oneshot.instance.iter() {
+                assert!(prepared.instance.contains(atom));
+            }
+        }
     }
 
     #[test]

@@ -376,7 +376,11 @@ mod tests {
         )
         .unwrap();
         let c = classify_program(&p);
-        assert!(c.warded, "Example 6.10's program is warded: {:?}", c.violations);
+        assert!(
+            c.warded,
+            "Example 6.10's program is warded: {:?}",
+            c.violations
+        );
         let rho1 = &c.per_rule[0];
         assert_eq!(rho1.dangerous, vars(&["Z"]));
         assert!(rho1.harmless.contains(&VarId::new("X")));

@@ -1,9 +1,10 @@
 //! Queries `Q = (Π, p)` and their evaluation `Q(D)` (§3.2).
 
 use crate::chase::{chase, ChaseConfig, ChaseOutcome};
-use crate::instance::Database;
+use crate::instance::{AtomId, Database};
 use crate::Program;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use triq_common::{Result, Symbol, TriqError};
 
 /// A Datalog∃,¬s,⊥ query `(Π, p)`: a stratified program plus an output
@@ -23,7 +24,7 @@ impl Query {
         program.validate()?;
         crate::stratify(&program)?;
         if program.occurs_in_body(output) {
-            return Err(TriqError::InvalidProgram(format!(
+            return Err(TriqError::OutputInBody(format!(
                 "output predicate {output} occurs in a rule body (§3.2 \
                  forbids this)"
             )));
@@ -39,14 +40,18 @@ impl Query {
     /// Evaluates the query with an explicit chase configuration.
     pub fn evaluate_with(&self, db: &Database, config: ChaseConfig) -> Result<Answers> {
         let outcome = chase(db, &self.program, config)?;
-        Ok(Answers::from_outcome(&outcome, self.output))
+        Ok(Answers::from_chase(&outcome, self.output))
     }
 
     /// Evaluates and also returns the chase outcome (for provenance /
     /// diagnostics).
-    pub fn evaluate_full(&self, db: &Database, config: ChaseConfig) -> Result<(Answers, ChaseOutcome)> {
+    pub fn evaluate_full(
+        &self,
+        db: &Database,
+        config: ChaseConfig,
+    ) -> Result<(Answers, ChaseOutcome)> {
         let outcome = chase(db, &self.program, config)?;
-        let answers = Answers::from_outcome(&outcome, self.output);
+        let answers = Answers::from_chase(&outcome, self.output);
         Ok((answers, outcome))
     }
 }
@@ -62,7 +67,10 @@ pub enum Answers {
 }
 
 impl Answers {
-    fn from_outcome(outcome: &ChaseOutcome, output: Symbol) -> Answers {
+    /// Extracts the answers to `output` from a chase outcome: ⊤ when the
+    /// outcome is inconsistent, otherwise all fully-ground tuples of the
+    /// output predicate.
+    pub fn from_chase(outcome: &ChaseOutcome, output: Symbol) -> Answers {
         if outcome.inconsistent {
             return Answers::Top;
         }
@@ -113,6 +121,73 @@ impl Answers {
     /// "does `Q(D) ≠ ⊤` imply `t ∈ Q(D)`?".
     pub fn eval_decision(&self, tuple: &[&str]) -> bool {
         self.is_top() || self.contains(tuple)
+    }
+}
+
+/// A streaming view of `Q(D)`: yields the answer tuples one by one
+/// without materializing them into a [`BTreeSet`].
+///
+/// Tuples are yielded in chase-derivation order (not sorted); each tuple
+/// is yielded exactly once because the chase instance is a set. Atoms
+/// mentioning labeled nulls are skipped, per §3.2. When the outcome is
+/// inconsistent ([`AnswerIter::is_top`]), the iterator is empty — check
+/// `is_top` before interpreting emptiness as "no answers".
+pub struct AnswerIter {
+    outcome: Arc<ChaseOutcome>,
+    ids: Vec<AtomId>,
+    pos: usize,
+    top: bool,
+}
+
+impl AnswerIter {
+    /// Streams the answers to `output` out of a (shared) chase outcome.
+    pub fn new(outcome: Arc<ChaseOutcome>, output: Symbol) -> AnswerIter {
+        let top = outcome.inconsistent;
+        let ids = if top {
+            Vec::new()
+        } else {
+            outcome.instance.ids_by_pred(output).to_vec()
+        };
+        AnswerIter {
+            outcome,
+            ids,
+            pos: 0,
+            top,
+        }
+    }
+
+    /// True iff `Q(D) = ⊤` (the iterator yields nothing in that case).
+    pub fn is_top(&self) -> bool {
+        self.top
+    }
+
+    /// The underlying chase outcome.
+    pub fn outcome(&self) -> &ChaseOutcome {
+        &self.outcome
+    }
+}
+
+impl Iterator for AnswerIter {
+    type Item = Vec<Symbol>;
+
+    fn next(&mut self) -> Option<Vec<Symbol>> {
+        while self.pos < self.ids.len() {
+            let atom = self.outcome.instance.atom(self.ids[self.pos]);
+            self.pos += 1;
+            if let Some(tuple) = atom
+                .terms
+                .iter()
+                .map(|t| t.as_const())
+                .collect::<Option<Vec<Symbol>>>()
+            {
+                return Some(tuple);
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.ids.len() - self.pos))
     }
 }
 
@@ -193,11 +268,7 @@ mod tests {
 
     #[test]
     fn top_dominates() {
-        let q = parse_query(
-            "a(?X), b(?X) -> false.\n a(?X) -> out(?X).",
-            "out",
-        )
-        .unwrap();
+        let q = parse_query("a(?X), b(?X) -> false.\n a(?X) -> out(?X).", "out").unwrap();
         let mut db = Database::new();
         db.add_fact("a", &["x"]);
         db.add_fact("b", &["x"]);

@@ -263,7 +263,8 @@ impl Database {
                 "database fact {atom} contains a non-constant term"
             )));
         };
-        self.instance.insert(GroundAtom::new(atom.pred, terms), None);
+        self.instance
+            .insert(GroundAtom::new(atom.pred, terms), None);
         Ok(())
     }
 

@@ -43,20 +43,23 @@ pub mod transform;
 pub mod ugcp;
 
 pub use atom::{Atom, Builtin};
-pub use chase::{chase, chase_stratified, ChaseConfig, ChaseOutcome, ChaseStats, ExistentialStrategy};
+pub use chase::{
+    chase, chase_stratified, ChaseConfig, ChaseOutcome, ChaseRunner, ChaseStats,
+    ExistentialStrategy,
+};
 pub use classify::{
     classify_program, rule_variable_classes, LanguageClass, ProgramClassification, RuleClasses,
 };
-pub use eval::{Answers, Query};
+pub use eval::{AnswerIter, Answers, Query};
 pub use instance::{AtomId, Database, Derivation, GroundAtom, Instance};
 pub use parser::{parse_atom, parse_program, parse_query};
 pub use positions::{affected_positions, Pos, PositionSet};
 pub use program::{Constraint, Program, Rule};
 pub use proof::{proof_tree, render_proof_tree, ProofNode, ProofTree};
 pub use prooftree::{
-    eliminate_negation, prooftree_decide, prooftree_decide_with_negation,
-    single_head_normal_form, ProofTreeConfig,
+    eliminate_negation, prooftree_decide, prooftree_decide_with_negation, single_head_normal_form,
+    ProofTreeConfig,
 };
-pub use stratify::{stratify, Stratification};
+pub use stratify::{stratify, stratify_run_count, Stratification};
 
 pub use triq_common::{intern, NullId, Result, Symbol, Term, TriqError, VarId};

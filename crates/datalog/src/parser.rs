@@ -401,12 +401,15 @@ mod tests {
 
     #[test]
     fn parses_builtins() {
-        let p = parse_program("p(?X, ?Y), ?X != ?Y -> q(?X).\n p(?X, ?Y), ?X = a -> r(?X).")
-            .unwrap();
-        assert_eq!(p.rules[0].builtins, vec![Builtin::Neq(
-            Term::Var(VarId::new("X")),
-            Term::Var(VarId::new("Y"))
-        )]);
+        let p =
+            parse_program("p(?X, ?Y), ?X != ?Y -> q(?X).\n p(?X, ?Y), ?X = a -> r(?X).").unwrap();
+        assert_eq!(
+            p.rules[0].builtins,
+            vec![Builtin::Neq(
+                Term::Var(VarId::new("X")),
+                Term::Var(VarId::new("Y"))
+            )]
+        );
         assert_eq!(
             p.rules[1].builtins,
             vec![Builtin::Eq(Term::Var(VarId::new("X")), Term::constant("a"))]
@@ -415,10 +418,9 @@ mod tests {
 
     #[test]
     fn parses_strings_and_comments() {
-        let p = parse_program(
-            "# find Ullman\ntriple(?X, name, \"Jeffrey Ullman\") -> q(?X). # done\n",
-        )
-        .unwrap();
+        let p =
+            parse_program("# find Ullman\ntriple(?X, name, \"Jeffrey Ullman\") -> q(?X). # done\n")
+                .unwrap();
         assert_eq!(
             p.rules[0].body_pos[0].terms[2],
             Term::constant("Jeffrey Ullman")

@@ -116,13 +116,7 @@ fn render(node: &ProofNode, program: &Program, prefix: &str, is_last: bool, out:
         format!("{prefix}{}", if is_last { "    " } else { "|   " })
     };
     for (i, c) in node.children.iter().enumerate() {
-        render(
-            c,
-            program,
-            &child_prefix,
-            i + 1 == node.children.len(),
-            out,
-        );
+        render(c, program, &child_prefix, i + 1 == node.children.len(), out);
     }
 }
 
@@ -195,10 +189,7 @@ mod tests {
         assert_eq!(q_node.children.len(), 2);
         // Leaves are exactly database atoms.
         for leaf in tree.root.leaves() {
-            assert!(
-                db.contains(leaf),
-                "leaf {leaf} should be a database atom"
-            );
+            assert!(db.contains(leaf), "leaf {leaf} should be a database atom");
         }
         // The chase records the shortest derivation of q(a,a) (directly from
         // two copies of s(a,a,a)), giving height 3; Figure 1 shows an
@@ -219,7 +210,10 @@ mod tests {
         let out = chase(&db, &program, ChaseConfig::default()).unwrap();
         let id = out
             .instance
-            .find(&GroundAtom::new(intern("p"), vec![Term::constant("a")].into()))
+            .find(&GroundAtom::new(
+                intern("p"),
+                vec![Term::constant("a")].into(),
+            ))
             .unwrap();
         let tree = proof_tree(&out.instance, id);
         assert_eq!(tree.size(), 1);

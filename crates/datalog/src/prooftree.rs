@@ -562,7 +562,8 @@ pub fn single_head_normal_form(program: &Program) -> Program {
             head: vec![aux_atom.clone()],
         });
         for h in &rule.head {
-            out.rules.push(Rule::plain(vec![aux_atom.clone()], h.clone()));
+            out.rules
+                .push(Rule::plain(vec![aux_atom.clone()], h.clone()));
         }
     }
     out.constraints = program.constraints.clone();
@@ -837,7 +838,8 @@ mod tests {
     fn rejects_non_ground_goal_and_negation() {
         let p = parse_program("p(?X), !q(?X) -> r(?X).\n base(?X) -> q(?X).").unwrap();
         let db = Database::new();
-        assert!(prooftree_decide(&db, &p, &ground("r", &["a"]), ProofTreeConfig::default())
-            .is_err());
+        assert!(
+            prooftree_decide(&db, &p, &ground("r", &["a"]), ProofTreeConfig::default()).is_err()
+        );
     }
 }

@@ -8,8 +8,22 @@
 //! edge.
 
 use crate::Program;
+use std::cell::Cell;
 use std::collections::HashMap;
 use triq_common::{Result, Symbol, TriqError};
+
+thread_local! {
+    /// Per-thread count of [`stratify`] invocations. Test probe for the
+    /// prepare-once contract: preparing a query stratifies, executing it
+    /// must not. Thread-local so concurrently running tests cannot
+    /// perturb each other's readings.
+    static STRATIFY_RUNS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of times [`stratify`] has run **on the current thread**.
+pub fn stratify_run_count() -> usize {
+    STRATIFY_RUNS.with(Cell::get)
+}
 
 /// The result of stratifying a program.
 #[derive(Clone, Debug)]
@@ -43,6 +57,7 @@ enum Edge {
 /// paper defines stratifiedness via `ex(Π)`). Returns an error when the
 /// program is not stratified.
 pub fn stratify(program: &Program) -> Result<Stratification> {
+    STRATIFY_RUNS.with(|c| c.set(c.get() + 1));
     // Dependency edges body-pred -> head-pred.
     let mut preds: Vec<Symbol> = Vec::new();
     let mut index: HashMap<Symbol, usize> = HashMap::new();
@@ -84,8 +99,8 @@ pub fn stratify(program: &Program) -> Result<Stratification> {
         changed = false;
         iters += 1;
         if iters > max_iters {
-            return Err(TriqError::InvalidProgram(
-                "program is not stratified: negation occurs in a recursive cycle".into(),
+            return Err(TriqError::Unstratifiable(
+                "negation occurs in a recursive cycle".into(),
             ));
         }
         for &(from, to, kind) in &edges {
@@ -95,8 +110,8 @@ pub fn stratify(program: &Program) -> Result<Stratification> {
             };
             if mu[to] < required {
                 if required > n {
-                    return Err(TriqError::InvalidProgram(
-                        "program is not stratified: negation occurs in a recursive cycle".into(),
+                    return Err(TriqError::Unstratifiable(
+                        "negation occurs in a recursive cycle".into(),
                     ));
                 }
                 mu[to] = required;
@@ -105,7 +120,8 @@ pub fn stratify(program: &Program) -> Result<Stratification> {
         }
     }
 
-    let strata: HashMap<Symbol, usize> = preds.iter().enumerate().map(|(i, &p)| (p, mu[i])).collect();
+    let strata: HashMap<Symbol, usize> =
+        preds.iter().enumerate().map(|(i, &p)| (p, mu[i])).collect();
     let max_stratum = strata.values().copied().max().unwrap_or(0);
     let rule_stratum = program
         .rules

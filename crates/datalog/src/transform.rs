@@ -138,11 +138,7 @@ mod tests {
 
     #[test]
     fn pi_bottom_encodes_inconsistency() {
-        let q = parse_query(
-            "a(?X), b(?X) -> false.\n a(?X) -> out(?X).",
-            "out",
-        )
-        .unwrap();
+        let q = parse_query("a(?X), b(?X) -> false.\n a(?X) -> out(?X).", "out").unwrap();
         let (q2, star_tuple) = eliminate_constraints(&q).unwrap();
         assert!(q2.program.constraints.is_empty());
         let mut db = Database::new();
@@ -207,8 +203,8 @@ mod tests {
 
     #[test]
     fn rules_without_harmless_vars_pass_through() {
-        let program = parse_program("p(?X) -> exists ?Y p2(?X, ?Y).\n p2(?X, ?Y) -> p3(?Y).")
-            .unwrap();
+        let program =
+            parse_program("p(?X) -> exists ?Y p2(?X, ?Y).\n p2(?X, ?Y) -> p3(?Y).").unwrap();
         // ?Y in rule 2 is harmful (p2[2] affected); ?X harmless.
         let mut db = Database::new();
         db.add_fact("p", &["a"]);

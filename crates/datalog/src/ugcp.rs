@@ -37,7 +37,10 @@ pub fn max_ground_connection(instance: &Instance) -> usize {
         }
         let consts: Vec<Symbol> = atom.terms.iter().filter_map(|t| t.as_const()).collect();
         for z in nulls {
-            per_null.entry(z).or_default().extend(consts.iter().copied());
+            per_null
+                .entry(z)
+                .or_default()
+                .extend(consts.iter().copied());
         }
     }
     per_null.values().map(HashSet::len).max().unwrap_or(0)

@@ -4,8 +4,7 @@
 use crate::rules::{tau_db, tau_owl2ql_core, triple1_pred};
 use triq_common::{Result, Symbol, Term};
 use triq_datalog::{
-    chase, proof_tree, render_proof_tree, ChaseConfig, ChaseOutcome, GroundAtom, Program,
-    ProofTree,
+    chase, proof_tree, render_proof_tree, ChaseConfig, ChaseOutcome, GroundAtom, Program, ProofTree,
 };
 use triq_rdf::{Graph, Triple};
 
@@ -65,7 +64,11 @@ impl EntailmentOracle {
             .instance
             .atoms_of(triple1_pred())
             .filter_map(|a| {
-                match (a.terms[0].as_const(), a.terms[1].as_const(), a.terms[2].as_const()) {
+                match (
+                    a.terms[0].as_const(),
+                    a.terms[1].as_const(),
+                    a.terms[2].as_const(),
+                ) {
                     (Some(s), Some(p), Some(o)) => Some(Triple::new(s, p, o)),
                     _ => None,
                 }
@@ -171,7 +174,10 @@ mod tests {
         for c in ["dog", "animal", "some~eats"] {
             assert!(!oracle.entails(&Triple::from_strs("dog", "eats", c)));
         }
-        assert_eq!(oracle.instances_of(intern("some~eats")), vec![intern("dog")]);
+        assert_eq!(
+            oracle.instances_of(intern("some~eats")),
+            vec![intern("dog")]
+        );
     }
 
     #[test]
@@ -244,7 +250,10 @@ mod tests {
             BasicClass::Named(intern("cat")),
             BasicClass::Named(intern("dog")),
         ));
-        o.add(Axiom::ClassAssertion(BasicClass::Named(intern("cat")), intern("felix")));
+        o.add(Axiom::ClassAssertion(
+            BasicClass::Named(intern("cat")),
+            intern("felix"),
+        ));
         let mut g = ontology_to_graph(&o);
         assert!(is_consistent(&g).unwrap());
         g.insert(Triple::from_strs("felix", "rdf:type", "dog"));
@@ -269,7 +278,10 @@ mod tests {
             BasicClass::Named(intern("tree")),
             BasicClass::Named(intern("plant")),
         ));
-        o.add(Axiom::ClassAssertion(BasicClass::Named(intern("dog")), intern("rex")));
+        o.add(Axiom::ClassAssertion(
+            BasicClass::Named(intern("dog")),
+            intern("rex"),
+        ));
         let mut g = ontology_to_graph(&o);
         assert!(is_consistent(&g).unwrap());
         g.insert(Triple::from_strs("rex", "rdf:type", "tree"));
@@ -289,7 +301,9 @@ mod tests {
         let text = oracle.explain_text(&t).unwrap();
         assert!(text.contains("triple1(dog, rdf:type, some~eats)"));
         // Non-entailed triples have no proof.
-        assert!(oracle.explain(&Triple::from_strs("dog", "rdf:type", "robot")).is_none());
+        assert!(oracle
+            .explain(&Triple::from_strs("dog", "rdf:type", "robot"))
+            .is_none());
     }
 
     #[test]

@@ -103,27 +103,39 @@ pub fn parse_functional(input: &str) -> Result<Ontology> {
         let arity_err = || err(format!("wrong number of arguments in {line:?}"));
         let axiom = match name {
             "SubClassOf" => {
-                let [a, b] = args[..] else { return Err(arity_err()) };
+                let [a, b] = args[..] else {
+                    return Err(arity_err());
+                };
                 Axiom::SubClassOf(parse_class(a)?, parse_class(b)?)
             }
             "SubObjectPropertyOf" | "SubObjectProperty" => {
-                let [a, b] = args[..] else { return Err(arity_err()) };
+                let [a, b] = args[..] else {
+                    return Err(arity_err());
+                };
                 Axiom::SubObjectPropertyOf(parse_property(a)?, parse_property(b)?)
             }
             "DisjointClasses" => {
-                let [a, b] = args[..] else { return Err(arity_err()) };
+                let [a, b] = args[..] else {
+                    return Err(arity_err());
+                };
                 Axiom::DisjointClasses(parse_class(a)?, parse_class(b)?)
             }
             "DisjointObjectProperties" => {
-                let [a, b] = args[..] else { return Err(arity_err()) };
+                let [a, b] = args[..] else {
+                    return Err(arity_err());
+                };
                 Axiom::DisjointObjectProperties(parse_property(a)?, parse_property(b)?)
             }
             "ClassAssertion" => {
-                let [b, a] = args[..] else { return Err(arity_err()) };
+                let [b, a] = args[..] else {
+                    return Err(arity_err());
+                };
                 Axiom::ClassAssertion(parse_class(b)?, intern(a))
             }
             "ObjectPropertyAssertion" => {
-                let [p, a1, a2] = args[..] else { return Err(arity_err()) };
+                let [p, a1, a2] = args[..] else {
+                    return Err(arity_err());
+                };
                 Axiom::ObjectPropertyAssertion(intern(p), intern(a1), intern(a2))
             }
             other => {
@@ -188,7 +200,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_skipped() {
-        let o = parse_functional("\n# only a comment\n\nClassAssertion(c, a) # trailing\n").unwrap();
+        let o =
+            parse_functional("\n# only a comment\n\nClassAssertion(c, a) # trailing\n").unwrap();
         assert_eq!(o.len(), 1);
     }
 }

@@ -15,7 +15,10 @@ pub fn chain_ontology(n: usize) -> Ontology {
     assert!(n > 0);
     let mut o = Ontology::new();
     let p = BasicProperty::Named(intern("p"));
-    o.add(Axiom::ClassAssertion(BasicClass::Named(intern("a0")), intern("c")));
+    o.add(Axiom::ClassAssertion(
+        BasicClass::Named(intern("a0")),
+        intern("c"),
+    ));
     o.add(Axiom::SubClassOf(
         BasicClass::Named(intern("a0")),
         BasicClass::Some(p),
@@ -35,7 +38,12 @@ pub fn chain_ontology(n: usize) -> Ontology {
 
 /// A university-domain ontology (LUBM-lite TBox) with a parametric ABox;
 /// used by the §5 entailment-regime experiments (E3/E5).
-pub fn university_ontology(departments: usize, professors: usize, students: usize, seed: u64) -> Ontology {
+pub fn university_ontology(
+    departments: usize,
+    professors: usize,
+    students: usize,
+    seed: u64,
+) -> Ontology {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut o = Ontology::new();
     let teaches = BasicProperty::Named(intern("teaches"));

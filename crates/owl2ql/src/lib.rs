@@ -15,5 +15,7 @@ pub use entailment::{entails, is_consistent, saturate, EntailmentOracle};
 pub use functional_syntax::parse_functional;
 pub use generator::{chain_ontology, random_ontology, university_ontology, RandomOntologySpec};
 pub use ontology::{Axiom, BasicClass, BasicProperty, Ontology};
-pub use rdf_mapping::{basic_class_uri, basic_property_uri, ontology_from_graph, ontology_to_graph};
+pub use rdf_mapping::{
+    basic_class_uri, basic_property_uri, ontology_from_graph, ontology_to_graph,
+};
 pub use rules::{adom_pred, tau_db, tau_owl2ql_core, triple1_pred};

@@ -128,14 +128,15 @@ impl Ontology {
 
     /// Adds an axiom, auto-declaring any vocabulary it mentions.
     pub fn add(&mut self, axiom: Axiom) {
-        let touch_class = |b: BasicClass, classes: &mut BTreeSet<Symbol>, props: &mut BTreeSet<Symbol>| match b {
-            BasicClass::Named(a) => {
-                classes.insert(a);
-            }
-            BasicClass::Some(r) => {
-                props.insert(r.name());
-            }
-        };
+        let touch_class =
+            |b: BasicClass, classes: &mut BTreeSet<Symbol>, props: &mut BTreeSet<Symbol>| match b {
+                BasicClass::Named(a) => {
+                    classes.insert(a);
+                }
+                BasicClass::Some(r) => {
+                    props.insert(r.name());
+                }
+            };
         match axiom {
             Axiom::SubClassOf(a, b) | Axiom::DisjointClasses(a, b) => {
                 touch_class(a, &mut self.classes, &mut self.properties);

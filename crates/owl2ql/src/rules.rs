@@ -99,7 +99,11 @@ mod tests {
         let p = tau_owl2ql_core();
         let c = classify_program(&p);
         assert!(c.stratified);
-        assert!(c.warded, "Corollary 6.2 requires wardedness: {:?}", c.violations);
+        assert!(
+            c.warded,
+            "Corollary 6.2 requires wardedness: {:?}",
+            c.violations
+        );
         assert!(c.grounded_negation); // no negation at all
         assert!(c.is_triq_lite_1_0());
         // It is NOT nearly frontier-guarded — the model-theoretic point of

@@ -139,7 +139,11 @@ pub fn university_graph(spec: UniversitySpec) -> Graph {
     ] {
         g.insert(Triple::new(intern(a), sub_class, intern(b)));
     }
-    g.insert(Triple::new(intern("advises"), sub_prop, intern("worksWith")));
+    g.insert(Triple::new(
+        intern("advises"),
+        sub_prop,
+        intern("worksWith"),
+    ));
     // ∃teaches and ∃advises as restrictions (the paper's §5.2 encoding).
     for prop in ["teaches", "advises"] {
         let r = intern(&format!("exists_{prop}"));
@@ -168,7 +172,11 @@ pub fn university_graph(spec: UniversitySpec) -> Graph {
         for p in 0..spec.professors_per_dept {
             let prof = intern(&format!("prof_{d}_{p}"));
             g.insert(Triple::new(prof, rdf_type, intern("professor")));
-            g.insert(Triple::new(prof, intern("memberOf"), intern(&format!("dept{d}"))));
+            g.insert(Triple::new(
+                prof,
+                intern("memberOf"),
+                intern(&format!("dept{d}")),
+            ));
         }
         for s in 0..spec.students_per_dept {
             let student = intern(&format!("student_{d}_{s}"));
@@ -218,8 +226,16 @@ pub fn chain_ontology_graph(n: usize) -> Graph {
             vocab::owl_thing(),
         ));
     }
-    g.insert(Triple::new(intern("p"), vocab::owl_inverse_of(), intern("p_inv")));
-    g.insert(Triple::new(intern("p_inv"), vocab::owl_inverse_of(), intern("p")));
+    g.insert(Triple::new(
+        intern("p"),
+        vocab::owl_inverse_of(),
+        intern("p_inv"),
+    ));
+    g.insert(Triple::new(
+        intern("p_inv"),
+        vocab::owl_inverse_of(),
+        intern("p"),
+    ));
     // SubClassOf(a0, ∃p), SubClassOf(∃p⁻, a1)
     g.insert(Triple::new(intern("a0"), sub_class, intern("exists_p")));
     g.insert(Triple::new(intern("exists_p_inv"), sub_class, intern("a1")));
@@ -278,10 +294,13 @@ mod tests {
     #[test]
     fn university_contains_ontology_and_data() {
         let g = university_graph(UniversitySpec::default());
-        assert!(g.contains(&Triple::from_strs("professor", "rdfs:subClassOf", "faculty")));
+        assert!(g.contains(&Triple::from_strs(
+            "professor",
+            "rdfs:subClassOf",
+            "faculty"
+        )));
         assert!(g.contains(&Triple::from_strs("prof_0_0", "rdf:type", "professor")));
-        assert!(!g
-            .matching(None, Some(intern("advises")), None).is_empty());
+        assert!(!g.matching(None, Some(intern("advises")), None).is_empty());
     }
 
     #[test]

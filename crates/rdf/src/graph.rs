@@ -120,12 +120,7 @@ impl Graph {
     /// Matches a triple pattern where `None` components are wildcards.
     ///
     /// Chooses the most selective available index, then filters.
-    pub fn matching(
-        &self,
-        s: Option<Symbol>,
-        p: Option<Symbol>,
-        o: Option<Symbol>,
-    ) -> Vec<Triple> {
+    pub fn matching(&self, s: Option<Symbol>, p: Option<Symbol>, o: Option<Symbol>) -> Vec<Triple> {
         let candidates: &[u32] = match (s, p, o) {
             (Some(s), _, _) => self.by_s.get(&s).map(Vec::as_slice).unwrap_or(&[]),
             (None, _, Some(o)) => self.by_o.get(&o).map(Vec::as_slice).unwrap_or(&[]),
@@ -204,7 +199,8 @@ mod tests {
             vec![Triple::from_strs("dbAho", "is_coauthor_of", "dbUllman")]
         );
         assert_eq!(
-            g.matching(Some(intern("dbAho")), Some(intern("name")), None).len(),
+            g.matching(Some(intern("dbAho")), Some(intern("name")), None)
+                .len(),
             1
         );
         assert_eq!(g.matching(None, None, None).len(), 4);

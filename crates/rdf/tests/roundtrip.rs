@@ -20,16 +20,14 @@ fn term_strategy() -> impl Strategy<Value = String> {
 }
 
 fn graph_strategy() -> impl Strategy<Value = Graph> {
-    prop::collection::vec(
-        (term_strategy(), term_strategy(), term_strategy()),
-        0..20,
+    prop::collection::vec((term_strategy(), term_strategy(), term_strategy()), 0..20).prop_map(
+        |triples| {
+            triples
+                .into_iter()
+                .map(|(s, p, o)| Triple::from_strs(&s, &p, &o))
+                .collect()
+        },
     )
-    .prop_map(|triples| {
-        triples
-            .into_iter()
-            .map(|(s, p, o)| Triple::from_strs(&s, &p, &o))
-            .collect()
-    })
 }
 
 proptest! {

@@ -109,9 +109,7 @@ impl GraphPattern {
     pub fn validate(&self) -> Result<()> {
         match self {
             GraphPattern::Basic(_) => Ok(()),
-            GraphPattern::And(a, b)
-            | GraphPattern::Union(a, b)
-            | GraphPattern::Opt(a, b) => {
+            GraphPattern::And(a, b) | GraphPattern::Union(a, b) | GraphPattern::Opt(a, b) => {
                 a.validate()?;
                 b.validate()
             }
@@ -136,9 +134,7 @@ impl GraphPattern {
     pub fn basic_patterns(&self) -> Vec<&Vec<TriplePattern>> {
         match self {
             GraphPattern::Basic(ts) => vec![ts],
-            GraphPattern::And(a, b)
-            | GraphPattern::Union(a, b)
-            | GraphPattern::Opt(a, b) => {
+            GraphPattern::And(a, b) | GraphPattern::Union(a, b) | GraphPattern::Opt(a, b) => {
                 let mut v = a.basic_patterns();
                 v.extend(b.basic_patterns());
                 v
@@ -211,10 +207,7 @@ mod tests {
     #[test]
     fn select_hides_variables() {
         let inner = GraphPattern::Basic(vec![TriplePattern::new(var("X"), c("p"), var("Y"))]);
-        let p = GraphPattern::Select(
-            [VarId::new("X")].into_iter().collect(),
-            Box::new(inner),
-        );
+        let p = GraphPattern::Select([VarId::new("X")].into_iter().collect(), Box::new(inner));
         assert_eq!(p.vars().len(), 1);
     }
 

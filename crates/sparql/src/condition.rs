@@ -99,7 +99,9 @@ mod tests {
         let bound_x = Condition::Bound(VarId::new("X"));
         let bound_w = Condition::Bound(VarId::new("W"));
         assert!(Condition::Or(Box::new(bound_w.clone()), Box::new(bound_x.clone())).satisfied(&m));
-        assert!(!Condition::And(Box::new(bound_w.clone()), Box::new(bound_x.clone())).satisfied(&m));
+        assert!(
+            !Condition::And(Box::new(bound_w.clone()), Box::new(bound_x.clone())).satisfied(&m)
+        );
         assert!(Condition::Not(Box::new(bound_w)).satisfied(&m));
         assert!(
             Condition::Not(Box::new(Condition::EqVar(VarId::new("X"), VarId::new("W"))))

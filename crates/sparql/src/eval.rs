@@ -138,7 +138,11 @@ mod tests {
 
     fn names(set: &MappingSet, var: &str) -> Vec<&'static str> {
         let v = VarId::new(var);
-        let mut out: Vec<&'static str> = set.iter().filter_map(|m| m.get(v)).map(|s| s.as_str()).collect();
+        let mut out: Vec<&'static str> = set
+            .iter()
+            .filter_map(|m| m.get(v))
+            .map(|s| s.as_str())
+            .collect();
         out.sort();
         out
     }
@@ -189,9 +193,15 @@ mod tests {
         let p = parse_pattern("{ ?X name ?Y } OPTIONAL { ?X phone ?Z }").unwrap();
         let result = evaluate(&g, &p);
         assert_eq!(result.len(), 2);
-        let with_phone = result.iter().find(|m| m.get(VarId::new("Z")).is_some()).unwrap();
+        let with_phone = result
+            .iter()
+            .find(|m| m.get(VarId::new("Z")).is_some())
+            .unwrap();
         assert_eq!(with_phone.get(VarId::new("Y")).unwrap().as_str(), "Alice");
-        let without = result.iter().find(|m| m.get(VarId::new("Z")).is_none()).unwrap();
+        let without = result
+            .iter()
+            .find(|m| m.get(VarId::new("Z")).is_none())
+            .unwrap();
         assert_eq!(without.get(VarId::new("Y")).unwrap().as_str(), "Bob");
     }
 
@@ -216,10 +226,9 @@ mod tests {
 
     #[test]
     fn filter_and_select() {
-        let p = parse_pattern(
-            "{ SELECT ?X WHERE { { ?X name ?N } FILTER (?N = \"Alfred Aho\") } }",
-        )
-        .unwrap();
+        let p =
+            parse_pattern("{ SELECT ?X WHERE { { ?X name ?N } FILTER (?N = \"Alfred Aho\") } }")
+                .unwrap();
         let result = evaluate(&g2(), &p);
         assert_eq!(result.len(), 1);
         let m = result.iter().next().unwrap();

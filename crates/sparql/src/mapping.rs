@@ -179,10 +179,7 @@ mod tests {
         let diff = minus(&left, &right);
         assert_eq!(diff, set(&[m(&[("X", "2")])]));
         let loj = left_outer_join(&left, &right);
-        assert_eq!(
-            loj,
-            set(&[m(&[("X", "1"), ("Y", "a")]), m(&[("X", "2")])])
-        );
+        assert_eq!(loj, set(&[m(&[("X", "1"), ("Y", "a")]), m(&[("X", "2")])]));
     }
 
     #[test]

@@ -535,8 +535,8 @@ mod tests {
 
     #[test]
     fn parses_nested_groups_with_inline_optional() {
-        let p = parse_pattern("{ { ?X name ?Y OPTIONAL { ?X phone ?Z } } AND { ?Z c ?W } }")
-            .unwrap();
+        let p =
+            parse_pattern("{ { ?X name ?Y OPTIONAL { ?X phone ?Z } } AND { ?Z c ?W } }").unwrap();
         match p {
             GraphPattern::And(l, _) => match *l {
                 GraphPattern::Opt(..) => {}
@@ -548,10 +548,7 @@ mod tests {
 
     #[test]
     fn parses_filters_with_precedence() {
-        let p = parse_pattern(
-            "{ ?X p ?Y } FILTER (bound(?X) && !bound(?Y) || ?X = ?Y)",
-        )
-        .unwrap();
+        let p = parse_pattern("{ ?X p ?Y } FILTER (bound(?X) && !bound(?Y) || ?X = ?Y)").unwrap();
         let GraphPattern::Filter(_, cond) = p else {
             panic!("expected FILTER");
         };

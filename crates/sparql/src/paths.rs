@@ -109,7 +109,12 @@ fn inverse_candidates(graph: &Graph, _p: &PropertyPath, _target: Symbol) -> Vec<
 }
 
 /// BFS closure of a path step.
-fn closure(graph: &Graph, step: &PropertyPath, from: Symbol, include_self: bool) -> BTreeSet<Symbol> {
+fn closure(
+    graph: &Graph,
+    step: &PropertyPath,
+    from: Symbol,
+    include_self: bool,
+) -> BTreeSet<Symbol> {
     let mut seen: HashSet<Symbol> = HashSet::new();
     let mut out = BTreeSet::new();
     let mut queue = VecDeque::new();
@@ -343,13 +348,16 @@ mod tests {
         for src in attempts {
             let p = parse_path(src).unwrap();
             assert!(
-                !p.reachable(&g, intern("Oxford")).contains(&intern("Madrid")),
+                !p.reachable(&g, intern("Oxford"))
+                    .contains(&intern("Madrid")),
                 "{src} should not solve the transport query"
             );
         }
         // The data-dependent rewriting (enumerate ALL service labels) does:
         let p = parse_path("(A311|R1)+").unwrap();
-        assert!(p.reachable(&g, intern("Oxford")).contains(&intern("Madrid")));
+        assert!(p
+            .reachable(&g, intern("Oxford"))
+            .contains(&intern("Madrid")));
         // …but it is not a single fixed query, which is the paper's point.
     }
 

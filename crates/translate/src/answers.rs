@@ -35,11 +35,15 @@ impl RegimeAnswers {
 /// Decodes one answer tuple into the mapping `µ_{t,P}`: positions holding
 /// ⋆ are left out of the domain.
 pub fn decode_tuple(tuple: &[Symbol], translated: &TranslatedPattern) -> Mapping {
-    debug_assert_eq!(tuple.len(), translated.vars.len());
+    decode_tuple_vars(tuple, &translated.vars)
+}
+
+/// Like [`decode_tuple`] but taking the variable order directly (the
+/// prepared-query path stores only `vars`, not the whole translation).
+pub fn decode_tuple_vars(tuple: &[Symbol], vars: &[triq_common::VarId]) -> Mapping {
+    debug_assert_eq!(tuple.len(), vars.len());
     Mapping::from_pairs(
-        translated
-            .vars
-            .iter()
+        vars.iter()
             .zip(tuple.iter())
             .filter(|(_, &s)| s != star())
             .map(|(&v, &s)| (v, s)),
@@ -50,12 +54,9 @@ pub fn decode_tuple(tuple: &[Symbol], translated: &TranslatedPattern) -> Mapping
 pub fn decode_answers(answers: &Answers, translated: &TranslatedPattern) -> RegimeAnswers {
     match answers {
         Answers::Top => RegimeAnswers::Top,
-        Answers::Tuples(tuples) => RegimeAnswers::Mappings(
-            tuples
-                .iter()
-                .map(|t| decode_tuple(t, translated))
-                .collect(),
-        ),
+        Answers::Tuples(tuples) => {
+            RegimeAnswers::Mappings(tuples.iter().map(|t| decode_tuple(t, translated)).collect())
+        }
     }
 }
 

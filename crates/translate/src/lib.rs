@@ -19,9 +19,11 @@ mod answers;
 mod dnf;
 mod translator;
 
-pub use answers::{decode_answers, decode_tuple, RegimeAnswers};
+pub use answers::{decode_answers, decode_tuple, decode_tuple_vars, RegimeAnswers};
 pub use dnf::compile_condition;
+#[allow(deprecated)]
+pub use translator::{evaluate_plain, evaluate_regime_all, evaluate_regime_u};
 pub use translator::{
-    evaluate_plain, evaluate_regime_all, evaluate_regime_u, regime_chase_config, star,
-    translate_pattern, translate_pattern_all, translate_pattern_u, Mode, TranslatedPattern,
+    regime_chase_config, star, translate_pattern, translate_pattern_all, translate_pattern_u, Mode,
+    TranslatedPattern,
 };

@@ -218,12 +218,10 @@ impl Translator {
         for (b1, &p1) in &ra.variants {
             for (b2, &p2) in &rb.variants {
                 let bound: BTreeSet<VarId> = b1.union(b2).copied().collect();
-                let pred = *out
-                    .entry(bound.clone())
-                    .or_insert_with(|| {
-                        self.counter += 1;
-                        intern(&format!("q{}~{}", self.counter, tag))
-                    });
+                let pred = *out.entry(bound.clone()).or_insert_with(|| {
+                    self.counter += 1;
+                    intern(&format!("q{}~{}", self.counter, tag))
+                });
                 pending.push(Rule::plain(
                     vec![
                         Atom::new(p1, Self::ref_args(ra, b1)),
@@ -291,10 +289,7 @@ impl Translator {
                     })
                     .collect();
                 self.program.rules.push(Rule::plain(
-                    vec![
-                        Atom::new(p1, Self::ref_args(ra, b1)),
-                        Atom::new(p2, args2),
-                    ],
+                    vec![Atom::new(p1, Self::ref_args(ra, b1)), Atom::new(p2, args2)],
                     Atom::new(compat, Self::ref_args(ra, b1)),
                 ));
             }
@@ -314,7 +309,11 @@ impl Translator {
         Ok(NodeResult { vars, variants })
     }
 
-    fn translate_filter(&mut self, rp: &NodeResult, cond: &triq_sparql::Condition) -> Result<NodeResult> {
+    fn translate_filter(
+        &mut self,
+        rp: &NodeResult,
+        cond: &triq_sparql::Condition,
+    ) -> Result<NodeResult> {
         let mut variants: BTreeMap<BTreeSet<VarId>, Symbol> = BTreeMap::new();
         for (b, &p) in &rp.variants {
             let disjuncts = compile_condition(cond, b);
@@ -409,6 +408,12 @@ pub fn translate_pattern_all(pattern: &GraphPattern) -> Result<TranslatedPattern
 /// Evaluates a pattern over a graph by translation + chase + decoding —
 /// the right-hand side of Theorem 5.2. Must coincide with
 /// [`triq_sparql::evaluate`].
+#[deprecated(
+    since = "0.2.0",
+    note = "one-shot path that re-translates and re-stratifies per call; \
+            prepare the pattern once via triq::Engine::prepare and execute \
+            it against a Session"
+)]
 pub fn evaluate_plain(graph: &Graph, pattern: &GraphPattern) -> Result<MappingSet> {
     let translated = translate_pattern(pattern)?;
     let query = translated.query()?;
@@ -421,6 +426,12 @@ pub fn evaluate_plain(graph: &Graph, pattern: &GraphPattern) -> Result<MappingSe
 
 /// Evaluates a pattern under J·K^U (Theorem 5.3). `⊤` is reported when the
 /// graph is inconsistent w.r.t. the ontology semantics.
+#[deprecated(
+    since = "0.2.0",
+    note = "one-shot path that re-translates and re-stratifies per call; \
+            prepare the pattern once via triq::Engine::prepare and execute \
+            it against a Session"
+)]
 pub fn evaluate_regime_u(graph: &Graph, pattern: &GraphPattern) -> Result<RegimeAnswers> {
     let translated = translate_pattern_u(pattern)?;
     let query = translated.query()?;
@@ -429,6 +440,12 @@ pub fn evaluate_regime_u(graph: &Graph, pattern: &GraphPattern) -> Result<Regime
 }
 
 /// Evaluates a pattern under J·K^All (§5.3).
+#[deprecated(
+    since = "0.2.0",
+    note = "one-shot path that re-translates and re-stratifies per call; \
+            prepare the pattern once via triq::Engine::prepare and execute \
+            it against a Session"
+)]
 pub fn evaluate_regime_all(graph: &Graph, pattern: &GraphPattern) -> Result<RegimeAnswers> {
     let translated = translate_pattern_all(pattern)?;
     let query = translated.query()?;
@@ -437,6 +454,7 @@ pub fn evaluate_regime_all(graph: &Graph, pattern: &GraphPattern) -> Result<Regi
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use triq_datalog::classify_program;
@@ -525,11 +543,7 @@ mod tests {
             for translate in [translate_pattern_u, translate_pattern_all] {
                 let t = translate(&pattern).unwrap();
                 let c = classify_program(&t.program);
-                assert!(
-                    c.is_triq_lite_1_0(),
-                    "{src}: {:?}",
-                    c.violations
-                );
+                assert!(c.is_triq_lite_1_0(), "{src}: {:?}", c.violations);
             }
             // The plain translation is plain Datalog with negation.
             let t = translate_pattern(&pattern).unwrap();
@@ -555,7 +569,10 @@ mod tests {
         let g = ontology_to_graph(&o);
         let pattern = parse_pattern("{ ?X eats _:B }").unwrap();
         let u = evaluate_regime_u(&g, &pattern).unwrap();
-        assert!(u.mappings().unwrap().is_empty(), "active domain blocks the null witness");
+        assert!(
+            u.mappings().unwrap().is_empty(),
+            "active domain blocks the null witness"
+        );
         let all = evaluate_regime_all(&g, &pattern).unwrap();
         let ms = all.mappings().unwrap();
         assert_eq!(ms.len(), 1);
@@ -630,6 +647,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod more_tests {
     use super::*;
     use triq_rdf::parse_turtle;
@@ -686,10 +704,7 @@ mod more_tests {
     /// projection happening first).
     #[test]
     fn select_then_join() {
-        check(
-            G,
-            "{ SELECT ?B WHERE { ?A p ?B } } AND { ?B p ?C }",
-        );
+        check(G, "{ SELECT ?B WHERE { ?A p ?B } } AND { ?B p ?C }");
     }
 
     /// Empty-answer edge cases: unsatisfiable filter, empty BGP matches.

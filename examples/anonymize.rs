@@ -8,31 +8,34 @@
 use triq::prelude::*;
 
 fn main() -> Result<(), TriqError> {
-    let graph = parse_turtle(
+    let engine = Engine::new();
+    let session = engine.load_turtle(
         "alice knows bob .\n\
          alice likes pizza .\n\
          bob knows alice .",
     )?;
-    println!("Input graph:\n{}", to_turtle(&graph));
+    println!("Input graph:\n{}", to_turtle(session.graph().unwrap()));
 
-    // The paper's three anonymization rules (§2).
-    let rules = parse_program(
+    // The paper's three anonymization rules (§2), prepared through the
+    // facade: translation, classification and stratification happen once.
+    let anonymize = engine.prepare(Datalog(
         "triple(?X, ?Y, ?Z) -> subj(?X).\n\
          subj(?X) -> exists ?Y bn(?X, ?Y).\n\
          triple(?X, ?Y, ?Z), bn(?X, ?U) -> output(?U, ?Y, ?Z).",
-    )?;
-    let query = TriqLiteQuery::new(rules.clone(), "output")?;
+        "output",
+    ))?;
     println!(
         "The anonymization program is TriQ-Lite 1.0 (warded: {}).",
-        query.classification().warded
+        anonymize.classification().warded
     );
 
     // `output` holds triples whose subjects are labeled nulls, so they are
-    // not constant answer tuples; inspect the chase instance directly.
-    let db = tau_db(graph_ref(&graph));
-    let outcome = triq::datalog::chase(&db, &rules, ChaseConfig::default())?;
+    // not constant answer tuples; inspect the chase instance behind the
+    // streaming iterator directly.
+    let answers = anonymize.execute_iter(&session)?;
     println!("\nAnonymized graph (subjects replaced by shared blank nodes):");
-    let mut lines: Vec<String> = outcome
+    let mut lines: Vec<String> = answers
+        .outcome()
         .instance
         .atoms_of(intern("output"))
         .map(|a| format!("  {} {} {} .", a.terms[0], a.terms[1], a.terms[2]))
@@ -44,19 +47,16 @@ fn main() -> Result<(), TriqError> {
 
     // SPARQL's CONSTRUCT, by contrast, must mint a FRESH blank node per
     // match — `alice`'s two triples get different blanks:
-    let construct = parse_construct(
-        "CONSTRUCT { _:B ?P ?O } WHERE { ?S ?P ?O }",
-    )?;
+    let construct = parse_construct("CONSTRUCT { _:B ?P ?O } WHERE { ?S ?P ?O }")?;
     println!("\nCONSTRUCT with a local blank node (fresh per match):");
-    print!("{}", to_turtle(&construct.evaluate(&graph)));
+    print!(
+        "{}",
+        to_turtle(&construct.evaluate(session.graph().unwrap()))
+    );
     println!(
         "\nNote how the rule-based version uses ONE blank node for alice's \
          two triples, while CONSTRUCT cannot (its blank is per-match) — \
          the linkage between alice's triples is lost."
     );
     Ok(())
-}
-
-fn graph_ref(g: &Graph) -> &Graph {
-    g
 }

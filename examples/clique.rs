@@ -3,10 +3,22 @@
 //! in data complexity (Theorem 4.4), cross-checked against a direct
 //! backtracking solver.
 //!
+//! The clique program is prepared **once**; per-k runs clone the compiled
+//! plan with a deeper chase budget and swap the session (the encoded
+//! database) — no re-translation, no re-stratification.
+//!
 //! Run with: `cargo run --release --example clique`
 
 use triq::datalog::builders::{clique_database, clique_query, has_clique_direct};
 use triq::prelude::*;
+
+fn per_k_config(k: usize) -> ChaseConfig {
+    ChaseConfig {
+        max_null_depth: (k + 2) as u32,
+        max_atoms: 50_000_000,
+        ..ChaseConfig::default()
+    }
+}
 
 fn main() -> Result<(), TriqError> {
     let query = clique_query();
@@ -15,11 +27,16 @@ fn main() -> Result<(), TriqError> {
          frontier-guarded) but deliberately NOT TriQ-Lite 1.0:",
         query.program.rules.len()
     );
-    let c = classify_program(&query.program);
+    // TriqQuery validates membership in TriQ 1.0 (Definition 4.2) before
+    // the engine accepts it.
+    let triq_query = TriqQuery::new(query.program.clone(), "yes")?;
+    let c = triq_query.classification();
     println!(
         "  weakly-frontier-guarded: {}, warded: {}, grounded negation: {}",
         c.weakly_frontier_guarded, c.warded, c.grounded_negation
     );
+    let engine = Engine::new();
+    let prepared = engine.prepare(triq_query)?;
 
     // A wheel graph: hub connected to a 5-cycle. Triangles everywhere, no
     // 4-clique.
@@ -32,33 +49,27 @@ fn main() -> Result<(), TriqError> {
     println!("\nWheel graph W5: {n} nodes, {} edges", edges.len());
 
     for k in 2..=4 {
-        let db = clique_database(n, &edges, k);
-        let config = ChaseConfig {
-            max_null_depth: (k + 2) as u32,
-            ..ChaseConfig::default()
-        };
-        let answers = query.evaluate_with(&db, config)?;
+        let session = engine.load_database(clique_database(n, &edges, k));
+        // Deeper cliques need a deeper null budget; the compiled rules are
+        // shared by the clone, only the config differs.
+        let per_k = prepared.clone().with_config(per_k_config(k));
+        let answers = per_k.execute(&session)?;
         let triq_says = !answers.is_empty();
         let direct_says = has_clique_direct(n, &edges, k);
-        println!(
-            "  {k}-clique: TriQ says {triq_says}, direct solver says {direct_says}"
-        );
+        println!("  {k}-clique: TriQ says {triq_says}, direct solver says {direct_says}");
         assert_eq!(triq_says, direct_says);
     }
 
     // Show the ExpTime shape: the mapping tree has n^k leaves.
     println!("\nChase sizes (the n^k mapping tree of Example 4.3):");
     for k in 1..=4 {
-        let db = clique_database(n, &edges, k);
-        let config = ChaseConfig {
-            max_null_depth: (k + 2) as u32,
-            max_atoms: 50_000_000,
-            ..ChaseConfig::default()
-        };
-        let (_, outcome) = query.evaluate_full(&db, config)?;
+        let session = engine.load_database(clique_database(n, &edges, k));
+        let per_k = prepared.clone().with_config(per_k_config(k));
+        let iter = per_k.execute_iter(&session)?;
+        let stats = iter.outcome().stats;
         println!(
             "  k = {k}: {} atoms derived, {} nulls invented",
-            outcome.stats.derived, outcome.stats.nulls
+            stats.derived, stats.nulls
         );
     }
     Ok(())

@@ -10,9 +10,9 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use triq::prelude::*;
 use triq::common::Term;
 use triq::datalog::{Atom, Program, Rule};
+use triq::prelude::*;
 
 fn random_program(rng: &mut StdRng) -> Program {
     let preds = ["p", "q", "r", "s"];

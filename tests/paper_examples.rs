@@ -1,7 +1,7 @@
 //! End-to-end integration tests reproducing the worked examples of the
 //! paper, spanning every crate of the workspace.
 
-use triq::engine::{materialize_same_as, Semantics, SparqlEngine};
+use triq::engine::materialize_same_as;
 use triq::prelude::*;
 
 fn g1() -> Graph {
@@ -104,17 +104,17 @@ fn section_2_coauthor_existential() {
 /// §2: G3's ontology triples make dbAho an author under the regime.
 #[test]
 fn section_2_g3_regime() {
-    let engine = SparqlEngine::new(g3());
+    let engine = Engine::new();
+    let session = engine.load_graph(g3());
     let natural = parse_pattern("{ ?Y is_author_of _:B . ?Y name ?X }").unwrap();
-    let names = engine
-        .bindings_of(&natural, Semantics::RegimeAll, "X")
-        .unwrap();
+    let regime_all = engine.prepare((&natural, Semantics::RegimeAll)).unwrap();
+    let names = regime_all.bindings_of(&session, "X").unwrap();
     let mut names: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
     names.sort();
     assert_eq!(names, vec!["Alfred Aho", "Jeffrey Ullman"]);
     // Plain semantics misses Aho (the paper's motivating failure).
-    let plain = engine.bindings_of(&natural, Semantics::Plain, "X").unwrap();
-    assert_eq!(plain.len(), 1);
+    let plain = engine.prepare((&natural, Semantics::Plain)).unwrap();
+    assert_eq!(plain.bindings_of(&session, "X").unwrap().len(), 1);
 }
 
 /// §2: G4 and owl:sameAs.
@@ -172,23 +172,24 @@ fn section_5_animal_example() {
         BasicClass::Named(intern("animal")),
         BasicClass::Some(BasicProperty::Named(intern("eats"))),
     ));
-    let engine = SparqlEngine::new(ontology_to_graph(&o));
+    let engine = Engine::new();
+    let session = engine.load_graph(ontology_to_graph(&o));
     let eats = parse_pattern("{ ?X eats _:B }").unwrap();
-    assert!(engine
-        .bindings_of(&eats, Semantics::RegimeU, "X")
-        .unwrap()
-        .is_empty());
-    let workaround = parse_pattern("{ ?X rdf:type some~eats }").unwrap();
+    let eats_u = engine.prepare((&eats, Semantics::RegimeU)).unwrap();
+    assert!(eats_u.bindings_of(&session, "X").unwrap().is_empty());
+    let workaround = engine
+        .prepare((
+            parse_pattern("{ ?X rdf:type some~eats }").unwrap(),
+            Semantics::RegimeU,
+        ))
+        .unwrap();
     assert_eq!(
-        engine
-            .bindings_of(&workaround, Semantics::RegimeU, "X")
-            .unwrap(),
+        workaround.bindings_of(&session, "X").unwrap(),
         vec![intern("dog")]
     );
+    let eats_all = engine.prepare((&eats, Semantics::RegimeAll)).unwrap();
     assert_eq!(
-        engine
-            .bindings_of(&eats, Semantics::RegimeAll, "X")
-            .unwrap(),
+        eats_all.bindings_of(&session, "X").unwrap(),
         vec![intern("dog")]
     );
 }
@@ -211,16 +212,16 @@ fn section_5_3_herbivores() {
         BasicClass::Some(eats.inverse()),
         BasicClass::Named(intern("plant_material")),
     ));
-    let engine = SparqlEngine::new(ontology_to_graph(&o));
+    let engine = Engine::new();
+    let session = engine.load_graph(ontology_to_graph(&o));
     let q = parse_pattern("{ ?X eats _:B . _:B rdf:type plant_material }").unwrap();
     // Active domain: no witness in G.
-    assert!(engine
-        .bindings_of(&q, Semantics::RegimeU, "X")
-        .unwrap()
-        .is_empty());
+    let q_u = engine.prepare((&q, Semantics::RegimeU)).unwrap();
+    assert!(q_u.bindings_of(&session, "X").unwrap().is_empty());
     // J·K^All: dog qualifies via the invented meal.
+    let q_all = engine.prepare((&q, Semantics::RegimeAll)).unwrap();
     assert_eq!(
-        engine.bindings_of(&q, Semantics::RegimeAll, "X").unwrap(),
+        q_all.bindings_of(&session, "X").unwrap(),
         vec![intern("dog")]
     );
 }

@@ -1,0 +1,70 @@
+//! The prepare-once contract, probed directly: building a `PreparedQuery`
+//! pays translation + stratification exactly once, and subsequent
+//! executions — across several sessions — perform **zero** further
+//! stratifications. Re-executing against an unchanged session does not
+//! even re-run the chase.
+//!
+//! `stratify_run_count` is thread-local, so sibling tests running
+//! concurrently in this binary cannot perturb the probe.
+
+use triq::datalog::stratify_run_count;
+use triq::prelude::*;
+
+#[test]
+fn preparation_stratifies_once_and_executions_never() {
+    let engine = Engine::new();
+
+    // Preparing performs the one-time work (§5 translation internally
+    // validates, so more than one stratify call may land here — but all
+    // of them land *here*).
+    let prepared = engine
+        .prepare(Sparql(
+            "SELECT ?X WHERE { ?Y is_author_of ?Z . ?Y name ?X }",
+        ))
+        .unwrap();
+    assert_eq!(engine.stats().prepared_queries, 1);
+
+    let sessions = [
+        engine
+            .load_turtle(
+                "dbUllman is_author_of \"The Complete Book\" .\n\
+                 dbUllman name \"Jeffrey Ullman\" .",
+            )
+            .unwrap(),
+        engine
+            .load_turtle(
+                "dbAho is_author_of \"Compilers\" .\n\
+                 dbAho name \"Alfred Aho\" .",
+            )
+            .unwrap(),
+        engine.load_turtle("unrelated triple here .").unwrap(),
+    ];
+
+    // Executions against three different sessions: no re-translation, no
+    // re-stratification, three chase runs.
+    let strats_after_prepare = stratify_run_count();
+    let expected: [&[&str]; 3] = [&["Jeffrey Ullman"], &["Alfred Aho"], &[]];
+    for (session, names) in sessions.iter().zip(expected) {
+        let got = prepared.bindings_of(session, "X").unwrap();
+        let got: Vec<&str> = got.iter().map(|s| s.as_str()).collect();
+        assert_eq!(got, names);
+    }
+    assert_eq!(
+        stratify_run_count(),
+        strats_after_prepare,
+        "executing a prepared query must not re-stratify"
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.prepared_queries, 1);
+    assert_eq!(stats.executions, 3);
+    assert_eq!(stats.chase_runs, 3);
+    assert_eq!(stats.cache_hits, 0);
+
+    // Re-executing against an unchanged session hits the chase cache.
+    let _ = prepared.bindings_of(&sessions[0], "X").unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.executions, 4);
+    assert_eq!(stats.chase_runs, 3, "cached outcome must be reused");
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stratify_run_count(), strats_after_prepare);
+}

@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use triq::datalog::{
-    chase, prooftree_decide, ChaseConfig, Database, GroundAtom, ProofTreeConfig,
-};
+use triq::datalog::{chase, prooftree_decide, ChaseConfig, Database, GroundAtom, ProofTreeConfig};
 use triq::prelude::*;
 
 /// Warded program templates exercised by the cross-validation.

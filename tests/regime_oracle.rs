@@ -4,7 +4,6 @@
 //! decoding vs direct saturation), on generated ontologies.
 
 use std::collections::BTreeSet;
-use triq::engine::{Semantics, SparqlEngine};
 use triq::owl2ql::{chain_ontology, university_ontology, EntailmentOracle};
 use triq::prelude::*;
 use triq::sparql::{GraphPattern, PatternTerm, TriplePattern};
@@ -15,20 +14,21 @@ use triq::sparql::{GraphPattern, PatternTerm, TriplePattern};
 fn single_triple_patterns_match_oracle() {
     let graph = ontology_to_graph(&university_ontology(2, 3, 8, 11));
     let oracle = EntailmentOracle::new(&graph).unwrap();
-    let engine = SparqlEngine::new(graph.clone());
+    let engine = Engine::new();
+    let session = engine.load_graph(graph.clone());
     for class in ["person", "professor", "student", "faculty", "some~teaches"] {
         let pattern = GraphPattern::Basic(vec![TriplePattern::new(
             PatternTerm::Var(VarId::new("X")),
             PatternTerm::Const(intern("rdf:type")),
             PatternTerm::Const(intern(class)),
         )]);
-        let via_translation: BTreeSet<Symbol> = engine
-            .bindings_of(&pattern, Semantics::RegimeU, "X")
+        let prepared = engine.prepare((pattern, Semantics::RegimeU)).unwrap();
+        let via_translation: BTreeSet<Symbol> = prepared
+            .bindings_of(&session, "X")
             .unwrap()
             .into_iter()
             .collect();
-        let via_oracle: BTreeSet<Symbol> =
-            oracle.instances_of(intern(class)).into_iter().collect();
+        let via_oracle: BTreeSet<Symbol> = oracle.instances_of(intern(class)).into_iter().collect();
         assert_eq!(via_translation, via_oracle, "class {class}");
     }
 }
@@ -38,9 +38,11 @@ fn single_triple_patterns_match_oracle() {
 fn property_patterns_match_oracle() {
     let graph = ontology_to_graph(&university_ontology(1, 3, 10, 5));
     let oracle = EntailmentOracle::new(&graph).unwrap();
-    let engine = SparqlEngine::new(graph);
+    let engine = Engine::new();
+    let session = engine.load_graph(graph);
     let pattern = parse_pattern("{ ?X worksWith ?Y }").unwrap();
-    let answers = engine.evaluate(&pattern, Semantics::RegimeU).unwrap();
+    let prepared = engine.prepare((pattern, Semantics::RegimeU)).unwrap();
+    let answers = prepared.mappings(&session).unwrap();
     let pairs: BTreeSet<(Symbol, Symbol)> = answers
         .mappings()
         .unwrap()
@@ -59,7 +61,10 @@ fn property_patterns_match_oracle() {
         .map(|t| (t.s, t.o))
         .collect();
     assert_eq!(pairs, oracle_pairs);
-    assert!(!pairs.is_empty(), "the generated ABox should advise someone");
+    assert!(
+        !pairs.is_empty(),
+        "the generated ABox should advise someone"
+    );
 }
 
 /// The Lemma 6.5 pattern family: P_n = {(_:B, rdf:type, a1), …,
@@ -70,7 +75,8 @@ fn property_patterns_match_oracle() {
 fn lemma_6_5_pattern_family() {
     for n in [1usize, 3, 5] {
         let graph = ontology_to_graph(&chain_ontology(n));
-        let engine = SparqlEngine::new(graph);
+        let engine = Engine::new();
+        let session = engine.load_graph(graph);
         let triples: Vec<TriplePattern> = (1..=n)
             .map(|i| {
                 TriplePattern::new(
@@ -81,12 +87,20 @@ fn lemma_6_5_pattern_family() {
             })
             .collect();
         let pattern = GraphPattern::Basic(triples);
-        let u = engine.evaluate(&pattern, Semantics::RegimeU).unwrap();
+        let u = engine
+            .prepare((&pattern, Semantics::RegimeU))
+            .unwrap()
+            .mappings(&session)
+            .unwrap();
         assert!(
             u.mappings().unwrap().is_empty(),
             "n = {n}: no constant witness exists"
         );
-        let all = engine.evaluate(&pattern, Semantics::RegimeAll).unwrap();
+        let all = engine
+            .prepare((&pattern, Semantics::RegimeAll))
+            .unwrap()
+            .mappings(&session)
+            .unwrap();
         assert_eq!(
             all.mappings().unwrap().len(),
             1,
@@ -107,8 +121,9 @@ fn inconsistency_agreement() {
     let graph = ontology_to_graph(&o);
     let oracle = EntailmentOracle::new(&graph).unwrap();
     assert!(!oracle.is_consistent());
-    let engine = SparqlEngine::new(graph);
+    let engine = Engine::new();
+    let session = engine.load_graph(graph);
     let pattern = parse_pattern("{ ?X rdf:type person }").unwrap();
-    let answers = engine.evaluate(&pattern, Semantics::RegimeU).unwrap();
-    assert!(answers.is_top());
+    let prepared = engine.prepare((pattern, Semantics::RegimeU)).unwrap();
+    assert!(prepared.mappings(&session).unwrap().is_top());
 }

@@ -7,12 +7,16 @@
 //! the compatible-predicate machinery, answer decoding — is independently
 //! exercised.
 
+// The deprecated one-shot translation path IS the reference under test here.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use triq::owl2ql::{random_ontology, saturate, RandomOntologySpec};
 use triq::prelude::*;
 use triq::sparql::{GraphPattern, PatternTerm, TriplePattern};
+use triq::translate::evaluate_regime_u;
 
 const VARS: &[&str] = &["A", "B", "C"];
 

@@ -1,0 +1,444 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate re-implements the slice of proptest the workspace's property
+//! tests use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] returning
+//!   [`TestCaseError`] from the generated closure,
+//! * [`Strategy`] with `prop_map`, string strategies from a *subset* of
+//!   proptest's regex syntax (char classes, `\PC`, `{m,n}` repetition),
+//!   integer ranges, [`Just`], tuples, [`prop_oneof!`],
+//!   `prop::collection::vec` and `prop::sample::select`.
+//!
+//! There is **no shrinking**: a failing case panics with its case index
+//! and the generator is deterministic per case, so failures reproduce.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+pub mod collection;
+mod regex_gen;
+pub mod sample;
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Configuration for a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The error type `prop_assert!` produces inside a test body.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<String> for TestCaseError {
+    fn from(s: String) -> Self {
+        TestCaseError(s)
+    }
+}
+
+/// The per-case random source handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic generator for case number `case` of a test.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        // Mix the test name in so sibling tests see different streams.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ ((case as u64) << 1)),
+        }
+    }
+
+    /// Uniform draw from an exclusive range.
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            self.inner.gen_range(0..n)
+        }
+    }
+
+    /// 64 fresh random bits.
+    pub fn bits(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+/// A value generator. Unlike upstream proptest there is no intermediate
+/// value tree: strategies produce final values directly (no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// String strategies: a `&str` is interpreted as a regex (subset — see
+/// [`regex_gen`]) generating matching strings.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+/// A constant strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Integer ranges are strategies over their element type.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.bits() % span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// `any::<T>()`: a uniform draw over the whole domain of `T`.
+pub fn any<T: ArbitraryPrim>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Marker returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// Primitive types supported by [`any`].
+pub trait ArbitraryPrim {
+    /// A uniform draw.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty),*) => {$(
+        impl ArbitraryPrim for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.bits() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryPrim for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.bits() & 1 == 1
+    }
+}
+
+impl<T: ArbitraryPrim> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between strategies of a common value type — the result
+/// of [`prop_oneof!`].
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; panics on an empty option list.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+
+/// Uniform choice among strategies sharing a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let __options: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            ::std::vec::Vec::from([
+                $(::std::boxed::Box::new($strategy) as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,)+
+            ]);
+        $crate::Union::new(__options)
+    }};
+}
+
+/// Discards the current case when its precondition fails. Without a
+/// rejection budget (upstream tracks one), a discarded case simply counts
+/// as passing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Assertion that fails the current case without panicking mid-generator.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Inequality assertion, mirroring `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// The test-definition macro. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic cases; the body is
+/// wrapped in a closure returning `Result<(), TestCaseError>` so
+/// `prop_assert!` and early `return Ok(())` work as in upstream proptest.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)*
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!("proptest {} failed at case {}: {}", stringify!($name), __case, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0u8..8) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 8);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(s in prop_oneof![
+            "[a-z]{1,4}",
+            Just("fixed".to_string()),
+        ].prop_map(|s| format!("<{s}>"))) {
+            prop_assert!(s.starts_with('<') && s.ends_with('>'));
+            let inner = &s[1..s.len() - 1];
+            prop_assert!(inner == "fixed" || (1..=4).contains(&inner.len()));
+        }
+
+        #[test]
+        fn vec_and_select_compose(v in prop::collection::vec(
+            prop::sample::select(vec!["a", "b", "c"]),
+            0..5,
+        )) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|s| ["a", "b", "c"].contains(s)));
+        }
+
+        #[test]
+        fn early_return_ok_is_supported(n in 0u32..10) {
+            if n > 3 {
+                return Ok(());
+            }
+            prop_assert!(n <= 3);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::TestRng::for_case("t", 5);
+        let mut b = crate::TestRng::for_case("t", 5);
+        let s = "[a-z0-9]{8,8}";
+        assert_eq!(
+            crate::Strategy::generate(&s, &mut a),
+            crate::Strategy::generate(&s, &mut b)
+        );
+    }
+}

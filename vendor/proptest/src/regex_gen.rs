@@ -1,0 +1,191 @@
+//! Generator for the regex *subset* the workspace's string strategies
+//! use: literal characters, character classes `[a-z0-9_]`, the escape
+//! `\PC` (any non-control character) and `{m,n}` repetition. Anything
+//! outside the subset panics loudly so new patterns surface immediately
+//! instead of silently generating wrong data.
+
+use crate::TestRng;
+
+/// Printable pool for `\PC`: ASCII printables plus a few multi-byte
+/// characters so parsers meet non-ASCII input.
+const PRINTABLE_EXTRA: &[char] = &['é', 'λ', '→', '中', 'Ω', '∃', '¬', '⊥'];
+
+#[derive(Debug)]
+enum Item {
+    /// A fixed character.
+    Literal(char),
+    /// A character class: concrete alternatives.
+    Class(Vec<(char, char)>),
+    /// `\PC` — any non-control character.
+    Printable,
+}
+
+struct Parsed {
+    item: Item,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Parsed> {
+    let mut chars = pattern.chars().peekable();
+    let mut out = Vec::new();
+    while let Some(c) = chars.next() {
+        let item = match c {
+            '[' => {
+                let mut ranges: Vec<(char, char)> = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let Some(c) = chars.next() else {
+                        panic!("unterminated character class in regex strategy {pattern:?}");
+                    };
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            ranges.push((lo, hi));
+                        }
+                        c => {
+                            if let Some(p) = prev.replace(c) {
+                                ranges.push((p, p));
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    ranges.push((p, p));
+                }
+                assert!(
+                    !ranges.is_empty(),
+                    "empty character class in regex strategy {pattern:?}"
+                );
+                Item::Class(ranges)
+            }
+            '\\' => match chars.next() {
+                Some('P') => match chars.next() {
+                    Some('C') => Item::Printable,
+                    other => panic!(
+                        "unsupported escape \\P{other:?} in regex strategy {pattern:?} \
+                         (only \\PC is implemented)"
+                    ),
+                },
+                Some('n') => Item::Literal('\n'),
+                Some('t') => Item::Literal('\t'),
+                Some(
+                    c @ ('\\' | '.' | '[' | ']' | '{' | '}' | '(' | ')' | '?' | '*' | '+' | '|'
+                    | '^' | '$'),
+                ) => Item::Literal(c),
+                other => panic!("unsupported escape \\{other:?} in regex strategy {pattern:?}"),
+            },
+            '.' | '(' | ')' | '|' | '?' | '*' | '+' | '^' | '$' => panic!(
+                "regex construct {c:?} is outside the vendored subset \
+                 (pattern {pattern:?}); extend vendor/proptest/src/regex_gen.rs"
+            ),
+            c => Item::Literal(c),
+        };
+        // Optional {m,n} / {n} quantifier.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut digits = String::new();
+            let mut min: Option<u32> = None;
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(',') => {
+                        min = Some(digits.parse().expect("bad repetition bound"));
+                        digits.clear();
+                    }
+                    Some(d) if d.is_ascii_digit() => digits.push(d),
+                    other => panic!("bad repetition {other:?} in regex strategy {pattern:?}"),
+                }
+            }
+            let hi: u32 = digits.parse().expect("bad repetition bound");
+            (min.unwrap_or(hi), hi)
+        } else {
+            (1, 1)
+        };
+        assert!(
+            min <= max,
+            "inverted repetition in regex strategy {pattern:?}"
+        );
+        out.push(Parsed { item, min, max });
+    }
+    out
+}
+
+fn sample_item(item: &Item, rng: &mut TestRng) -> char {
+    match item {
+        Item::Literal(c) => *c,
+        Item::Class(ranges) => {
+            let (lo, hi) = ranges[rng.below(ranges.len())];
+            let span = hi as u32 - lo as u32 + 1;
+            char::from_u32(lo as u32 + (rng.bits() % span as u64) as u32)
+                .expect("character class range produced an invalid scalar")
+        }
+        Item::Printable => {
+            // Mostly ASCII printables, occasionally a multi-byte char.
+            if rng.below(10) == 0 {
+                PRINTABLE_EXTRA[rng.below(PRINTABLE_EXTRA.len())]
+            } else {
+                char::from_u32(0x20 + (rng.bits() % 0x5f) as u32).unwrap()
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let items = parse(pattern);
+    let mut out = String::new();
+    for p in &items {
+        let count = p.min + (rng.bits() % (p.max - p.min + 1) as u64) as u32;
+        for _ in 0..count {
+            out.push(sample_item(&p.item, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("regex_gen", 0)
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9_]{0,8}", &mut r);
+            assert!((1..=9).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn prefixed_name_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,4}:[a-zA-Z][a-zA-Z0-9_]{0,6}", &mut r);
+            let (pre, rest) = s.split_once(':').expect("missing colon");
+            assert!((1..=4).contains(&pre.len()));
+            assert!(rest.chars().next().unwrap().is_ascii_alphabetic());
+        }
+    }
+
+    #[test]
+    fn printable_pattern_excludes_controls() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("\\PC{0,160}", &mut r);
+            assert!(s.chars().count() <= 160);
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+        }
+    }
+}

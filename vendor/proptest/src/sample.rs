@@ -1,0 +1,24 @@
+//! `prop::sample` — choosing among concrete values.
+
+use crate::{Strategy, TestRng};
+
+/// A strategy drawing uniformly from `options`.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(
+        !options.is_empty(),
+        "sample::select needs at least one option"
+    );
+    Select { options }
+}
+
+/// The result of [`select`].
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len())].clone()
+    }
+}

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides exactly the surface the workspace uses — `StdRng`,
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over exclusive
+//! integer ranges, [`Rng::gen_bool`] and [`Rng::gen`] — with a
+//! deterministic splitmix64 generator. It makes no attempt to reproduce
+//! the upstream value streams; callers only rely on seeded determinism
+//! within one build of this crate.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: 64 fresh bits per call.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from an exclusive range.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `lo..hi` (requires `lo < hi`).
+    fn sample_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range called with an empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range called with an empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Types producible by [`Rng::gen`] (the upstream `Standard` distribution).
+pub trait Standard {
+    /// A uniform draw over the whole domain of the type.
+    fn standard(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for u64 {
+    fn standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Standard for usize {
+    fn standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn standard(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn standard(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`]: `a..b` and `a..=b`.
+pub trait SampleRange<T> {
+    /// Uniform draw from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + InclusiveUpper> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range(rng, lo, hi.inclusive_upper())
+    }
+}
+
+/// Helper converting an inclusive upper bound to an exclusive one.
+pub trait InclusiveUpper: Copy {
+    /// `self + 1`, panicking on overflow.
+    fn inclusive_upper(self) -> Self;
+}
+
+macro_rules! impl_inclusive_upper {
+    ($($t:ty),*) => {$(
+        impl InclusiveUpper for $t {
+            fn inclusive_upper(self) -> Self {
+                self.checked_add(1).expect("gen_range(..=MAX) unsupported")
+            }
+        }
+    )*};
+}
+impl_inclusive_upper!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform draw from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with success probability `p` ∈ [0, 1].
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p));
+        f64::standard(self) < p
+    }
+
+    /// A uniform draw over the whole domain of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic splitmix64 generator (stand-in for `rand::rngs::StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                // Avoid the all-zero fixed point without perturbing other seeds.
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..25usize);
+            assert!((3..25).contains(&x));
+            let y = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+    }
+}
