@@ -1,0 +1,124 @@
+//! E6b — chase-dominated scaling on the columnar relation store.
+//!
+//! Workloads where essentially all time is spent in the semi-naive join
+//! loops (the data plane this PR rewrote):
+//!
+//! * `tc/{n}` — transitive closure of a random sparse graph with `n`
+//!   nodes (quadratic output, join-heavy, no existentials);
+//! * `negation/{n}` — closure plus a stratified-negation stratum that
+//!   membership-probes every pair (borrowed-key `contains` path);
+//! * `parallel/{k}` vs `sequential/{k}` — `k` independent closure
+//!   families evaluated in one stratum, with per-rule parallel match
+//!   collection on vs off (`parallel_threshold`).
+//!
+//! Compare against the pre-refactor engine by checking this bench out on
+//! the previous commit; the driver's acceptance gate is ≥ 2x on `tc` and
+//! the e3 regime bench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use triq::prelude::*;
+
+fn random_edges(n: usize, per_node: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for i in 0..n {
+        for _ in 0..per_node {
+            let j = rng.gen_range(0..n);
+            db.add_fact("e", &[&format!("n{i}"), &format!("n{j}")]);
+        }
+    }
+    db
+}
+
+fn runner(program: &str, threshold: usize) -> ChaseRunner {
+    let p = parse_program(program).unwrap();
+    ChaseRunner::new(
+        p,
+        ChaseConfig {
+            parallel_threshold: threshold,
+            max_atoms: 50_000_000,
+            ..ChaseConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// `k` independent enumeration-heavy 3-way joins in one stratum
+/// (triangle detection per edge family) — the shape where parallel
+/// per-rule match collection pays: lots of probing, few derivations.
+fn family_program(k: usize) -> String {
+    (0..k)
+        .map(|f| format!("e{f}(?X, ?Y), e{f}(?Y, ?Z), e{f}(?Z, ?X) -> tri{f}(?X).\n"))
+        .collect()
+}
+
+fn family_db(k: usize, n: usize, per_node: usize) -> Database {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut db = Database::new();
+    for f in 0..k {
+        for i in 0..n {
+            for _ in 0..per_node {
+                let j = rng.gen_range(0..n);
+                db.add_fact(&format!("e{f}"), &[&format!("n{i}"), &format!("n{j}")]);
+            }
+        }
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_chase_scaling");
+    group.sample_size(10);
+
+    for n in [100usize, 300] {
+        let db = random_edges(n, 2, 42);
+        let tc = runner(
+            "e(?X, ?Y) -> t(?X, ?Y).\n e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).",
+            usize::MAX, // single recursive family: nothing to parallelize
+        );
+        group.bench_function(format!("tc/{n}"), |b| {
+            b.iter(|| tc.run(&db).unwrap().stats.derived)
+        });
+    }
+
+    for n in [100usize, 200] {
+        let db = random_edges(n, 2, 43);
+        let neg = runner(
+            "e(?X, ?Y) -> t(?X, ?Y).\n\
+             e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).\n\
+             e(?X, ?Y) -> node(?X).\n\
+             e(?X, ?Y) -> node(?Y).\n\
+             node(?X), node(?Y), !t(?X, ?Y) -> unreachable(?X, ?Y).",
+            usize::MAX,
+        );
+        group.bench_function(format!("negation/{n}"), |b| {
+            b.iter(|| neg.run(&db).unwrap().stats.derived)
+        });
+    }
+
+    let k = 4usize;
+    let program = family_program(k);
+    let db = family_db(k, 600, 12);
+    let par = runner(&program, 4096);
+    let seq = runner(&program, usize::MAX);
+    let multi_core = std::thread::available_parallelism().is_ok_and(|n| n.get() > 1);
+    group.bench_function(format!("parallel/{k}"), |b| {
+        b.iter(|| {
+            let out = par.run(&db).unwrap();
+            // On one hardware thread the engine falls back to the
+            // sequential schedule; only assert fan-out where it can help.
+            assert!(!multi_core || out.stats.parallel_strata > 0);
+            out.stats.derived
+        })
+    });
+    group.bench_function(format!("sequential/{k}"), |b| {
+        b.iter(|| seq.run(&db).unwrap().stats.derived)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

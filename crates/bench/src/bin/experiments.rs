@@ -317,7 +317,7 @@ fn e5_ptime_scaling() {
     let outcome = chase(&db, &program, ChaseConfig::default()).unwrap();
     let mut agree = true;
     for atom in outcome.instance.ground_part() {
-        agree &= prooftree_decide(&db, &program, atom, ProofTreeConfig::default()).unwrap();
+        agree &= prooftree_decide(&db, &program, &atom, ProofTreeConfig::default()).unwrap();
     }
     println!("  chase vs ProofTree cross-check on warded program: agree = {agree}");
 }

@@ -9,7 +9,9 @@
 //!   which the paper folds into URIs; see footnote 5 of the paper),
 //! * [`NullId`] — a labeled null from **B**,
 //! * [`VarId`] — a variable from **V**,
-//! * [`Term`] — the disjoint union of the above.
+//! * [`Term`] — the disjoint union of the above,
+//! * [`TermId`] — a packed `u32` over the *ground* terms (constants,
+//!   literals and nulls), the row element of the columnar relation store.
 //!
 //! Interning is global and append-only: a [`Symbol`] is a stable `u32` valid
 //! for the lifetime of the process, and resolving a symbol to its string is
@@ -21,10 +23,12 @@
 mod error;
 mod interner;
 mod term;
+mod termid;
 
 pub use error::{Result, TriqError};
 pub use interner::{intern, resolve, Symbol};
 pub use term::{NullId, Term, VarId};
+pub use termid::TermId;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,147 @@
+//! `TermId` — a single `u32` id space over all *ground* terms.
+//!
+//! The chase stores instances as fixed-arity rows of ids, so the storage
+//! layer needs one integer that covers both halves of the paper's ground
+//! vocabulary: constants/literals from **U** (already interned as
+//! [`Symbol`]) and labeled nulls from **B** ([`NullId`]). `TermId` packs
+//! the kind into the top bit:
+//!
+//! * bit 31 clear — a constant; the low 31 bits are the [`Symbol`] index,
+//! * bit 31 set — a labeled null; the low 31 bits are the [`NullId`].
+//!
+//! Variables have no `TermId`: they exist only in rule patterns, never in
+//! stored rows. Encoding is a bit-op, not a lookup, so converting between
+//! [`Term`] and `TermId` allocates nothing — the property the relation
+//! store's borrowed-key probes rely on.
+
+use crate::{NullId, Symbol, Term};
+use std::fmt;
+
+/// Tag bit separating nulls from constants.
+const NULL_BIT: u32 = 1 << 31;
+
+/// A ground term (constant or labeled null) as a single `u32`.
+///
+/// Ordering and hashing are on the packed representation: all constants
+/// sort before all nulls, each kind in id order. Two `TermId`s are equal
+/// iff they denote the same term.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// The id of a constant. Panics if the symbol index reaches the tag
+    /// bit (2³¹ interned strings) — a hard assert, because silently
+    /// aliasing a constant to a null would corrupt query answers.
+    #[inline]
+    pub fn from_const(sym: Symbol) -> TermId {
+        assert!(sym.index() & NULL_BIT == 0, "TermId symbol space exhausted");
+        TermId(sym.index())
+    }
+
+    /// The id of a labeled null. Panics if the null id reaches the tag
+    /// bit (2³¹ nulls in one instance).
+    #[inline]
+    pub fn from_null(null: NullId) -> TermId {
+        assert!(null.0 & NULL_BIT == 0, "TermId null space exhausted");
+        TermId(null.0 | NULL_BIT)
+    }
+
+    /// Encodes a ground term; `None` for variables.
+    #[inline]
+    pub fn from_term(term: Term) -> Option<TermId> {
+        match term {
+            Term::Const(s) => Some(TermId::from_const(s)),
+            Term::Null(n) => Some(TermId::from_null(n)),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// Decodes back into a [`Term`] (always a constant or null).
+    #[inline]
+    pub fn to_term(self) -> Term {
+        if self.0 & NULL_BIT == 0 {
+            Term::Const(Symbol(self.0))
+        } else {
+            Term::Null(NullId(self.0 & !NULL_BIT))
+        }
+    }
+
+    /// True iff this id denotes a constant.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.0 & NULL_BIT == 0
+    }
+
+    /// The constant inside, if any.
+    #[inline]
+    pub fn as_const(self) -> Option<Symbol> {
+        self.is_const().then_some(Symbol(self.0))
+    }
+
+    /// The null inside, if any.
+    #[inline]
+    pub fn as_null(self) -> Option<NullId> {
+        (!self.is_const()).then_some(NullId(self.0 & !NULL_BIT))
+    }
+
+    /// The packed representation (stable for the process lifetime).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<Symbol> for TermId {
+    fn from(s: Symbol) -> TermId {
+        TermId::from_const(s)
+    }
+}
+
+impl From<NullId> for TermId {
+    fn from(n: NullId) -> TermId {
+        TermId::from_null(n)
+    }
+}
+
+impl fmt::Debug for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_term(), f)
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_term(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern;
+
+    #[test]
+    fn round_trips() {
+        let c = Term::constant("abc");
+        let n = Term::Null(NullId(7));
+        assert_eq!(TermId::from_term(c).unwrap().to_term(), c);
+        assert_eq!(TermId::from_term(n).unwrap().to_term(), n);
+        assert_eq!(TermId::from_term(Term::Var(crate::VarId::new("X"))), None);
+    }
+
+    #[test]
+    fn kinds_are_disjoint() {
+        let c = TermId::from_const(intern("x"));
+        let n = TermId::from_null(NullId(intern("x").index()));
+        assert_ne!(c, n);
+        assert!(c.is_const() && !n.is_const());
+        assert_eq!(c.as_const(), Some(intern("x")));
+        assert_eq!(n.as_null(), Some(NullId(intern("x").index())));
+    }
+
+    #[test]
+    fn display_matches_term() {
+        assert_eq!(TermId::from_const(intern("hello")).to_string(), "hello");
+        assert_eq!(TermId::from_null(NullId(3)).to_string(), "_:n3");
+    }
+}

@@ -167,6 +167,9 @@ struct EngineCounters {
     executions: AtomicUsize,
     chase_runs: AtomicUsize,
     cache_hits: AtomicUsize,
+    atoms_derived: AtomicU64,
+    join_probes: AtomicU64,
+    parallel_strata: AtomicUsize,
 }
 
 #[derive(Debug)]
@@ -189,6 +192,12 @@ pub struct EngineStats {
     pub chase_runs: usize,
     /// Executions answered from a session's chase-state cache.
     pub cache_hits: usize,
+    /// Atoms derived across all chase runs (beyond the database seeds).
+    pub atoms_derived: u64,
+    /// Candidate tuples examined by the chase join loops.
+    pub join_probes: u64,
+    /// Strata evaluated with parallel per-rule match collection.
+    pub parallel_strata: usize,
 }
 
 /// The top-level handle: policy + prepared-query factory.
@@ -234,6 +243,9 @@ impl Engine {
             executions: s.executions.load(Ordering::Relaxed),
             chase_runs: s.chase_runs.load(Ordering::Relaxed),
             cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            atoms_derived: s.atoms_derived.load(Ordering::Relaxed),
+            join_probes: s.join_probes.load(Ordering::Relaxed),
+            parallel_strata: s.parallel_strata.load(Ordering::Relaxed),
         }
     }
 
@@ -493,7 +505,7 @@ const MAX_CACHED_OUTCOMES: usize = 32;
 /// prepared query's identity to the [`ChaseOutcome`] it produced over this
 /// session's data, so re-executing the same [`PreparedQuery`] is a lookup;
 /// any mutation of the session data invalidates the cache, and the cache
-/// holds at most [`MAX_CACHED_OUTCOMES`] entries.
+/// holds at most `MAX_CACHED_OUTCOMES` entries.
 #[derive(Debug)]
 pub struct Session {
     engine: Engine,
@@ -642,6 +654,15 @@ impl PreparedQuery {
         }
         stats.chase_runs.fetch_add(1, Ordering::Relaxed);
         let outcome = Arc::new(self.runner.run(&session.db)?);
+        stats
+            .atoms_derived
+            .fetch_add(outcome.stats.derived as u64, Ordering::Relaxed);
+        stats
+            .join_probes
+            .fetch_add(outcome.stats.probes, Ordering::Relaxed);
+        stats
+            .parallel_strata
+            .fetch_add(outcome.stats.parallel_strata, Ordering::Relaxed);
         session.store_outcome(self.plan_id, outcome.clone());
         Ok(outcome)
     }

@@ -2,14 +2,16 @@
 //! `Engine`/`Session`/`PreparedQuery` facade.
 //!
 //! ```text
-//! triq-cli sparql <graph.ttl> '<SELECT query>' [--regime u|all]
-//! triq-cli rules <graph.ttl> <rules.dl> <output-pred>
+//! triq-cli [--stats] sparql <graph.ttl> '<SELECT query>' [--regime u|all]
+//! triq-cli [--stats] rules <graph.ttl> <rules.dl> <output-pred>
 //! triq-cli classify <rules.dl>
 //! triq-cli entail <graph.ttl> <s> <p> <o>
 //! triq-cli explain <graph.ttl> <s> <p> <o>
 //! triq-cli saturate <graph.ttl>
 //! ```
 //!
+//! `--stats` prints the engine's execution counters (chase runs, atoms
+//! derived, join probes, parallel strata, …) to stderr after the answer.
 //! Errors print their stable code (e.g. `E-STRATIFY`, `E-LANG-MEMBERSHIP`)
 //! so scripts can match failures without parsing prose.
 
@@ -18,8 +20,8 @@ use triq::prelude::*;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  triq-cli sparql <graph.ttl> '<SELECT query>' [--regime u|all]\n  \
-         triq-cli rules <graph.ttl> <rules.dl> <output-pred>\n  \
+        "usage:\n  triq-cli [--stats] sparql <graph.ttl> '<SELECT query>' [--regime u|all]\n  \
+         triq-cli [--stats] rules <graph.ttl> <rules.dl> <output-pred>\n  \
          triq-cli classify <rules.dl>\n  \
          triq-cli entail <graph.ttl> <s> <p> <o>\n  \
          triq-cli explain <graph.ttl> <s> <p> <o>\n  \
@@ -28,11 +30,34 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
+/// Prints the engine counters (the [`EngineStats`] snapshot) to stderr.
+fn print_stats(engine: &Engine) {
+    let s = engine.stats();
+    eprintln!("stats:");
+    eprintln!("  prepared queries: {}", s.prepared_queries);
+    eprintln!("  executions:       {}", s.executions);
+    eprintln!("  chase runs:       {}", s.chase_runs);
+    eprintln!("  cache hits:       {}", s.cache_hits);
+    eprintln!("  atoms derived:    {}", s.atoms_derived);
+    eprintln!("  join probes:      {}", s.join_probes);
+    eprintln!("  parallel strata:  {}", s.parallel_strata);
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--stats` is a global flag that must precede the subcommand, so a
+    // positional argument that happens to equal "--stats" (e.g. a file
+    // name) is never consumed.
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stats = args.first().is_some_and(|a| a == "--stats");
+    if stats {
+        args.remove(0);
+    }
     let result = match args.first().map(String::as_str) {
-        Some("sparql") => cmd_sparql(&args[1..]),
-        Some("rules") => cmd_rules(&args[1..]),
+        Some("sparql") => cmd_sparql(&args[1..], stats),
+        Some("rules") => cmd_rules(&args[1..], stats),
+        Some(cmd @ ("classify" | "entail" | "explain" | "saturate")) if stats => Err(
+            TriqError::Other(format!("--stats is not supported for `{cmd}`")),
+        ),
         Some("classify") => cmd_classify(&args[1..]),
         Some("entail") => cmd_entail(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
@@ -56,7 +81,7 @@ fn load_graph(path: &str) -> Result<Graph, TriqError> {
     parse_turtle(&read_file(path)?)
 }
 
-fn cmd_sparql(args: &[String]) -> Result<(), TriqError> {
+fn cmd_sparql(args: &[String], stats: bool) -> Result<(), TriqError> {
     let [graph_path, query, rest @ ..] = args else {
         return Err(TriqError::Other("sparql needs <graph> <query>".into()));
     };
@@ -87,10 +112,13 @@ fn cmd_sparql(args: &[String]) -> Result<(), TriqError> {
             }
         }
     }
+    if stats {
+        print_stats(&engine);
+    }
     Ok(())
 }
 
-fn cmd_rules(args: &[String]) -> Result<(), TriqError> {
+fn cmd_rules(args: &[String], stats: bool) -> Result<(), TriqError> {
     let [graph_path, rules_path, output] = args else {
         return Err(TriqError::Other(
             "rules needs <graph> <rules.dl> <output-pred>".into(),
@@ -113,6 +141,9 @@ fn cmd_rules(args: &[String]) -> Result<(), TriqError> {
     let mut answers = prepared.execute_iter(&session)?;
     if answers.is_top() {
         println!("⊤  (inconsistent)");
+        if stats {
+            print_stats(&engine);
+        }
         return Ok(());
     }
     let mut rows: Vec<String> = (&mut answers)
@@ -127,6 +158,9 @@ fn cmd_rules(args: &[String]) -> Result<(), TriqError> {
     rows.sort();
     for row in rows {
         println!("{row}");
+    }
+    if stats {
+        print_stats(&engine);
     }
     Ok(())
 }

@@ -15,7 +15,10 @@
 //! Everything goes through one lifecycle: build an [`Engine`], **prepare**
 //! a query once (parse → translate → classify → stratify → compile), open
 //! a [`Session`] per dataset, and **execute** the prepared query as often
-//! as you like — against any number of sessions.
+//! as you like — against any number of sessions. Execution runs on a
+//! columnar, fully interned chase engine (see `docs/ARCHITECTURE.md` at
+//! the repository root for the crate layering, the `TermId` interning
+//! boundary and the chase data flow).
 //!
 //! ```
 //! use triq::prelude::*;

@@ -152,3 +152,63 @@ fn explain_shows_derivation() {
         .unwrap()
         .contains("not entailed"));
 }
+
+#[test]
+fn stats_flag_prints_engine_counters() {
+    let g = write_temp("g5.ttl", GRAPH);
+    let out = cli()
+        .args([
+            "--stats",
+            "sparql",
+            g.to_str().unwrap(),
+            "SELECT ?X WHERE { ?Y name ?X }",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("Alfred Aho"));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("chase runs:       1"), "{stderr}");
+    assert!(stderr.contains("join probes:"), "{stderr}");
+    assert!(stderr.contains("atoms derived:"), "{stderr}");
+    assert!(stderr.contains("parallel strata:"), "{stderr}");
+    // Without the flag, stderr stays quiet.
+    let out = cli()
+        .args([
+            "sparql",
+            g.to_str().unwrap(),
+            "SELECT ?X WHERE { ?Y name ?X }",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(!String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("chase runs"));
+}
+
+#[test]
+fn stats_flag_is_leading_only_and_rejected_where_unsupported() {
+    let g = write_temp("g6.ttl", GRAPH);
+    // --stats with a non-engine command errors instead of being ignored.
+    let out = cli()
+        .args(["--stats", "entail", g.to_str().unwrap(), "a", "b", "c"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("--stats is not supported"));
+    // A positional argument that equals "--stats" is not consumed: the
+    // command fails on the missing file, not on mangled arguments.
+    let out = cli()
+        .args(["sparql", "--stats", "SELECT ?X WHERE { ?Y name ?X }"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("cannot read --stats"));
+}

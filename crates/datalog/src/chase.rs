@@ -1,5 +1,6 @@
 //! The chase procedure (§3.2) with stratified negation, constraints and
-//! provenance, implemented as a semi-naive fixpoint per stratum.
+//! provenance, implemented as a semi-naive fixpoint per stratum over the
+//! columnar [`Instance`] store.
 //!
 //! The paper defines the semantics of a Datalog∃,¬s,⊥ program via the
 //! (possibly infinite) chase `S₀ = chase(D, ex(Π)₀)`,
@@ -25,14 +26,23 @@
 //! lower strata (nulls compare by identity, as the grounding of §3.2
 //! prescribes).
 //!
-//! Internally, rules are *compiled*: every rule variable becomes a slot
-//! index, so a candidate match is a flat `Vec<Option<Term>>` instead of a
-//! hash map — the join loop allocates nothing per probed tuple.
+//! # Execution model
+//!
+//! Rules are *compiled*: every rule variable becomes a slot index, and
+//! every fixed term a [`TermId`], so a candidate match is a flat
+//! `Vec<Option<TermId>>` — the join loop compares `u32`s against the
+//! relation columns and allocates nothing per probed tuple.
+//!
+//! Within a stratum round, match *enumeration* is read-only (semi-naive
+//! delta windows cap every candidate range at the round's start length),
+//! so the matches of independent rules are collected **in parallel** with
+//! `std::thread::scope` and then *applied* serially in rule order —
+//! byte-for-byte the same instance the sequential schedule produces.
 
-use crate::instance::{AtomId, Database, Derivation, GroundAtom, Instance};
+use crate::instance::{AtomId, Database, Derivation, Instance, Relation};
 use crate::{Atom, Builtin, Program, Rule, Stratification};
 use std::collections::HashMap;
-use triq_common::{Result, Symbol, Term, TriqError, VarId};
+use triq_common::{Result, Symbol, Term, TermId, TriqError, VarId};
 
 /// How existential rules instantiate their head nulls.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,6 +63,13 @@ pub struct ChaseConfig {
     pub max_null_depth: u32,
     /// Hard budget on the total number of stored atoms.
     pub max_atoms: usize,
+    /// Evaluate a stratum's rules with parallel match collection once a
+    /// round's delta window (new atoms since the previous round) holds at
+    /// least this many atoms (`usize::MAX` forces sequential evaluation;
+    /// `0` forces parallel). Parallelism never changes results — only
+    /// wall-clock: tiny rounds stay on one thread where spawn overhead
+    /// would dominate.
+    pub parallel_threshold: usize,
 }
 
 impl Default for ChaseConfig {
@@ -61,6 +78,7 @@ impl Default for ChaseConfig {
             strategy: ExistentialStrategy::Skolem,
             max_null_depth: 6,
             max_atoms: 10_000_000,
+            parallel_threshold: 4096,
         }
     }
 }
@@ -74,6 +92,10 @@ pub struct ChaseStats {
     pub rounds: usize,
     /// Nulls invented.
     pub nulls: usize,
+    /// Candidate tuples examined by the join loops (index probes).
+    pub probes: u64,
+    /// Strata whose rules were evaluated with parallel match collection.
+    pub parallel_strata: usize,
     /// Whether some existential application was skipped because it would
     /// exceed `max_null_depth`. When `false`, the computed instance is the
     /// *exact* chase (it happened to be finite within the bound).
@@ -92,13 +114,13 @@ pub struct ChaseOutcome {
 }
 
 // ---------------------------------------------------------------------------
-// Compiled form: variables become slot indexes.
+// Compiled form: variables become slot indexes, fixed terms become TermIds.
 // ---------------------------------------------------------------------------
 
-/// A term of a compiled atom: a fixed value or a slot.
+/// A term of a compiled atom: a fixed ground value or a slot.
 #[derive(Clone, Copy, Debug)]
 enum CTerm {
-    Fixed(Term),
+    Fixed(TermId),
     Slot(u16),
 }
 
@@ -112,6 +134,14 @@ struct CAtom {
 enum CBuiltin {
     Eq(CTerm, CTerm),
     Neq(CTerm, CTerm),
+}
+
+/// A constraint body with slot-indexed variables.
+#[derive(Clone, Debug)]
+struct CompiledConstraint {
+    n_slots: usize,
+    atoms: Vec<CAtom>,
+    builtins: Vec<CBuiltin>,
 }
 
 /// A rule with slot-indexed variables.
@@ -148,22 +178,33 @@ impl SlotMap {
     fn compile_atom(&mut self, atom: &Atom) -> CAtom {
         CAtom {
             pred: atom.pred,
-            terms: atom
-                .terms
-                .iter()
-                .map(|&t| match t {
-                    Term::Var(v) => CTerm::Slot(self.slot(v)),
-                    other => CTerm::Fixed(other),
-                })
-                .collect(),
+            terms: atom.terms.iter().map(|&t| self.compile_term(t)).collect(),
         }
     }
 
     fn compile_term(&mut self, t: Term) -> CTerm {
         match t {
             Term::Var(v) => CTerm::Slot(self.slot(v)),
-            other => CTerm::Fixed(other),
+            other => CTerm::Fixed(TermId::from_term(other).expect("ground term")),
         }
+    }
+}
+
+fn compile_constraint(c: &crate::Constraint) -> CompiledConstraint {
+    let mut slot_map = SlotMap::new();
+    let atoms: Vec<CAtom> = c.body.iter().map(|a| slot_map.compile_atom(a)).collect();
+    let builtins: Vec<CBuiltin> = c
+        .builtins
+        .iter()
+        .map(|b| match *b {
+            Builtin::Eq(x, y) => CBuiltin::Eq(slot_map.compile_term(x), slot_map.compile_term(y)),
+            Builtin::Neq(x, y) => CBuiltin::Neq(slot_map.compile_term(x), slot_map.compile_term(y)),
+        })
+        .collect();
+    CompiledConstraint {
+        n_slots: slot_map.map.len(),
+        atoms,
+        builtins,
     }
 }
 
@@ -203,10 +244,12 @@ fn compile_rule(rule: &Rule) -> CompiledRule {
     }
 }
 
-/// A slot assignment during matching.
-type Slots = Vec<Option<Term>>;
+/// A slot assignment during matching (usually a strided slice of a flat
+/// per-round buffer).
+type Slots = [Option<TermId>];
 
-fn resolve(t: CTerm, slots: &Slots) -> Option<Term> {
+#[inline]
+fn resolve(t: CTerm, slots: &Slots) -> Option<TermId> {
     match t {
         CTerm::Fixed(v) => Some(v),
         CTerm::Slot(s) => slots[s as usize],
@@ -214,18 +257,21 @@ fn resolve(t: CTerm, slots: &Slots) -> Option<Term> {
 }
 
 /// The most selective candidate id slice for `atom` under `slots` within
-/// `range` (smallest per-column index, falling back to the predicate
-/// extent). Ids are ascending, so the range restriction is binary search.
+/// `range` (smallest per-column posting list, falling back to the
+/// relation's full extent). Ids are ascending, so the range restriction is
+/// binary search. `rel` is the relation matching the atom's predicate and
+/// arity (`None` when no such tuples exist).
 fn candidates<'a>(
-    inst: &'a Instance,
+    rel: Option<&'a Relation>,
     atom: &CAtom,
     slots: &Slots,
     range: (AtomId, AtomId),
 ) -> &'a [AtomId] {
-    let mut best: &[AtomId] = inst.ids_by_pred(atom.pred);
+    let Some(rel) = rel else { return &[] };
+    let mut best: &[AtomId] = rel.atom_ids();
     for (i, &t) in atom.terms.iter().enumerate() {
         if let Some(value) = resolve(t, slots) {
-            let ids = inst.ids_by_column(atom.pred, i as u32, value);
+            let ids = rel.ids_by_column(i, value);
             if ids.len() < best.len() {
                 best = ids;
             }
@@ -238,68 +284,84 @@ fn candidates<'a>(
 
 /// Enumerates homomorphisms from `atoms` into `inst`, where atom `i` may
 /// only match stored atoms with id in `ranges[i]`. Calls `on_match` for
-/// every complete match; returning `false` stops the enumeration.
+/// every complete match; returning `false` stops the enumeration. Returns
+/// the number of candidate tuples probed.
 fn enumerate_matches(
     inst: &Instance,
     atoms: &[CAtom],
     ranges: &[(AtomId, AtomId)],
     slots: &mut Slots,
     on_match: &mut dyn FnMut(&Slots, &[AtomId]) -> bool,
-) -> bool {
+) -> u64 {
+    let rels: Vec<Option<&Relation>> = atoms
+        .iter()
+        .map(|a| inst.relation(a.pred, a.terms.len()))
+        .collect();
     let mut chosen: Vec<AtomId> = vec![0; atoms.len()];
     let mut solved: Vec<bool> = vec![false; atoms.len()];
+    let mut probes = 0u64;
     solve(
         inst,
         atoms,
+        &rels,
         ranges,
         slots,
         &mut chosen,
         &mut solved,
         0,
+        &mut probes,
         on_match,
-    )
+    );
+    probes
 }
 
 #[allow(clippy::too_many_arguments)]
 fn solve(
     inst: &Instance,
     atoms: &[CAtom],
+    rels: &[Option<&Relation>],
     ranges: &[(AtomId, AtomId)],
     slots: &mut Slots,
     chosen: &mut Vec<AtomId>,
     solved: &mut Vec<bool>,
     depth: usize,
+    probes: &mut u64,
     on_match: &mut dyn FnMut(&Slots, &[AtomId]) -> bool,
 ) -> bool {
     if depth == atoms.len() {
         return on_match(slots, chosen);
     }
-    // Pick the unsolved atom with the fewest candidates.
+    // Pick the unsolved atom with the fewest candidates (keeping the
+    // winning slice — candidate selection is not recomputed).
     let mut pick = usize::MAX;
+    let mut cands: &[AtomId] = &[];
     let mut pick_len = usize::MAX;
     for (i, atom) in atoms.iter().enumerate() {
         if solved[i] {
             continue;
         }
-        let len = candidates(inst, atom, slots, ranges[i]).len();
-        if len < pick_len {
+        let c = candidates(rels[i], atom, slots, ranges[i]);
+        if c.len() < pick_len {
             pick = i;
-            pick_len = len;
-            if len == 0 {
+            pick_len = c.len();
+            cands = c;
+            if c.is_empty() {
                 break;
             }
         }
     }
     let atom = &atoms[pick];
+    *probes += cands.len() as u64;
+    if cands.is_empty() {
+        return true;
+    }
     solved[pick] = true;
-    let cands: &[AtomId] = candidates(inst, atom, slots, ranges[pick]);
+    let rel = rels[pick].expect("an atom with candidates has a relation");
     let mut trail: Vec<u16> = Vec::with_capacity(atom.terms.len());
     'cand: for &id in cands {
-        let stored = inst.atom(id);
-        if stored.terms.len() != atom.terms.len() {
-            continue;
-        }
-        for (pat, &val) in atom.terms.iter().zip(stored.terms.iter()) {
+        let row = inst.row_of(id);
+        for (c, pat) in atom.terms.iter().enumerate() {
+            let val = rel.value(c, row);
             match *pat {
                 CTerm::Fixed(f) => {
                     if f != val {
@@ -328,11 +390,13 @@ fn solve(
         let keep_going = solve(
             inst,
             atoms,
+            rels,
             ranges,
             slots,
             chosen,
             solved,
             depth + 1,
+            probes,
             on_match,
         );
         for s in trail.drain(..) {
@@ -347,41 +411,133 @@ fn solve(
     true
 }
 
-/// Grounds a compiled atom under a total slot assignment.
-fn instantiate(atom: &CAtom, slots: &Slots) -> GroundAtom {
-    GroundAtom::new(
-        atom.pred,
+/// Encodes a compiled atom under a total slot assignment into `key`.
+#[inline]
+fn instantiate_into(atom: &CAtom, slots: &Slots, key: &mut Vec<TermId>) {
+    key.clear();
+    key.extend(
         atom.terms
             .iter()
-            .map(|&t| resolve(t, slots).expect("unbound slot at instantiation"))
-            .collect(),
-    )
+            .map(|&t| resolve(t, slots).expect("unbound slot at instantiation")),
+    );
+}
+
+/// One rule's collected matches for a round, stored flat (strided):
+/// match `i` is `slots_flat[i*n_slots..][..n_slots]` plus
+/// `ids_flat[i*n_body..][..n_body]` — two amortized allocations per rule
+/// per round instead of two per match.
+struct RuleMatches {
+    count: usize,
+    n_slots: usize,
+    n_body: usize,
+    slots_flat: Vec<Option<TermId>>,
+    ids_flat: Vec<AtomId>,
+    probes: u64,
+}
+
+/// Collects the semi-naive matches of one rule within a round. Read-only
+/// on the instance: every candidate range is capped at `prev_len`, so the
+/// result is independent of any same-round insertions — which is what
+/// makes per-rule parallel collection exact, not approximate.
+fn collect_rule_matches(
+    inst: &Instance,
+    rule: &CompiledRule,
+    delta_start: AtomId,
+    prev_len: AtomId,
+) -> RuleMatches {
+    let n = rule.body_pos.len();
+    let mut count = 0usize;
+    let mut slots_flat: Vec<Option<TermId>> = Vec::new();
+    let mut ids_flat: Vec<AtomId> = Vec::new();
+    let mut probes = 0u64;
+    // Scratch reused across pivots: the relation lookups depend only on
+    // the rule, and `solve` restores `slots`/`solved` on unwind.
+    let rels: Vec<Option<&Relation>> = rule
+        .body_pos
+        .iter()
+        .map(|a| inst.relation(a.pred, a.terms.len()))
+        .collect();
+    let mut ranges: Vec<(AtomId, AtomId)> = vec![(0, 0); n];
+    let mut slots: Vec<Option<TermId>> = vec![None; rule.n_slots];
+    let mut chosen: Vec<AtomId> = vec![0; n];
+    let mut solved: Vec<bool> = vec![false; n];
+    for pivot in 0..n {
+        // Semi-naive windows: atoms before the pivot must be old, the
+        // pivot must be new, the rest unconstrained (but capped at
+        // prev_len so a round never consumes its own output).
+        if delta_start == 0 && pivot > 0 {
+            break; // first round: single full join
+        }
+        for (i, r) in ranges.iter_mut().enumerate() {
+            *r = if i < pivot {
+                (0, delta_start)
+            } else if i == pivot {
+                (delta_start, prev_len)
+            } else {
+                (0, prev_len)
+            };
+        }
+        solve(
+            inst,
+            &rule.body_pos,
+            &rels,
+            &ranges,
+            &mut slots,
+            &mut chosen,
+            &mut solved,
+            0,
+            &mut probes,
+            &mut |s, ids| {
+                count += 1;
+                slots_flat.extend_from_slice(s);
+                ids_flat.extend_from_slice(ids);
+                true
+            },
+        );
+    }
+    RuleMatches {
+        count,
+        n_slots: rule.n_slots,
+        n_body: n,
+        slots_flat,
+        ids_flat,
+        probes,
+    }
 }
 
 struct Engine<'a> {
-    program: &'a Program,
     compiled: &'a [CompiledRule],
+    constraints: &'a [CompiledConstraint],
     config: ChaseConfig,
+    /// Hardware threads, sampled once per chase run (the per-round hot
+    /// loop must not re-query the scheduler).
+    hw_threads: usize,
     instance: Instance,
     stats: ChaseStats,
-    /// Skolem memo: (rule, frontier values) → existential null terms.
-    skolem: HashMap<(usize, Box<[Term]>), Vec<Term>>,
+    /// Skolem memo: (rule, frontier values) → existential null ids.
+    skolem: HashMap<(usize, Box<[TermId]>), Vec<TermId>>,
+    /// Scratch row for head instantiation / negative checks.
+    key_buf: Vec<TermId>,
 }
 
 impl<'a> Engine<'a> {
     fn new(
-        program: &'a Program,
         compiled: &'a [CompiledRule],
+        constraints: &'a [CompiledConstraint],
         seed: Instance,
         config: ChaseConfig,
     ) -> Self {
         Engine {
             compiled,
-            program,
+            constraints,
             config,
+            hw_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             instance: seed,
             stats: ChaseStats::default(),
             skolem: HashMap::new(),
+            key_buf: Vec::new(),
         }
     }
 
@@ -392,14 +548,16 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn check_negatives_and_builtins(&self, rule: &CompiledRule, slots: &Slots) -> bool {
+    fn check_negatives_and_builtins(&mut self, rule_idx: usize, slots: &Slots) -> bool {
+        let rule = &self.compiled[rule_idx];
         for &b in &rule.builtins {
             if !Self::builtin_holds(b, slots) {
                 return false;
             }
         }
         for neg in &rule.body_neg {
-            if self.instance.contains(&instantiate(neg, slots)) {
+            instantiate_into(neg, slots, &mut self.key_buf);
+            if self.instance.contains_ids(neg.pred, &self.key_buf) {
                 return false;
             }
         }
@@ -411,7 +569,7 @@ impl<'a> Engine<'a> {
     fn apply(&mut self, rule_idx: usize, slots: &mut Slots, body_ids: &[AtomId]) -> Result<()> {
         let rule = &self.compiled[rule_idx];
         if !rule.exist_slots.is_empty() {
-            let frontier_vals: Box<[Term]> = rule
+            let frontier_vals: Box<[TermId]> = rule
                 .frontier_slots
                 .iter()
                 .map(|&s| slots[s as usize].expect("frontier slot bound"))
@@ -423,14 +581,14 @@ impl<'a> Engine<'a> {
                             slots[s as usize] = Some(t);
                         }
                     } else {
-                        let depth = self.instance.next_depth(&frontier_vals);
+                        let depth = self.instance.next_depth_ids(&frontier_vals);
                         if depth > self.config.max_null_depth {
                             self.stats.truncated = true;
                             return Ok(());
                         }
                         let mut nulls = Vec::with_capacity(rule.exist_slots.len());
                         for &s in &rule.exist_slots {
-                            let null = Term::Null(self.instance.fresh_null(depth));
+                            let null = TermId::from_null(self.instance.fresh_null(depth));
                             self.stats.nulls += 1;
                             slots[s as usize] = Some(null);
                             nulls.push(null);
@@ -443,30 +601,37 @@ impl<'a> Engine<'a> {
                     let cap = self.instance.len() as AtomId;
                     let ranges = vec![(0, cap); rule.heads.len()];
                     let mut satisfied = false;
-                    enumerate_matches(&self.instance, &rule.heads, &ranges, slots, &mut |_, _| {
-                        satisfied = true;
-                        false
-                    });
+                    self.stats.probes += enumerate_matches(
+                        &self.instance,
+                        &rule.heads,
+                        &ranges,
+                        slots,
+                        &mut |_, _| {
+                            satisfied = true;
+                            false
+                        },
+                    );
                     if satisfied {
                         return Ok(());
                     }
-                    let depth = self.instance.next_depth(&frontier_vals);
+                    let depth = self.instance.next_depth_ids(&frontier_vals);
                     if depth > self.config.max_null_depth {
                         self.stats.truncated = true;
                         return Ok(());
                     }
                     for &s in &rule.exist_slots {
-                        let null = Term::Null(self.instance.fresh_null(depth));
+                        let null = TermId::from_null(self.instance.fresh_null(depth));
                         self.stats.nulls += 1;
                         slots[s as usize] = Some(null);
                     }
                 }
             }
         }
-        for head in &rule.heads {
-            let ground = instantiate(head, slots);
-            let (_, fresh) = self.instance.insert(
-                ground,
+        for head in &self.compiled[rule_idx].heads {
+            instantiate_into(head, slots, &mut self.key_buf);
+            let (_, fresh) = self.instance.insert_ids(
+                head.pred,
+                &self.key_buf,
                 Some(Derivation {
                     rule: rule_idx,
                     body: body_ids.to_vec(),
@@ -490,93 +655,120 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
+    /// Collects one round's matches for every rule of the stratum — in
+    /// parallel when the stratum has independent rules, the delta window
+    /// is big enough to amortize thread spawn, and more than one hardware
+    /// thread exists (`parallel_threshold == 0` forces the scoped-thread
+    /// machinery regardless, for the schedule-equality tests). Returns
+    /// the matches plus whether the parallel path was taken.
+    fn collect_round(
+        &self,
+        rule_indices: &[usize],
+        delta_start: AtomId,
+        prev_len: AtomId,
+    ) -> (Vec<RuleMatches>, bool) {
+        // The delta window is the work available this round; first round
+        // (delta_start == 0) the whole instance is the window. Cheap
+        // rejections first — the common case is a sequential round.
+        let window = (prev_len - delta_start) as usize;
+        let forced = self.config.parallel_threshold == 0;
+        let threads = self.hw_threads.min(rule_indices.len());
+        let parallel = rule_indices.len() >= 2
+            && window >= self.config.parallel_threshold
+            && (threads >= 2 || forced);
+        if !parallel {
+            let collected = rule_indices
+                .iter()
+                .map(|&ri| {
+                    collect_rule_matches(&self.instance, &self.compiled[ri], delta_start, prev_len)
+                })
+                .collect();
+            return (collected, false);
+        }
+        let mut results: Vec<Option<RuleMatches>> = Vec::new();
+        results.resize_with(rule_indices.len(), || None);
+        let chunk = rule_indices.len().div_ceil(threads.max(1));
+        let inst = &self.instance;
+        let compiled = self.compiled;
+        std::thread::scope(|scope| {
+            for (idx_chunk, out_chunk) in rule_indices.chunks(chunk).zip(results.chunks_mut(chunk))
+            {
+                scope.spawn(move || {
+                    for (&ri, slot) in idx_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = Some(collect_rule_matches(
+                            inst,
+                            &compiled[ri],
+                            delta_start,
+                            prev_len,
+                        ));
+                    }
+                });
+            }
+        });
+        let collected = results
+            .into_iter()
+            .map(|r| r.expect("every rule chunk was processed"))
+            .collect();
+        (collected, true)
+    }
+
     /// Runs the rules of one stratum to fixpoint (semi-naive).
     fn run_stratum(&mut self, rule_indices: &[usize]) -> Result<()> {
+        let mut went_parallel = false;
         let mut delta_start: AtomId = 0;
         loop {
             self.stats.rounds += 1;
             let prev_len = self.instance.len() as AtomId;
             if delta_start == prev_len && delta_start != 0 {
-                return Ok(());
+                break;
             }
-            for &ri in rule_indices {
-                let n = self.compiled[ri].body_pos.len();
-                for pivot in 0..n {
-                    // Semi-naive windows: atoms before the pivot must be
-                    // old, the pivot must be new, the rest unconstrained
-                    // (but capped at prev_len so this round's output is not
-                    // consumed until the next round).
-                    if delta_start == 0 && pivot > 0 {
-                        break; // first round: single full join
-                    }
-                    let ranges: Vec<(AtomId, AtomId)> = (0..n)
-                        .map(|i| {
-                            if i < pivot {
-                                (0, delta_start)
-                            } else if i == pivot {
-                                (delta_start, prev_len)
-                            } else {
-                                (0, prev_len)
-                            }
-                        })
-                        .collect();
-                    // Collect matches first: applying rules mutates the
-                    // instance, which the matcher borrows.
-                    let mut matches: Vec<(Slots, Vec<AtomId>)> = Vec::new();
-                    let rule = &self.compiled[ri];
-                    let mut slots: Slots = vec![None; rule.n_slots];
-                    enumerate_matches(
-                        &self.instance,
-                        &rule.body_pos,
-                        &ranges,
-                        &mut slots,
-                        &mut |s, ids| {
-                            matches.push((s.clone(), ids.to_vec()));
-                            true
-                        },
-                    );
-                    for (mut s, ids) in matches {
-                        if self.check_negatives_and_builtins(&self.compiled[ri], &s) {
-                            self.apply(ri, &mut s, &ids)?;
-                        }
+            // Phase 1 (read-only, parallelizable): enumerate matches.
+            let (per_rule, was_parallel) = self.collect_round(rule_indices, delta_start, prev_len);
+            went_parallel |= was_parallel;
+            // Phase 2 (serial, in rule order): filter and apply — the
+            // same order the purely sequential schedule applies them in.
+            for (&ri, mut rm) in rule_indices.iter().zip(per_rule) {
+                self.stats.probes += rm.probes;
+                for i in 0..rm.count {
+                    let slots = &mut rm.slots_flat[i * rm.n_slots..(i + 1) * rm.n_slots];
+                    let ids = &rm.ids_flat[i * rm.n_body..(i + 1) * rm.n_body];
+                    if self.check_negatives_and_builtins(ri, slots) {
+                        self.apply(ri, slots, ids)?;
                     }
                 }
             }
             if self.instance.len() as AtomId == prev_len {
-                return Ok(());
+                break;
             }
             delta_start = prev_len;
         }
+        // Count each stratum at most once, however many rounds went wide.
+        if went_parallel {
+            self.stats.parallel_strata += 1;
+        }
+        Ok(())
     }
 
-    fn check_constraints(&self) -> bool {
-        for c in &self.program.constraints {
-            let mut slot_map = SlotMap::new();
-            let atoms: Vec<CAtom> = c.body.iter().map(|a| slot_map.compile_atom(a)).collect();
-            let builtins: Vec<CBuiltin> = c
-                .builtins
-                .iter()
-                .map(|b| match *b {
-                    Builtin::Eq(x, y) => {
-                        CBuiltin::Eq(slot_map.compile_term(x), slot_map.compile_term(y))
-                    }
-                    Builtin::Neq(x, y) => {
-                        CBuiltin::Neq(slot_map.compile_term(x), slot_map.compile_term(y))
-                    }
-                })
-                .collect();
+    fn check_constraints(&mut self) -> bool {
+        for c in self.constraints {
             let cap = self.instance.len() as AtomId;
-            let ranges = vec![(0, cap); atoms.len()];
-            let mut slots: Slots = vec![None; slot_map.map.len()];
+            let ranges = vec![(0, cap); c.atoms.len()];
+            let mut slots: Vec<Option<TermId>> = vec![None; c.n_slots];
             let mut fired = false;
-            enumerate_matches(&self.instance, &atoms, &ranges, &mut slots, &mut |s, _| {
-                if builtins.iter().all(|&b| Self::builtin_holds(b, s)) {
-                    fired = true;
-                    false
-                } else {
-                    true
-                }
-            });
+            self.stats.probes += enumerate_matches(
+                &self.instance,
+                &c.atoms,
+                &ranges,
+                &mut slots,
+                &mut |s, _| {
+                    if c.builtins.iter().all(|&b| Self::builtin_holds(b, s)) {
+                        fired = true;
+                        false
+                    } else {
+                        true
+                    }
+                },
+            );
             if fired {
                 return true;
             }
@@ -623,13 +815,13 @@ fn rules_by_stratum(program: &Program, strat: &Stratification) -> Vec<Vec<usize>
 
 /// One full chase over an already-compiled program.
 fn run_compiled(
-    program: &Program,
     compiled: &[CompiledRule],
+    constraints: &[CompiledConstraint],
     strata_rules: &[Vec<usize>],
     seed: Instance,
     config: ChaseConfig,
 ) -> Result<ChaseOutcome> {
-    let mut engine = Engine::new(program, compiled, seed, config);
+    let mut engine = Engine::new(compiled, constraints, seed, config);
     for indices in strata_rules {
         if !indices.is_empty() {
             engine.run_stratum(indices)?;
@@ -654,6 +846,7 @@ pub struct ChaseRunner {
     program: Program,
     strat: Stratification,
     compiled: Vec<CompiledRule>,
+    constraints: Vec<CompiledConstraint>,
     strata_rules: Vec<Vec<usize>>,
     config: ChaseConfig,
 }
@@ -679,11 +872,14 @@ impl ChaseRunner {
     ) -> Result<ChaseRunner> {
         check_stratification(&program, &strat)?;
         let compiled: Vec<CompiledRule> = program.rules.iter().map(compile_rule).collect();
+        let constraints: Vec<CompiledConstraint> =
+            program.constraints.iter().map(compile_constraint).collect();
         let strata_rules = rules_by_stratum(&program, &strat);
         Ok(ChaseRunner {
             program,
             strat,
             compiled,
+            constraints,
             strata_rules,
             config,
         })
@@ -717,8 +913,8 @@ impl ChaseRunner {
     /// Chases an explicit seed instance (which may already contain nulls).
     pub fn run_seed(&self, seed: Instance) -> Result<ChaseOutcome> {
         run_compiled(
-            &self.program,
             &self.compiled,
+            &self.constraints,
             &self.strata_rules,
             seed,
             self.config,
@@ -746,13 +942,22 @@ pub fn chase_stratified(
 ) -> Result<ChaseOutcome> {
     check_stratification(program, strat)?;
     let compiled: Vec<CompiledRule> = program.rules.iter().map(compile_rule).collect();
+    let constraints: Vec<CompiledConstraint> =
+        program.constraints.iter().map(compile_constraint).collect();
     let strata_rules = rules_by_stratum(program, strat);
-    run_compiled(program, &compiled, &strata_rules, db.to_instance(), config)
+    run_compiled(
+        &compiled,
+        &constraints,
+        &strata_rules,
+        db.to_instance(),
+        config,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instance::GroundAtom;
     use crate::parse_program;
     use triq_common::intern;
 
@@ -766,11 +971,8 @@ mod tests {
     }
 
     fn has(out: &ChaseOutcome, pred: &str, args: &[&str]) -> bool {
-        let atom = GroundAtom::new(
-            intern(pred),
-            args.iter().map(|a| Term::constant(a)).collect(),
-        );
-        out.instance.contains(&atom)
+        let terms: Vec<Term> = args.iter().map(|a| Term::constant(a)).collect();
+        out.instance.contains_terms(intern(pred), &terms)
     }
 
     #[test]
@@ -784,6 +986,7 @@ mod tests {
         assert!(!has(&out, "t", &["d", "a"]));
         assert_eq!(out.instance.atoms_of(intern("t")).count(), 6);
         assert!(!out.stats.truncated);
+        assert!(out.stats.probes > 0, "probe counter must tick");
     }
 
     #[test]
@@ -872,7 +1075,7 @@ mod tests {
             &[("coauthor", &["aho", "ullman"])],
         );
         assert_eq!(out.stats.nulls, 1);
-        let atoms: Vec<_> = out.instance.atoms_of(intern("author_of")).collect();
+        let atoms: Vec<GroundAtom> = out.instance.atoms_of(intern("author_of")).collect();
         assert_eq!(atoms.len(), 2);
         assert_eq!(atoms[0].terms[1], atoms[1].terms[1]);
     }
@@ -1007,7 +1210,7 @@ mod tests {
             let oneshot = chase(&db, &p, ChaseConfig::default()).unwrap();
             assert_eq!(prepared.instance.len(), oneshot.instance.len());
             for (_, atom) in oneshot.instance.iter() {
-                assert!(prepared.instance.contains(atom));
+                assert!(prepared.instance.contains(&atom));
             }
         }
     }
@@ -1020,5 +1223,51 @@ mod tests {
         );
         assert!(has(&out, "from_a", &["b"]));
         assert!(!has(&out, "from_a", &["d"]));
+    }
+
+    #[test]
+    fn parallel_and_sequential_schedules_agree() {
+        // Many independent rules in one stratum, forced down both paths.
+        let program = "e(?X, ?Y) -> t(?X, ?Y).\n\
+                       e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).\n\
+                       e(?X, ?Y) -> s(?Y, ?X).\n\
+                       s(?X, ?Y), s(?Y, ?Z) -> s(?X, ?Z).\n\
+                       e(?X, ?X) -> selfloop(?X).\n\
+                       t(?X, ?Y) -> reach(?X).";
+        let p = parse_program(program).unwrap();
+        let mut db = Database::new();
+        for i in 0..40u32 {
+            db.add_fact("e", &[&format!("n{i}"), &format!("n{}", (i + 1) % 40)]);
+        }
+        let sequential = chase(
+            &db,
+            &p,
+            ChaseConfig {
+                parallel_threshold: usize::MAX,
+                ..ChaseConfig::default()
+            },
+        )
+        .unwrap();
+        let parallel = chase(
+            &db,
+            &p,
+            ChaseConfig {
+                parallel_threshold: 0,
+                ..ChaseConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sequential.stats.parallel_strata, 0);
+        assert!(parallel.stats.parallel_strata >= 1);
+        assert_eq!(parallel.instance.len(), sequential.instance.len());
+        // Identical contents *and* identical AtomIds (schedule equality,
+        // not just set equality) — provenance depends on it.
+        for (id, atom) in sequential.instance.iter() {
+            assert_eq!(parallel.instance.find(&atom), Some(id));
+            assert_eq!(
+                parallel.instance.derivation(id),
+                sequential.instance.derivation(id)
+            );
+        }
     }
 }

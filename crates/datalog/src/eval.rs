@@ -74,15 +74,13 @@ impl Answers {
         if outcome.inconsistent {
             return Answers::Top;
         }
+        // Decode straight off the columnar rows: tuples mentioning nulls
+        // are skipped, everything else becomes constants exactly once.
         let tuples = outcome
             .instance
-            .atoms_of(output)
-            .filter_map(|a| {
-                a.terms
-                    .iter()
-                    .map(|t| t.as_const())
-                    .collect::<Option<Vec<Symbol>>>()
-            })
+            .ids_by_pred(output)
+            .iter()
+            .filter_map(|&id| outcome.instance.const_tuple(id))
             .collect();
         Answers::Tuples(tuples)
     }
@@ -172,14 +170,9 @@ impl Iterator for AnswerIter {
 
     fn next(&mut self) -> Option<Vec<Symbol>> {
         while self.pos < self.ids.len() {
-            let atom = self.outcome.instance.atom(self.ids[self.pos]);
+            let id = self.ids[self.pos];
             self.pos += 1;
-            if let Some(tuple) = atom
-                .terms
-                .iter()
-                .map(|t| t.as_const())
-                .collect::<Option<Vec<Symbol>>>()
-            {
+            if let Some(tuple) = self.outcome.instance.const_tuple(id) {
                 return Some(tuple);
             }
         }

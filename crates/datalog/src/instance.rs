@@ -1,20 +1,99 @@
 //! Instances and databases (§3.2) with provenance and join indexes.
 //!
 //! An *instance* is a set of atoms over constants and labeled nulls; a
-//! *database* is a finite instance over constants only. [`Instance`] stores
-//! atoms in an append-only arena: every atom gets a stable [`AtomId`] in
-//! insertion order, which the semi-naive chase uses for delta windows and
-//! the proof-tree machinery uses for provenance.
+//! *database* is a finite instance over constants only. [`Instance`] is a
+//! **columnar, fully interned relation store**: each predicate (at each
+//! arity) owns a [`Relation`] holding its tuples as per-column
+//! `Vec<TermId>` plus incremental per-column hash indexes, and every atom
+//! still gets a stable [`AtomId`] in global insertion order — the
+//! semi-naive chase uses those ids for delta windows and the proof-tree
+//! machinery uses them for provenance, exactly as with the old row store.
+//!
+//! Membership probes are *borrowed-key*: [`Instance::find_terms`] /
+//! [`Instance::contains_ids`] hash the candidate tuple in place and
+//! compare column-wise, so the chase's innermost loops allocate nothing
+//! (see `tests/probe_alloc.rs` for the enforced guarantee).
 
 use crate::Atom;
 use std::collections::HashMap;
 use std::fmt;
-use triq_common::{NullId, Result, Symbol, Term, TriqError};
+use std::hash::{BuildHasherDefault, Hasher};
+use triq_common::{NullId, Result, Symbol, Term, TermId, TriqError};
+
+// ---------------------------------------------------------------------------
+// Hashing: the store's keys are small integers (TermId / Symbol / packed
+// tuple hashes), where SipHash is pure overhead on the chase hot path.
+// ---------------------------------------------------------------------------
+
+/// Fx-style (firefox/rustc) multiply-xor hasher: excellent dispersion for
+/// word-sized integer keys at a fraction of SipHash's cost. DoS hardening
+/// is irrelevant here — keys are interner indexes, not attacker strings.
+#[derive(Default, Clone)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+type FxHashMap<K, V> = HashMap<K, V, FxBuild>;
+
+/// Incremental Fx hash of an encoded tuple (length-mixed so prefixes of
+/// longer tuples do not collide trivially).
+#[inline]
+fn tuple_hash(key: impl Iterator<Item = TermId>) -> u64 {
+    let mut h = FxHasher::default();
+    let mut len = 0u64;
+    for t in key {
+        h.add(t.raw() as u64);
+        len += 1;
+    }
+    h.add(len);
+    h.finish()
+}
 
 /// Stable identifier of an atom within an [`Instance`] (insertion order).
 pub type AtomId = u32;
 
-/// A variable-free atom as stored in an instance.
+/// A variable-free atom as a value (decoded row of a [`Relation`]).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct GroundAtom {
     /// The predicate.
@@ -58,22 +137,154 @@ pub struct Derivation {
     pub body: Vec<AtomId>,
 }
 
-struct Record {
-    atom: GroundAtom,
+/// Directory entry: where an atom's row lives, plus provenance.
+#[derive(Clone)]
+struct Meta {
+    rel: u32,
+    row: u32,
     derivation: Option<Derivation>,
     /// 0 for database atoms and null-free derived atoms; otherwise
-    /// 1 + the maximum invention depth of the nulls mentioned.
+    /// the maximum invention depth of the nulls mentioned.
     depth: u32,
 }
 
-/// An append-only instance with hash lookup and per-column indexes.
-#[derive(Default)]
+/// Columnar storage of one predicate at one arity.
+///
+/// Tuples are stored column-major (`cols[c][row]`), deduplicated through a
+/// tuple-hash table, and indexed per column (`value → ascending AtomIds`).
+/// Rows are append-only, so both `atom_ids` and every posting list stay
+/// sorted — the chase's delta windows restrict them by binary search.
+#[derive(Clone)]
+pub struct Relation {
+    pred: Symbol,
+    arity: usize,
+    cols: Vec<Vec<TermId>>,
+    /// Row → global [`AtomId`] (ascending).
+    atom_ids: Vec<AtomId>,
+    /// Tuple hash → candidate rows (collisions resolved column-wise).
+    row_lookup: FxHashMap<u64, Vec<u32>>,
+    /// Per column: value → atoms holding it there (ascending ids).
+    col_index: Vec<FxHashMap<TermId, Vec<AtomId>>>,
+}
+
+impl Relation {
+    fn new(pred: Symbol, arity: usize) -> Relation {
+        Relation {
+            pred,
+            arity,
+            cols: vec![Vec::new(); arity],
+            atom_ids: Vec::new(),
+            row_lookup: FxHashMap::default(),
+            col_index: vec![FxHashMap::default(); arity],
+        }
+    }
+
+    /// The predicate.
+    pub fn pred(&self) -> Symbol {
+        self.pred
+    }
+
+    /// The tuple width.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.atom_ids.len()
+    }
+
+    /// True iff the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.atom_ids.is_empty()
+    }
+
+    /// The value at (`column`, `row`).
+    #[inline]
+    pub fn value(&self, column: usize, row: u32) -> TermId {
+        self.cols[column][row as usize]
+    }
+
+    /// Global ids of all tuples, ascending.
+    #[inline]
+    pub fn atom_ids(&self) -> &[AtomId] {
+        &self.atom_ids
+    }
+
+    /// Ids of tuples with `value` at `column`, ascending.
+    #[inline]
+    pub fn ids_by_column(&self, column: usize, value: TermId) -> &[AtomId] {
+        self.col_index[column]
+            .get(&value)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Borrowed-key point lookup: the row equal to `key`, if any.
+    #[inline]
+    pub fn find_row(&self, key: &[TermId]) -> Option<u32> {
+        debug_assert_eq!(key.len(), self.arity);
+        let hash = tuple_hash(key.iter().copied());
+        let candidates = self.row_lookup.get(&hash)?;
+        candidates
+            .iter()
+            .copied()
+            .find(|&row| (0..self.arity).all(|c| self.cols[c][row as usize] == key[c]))
+    }
+
+    /// Point lookup *or* append in one pass — the tuple is hashed exactly
+    /// once. Returns `(row, inserted)`; `id` is the [`AtomId`] the row
+    /// gets if it is new.
+    fn find_or_push(&mut self, key: &[TermId], id: AtomId) -> (u32, bool) {
+        debug_assert_eq!(key.len(), self.arity);
+        let hash = tuple_hash(key.iter().copied());
+        let rows = self.row_lookup.entry(hash).or_default();
+        for &row in rows.iter() {
+            if key
+                .iter()
+                .enumerate()
+                .all(|(c, &t)| self.cols[c][row as usize] == t)
+            {
+                return (row, false);
+            }
+        }
+        let row = self.atom_ids.len() as u32;
+        rows.push(row);
+        for (c, &t) in key.iter().enumerate() {
+            self.cols[c].push(t);
+            self.col_index[c].entry(t).or_default().push(id);
+        }
+        self.atom_ids.push(id);
+        (row, true)
+    }
+
+    /// The row as an iterator of ids (column order).
+    pub fn row(&self, row: u32) -> impl Iterator<Item = TermId> + '_ {
+        self.cols.iter().map(move |col| col[row as usize])
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Relation")
+            .field("pred", &self.pred)
+            .field("arity", &self.arity)
+            .field("rows", &self.len())
+            .finish()
+    }
+}
+
+/// An append-only columnar instance with borrowed-key lookup and
+/// per-column indexes.
+#[derive(Default, Clone)]
 pub struct Instance {
-    records: Vec<Record>,
-    lookup: HashMap<GroundAtom, AtomId>,
-    by_pred: HashMap<Symbol, Vec<AtomId>>,
-    /// (pred, column, term) → ids of atoms with `term` at `column`.
-    column_index: HashMap<(Symbol, u32, Term), Vec<AtomId>>,
+    relations: Vec<Relation>,
+    /// Predicate → relations of that predicate (one per arity seen; in a
+    /// validated program there is exactly one).
+    rels_of: FxHashMap<Symbol, Vec<u32>>,
+    /// Predicate → all its atom ids, ascending (union across arities).
+    by_pred: FxHashMap<Symbol, Vec<AtomId>>,
+    meta: Vec<Meta>,
     /// Depth at which each null was invented (indexed by `NullId`).
     null_depth: Vec<u32>,
 }
@@ -86,38 +297,126 @@ impl Instance {
 
     /// Number of atoms.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.meta.len()
     }
 
     /// True iff the instance is empty.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.meta.is_empty()
     }
 
-    /// The atom with the given id.
-    pub fn atom(&self, id: AtomId) -> &GroundAtom {
-        &self.records[id as usize].atom
+    /// The relation holding `pred` at `arity`, if any tuples exist.
+    #[inline]
+    pub fn relation(&self, pred: Symbol, arity: usize) -> Option<&Relation> {
+        self.rels_of.get(&pred).and_then(|idxs| {
+            idxs.iter()
+                .map(|&i| &self.relations[i as usize])
+                .find(|r| r.arity == arity)
+        })
+    }
+
+    fn relation_mut(&mut self, pred: Symbol, arity: usize) -> u32 {
+        if let Some(idxs) = self.rels_of.get(&pred) {
+            if let Some(&i) = idxs
+                .iter()
+                .find(|&&i| self.relations[i as usize].arity == arity)
+            {
+                return i;
+            }
+        }
+        let i = self.relations.len() as u32;
+        self.relations.push(Relation::new(pred, arity));
+        self.rels_of.entry(pred).or_default().push(i);
+        i
+    }
+
+    /// All relations (arbitrary order).
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> + '_ {
+        self.relations.iter()
+    }
+
+    /// The atom with the given id, decoded into a value.
+    pub fn atom(&self, id: AtomId) -> GroundAtom {
+        let m = &self.meta[id as usize];
+        let rel = &self.relations[m.rel as usize];
+        GroundAtom {
+            pred: rel.pred,
+            terms: rel.row(m.row).map(TermId::to_term).collect(),
+        }
+    }
+
+    /// The predicate of the atom with the given id.
+    #[inline]
+    pub fn pred_of(&self, id: AtomId) -> Symbol {
+        self.relations[self.meta[id as usize].rel as usize].pred
+    }
+
+    /// The storage row of the atom within its predicate's [`Relation`].
+    #[inline]
+    pub fn row_of(&self, id: AtomId) -> u32 {
+        self.meta[id as usize].row
+    }
+
+    /// Decodes the atom into constants only; `None` if it mentions a null.
+    pub fn const_tuple(&self, id: AtomId) -> Option<Vec<Symbol>> {
+        let m = &self.meta[id as usize];
+        let rel = &self.relations[m.rel as usize];
+        rel.row(m.row).map(TermId::as_const).collect()
     }
 
     /// The provenance of the atom with the given id (`None` for database
     /// atoms).
     pub fn derivation(&self, id: AtomId) -> Option<&Derivation> {
-        self.records[id as usize].derivation.as_ref()
+        self.meta[id as usize].derivation.as_ref()
     }
 
     /// The null-invention depth of the atom (0 if it mentions no nulls).
     pub fn depth(&self, id: AtomId) -> u32 {
-        self.records[id as usize].depth
+        self.meta[id as usize].depth
     }
 
-    /// Looks up an atom, returning its id if present.
+    /// Looks up an atom value, returning its id if present.
     pub fn find(&self, atom: &GroundAtom) -> Option<AtomId> {
-        self.lookup.get(atom).copied()
+        self.find_terms(atom.pred, &atom.terms)
     }
 
-    /// Membership test.
+    /// Membership test for an atom value.
     pub fn contains(&self, atom: &GroundAtom) -> bool {
-        self.lookup.contains_key(atom)
+        self.find(atom).is_some()
+    }
+
+    /// Borrowed-key lookup: no `GroundAtom` (and no key) is built. Terms
+    /// are encoded on the fly; a variable term never matches.
+    pub fn find_terms(&self, pred: Symbol, terms: &[Term]) -> Option<AtomId> {
+        let rel = self.relation(pred, terms.len())?;
+        let hash = tuple_hash(terms.iter().filter_map(|&t| TermId::from_term(t)));
+        let candidates = rel.row_lookup.get(&hash)?;
+        let row = candidates.iter().copied().find(|&row| {
+            terms
+                .iter()
+                .enumerate()
+                .all(|(c, &t)| TermId::from_term(t) == Some(rel.cols[c][row as usize]))
+        })?;
+        Some(rel.atom_ids[row as usize])
+    }
+
+    /// Borrowed-key membership for a term slice.
+    pub fn contains_terms(&self, pred: Symbol, terms: &[Term]) -> bool {
+        self.find_terms(pred, terms).is_some()
+    }
+
+    /// Borrowed-key lookup over an already-encoded row.
+    #[inline]
+    pub fn find_ids(&self, pred: Symbol, key: &[TermId]) -> Option<AtomId> {
+        let rel = self.relation(pred, key.len())?;
+        let row = rel.find_row(key)?;
+        Some(rel.atom_ids[row as usize])
+    }
+
+    /// Borrowed-key membership over an already-encoded row.
+    #[inline]
+    pub fn contains_ids(&self, pred: Symbol, key: &[TermId]) -> bool {
+        self.find_ids(pred, key).is_some()
     }
 
     /// Creates a fresh labeled null invented at `depth`.
@@ -138,7 +437,7 @@ impl Instance {
     }
 
     /// 1 + the maximum invention depth among the nulls of `terms`
-    /// (0 if there are none). This is the depth a *new* null invented from
+    /// (1 if there are none). This is the depth a *new* null invented from
     /// these frontier values gets.
     pub fn next_depth(&self, terms: &[Term]) -> u32 {
         terms
@@ -149,29 +448,53 @@ impl Instance {
             .map_or(1, |d| d + 1)
     }
 
-    /// Inserts an atom, returning `(id, inserted)`.
+    /// Like [`Instance::next_depth`] over an encoded row.
+    pub fn next_depth_ids(&self, key: &[TermId]) -> u32 {
+        key.iter()
+            .filter_map(|t| t.as_null())
+            .map(|n| self.null_depth(n))
+            .max()
+            .map_or(1, |d| d + 1)
+    }
+
+    /// Inserts an atom value, returning `(id, inserted)`.
     pub fn insert(&mut self, atom: GroundAtom, derivation: Option<Derivation>) -> (AtomId, bool) {
-        if let Some(&id) = self.lookup.get(&atom) {
-            return (id, false);
-        }
-        let depth = atom
+        let key: Vec<TermId> = atom
             .terms
+            .iter()
+            .map(|&t| TermId::from_term(t).expect("instance atoms are ground"))
+            .collect();
+        self.insert_ids(atom.pred, &key, derivation)
+    }
+
+    /// Inserts an encoded row, returning `(id, inserted)`. This is the
+    /// chase's write path: the key is borrowed, so a duplicate insert
+    /// allocates nothing.
+    pub fn insert_ids(
+        &mut self,
+        pred: Symbol,
+        key: &[TermId],
+        derivation: Option<Derivation>,
+    ) -> (AtomId, bool) {
+        let rel_idx = self.relation_mut(pred, key.len());
+        let id = self.meta.len() as AtomId;
+        let (row, inserted) = self.relations[rel_idx as usize].find_or_push(key, id);
+        if !inserted {
+            return (
+                self.relations[rel_idx as usize].atom_ids[row as usize],
+                false,
+            );
+        }
+        let depth = key
             .iter()
             .filter_map(|t| t.as_null())
             .map(|n| self.null_depth(n))
             .max()
             .unwrap_or(0);
-        let id = self.records.len() as AtomId;
-        self.by_pred.entry(atom.pred).or_default().push(id);
-        for (i, &t) in atom.terms.iter().enumerate() {
-            self.column_index
-                .entry((atom.pred, i as u32, t))
-                .or_default()
-                .push(id);
-        }
-        self.lookup.insert(atom.clone(), id);
-        self.records.push(Record {
-            atom,
+        self.by_pred.entry(pred).or_default().push(id);
+        self.meta.push(Meta {
+            rel: rel_idx,
+            row,
             derivation,
             depth,
         });
@@ -180,11 +503,11 @@ impl Instance {
 
     /// Inserts a database fact built from constant strings.
     pub fn insert_fact(&mut self, pred: &str, constants: &[&str]) -> AtomId {
-        let atom = GroundAtom::new(
-            Symbol::new(pred),
-            constants.iter().map(|c| Term::constant(c)).collect(),
-        );
-        self.insert(atom, None).0
+        let key: Vec<TermId> = constants
+            .iter()
+            .map(|c| TermId::from_const(Symbol::new(c)))
+            .collect();
+        self.insert_ids(Symbol::new(pred), &key, None).0
     }
 
     /// Ids of all atoms with predicate `pred`, ascending.
@@ -192,38 +515,67 @@ impl Instance {
         self.by_pred.get(&pred).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Ids of atoms with predicate `pred` and `term` at `column`, ascending.
-    pub fn ids_by_column(&self, pred: Symbol, column: u32, term: Term) -> &[AtomId] {
-        self.column_index
-            .get(&(pred, column, term))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    /// Ids of atoms with predicate `pred` and `term` at `column`,
+    /// ascending — across *all* arities of the predicate, like the old
+    /// `(pred, column, term)`-keyed index. Borrows the posting list
+    /// directly in the common single-arity case; only the mixed-arity
+    /// corner allocates to merge. (The chase probes one [`Relation`]
+    /// directly.)
+    pub fn ids_by_column(
+        &self,
+        pred: Symbol,
+        column: u32,
+        term: Term,
+    ) -> std::borrow::Cow<'_, [AtomId]> {
+        use std::borrow::Cow;
+        let Some(value) = TermId::from_term(term) else {
+            return Cow::Borrowed(&[]);
+        };
+        let mut lists = self
+            .rels_of
+            .get(&pred)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.relations[i as usize])
+            .filter(|r| (column as usize) < r.arity)
+            .map(|r| r.ids_by_column(column as usize, value))
+            .filter(|ids| !ids.is_empty());
+        let Some(first) = lists.next() else {
+            return Cow::Borrowed(&[]);
+        };
+        let rest: Vec<&[AtomId]> = lists.collect();
+        if rest.is_empty() {
+            return Cow::Borrowed(first);
+        }
+        let mut out: Vec<AtomId> = first.to_vec();
+        for ids in rest {
+            out.extend_from_slice(ids);
+        }
+        out.sort_unstable();
+        Cow::Owned(out)
     }
 
-    /// Iterates over all atoms (with ids), in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = (AtomId, &GroundAtom)> + '_ {
-        self.records
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (i as AtomId, &r.atom))
+    /// Iterates over all atoms (with ids), in insertion order. Atoms are
+    /// decoded on the fly from the columnar store.
+    pub fn iter(&self) -> impl Iterator<Item = (AtomId, GroundAtom)> + '_ {
+        (0..self.meta.len() as AtomId).map(move |id| (id, self.atom(id)))
     }
 
-    /// All atoms of a predicate.
-    pub fn atoms_of(&self, pred: Symbol) -> impl Iterator<Item = &GroundAtom> + '_ {
+    /// All atoms of a predicate, decoded.
+    pub fn atoms_of(&self, pred: Symbol) -> impl Iterator<Item = GroundAtom> + '_ {
         self.ids_by_pred(pred).iter().map(move |&id| self.atom(id))
     }
 
     /// The ground part `Π(D)↓`: all atoms whose terms are constants only
     /// (§6.3, Step 1).
-    pub fn ground_part(&self) -> Vec<&GroundAtom> {
-        self.records
-            .iter()
-            .map(|r| &r.atom)
-            .filter(|a| a.is_fully_ground())
+    pub fn ground_part(&self) -> Vec<GroundAtom> {
+        self.iter()
+            .map(|(_, a)| a)
+            .filter(GroundAtom::is_fully_ground)
             .collect()
     }
 
-    /// Checks whether a *non-ground* atom pattern has a match (used by the
+    /// Checks whether any atom of `pred` is stored (used by the
     /// restricted chase and tests); see [`crate::ChaseConfig`] for the
     /// full matcher.
     pub fn has_pred(&self, pred: Symbol) -> bool {
@@ -233,14 +585,12 @@ impl Instance {
 
 impl fmt::Debug for Instance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set()
-            .entries(self.records.iter().map(|r| &r.atom))
-            .finish()
+        f.debug_set().entries(self.iter().map(|(_, a)| a)).finish()
     }
 }
 
 /// A database: a finite instance over constants only (§3.2).
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct Database {
     instance: Instance,
 }
@@ -253,24 +603,31 @@ impl Database {
 
     /// Adds a fact; errors if any term is not a constant.
     pub fn add(&mut self, atom: &Atom) -> Result<()> {
-        let terms: Option<Box<[Term]>> = atom
+        let key: Option<Vec<TermId>> = atom
             .terms
             .iter()
-            .map(|&t| t.is_const().then_some(t))
+            .map(|&t| t.as_const().map(TermId::from_const))
             .collect();
-        let Some(terms) = terms else {
+        let Some(key) = key else {
             return Err(TriqError::InvalidProgram(format!(
                 "database fact {atom} contains a non-constant term"
             )));
         };
-        self.instance
-            .insert(GroundAtom::new(atom.pred, terms), None);
+        self.instance.insert_ids(atom.pred, &key, None);
         Ok(())
     }
 
     /// Adds a fact from strings.
     pub fn add_fact(&mut self, pred: &str, constants: &[&str]) {
         self.instance.insert_fact(pred, constants);
+    }
+
+    /// Adds a fact from already-interned symbols — the fast bridge path
+    /// (`τ_db` of §5.1 feeds rows straight from the RDF store without a
+    /// string round-trip).
+    pub fn add_row(&mut self, pred: Symbol, constants: &[Symbol]) {
+        let key: Vec<TermId> = constants.iter().copied().map(TermId::from_const).collect();
+        self.instance.insert_ids(pred, &key, None);
     }
 
     /// Number of facts.
@@ -283,24 +640,22 @@ impl Database {
         self.instance.is_empty()
     }
 
-    /// The facts as a fresh [`Instance`] seed (cloned).
+    /// The facts as a fresh [`Instance`] seed. The columnar store clones
+    /// wholesale (columns + indexes), with no per-atom re-hashing.
     pub fn to_instance(&self) -> Instance {
-        let mut inst = Instance::new();
-        for (_, a) in self.instance.iter() {
-            inst.insert(a.clone(), None);
-        }
-        inst
+        self.instance.clone()
     }
 
     /// Iterates over the facts.
-    pub fn iter(&self) -> impl Iterator<Item = &GroundAtom> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = GroundAtom> + '_ {
         self.instance.iter().map(|(_, a)| a)
     }
 
     /// All constants occurring in the database (`dom(D)`).
     pub fn domain(&self) -> std::collections::BTreeSet<Symbol> {
-        self.iter()
-            .flat_map(|a| a.terms.iter())
+        self.instance
+            .relations()
+            .flat_map(|r| (0..r.arity()).flat_map(move |c| r.cols[c].iter()))
             .filter_map(|t| t.as_const())
             .collect()
     }
@@ -353,6 +708,39 @@ mod tests {
     }
 
     #[test]
+    fn relation_layout_is_columnar() {
+        let mut inst = Instance::new();
+        inst.insert_fact("edge", &["a", "b"]);
+        inst.insert_fact("edge", &["b", "c"]);
+        let rel = inst.relation(intern("edge"), 2).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.arity(), 2);
+        assert_eq!(rel.value(0, 1), TermId::from_const(intern("b")));
+        assert_eq!(rel.value(1, 0), TermId::from_const(intern("b")));
+        let key = [
+            TermId::from_const(intern("b")),
+            TermId::from_const(intern("c")),
+        ];
+        assert_eq!(rel.find_row(&key), Some(1));
+        assert!(inst.contains_ids(intern("edge"), &key));
+        assert!(inst.relation(intern("edge"), 3).is_none());
+    }
+
+    #[test]
+    fn borrowed_key_find_terms() {
+        let mut inst = Instance::new();
+        let id = inst.insert_fact("p", &["a", "b"]);
+        let terms = [Term::constant("a"), Term::constant("b")];
+        assert_eq!(inst.find_terms(intern("p"), &terms), Some(id));
+        assert!(inst.contains_terms(intern("p"), &terms));
+        let absent = [Term::constant("b"), Term::constant("a")];
+        assert_eq!(inst.find_terms(intern("p"), &absent), None);
+        // A variable never matches.
+        let with_var = [Term::Var(triq_common::VarId::new("X")), Term::constant("b")];
+        assert_eq!(inst.find_terms(intern("p"), &with_var), None);
+    }
+
+    #[test]
     fn null_depth_tracking() {
         let mut inst = Instance::new();
         let n0 = inst.fresh_null(1);
@@ -362,6 +750,7 @@ mod tests {
         assert_eq!(inst.next_depth(&[Term::Null(n0)]), 2);
         assert_eq!(inst.next_depth(&[Term::constant("a")]), 1);
         assert_eq!(inst.ground_part().len(), 0);
+        assert_eq!(inst.const_tuple(id), None);
     }
 
     #[test]
@@ -390,5 +779,17 @@ mod tests {
         assert_eq!(d.rule, 3);
         assert_eq!(d.body, vec![body]);
         assert!(inst.derivation(body).is_none());
+    }
+
+    #[test]
+    fn mixed_arity_predicates_coexist() {
+        // A database is not bound by a program's arity coherence; the
+        // store keeps one relation per (pred, arity).
+        let mut inst = Instance::new();
+        inst.insert_fact("p", &["a"]);
+        inst.insert_fact("p", &["a", "b"]);
+        assert_eq!(inst.ids_by_pred(intern("p")).len(), 2);
+        assert_eq!(inst.relation(intern("p"), 1).unwrap().len(), 1);
+        assert_eq!(inst.relation(intern("p"), 2).unwrap().len(), 1);
     }
 }

@@ -38,6 +38,7 @@ mod positions;
 mod program;
 mod proof;
 mod prooftree;
+pub mod reference;
 mod stratify;
 pub mod transform;
 pub mod ugcp;
@@ -51,7 +52,7 @@ pub use classify::{
     classify_program, rule_variable_classes, LanguageClass, ProgramClassification, RuleClasses,
 };
 pub use eval::{AnswerIter, Answers, Query};
-pub use instance::{AtomId, Database, Derivation, GroundAtom, Instance};
+pub use instance::{AtomId, Database, Derivation, GroundAtom, Instance, Relation};
 pub use parser::{parse_atom, parse_program, parse_query};
 pub use positions::{affected_positions, Pos, PositionSet};
 pub use program::{Constraint, Program, Rule};
@@ -62,4 +63,4 @@ pub use prooftree::{
 };
 pub use stratify::{stratify, stratify_run_count, Stratification};
 
-pub use triq_common::{intern, NullId, Result, Symbol, Term, TriqError, VarId};
+pub use triq_common::{intern, NullId, Result, Symbol, Term, TermId, TriqError, VarId};

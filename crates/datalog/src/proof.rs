@@ -69,12 +69,12 @@ impl ProofTree {
 fn build(instance: &Instance, id: AtomId) -> ProofNode {
     match instance.derivation(id) {
         None => ProofNode {
-            atom: instance.atom(id).clone(),
+            atom: instance.atom(id),
             rule: None,
             children: Vec::new(),
         },
         Some(d) => ProofNode {
-            atom: instance.atom(id).clone(),
+            atom: instance.atom(id),
             rule: Some(d.rule),
             children: d.body.iter().map(|&b| build(instance, b)).collect(),
         },

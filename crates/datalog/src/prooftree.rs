@@ -766,7 +766,7 @@ mod tests {
         let mut checked = 0;
         for atom in out.instance.ground_part() {
             assert!(
-                prooftree_decide(&db, &p, atom, ProofTreeConfig::default()).unwrap(),
+                prooftree_decide(&db, &p, &atom, ProofTreeConfig::default()).unwrap(),
                 "chase-derived {atom} must be provable"
             );
             checked += 1;

@@ -1,0 +1,384 @@
+//! A deliberately naive reference evaluator for differential testing.
+//!
+//! This module re-implements the stratified chase of §3.2 with **none**
+//! of the production engine's machinery: atoms are plain [`GroundAtom`]
+//! values in a `Vec` + `HashSet`, joins are nested loops over *all*
+//! stored atoms (no columnar store, no per-column indexes, no semi-naive
+//! deltas, no rule compilation, no parallelism), and substitutions are
+//! `HashMap<VarId, Term>` environments. It is the executable reading of
+//! the paper's definitions, kept as the oracle the fast engine is
+//! differential-tested against (`tests/differential_chase.rs`): on every
+//! input the two must produce the same ground atoms, the same answers and
+//! the same ⊤/consistent classification.
+//!
+//! Keep this module simple — its only job is to be obviously correct.
+
+use crate::instance::GroundAtom;
+use crate::{Answers, Builtin, ChaseConfig, ExistentialStrategy, Program, Rule};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use triq_common::{NullId, Result, Symbol, Term, TriqError, VarId};
+
+/// The result of a naive chase run.
+#[derive(Debug)]
+pub struct ReferenceOutcome {
+    /// All atoms, database first, in derivation order.
+    pub atoms: Vec<GroundAtom>,
+    /// Whether some constraint fired (`Π(D) = ⊤`).
+    pub inconsistent: bool,
+    /// Whether some existential application hit the depth bound.
+    pub truncated: bool,
+    /// Nulls invented.
+    pub nulls: usize,
+}
+
+impl ReferenceOutcome {
+    /// The fully-ground atoms, rendered — convenient for set comparison
+    /// against the fast engine (null *names* may differ between
+    /// implementations; ground atoms may not).
+    pub fn ground_part(&self) -> BTreeSet<String> {
+        self.atoms
+            .iter()
+            .filter(|a| a.is_fully_ground())
+            .map(|a| a.to_string())
+            .collect()
+    }
+
+    /// The answers to `output` (§3.2): ⊤ under inconsistency, else all
+    /// fully-constant tuples of the output predicate.
+    pub fn answers(&self, output: Symbol) -> Answers {
+        if self.inconsistent {
+            return Answers::Top;
+        }
+        let tuples = self
+            .atoms
+            .iter()
+            .filter(|a| a.pred == output)
+            .filter_map(|a| {
+                a.terms
+                    .iter()
+                    .map(|t| t.as_const())
+                    .collect::<Option<Vec<Symbol>>>()
+            })
+            .collect();
+        Answers::Tuples(tuples)
+    }
+}
+
+type Env = HashMap<VarId, Term>;
+
+/// Naive evaluator state: a set of ground atoms and the null registry.
+struct State {
+    atoms: Vec<GroundAtom>,
+    seen: HashSet<GroundAtom>,
+    null_depth: Vec<u32>,
+    skolem: HashMap<(usize, Vec<Term>), Vec<Term>>,
+    nulls: usize,
+    truncated: bool,
+}
+
+impl State {
+    fn insert(&mut self, atom: GroundAtom) -> bool {
+        if self.seen.contains(&atom) {
+            return false;
+        }
+        self.seen.insert(atom.clone());
+        self.atoms.push(atom);
+        true
+    }
+
+    fn fresh_null(&mut self, depth: u32) -> Term {
+        let id = NullId(self.null_depth.len() as u32);
+        self.null_depth.push(depth);
+        self.nulls += 1;
+        Term::Null(id)
+    }
+
+    fn next_depth(&self, terms: &[Term]) -> u32 {
+        terms
+            .iter()
+            .filter_map(|t| t.as_null())
+            .map(|n| self.null_depth[n.0 as usize])
+            .max()
+            .map_or(1, |d| d + 1)
+    }
+}
+
+fn subst(t: Term, env: &Env) -> Option<Term> {
+    match t {
+        Term::Var(v) => env.get(&v).copied(),
+        ground => Some(ground),
+    }
+}
+
+/// Grounds an atom under a total environment.
+fn ground(atom: &crate::Atom, env: &Env) -> GroundAtom {
+    GroundAtom::new(
+        atom.pred,
+        atom.terms
+            .iter()
+            .map(|&t| subst(t, env).expect("environment must be total here"))
+            .collect(),
+    )
+}
+
+/// Enumerates every environment matching `atoms[idx..]` against the first
+/// `limit` stored atoms, by brute-force nested loops. Calls `found` per
+/// complete match; a `false` return stops the search.
+fn match_all(
+    state: &State,
+    atoms: &[crate::Atom],
+    idx: usize,
+    limit: usize,
+    env: &mut Env,
+    found: &mut dyn FnMut(&Env) -> bool,
+) -> bool {
+    let Some(atom) = atoms.get(idx) else {
+        return found(env);
+    };
+    'stored: for stored in state.atoms[..limit].iter() {
+        if stored.pred != atom.pred || stored.terms.len() != atom.terms.len() {
+            continue;
+        }
+        let mut bound: Vec<VarId> = Vec::new();
+        for (&pat, &val) in atom.terms.iter().zip(stored.terms.iter()) {
+            match pat {
+                Term::Var(v) => match env.get(&v) {
+                    Some(&b) if b != val => {
+                        for v in bound.drain(..) {
+                            env.remove(&v);
+                        }
+                        continue 'stored;
+                    }
+                    Some(_) => {}
+                    None => {
+                        env.insert(v, val);
+                        bound.push(v);
+                    }
+                },
+                fixed if fixed != val => {
+                    for v in bound.drain(..) {
+                        env.remove(&v);
+                    }
+                    continue 'stored;
+                }
+                _ => {}
+            }
+        }
+        let keep_going = match_all(state, atoms, idx + 1, limit, env, found);
+        for v in bound.drain(..) {
+            env.remove(&v);
+        }
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+fn builtins_hold(builtins: &[Builtin], env: &Env) -> bool {
+    builtins.iter().all(|b| match *b {
+        Builtin::Eq(x, y) => subst(x, env) == subst(y, env),
+        Builtin::Neq(x, y) => subst(x, env) != subst(y, env),
+    })
+}
+
+fn negatives_absent(state: &State, rule: &Rule, env: &Env) -> bool {
+    rule.body_neg
+        .iter()
+        .all(|neg| !state.seen.contains(&ground(neg, env)))
+}
+
+/// Applies one rule match (mirrors the fast engine's semantics: skolem
+/// memoization / restricted satisfaction check, depth bound, atom budget).
+fn apply_rule(
+    state: &mut State,
+    rule_idx: usize,
+    rule: &Rule,
+    env: &Env,
+    config: &ChaseConfig,
+) -> Result<()> {
+    let mut env = env.clone();
+    if !rule.exist_vars.is_empty() {
+        let frontier: Vec<VarId> = rule.frontier().into_iter().collect();
+        let frontier_vals: Vec<Term> = frontier
+            .iter()
+            .map(|&v| *env.get(&v).expect("frontier bound"))
+            .collect();
+        match config.strategy {
+            ExistentialStrategy::Skolem => {
+                if let Some(known) = state.skolem.get(&(rule_idx, frontier_vals.clone())) {
+                    for (&v, &t) in rule.exist_vars.iter().zip(known.iter()) {
+                        env.insert(v, t);
+                    }
+                } else {
+                    let depth = state.next_depth(&frontier_vals);
+                    if depth > config.max_null_depth {
+                        state.truncated = true;
+                        return Ok(());
+                    }
+                    let mut nulls = Vec::new();
+                    for &v in &rule.exist_vars {
+                        let null = state.fresh_null(depth);
+                        env.insert(v, null);
+                        nulls.push(null);
+                    }
+                    state.skolem.insert((rule_idx, frontier_vals), nulls);
+                }
+            }
+            ExistentialStrategy::Restricted => {
+                let mut satisfied = false;
+                let limit = state.atoms.len();
+                match_all(state, &rule.head, 0, limit, &mut env.clone(), &mut |_| {
+                    satisfied = true;
+                    false
+                });
+                if satisfied {
+                    return Ok(());
+                }
+                let depth = state.next_depth(&frontier_vals);
+                if depth > config.max_null_depth {
+                    state.truncated = true;
+                    return Ok(());
+                }
+                for &v in &rule.exist_vars {
+                    let null = state.fresh_null(depth);
+                    env.insert(v, null);
+                }
+            }
+        }
+    }
+    for head in &rule.head {
+        state.insert(ground(head, &env));
+        if state.atoms.len() > config.max_atoms {
+            return Err(TriqError::ResourceExhausted(format!(
+                "naive chase exceeded the atom budget of {}",
+                config.max_atoms
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Chases `db` with `program` by brute force — the reference semantics
+/// the production [`chase`](crate::chase) is differential-tested against.
+pub fn naive_chase(
+    db: &crate::Database,
+    program: &Program,
+    config: ChaseConfig,
+) -> Result<ReferenceOutcome> {
+    let strat = crate::stratify(program)?;
+    let mut state = State {
+        atoms: Vec::new(),
+        seen: HashSet::new(),
+        null_depth: Vec::new(),
+        skolem: HashMap::new(),
+        nulls: 0,
+        truncated: false,
+    };
+    for atom in db.iter() {
+        state.insert(atom);
+    }
+    for stratum in 0..=strat.max_stratum {
+        loop {
+            // Enumerate over a snapshot: a round never consumes its own
+            // output (any fair order reaches the same fixpoint).
+            let limit = state.atoms.len();
+            let mut pending: Vec<(usize, Env)> = Vec::new();
+            for (ri, rule) in program.rules.iter().enumerate() {
+                if strat.rule_stratum[ri] != stratum {
+                    continue;
+                }
+                let mut env = Env::new();
+                match_all(&state, &rule.body_pos, 0, limit, &mut env, &mut |env| {
+                    pending.push((ri, env.clone()));
+                    true
+                });
+            }
+            let before = state.atoms.len();
+            for (ri, env) in pending {
+                let rule = &program.rules[ri];
+                if builtins_hold(&rule.builtins, &env) && negatives_absent(&state, rule, &env) {
+                    apply_rule(&mut state, ri, rule, &env, &config)?;
+                }
+            }
+            if state.atoms.len() == before {
+                break;
+            }
+        }
+    }
+    let mut inconsistent = false;
+    let limit = state.atoms.len();
+    for c in &program.constraints {
+        let mut env = Env::new();
+        match_all(&state, &c.body, 0, limit, &mut env, &mut |env| {
+            if builtins_hold(&c.builtins, env) {
+                inconsistent = true;
+                false
+            } else {
+                true
+            }
+        });
+        if inconsistent {
+            break;
+        }
+    }
+    Ok(ReferenceOutcome {
+        inconsistent,
+        truncated: state.truncated,
+        nulls: state.nulls,
+        atoms: state.atoms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{chase, parse_program, Database};
+
+    #[test]
+    fn naive_matches_fast_on_transitive_closure() {
+        let p =
+            parse_program("e(?X, ?Y) -> t(?X, ?Y).\n e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).").unwrap();
+        let mut db = Database::new();
+        db.add_fact("e", &["a", "b"]);
+        db.add_fact("e", &["b", "c"]);
+        let naive = naive_chase(&db, &p, ChaseConfig::default()).unwrap();
+        let fast = chase(&db, &p, ChaseConfig::default()).unwrap();
+        let fast_ground: BTreeSet<String> = fast
+            .instance
+            .ground_part()
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
+        assert_eq!(naive.ground_part(), fast_ground);
+    }
+
+    #[test]
+    fn naive_detects_inconsistency() {
+        let p = parse_program("a(?X), b(?X) -> false.").unwrap();
+        let mut db = Database::new();
+        db.add_fact("a", &["x"]);
+        db.add_fact("b", &["x"]);
+        let naive = naive_chase(&db, &p, ChaseConfig::default()).unwrap();
+        assert!(naive.inconsistent);
+        assert!(naive.answers(triq_common::intern("q")).is_top());
+    }
+
+    #[test]
+    fn naive_existentials_memoize_and_bound() {
+        let p = parse_program(
+            "person(?X) -> exists ?Y parent(?X, ?Y).\n parent(?X, ?Y) -> person(?Y).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_fact("person", &["alice"]);
+        let cfg = ChaseConfig {
+            max_null_depth: 4,
+            ..ChaseConfig::default()
+        };
+        let naive = naive_chase(&db, &p, cfg).unwrap();
+        let fast = chase(&db, &p, cfg).unwrap();
+        assert!(naive.truncated && fast.stats.truncated);
+        assert_eq!(naive.nulls, fast.stats.nulls);
+    }
+}

@@ -1,0 +1,75 @@
+//! The probe path of the columnar store must not allocate.
+//!
+//! The chase's innermost loops are membership checks and per-column index
+//! probes; before the columnar refactor each membership check built a
+//! throwaway `GroundAtom` (one heap allocation per probe). This test pins
+//! the fix with a counting global allocator: borrowed-key lookups —
+//! `find_terms` / `contains_terms` / `contains_ids` / `Relation::find_row`
+//! / `ids_by_column` — perform **zero** allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use triq_datalog::{intern, Instance, Symbol, Term, TermId};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn candidate_probes_allocate_nothing() {
+    // Setup (allocates freely): interning, facts, keys.
+    let mut inst = Instance::new();
+    for i in 0..200u32 {
+        inst.insert_fact("edge", &[&format!("n{i}"), &format!("n{}", (i + 1) % 200)]);
+    }
+    let edge: Symbol = intern("edge");
+    let present = [Term::constant("n3"), Term::constant("n4")];
+    let absent = [Term::constant("n4"), Term::constant("n3")];
+    let present_key = [
+        TermId::from_const(intern("n3")),
+        TermId::from_const(intern("n4")),
+    ];
+    let rel = inst.relation(edge, 2).expect("edge relation exists");
+    let col_key = TermId::from_const(intern("n7"));
+
+    // Warm every code path once, then measure.
+    assert!(inst.contains_terms(edge, &present));
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut hits = 0usize;
+    for _ in 0..1_000 {
+        hits += usize::from(inst.contains_terms(edge, &present));
+        hits += usize::from(inst.contains_terms(edge, &absent));
+        hits += usize::from(inst.find_terms(edge, &present).is_some());
+        hits += usize::from(inst.contains_ids(edge, &present_key));
+        hits += usize::from(rel.find_row(&present_key).is_some());
+        hits += rel.ids_by_column(0, col_key).len();
+        hits += rel.ids_by_column(1, col_key).len();
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(hits, 6_000, "every probe resolved as expected");
+    assert_eq!(
+        after - before,
+        0,
+        "borrowed-key probes must not allocate (got {} allocations)",
+        after - before
+    );
+}

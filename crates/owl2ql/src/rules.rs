@@ -11,10 +11,16 @@ use triq_datalog::{parse_program, Database, Program};
 use triq_rdf::Graph;
 
 /// `τ_db(G)`: the database `{triple(a,b,c) | (a,b,c) ∈ G}` (§5.1).
+///
+/// The graph's subjects/predicates/objects are already interned
+/// [`Symbol`](triq_common::Symbol)s, so the bridge feeds encoded rows
+/// straight into the columnar store — no string round-trip, no
+/// re-interning per triple.
 pub fn tau_db(graph: &Graph) -> Database {
+    let triple = intern("triple");
     let mut db = Database::new();
     for t in graph.iter() {
-        db.add_fact("triple", &[t.s.as_str(), t.p.as_str(), t.o.as_str()]);
+        db.add_row(triple, &[t.s, t.p, t.o]);
     }
     db
 }

@@ -1,5 +1,8 @@
 //! Workspace facade: the root package hosts the runnable examples
 //! (`examples/`) and the cross-crate integration tests (`tests/`). The
 //! library surface simply re-exports the [`triq`] crate.
+//!
+//! See `docs/ARCHITECTURE.md` for the crate layering, the `TermId`
+//! interning boundary and the chase data flow.
 
 pub use triq::*;

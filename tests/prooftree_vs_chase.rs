@@ -52,7 +52,7 @@ proptest! {
         let outcome = chase(&db, &program, ChaseConfig::default()).unwrap();
         // Completeness: every chase-derived ground atom is provable.
         for atom in outcome.instance.ground_part() {
-            let proved = prooftree_decide(&db, &program, atom, ProofTreeConfig::default())
+            let proved = prooftree_decide(&db, &program, &atom, ProofTreeConfig::default())
                 .expect("search within budget");
             prop_assert!(proved, "chase derives {atom} but ProofTree rejects it");
         }

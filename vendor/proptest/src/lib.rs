@@ -148,7 +148,7 @@ impl<S: Strategy + ?Sized> Strategy for &S {
 }
 
 /// String strategies: a `&str` is interpreted as a regex (subset — see
-/// [`regex_gen`]) generating matching strings.
+/// the `regex_gen` module) generating matching strings.
 impl Strategy for &str {
     type Value = String;
     fn generate(&self, rng: &mut TestRng) -> String {
