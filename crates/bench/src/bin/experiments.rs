@@ -5,10 +5,6 @@
 //! Run all:   `cargo run -p triq-bench --release --bin experiments`
 //! Run one:   `cargo run -p triq-bench --release --bin experiments -- e5`
 
-// The harness deliberately measures the legacy one-shot paths alongside
-// direct evaluation; their deprecation is expected.
-#![allow(deprecated)]
-
 use std::collections::BTreeSet;
 use triq::datalog::builders::{
     atm_database, atm_initial_constant, atm_program, clique_database, clique_query,
@@ -17,7 +13,6 @@ use triq::datalog::builders::{
 use triq::datalog::{
     chase, proof_tree, prooftree_decide, render_proof_tree, ugcp, GroundAtom, ProofTreeConfig,
 };
-use triq::engine::{Semantics, SparqlEngine};
 use triq::owl2ql::{chain_ontology, ontology_from_graph, university_ontology, EntailmentOracle};
 use triq::prelude::*;
 use triq_bench::{fitted_exponent, growth_ratios, time_ms};
@@ -54,6 +49,9 @@ fn main() {
     }
     if run("e8") {
         e8_pep();
+    }
+    if run("e9") {
+        e9_incremental();
     }
     if run("x1") {
         x1_motivating();
@@ -201,7 +199,13 @@ fn e2_translation() {
                     rng.gen(),
                 );
                 let direct = evaluate_sparql(&graph, &pattern);
-                let translated = triq::translate::evaluate_plain(&graph, &pattern).unwrap();
+                let engine = Engine::new();
+                let session = engine.load_graph(graph.clone());
+                let prepared = engine.prepare((&pattern, Semantics::Plain)).unwrap();
+                let RegimeAnswers::Mappings(translated) = prepared.mappings(&session).unwrap()
+                else {
+                    unreachable!("plain translations have no constraints")
+                };
                 checked += 1;
                 if direct != translated {
                     mismatches += 1;
@@ -225,11 +229,11 @@ fn e3_regime() {
     for scale in [2usize, 6, 12] {
         let graph = triq::owl2ql::ontology_to_graph(&university_ontology(scale, 3, 10, 1));
         let pattern = parse_pattern("{ ?X rdf:type person }").unwrap();
-        let engine = SparqlEngine::new(graph.clone());
+        let engine = Engine::new();
         let (via_translation, t_ms) = time_ms(|| {
-            engine
-                .bindings_of(&pattern, Semantics::RegimeU, "X")
-                .unwrap()
+            let session = engine.load_graph(graph.clone());
+            let prepared = engine.prepare((&pattern, Semantics::RegimeU)).unwrap();
+            prepared.bindings_of(&session, "X").unwrap()
         });
         let (oracle, o_ms) = time_ms(|| EntailmentOracle::new(&graph).unwrap());
         let via_oracle: BTreeSet<Symbol> =
@@ -284,13 +288,13 @@ fn e5_ptime_scaling() {
     let pattern = parse_pattern("{ ?X rdf:type person }").unwrap();
     let mut points = Vec::new();
     println!("  |D| (triples) | answers | time (ms)");
+    let engine = Engine::new();
+    let prepared = engine.prepare((&pattern, Semantics::RegimeU)).unwrap();
     for scale in [4usize, 8, 16, 32, 64] {
         let graph = triq::owl2ql::ontology_to_graph(&university_ontology(scale, 4, 25, 1));
-        let engine = SparqlEngine::new(graph.clone());
         let (answers, ms) = time_ms(|| {
-            engine
-                .bindings_of(&pattern, Semantics::RegimeU, "X")
-                .unwrap()
+            let session = engine.load_graph(graph.clone());
+            prepared.bindings_of(&session, "X").unwrap()
         });
         println!("  {:>13} | {:>7} | {ms:>9.1}", graph.len(), answers.len());
         points.push((graph.len() as f64, ms));
@@ -419,6 +423,70 @@ fn e8_pep() {
         "    coexistence of (D,Λ1,()),(D,Λ2,()) under sampled Datalog programs: {coexist} \
          (paper: always — hence the separation)"
     );
+}
+
+/// E9 — incremental materialization: delta-chase inserts + DRed deletes
+/// vs invalidate-and-re-chase, on the e6/e9 workload shapes (tiny scale;
+/// `benches/e9_incremental.rs` is the full-scale measurement). Doubles
+/// as the CI smoke run of the incremental path.
+fn e9_incremental() {
+    header(
+        "E9",
+        "incremental maintenance vs full re-chase (tiny smoke scale)",
+    );
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let tc = "e(?X, ?Y) -> t(?X, ?Y).\n e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).";
+    let negation = "e(?X, ?Y) -> t(?X, ?Y).\n\
+                    e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).\n\
+                    e(?X, ?Y) -> node(?X).\n\
+                    e(?X, ?Y) -> node(?Y).\n\
+                    node(?X), node(?Y), !t(?X, ?Y) -> unreachable(?X, ?Y).";
+    println!("  workload | ops | incremental (ms) | full re-chase (ms) | speedup | identical");
+    for (name, program) in [("tc", tc), ("negation", negation)] {
+        let runner =
+            ChaseRunner::new(parse_program(program).unwrap(), ChaseConfig::default()).unwrap();
+        let n = 60usize;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut db = Database::new();
+        for i in 0..n {
+            let j = rng.gen_range(0..n);
+            db.add_fact("e", &[&format!("n{i}"), &format!("n{j}")]);
+        }
+        let mut view = MaterializedView::new(runner.clone(), db.clone()).unwrap();
+        let ops = 20usize;
+        let (_, inc_ms) = triq_bench::time_ms(|| {
+            for k in 0..ops {
+                let fresh = format!("x{k}");
+                view.apply(&Delta::new().insert("e", &[&fresh, "n0"]))
+                    .unwrap();
+                view.apply(&Delta::new().delete("e", &[&fresh, "n0"]))
+                    .unwrap();
+            }
+        });
+        let (_, full_ms) = triq_bench::time_ms(|| {
+            for k in 0..ops {
+                let fresh = format!("x{k}");
+                db.add_fact("e", &[&fresh, "n0"]);
+                let _ = runner.run(&db).unwrap().stats.derived;
+                db.remove_fact("e", &[&fresh, "n0"]);
+                let _ = runner.run(&db).unwrap().stats.derived;
+            }
+        });
+        // The maintained view must equal a from-scratch chase at the end.
+        let scratch = runner.run(view.database()).unwrap();
+        let identical = scratch.instance.live_len() == view.instance().live_len()
+            && scratch
+                .instance
+                .iter()
+                .all(|(_, a)| view.instance().contains(&a));
+        assert!(identical, "maintained view diverged on {name}");
+        println!(
+            "  {name:<8} | {:>3} | {inc_ms:>16.1} | {full_ms:>18.1} | {:>6.1}x | {identical}",
+            2 * ops,
+            full_ms / inc_ms.max(0.0001),
+        );
+    }
 }
 
 /// X1 — the §2 motivating scenarios, as a smoke suite.

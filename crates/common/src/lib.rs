@@ -20,11 +20,13 @@
 //! string data — the representation recommended by the performance guide
 //! for database engines.
 
+mod delta;
 mod error;
 mod interner;
 mod term;
 mod termid;
 
+pub use delta::{Delta, Fact};
 pub use error::{Result, TriqError};
 pub use interner::{intern, resolve, Symbol};
 pub use term::{NullId, Term, VarId};

@@ -16,8 +16,13 @@
 //!   stratification (§3.2) and rule compilation exactly **once**,
 //!   yielding a [`PreparedQuery`];
 //! * [`Session`] holds loaded data — an RDF [`Graph`] bridged through
-//!   `τ_db` (§5.1) and/or a raw [`Database`] — plus a chase-state cache,
-//!   so re-executing a prepared query against unchanged data is free;
+//!   `τ_db` (§5.1) and/or a raw [`Database`] — plus **maintained** chase
+//!   state: re-executing a prepared query against unchanged data is a
+//!   lookup, and mutations ([`Session::insert_triple`],
+//!   [`Session::remove_fact`], …) are absorbed incrementally
+//!   (delta-chase inserts, DRed deletes — see
+//!   `triq_datalog::incremental`) instead of discarding the
+//!   materialization;
 //! * a [`PreparedQuery`] executes against any number of sessions, either
 //!   materialized ([`PreparedQuery::execute`]) or streaming
 //!   ([`PreparedQuery::execute_iter`]).
@@ -41,10 +46,10 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use triq_common::{Result, Symbol, TriqError, VarId};
+use triq_common::{Delta, Fact, Result, Symbol, TriqError, VarId};
 use triq_datalog::{
     classify_program, AnswerIter, Answers, ChaseConfig, ChaseOutcome, ChaseRunner, Database,
-    ExistentialStrategy, Program, ProgramClassification,
+    ExistentialStrategy, MaterializedView, Program, ProgramClassification,
 };
 use triq_owl2ql::tau_db;
 use triq_rdf::Graph;
@@ -170,6 +175,9 @@ struct EngineCounters {
     atoms_derived: AtomicU64,
     join_probes: AtomicU64,
     parallel_strata: AtomicUsize,
+    deltas_applied: AtomicUsize,
+    atoms_overdeleted: AtomicU64,
+    atoms_rederived: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -198,6 +206,14 @@ pub struct EngineStats {
     pub join_probes: u64,
     /// Strata evaluated with parallel per-rule match collection.
     pub parallel_strata: usize,
+    /// Session mutations absorbed incrementally (delta-chase inserts +
+    /// DRed deletes) instead of discarding the materialization.
+    pub deltas_applied: usize,
+    /// Atoms over-deleted by DRed maintenance (support cones and
+    /// negation victims) across all sessions.
+    pub atoms_overdeleted: u64,
+    /// Over-deleted atoms that rederivation restored.
+    pub atoms_rederived: u64,
 }
 
 /// The top-level handle: policy + prepared-query factory.
@@ -246,6 +262,9 @@ impl Engine {
             atoms_derived: s.atoms_derived.load(Ordering::Relaxed),
             join_probes: s.join_probes.load(Ordering::Relaxed),
             parallel_strata: s.parallel_strata.load(Ordering::Relaxed),
+            deltas_applied: s.deltas_applied.load(Ordering::Relaxed),
+            atoms_overdeleted: s.atoms_overdeleted.load(Ordering::Relaxed),
+            atoms_rederived: s.atoms_rederived.load(Ordering::Relaxed),
         }
     }
 
@@ -255,7 +274,8 @@ impl Engine {
             engine: self.clone(),
             graph: None,
             db: Database::new(),
-            cache: Mutex::new(HashMap::new()),
+            ops: OpLog::default(),
+            views: Mutex::new(HashMap::new()),
         }
     }
 
@@ -265,7 +285,8 @@ impl Engine {
             engine: self.clone(),
             db: tau_db(&graph),
             graph: Some(graph),
-            cache: Mutex::new(HashMap::new()),
+            ops: OpLog::default(),
+            views: Mutex::new(HashMap::new()),
         }
     }
 
@@ -280,7 +301,8 @@ impl Engine {
             engine: self.clone(),
             graph: None,
             db,
-            cache: Mutex::new(HashMap::new()),
+            ops: OpLog::default(),
+            views: Mutex::new(HashMap::new()),
         }
     }
 
@@ -493,25 +515,88 @@ impl IntoQuery for TriqLiteQuery {
 // Session
 // ---------------------------------------------------------------------------
 
-/// Upper bound on cached chase outcomes per session. An outcome holds the
-/// whole materialized instance, so the cache is kept small; when full it
-/// is cleared wholesale (coarse, but bounded — recomputation is always
-/// correct).
+/// Upper bound on maintained views per session. A view holds the whole
+/// materialized instance (plus maintenance state), so the cache is kept
+/// small; when full it is cleared wholesale (coarse, but bounded —
+/// recomputation is always correct).
 const MAX_CACHED_OUTCOMES: usize = 32;
 
-/// Loaded data plus a chase-state cache.
+/// Upper bound on unabsorbed ops in a session's mutation log. When it is
+/// exceeded, views too far behind are evicted (they rebuild on their next
+/// execution) so the absorbed prefix can be pruned.
+const MAX_PENDING_OPS: usize = 4096;
+
+/// The extensional mutation log of a session: every
+/// `insert_*`/`remove_*`/`add_fact` call appends one operation here
+/// (`true` = insert). Each maintained view remembers the log *version*
+/// it is synced to; executing a prepared query replays only the suffix
+/// the view has not seen, as one netted [`Delta`]. The log prefix every
+/// view has absorbed is pruned on the next mutation.
+#[derive(Debug, Default)]
+struct OpLog {
+    /// Version of the first entry in `ops`.
+    base: u64,
+    ops: Vec<(bool, Fact)>,
+}
+
+impl OpLog {
+    fn version(&self) -> u64 {
+        self.base + self.ops.len() as u64
+    }
+
+    /// The net delta from log version `from` to the head: per fact, the
+    /// **last** operation wins (insert-then-delete nets to a delete, and
+    /// vice versa — presence is set semantics).
+    fn delta_since(&self, from: u64) -> Delta {
+        let start = (from.saturating_sub(self.base)) as usize;
+        let mut last: HashMap<&Fact, bool> = HashMap::new();
+        for (insert, fact) in &self.ops[start..] {
+            last.insert(fact, *insert);
+        }
+        let mut delta = Delta::new();
+        for (fact, insert) in last {
+            if insert {
+                delta.add_insert(fact.clone());
+            } else {
+                delta.add_delete(fact.clone());
+            }
+        }
+        delta
+    }
+}
+
+/// A maintained view plus the op-log version it reflects. `view` is
+/// `None` before the first successful build and after an apply error
+/// (the next execution rebuilds from the session database).
+#[derive(Debug)]
+struct ViewEntry {
+    view: Option<MaterializedView>,
+    synced: u64,
+}
+
+/// One lock per plan: the outer map mutex is held only for the lookup /
+/// insert, so a long chase or delta application on one prepared query
+/// never blocks executions of other queries against the same session.
+type ViewCell = Arc<Mutex<ViewEntry>>;
+
+/// Loaded data plus maintained chase state.
 ///
-/// A session belongs to the [`Engine`] that created it. The cache maps a
-/// prepared query's identity to the [`ChaseOutcome`] it produced over this
-/// session's data, so re-executing the same [`PreparedQuery`] is a lookup;
-/// any mutation of the session data invalidates the cache, and the cache
-/// holds at most `MAX_CACHED_OUTCOMES` entries.
+/// A session belongs to the [`Engine`] that created it. For every
+/// prepared query executed against it, the session keeps a
+/// [`MaterializedView`] — the chase fixpoint plus the state needed to
+/// update it in place. Re-executing an unchanged session is a lookup;
+/// executing after mutations replays only the pending operations as an
+/// incremental delta (semi-naive insert frontiers, DRed deletes) instead
+/// of re-running the chase. [`Session::invalidate`] remains the explicit
+/// full-rebuild escape hatch, and null-entangled deletions take it
+/// automatically.
 #[derive(Debug)]
 pub struct Session {
     engine: Engine,
     graph: Option<Graph>,
     db: Database,
-    cache: Mutex<HashMap<u64, Arc<ChaseOutcome>>>,
+    ops: OpLog,
+    views: Mutex<HashMap<u64, ViewCell>>,
 }
 
 impl Session {
@@ -531,27 +616,95 @@ impl Session {
     }
 
     /// Adds an RDF triple (both to the graph, if any, and to the `τ_db`
-    /// bridge), invalidating cached chase state.
+    /// bridge). Maintained chase state absorbs the change incrementally
+    /// at the next execution.
     pub fn insert_triple(&mut self, s: &str, p: &str, o: &str) {
         if let Some(g) = &mut self.graph {
             g.insert_strs(s, p, o);
         }
         self.db.add_fact("triple", &[s, p, o]);
-        self.invalidate();
+        self.record(true, Fact::from_strs("triple", &[s, p, o]));
     }
 
-    /// Adds a raw Datalog fact, invalidating cached chase state.
+    /// Removes an RDF triple (graph and `τ_db` bridge). Returns `true`
+    /// if it was present; maintained chase state absorbs the deletion
+    /// incrementally (delete-and-rederive) at the next execution.
+    pub fn remove_triple(&mut self, s: &str, p: &str, o: &str) -> bool {
+        if let Some(g) = &mut self.graph {
+            g.remove_strs(s, p, o);
+        }
+        let present = self.db.remove_fact("triple", &[s, p, o]);
+        if present {
+            self.record(false, Fact::from_strs("triple", &[s, p, o]));
+        }
+        present
+    }
+
+    /// Adds a raw Datalog fact; maintained chase state absorbs it
+    /// incrementally at the next execution.
     pub fn add_fact(&mut self, pred: &str, constants: &[&str]) {
         self.db.add_fact(pred, constants);
-        self.invalidate();
+        self.record(true, Fact::from_strs(pred, constants));
     }
 
-    /// Drops all cached chase state.
+    /// Removes a raw Datalog fact; returns `true` if it was present.
+    pub fn remove_fact(&mut self, pred: &str, constants: &[&str]) -> bool {
+        let present = self.db.remove_fact(pred, constants);
+        if present {
+            self.record(false, Fact::from_strs(pred, constants));
+        }
+        present
+    }
+
+    /// Appends to the op log and prunes the prefix every live view has
+    /// already absorbed. Runs under `&mut self`, so no execution (and no
+    /// entry lock) can be active concurrently.
+    fn record(&mut self, insert: bool, fact: Fact) {
+        self.ops.ops.push((insert, fact));
+        let version = self.ops.version();
+        let views = self.views.get_mut().expect("session views poisoned");
+        // A view that has sat out thousands of mutations is cheaper to
+        // rebuild than to keep the log suffix alive for: evict far-behind
+        // views so the log stays bounded even when a prepared query goes
+        // idle on a long-lived session.
+        if self.ops.ops.len() > MAX_PENDING_OPS {
+            views.retain(|_, cell| {
+                let entry = cell.lock().expect("session view poisoned");
+                entry.view.is_some()
+                    && version.saturating_sub(entry.synced) <= (MAX_PENDING_OPS / 2) as u64
+            });
+        }
+        let min_synced = views
+            .values()
+            .map(|cell| {
+                let entry = cell.lock().expect("session view poisoned");
+                // An entry without a view rebuilds from the database and
+                // needs no log suffix.
+                if entry.view.is_some() {
+                    entry.synced
+                } else {
+                    version
+                }
+            })
+            .min()
+            .unwrap_or(version);
+        let drop = min_synced.saturating_sub(self.ops.base) as usize;
+        if drop > 0 {
+            self.ops.ops.drain(..drop);
+            self.ops.base = min_synced;
+        }
+    }
+
+    /// Drops all maintained chase state: the next execution of any
+    /// prepared query re-chases from scratch. This is the explicit
+    /// full-rebuild escape hatch; plain mutations no longer need it.
     pub fn invalidate(&mut self) {
-        self.cache
+        self.views
             .get_mut()
-            .expect("session cache poisoned")
+            .expect("session views poisoned")
             .clear();
+        self.ops.base = self.ops.version();
+        self.ops.ops.clear();
     }
 
     /// Convenience mirror of [`PreparedQuery::execute`].
@@ -559,21 +712,73 @@ impl Session {
         query.execute(self)
     }
 
-    fn cached_outcome(&self, plan_id: u64) -> Option<Arc<ChaseOutcome>> {
-        self.cache
-            .lock()
-            .expect("session cache poisoned")
-            .get(&plan_id)
-            .cloned()
-    }
-
-    fn store_outcome(&self, plan_id: u64, outcome: Arc<ChaseOutcome>) {
-        let mut cache = self.cache.lock().expect("session cache poisoned");
-        if cache.len() >= MAX_CACHED_OUTCOMES {
-            cache.clear();
+    /// The maintained outcome for `plan`, building or delta-syncing its
+    /// view as needed. The session-wide map lock is held only for the
+    /// lookup; the (possibly long) chase or delta application runs under
+    /// the plan's own entry lock.
+    fn outcome_for(
+        &self,
+        plan_id: u64,
+        runner: &ChaseRunner,
+    ) -> Result<(Arc<ChaseOutcome>, SyncKind)> {
+        // `&self` executions can race each other, but mutations take
+        // `&mut self`, so the log version is stable for this call.
+        let version = self.ops.version();
+        let cell: ViewCell = {
+            let mut views = self.views.lock().expect("session views poisoned");
+            if let Some(cell) = views.get(&plan_id) {
+                cell.clone()
+            } else {
+                if views.len() >= MAX_CACHED_OUTCOMES {
+                    views.clear();
+                }
+                let cell = Arc::new(Mutex::new(ViewEntry {
+                    view: None,
+                    synced: version,
+                }));
+                views.insert(plan_id, cell.clone());
+                cell
+            }
+        };
+        let mut entry = cell.lock().expect("session view poisoned");
+        let synced = entry.synced;
+        if let Some(view) = entry.view.as_mut() {
+            if synced == version {
+                return Ok((view.outcome().clone(), SyncKind::Hit));
+            }
+            let delta = self.ops.delta_since(synced);
+            match view.apply(&delta) {
+                Ok(summary) => {
+                    let outcome = view.outcome().clone();
+                    entry.synced = version;
+                    return Ok((outcome, SyncKind::Delta(summary)));
+                }
+                Err(e) => {
+                    // The view could not reach the target state (see
+                    // `MaterializedView::apply`): discard it so the next
+                    // execution rebuilds from the database instead of
+                    // silently serving a stale or empty materialization.
+                    entry.view = None;
+                    return Err(e);
+                }
+            }
         }
-        cache.insert(plan_id, outcome);
+        let view = MaterializedView::new(runner.clone(), self.db.clone())?;
+        let outcome = view.outcome().clone();
+        entry.view = Some(view);
+        entry.synced = version;
+        Ok((outcome, SyncKind::Built))
     }
+}
+
+/// How a session answered an execution, for the engine counters.
+enum SyncKind {
+    /// Unchanged data: the maintained outcome was returned as-is.
+    Hit,
+    /// Pending mutations were absorbed incrementally.
+    Delta(triq_datalog::DeltaSummary),
+    /// No view existed yet: a full chase ran.
+    Built,
 }
 
 // ---------------------------------------------------------------------------
@@ -643,27 +848,48 @@ impl PreparedQuery {
         self
     }
 
-    /// The chase outcome for this query over `session`, from cache when
-    /// available.
+    /// The chase outcome for this query over `session` — served from
+    /// the session's maintained view: a lookup when nothing changed, an
+    /// incremental delta application when mutations are pending, and a
+    /// full chase only the first time (or after `invalidate()`).
     fn outcome(&self, session: &Session) -> Result<Arc<ChaseOutcome>> {
         let stats = &self.engine.inner.stats;
         stats.executions.fetch_add(1, Ordering::Relaxed);
-        if let Some(hit) = session.cached_outcome(self.plan_id) {
-            stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit);
+        let (outcome, sync) = session.outcome_for(self.plan_id, &self.runner)?;
+        match sync {
+            SyncKind::Hit => {
+                stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            SyncKind::Delta(summary) => {
+                stats.deltas_applied.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .atoms_overdeleted
+                    .fetch_add(summary.overdeleted as u64, Ordering::Relaxed);
+                stats
+                    .atoms_rederived
+                    .fetch_add(summary.rederived as u64, Ordering::Relaxed);
+                stats
+                    .atoms_derived
+                    .fetch_add(summary.inserted as u64, Ordering::Relaxed);
+                if summary.full_rebuild {
+                    // Null-entangled deletion: the delta was answered by
+                    // the automatic full re-chase fallback.
+                    stats.chase_runs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            SyncKind::Built => {
+                stats.chase_runs.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .atoms_derived
+                    .fetch_add(outcome.stats.derived as u64, Ordering::Relaxed);
+                stats
+                    .join_probes
+                    .fetch_add(outcome.stats.probes, Ordering::Relaxed);
+                stats
+                    .parallel_strata
+                    .fetch_add(outcome.stats.parallel_strata, Ordering::Relaxed);
+            }
         }
-        stats.chase_runs.fetch_add(1, Ordering::Relaxed);
-        let outcome = Arc::new(self.runner.run(&session.db)?);
-        stats
-            .atoms_derived
-            .fetch_add(outcome.stats.derived as u64, Ordering::Relaxed);
-        stats
-            .join_probes
-            .fetch_add(outcome.stats.probes, Ordering::Relaxed);
-        stats
-            .parallel_strata
-            .fetch_add(outcome.stats.parallel_strata, Ordering::Relaxed);
-        session.store_outcome(self.plan_id, outcome.clone());
         Ok(outcome)
     }
 
@@ -787,7 +1013,7 @@ mod tests {
     }
 
     #[test]
-    fn session_cache_hits_and_invalidation() {
+    fn session_cache_hits_and_incremental_mutation() {
         let engine = Engine::new();
         let q = engine
             .prepare(Datalog("triple(?Y, name, ?X) -> q(?X).", "q"))
@@ -799,11 +1025,98 @@ mod tests {
         let after_second = engine.stats();
         assert_eq!(after_second.chase_runs, after_first.chase_runs);
         assert_eq!(after_second.cache_hits, after_first.cache_hits + 1);
-        // Mutation invalidates.
+        // Mutations are absorbed incrementally — no full re-chase.
         session.insert_triple("x", "name", "X New");
         assert_eq!(q.execute(&session).unwrap().len(), 3);
         let after_third = engine.stats();
-        assert_eq!(after_third.chase_runs, after_first.chase_runs + 1);
+        assert_eq!(after_third.chase_runs, after_first.chase_runs);
+        assert_eq!(after_third.deltas_applied, after_first.deltas_applied + 1);
+        // Removal too (DRed): the derived answer disappears.
+        assert!(session.remove_triple("x", "name", "X New"));
+        assert_eq!(q.execute(&session).unwrap().len(), 2);
+        assert_eq!(engine.stats().chase_runs, after_first.chase_runs);
+        // invalidate() stays the explicit full-rebuild escape hatch.
+        session.invalidate();
+        assert_eq!(q.execute(&session).unwrap().len(), 2);
+        assert_eq!(engine.stats().chase_runs, after_first.chase_runs + 1);
+    }
+
+    #[test]
+    fn batched_mutations_net_into_one_delta() {
+        let engine = Engine::new();
+        let q = engine
+            .prepare(Datalog("p(?X, ?Y) -> out(?X).", "out"))
+            .unwrap();
+        let mut session = engine.session();
+        session.add_fact("p", &["a", "b"]);
+        assert_eq!(q.execute(&session).unwrap().len(), 1);
+        let runs = engine.stats().chase_runs;
+        // Insert-then-remove between executions nets to nothing…
+        session.add_fact("p", &["c", "d"]);
+        assert!(session.remove_fact("p", &["c", "d"]));
+        // …and several surviving ops arrive as one delta.
+        session.add_fact("p", &["e", "f"]);
+        session.add_fact("p", &["g", "h"]);
+        let answers = q.execute(&session).unwrap();
+        assert_eq!(answers.len(), 3);
+        assert!(!answers.contains(&["c"]));
+        let stats = engine.stats();
+        assert_eq!(stats.chase_runs, runs, "no full re-chase");
+        assert_eq!(stats.deltas_applied, 1, "one netted delta");
+        // Removing a never-present fact is a no-op.
+        assert!(!session.remove_fact("p", &["zz", "zz"]));
+    }
+
+    #[test]
+    fn idle_views_are_evicted_to_bound_the_op_log() {
+        let engine = Engine::new();
+        let q = engine.prepare(Datalog("p(?X) -> out(?X).", "out")).unwrap();
+        let mut session = engine.session();
+        session.add_fact("p", &["seed"]);
+        assert_eq!(q.execute(&session).unwrap().len(), 1);
+        let runs = engine.stats().chase_runs;
+        // Thousands of mutations with the view idle: the log must stay
+        // bounded (the far-behind view is evicted, not fed forever).
+        for i in 0..5000 {
+            session.add_fact("p", &[&format!("x{i}")]);
+        }
+        assert!(
+            session.ops.ops.len() <= MAX_PENDING_OPS,
+            "op log must stay bounded, got {}",
+            session.ops.ops.len()
+        );
+        // The evicted view rebuilds on its next execution, correctly.
+        assert_eq!(q.execute(&session).unwrap().len(), 5001);
+        assert_eq!(engine.stats().chase_runs, runs + 1);
+    }
+
+    #[test]
+    fn prepared_queries_follow_the_maintained_view() {
+        // Recursive rules + negation through the facade, mutated live.
+        let engine = Engine::new();
+        let q = engine
+            .prepare(Datalog(
+                "e(?X, ?Y) -> t(?X, ?Y).\n\
+                 e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).\n\
+                 t(?X, ?Y) -> out(?X, ?Y).",
+                "out",
+            ))
+            .unwrap();
+        let mut session = engine.session();
+        session.add_fact("e", &["a", "b"]);
+        session.add_fact("e", &["b", "c"]);
+        assert_eq!(q.execute(&session).unwrap().len(), 3);
+        session.add_fact("e", &["c", "d"]);
+        let answers = q.execute(&session).unwrap();
+        assert_eq!(answers.len(), 6);
+        assert!(answers.contains(&["a", "d"]));
+        session.remove_fact("e", &["b", "c"]);
+        let answers = q.execute(&session).unwrap();
+        assert_eq!(answers.len(), 2);
+        assert!(!answers.contains(&["a", "d"]));
+        // The maintained view must agree with a fresh session.
+        let fresh = engine.load_database(session.database().clone());
+        assert_eq!(q.execute(&fresh).unwrap(), q.execute(&session).unwrap());
     }
 
     #[test]

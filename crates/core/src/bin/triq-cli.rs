@@ -4,16 +4,24 @@
 //! ```text
 //! triq-cli [--stats] sparql <graph.ttl> '<SELECT query>' [--regime u|all]
 //! triq-cli [--stats] rules <graph.ttl> <rules.dl> <output-pred>
+//! triq-cli [--stats] update <graph.ttl> <rules.dl> <output-pred> <updates.txt>
 //! triq-cli classify <rules.dl>
 //! triq-cli entail <graph.ttl> <s> <p> <o>
 //! triq-cli explain <graph.ttl> <s> <p> <o>
 //! triq-cli saturate <graph.ttl>
 //! ```
 //!
+//! `update` evaluates the rules, then applies a file of live mutations —
+//! one `+fact(a, b)` or `-fact(a, b)` per line (`#` comments allowed) —
+//! **incrementally** against the maintained session view and prints the
+//! answers after each batch (batches are separated by blank lines; a
+//! file without blank lines is one batch).
+//!
 //! `--stats` prints the engine's execution counters (chase runs, atoms
-//! derived, join probes, parallel strata, …) to stderr after the answer.
-//! Errors print their stable code (e.g. `E-STRATIFY`, `E-LANG-MEMBERSHIP`)
-//! so scripts can match failures without parsing prose.
+//! derived, join probes, parallel strata, deltas applied, atoms
+//! over-deleted/rederived, …) to stderr after the answer. Errors print
+//! their stable code (e.g. `E-STRATIFY`, `E-LANG-MEMBERSHIP`) so scripts
+//! can match failures without parsing prose.
 
 use std::process::ExitCode;
 use triq::prelude::*;
@@ -22,6 +30,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  triq-cli [--stats] sparql <graph.ttl> '<SELECT query>' [--regime u|all]\n  \
          triq-cli [--stats] rules <graph.ttl> <rules.dl> <output-pred>\n  \
+         triq-cli [--stats] update <graph.ttl> <rules.dl> <output-pred> <updates.txt>\n  \
          triq-cli classify <rules.dl>\n  \
          triq-cli entail <graph.ttl> <s> <p> <o>\n  \
          triq-cli explain <graph.ttl> <s> <p> <o>\n  \
@@ -41,6 +50,9 @@ fn print_stats(engine: &Engine) {
     eprintln!("  atoms derived:    {}", s.atoms_derived);
     eprintln!("  join probes:      {}", s.join_probes);
     eprintln!("  parallel strata:  {}", s.parallel_strata);
+    eprintln!("  deltas applied:   {}", s.deltas_applied);
+    eprintln!("  atoms overdeleted:{}", s.atoms_overdeleted);
+    eprintln!("  atoms rederived:  {}", s.atoms_rederived);
 }
 
 fn main() -> ExitCode {
@@ -55,6 +67,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("sparql") => cmd_sparql(&args[1..], stats),
         Some("rules") => cmd_rules(&args[1..], stats),
+        Some("update") => cmd_update(&args[1..], stats),
         Some(cmd @ ("classify" | "entail" | "explain" | "saturate")) if stats => Err(
             TriqError::Other(format!("--stats is not supported for `{cmd}`")),
         ),
@@ -158,6 +171,90 @@ fn cmd_rules(args: &[String], stats: bool) -> Result<(), TriqError> {
     rows.sort();
     for row in rows {
         println!("{row}");
+    }
+    if stats {
+        print_stats(&engine);
+    }
+    Ok(())
+}
+
+/// Parses one `+fact(a, b)` / `-fact(a, b)` update line.
+fn parse_update_line(line: &str) -> Result<(bool, Fact), TriqError> {
+    let (insert, rest) = match line.as_bytes().first() {
+        Some(b'+') => (true, &line[1..]),
+        Some(b'-') => (false, &line[1..]),
+        _ => {
+            return Err(TriqError::Other(format!(
+                "update line must start with '+' or '-': {line}"
+            )))
+        }
+    };
+    let atom = parse_atom(rest.trim())?;
+    let args: Option<Vec<Symbol>> = atom.terms.iter().map(|t| t.as_const()).collect();
+    let Some(args) = args else {
+        return Err(TriqError::Other(format!(
+            "update facts must be ground over constants: {line}"
+        )));
+    };
+    Ok((insert, Fact::new(atom.pred, args)))
+}
+
+fn print_answers(answers: &Answers) {
+    if answers.is_top() {
+        println!("⊤  (inconsistent)");
+        return;
+    }
+    for tuple in answers.tuples() {
+        let row: Vec<&str> = tuple.iter().map(|s| s.as_str()).collect();
+        println!("{}", row.join("\t"));
+    }
+}
+
+/// `update`: evaluate, then apply `+fact`/`-fact` batches incrementally,
+/// re-printing the answers after each batch.
+fn cmd_update(args: &[String], stats: bool) -> Result<(), TriqError> {
+    let [graph_path, rules_path, output, updates_path] = args else {
+        return Err(TriqError::Other(
+            "update needs <graph> <rules.dl> <output-pred> <updates.txt>".into(),
+        ));
+    };
+    let engine = Engine::new();
+    let prepared = engine.prepare(Datalog(&read_file(rules_path)?, output))?;
+    let mut session = engine.load_graph(load_graph(graph_path)?);
+    println!("== initial ==");
+    print_answers(&prepared.execute(&session)?);
+    let updates = read_file(updates_path)?;
+    let mut batch_no = 0usize;
+    let mut dirty = false;
+    let flush = |session: &Session, batch_no: &mut usize| -> Result<(), TriqError> {
+        *batch_no += 1;
+        println!("== after batch {batch_no} ==");
+        print_answers(&prepared.execute(session)?);
+        Ok(())
+    };
+    for line in updates.lines() {
+        let line = line.trim();
+        if line.starts_with('#') {
+            continue;
+        }
+        if line.is_empty() {
+            if dirty {
+                flush(&session, &mut batch_no)?;
+                dirty = false;
+            }
+            continue;
+        }
+        let (insert, fact) = parse_update_line(line)?;
+        let args: Vec<&str> = fact.args.iter().map(|s| s.as_str()).collect();
+        if insert {
+            session.add_fact(fact.pred.as_str(), &args);
+        } else {
+            session.remove_fact(fact.pred.as_str(), &args);
+        }
+        dirty = true;
+    }
+    if dirty {
+        flush(&session, &mut batch_no)?;
     }
     if stats {
         print_stats(&engine);

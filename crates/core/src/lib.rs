@@ -50,6 +50,37 @@
 //! # Ok::<(), TriqError>(())
 //! ```
 //!
+//! Sessions are **live**: inserting or removing facts does not discard
+//! the materialization. Each prepared query's chase fixpoint is
+//! maintained incrementally — insertions resume the semi-naive chase
+//! from the new facts, deletions use delete-and-rederive (DRed) over
+//! the recorded provenance — so a mutation costs work proportional to
+//! the change, not to the dataset ([`Session::invalidate`] remains the
+//! explicit full-rebuild escape hatch):
+//!
+//! ```
+//! use triq::prelude::*;
+//!
+//! let engine = Engine::new();
+//! let reach = engine.prepare(Datalog(
+//!     "e(?X, ?Y) -> t(?X, ?Y).\n e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).\n\
+//!      t(?X, ?Y) -> query(?X, ?Y).",
+//!     "query",
+//! ))?;
+//! let mut session = engine.session();
+//! session.add_fact("e", &["a", "b"]);
+//! session.add_fact("e", &["b", "c"]);
+//! assert!(reach.execute(&session)?.contains(&["a", "c"]));
+//!
+//! // Live updates: absorbed by the maintained view, no re-chase.
+//! session.add_fact("e", &["c", "d"]);
+//! assert!(reach.execute(&session)?.contains(&["a", "d"]));
+//! session.remove_fact("e", &["b", "c"]);
+//! assert!(!reach.execute(&session)?.contains(&["a", "d"]));
+//! assert!(engine.stats().deltas_applied >= 2);
+//! # Ok::<(), TriqError>(())
+//! ```
+//!
 //! SPARQL queries evaluate under any of the three semantics of §3.1 /
 //! §5.2 / §5.3 — pass a [`Semantics`] when preparing, or set an
 //! engine-wide default via [`EngineBuilder::default_semantics`]:
@@ -98,10 +129,10 @@ pub mod prelude {
         Semantics, Session, Sparql,
     };
     pub use crate::{TriqLiteQuery, TriqQuery};
-    pub use triq_common::{intern, NullId, Symbol, Term, TriqError, VarId};
+    pub use triq_common::{intern, Delta, Fact, NullId, Symbol, Term, TriqError, VarId};
     pub use triq_datalog::{
         classify_program, parse_atom, parse_program, parse_query, AnswerIter, Answers, ChaseConfig,
-        ChaseRunner, Database, ExistentialStrategy, Program, Query,
+        ChaseRunner, Database, ExistentialStrategy, MaterializedView, Program, Query,
     };
     pub use triq_owl2ql::{
         ontology_from_graph, ontology_to_graph, parse_functional, tau_db, tau_owl2ql_core, Axiom,

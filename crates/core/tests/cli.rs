@@ -69,6 +69,82 @@ fn rules_evaluation_and_classification() {
 }
 
 #[test]
+fn update_mode_applies_incremental_batches() {
+    let g = write_temp("g_upd.ttl", "a knows b .\n");
+    let rules = write_temp(
+        "reach.dl",
+        "triple(?X, knows, ?Y) -> reach(?X, ?Y).\n\
+         triple(?X, knows, ?Y), reach(?Y, ?Z) -> reach(?X, ?Z).\n\
+         reach(?X, ?Y) -> query(?X, ?Y).\n",
+    );
+    let updates = write_temp(
+        "updates.txt",
+        "# grow the chain, then cut it\n\
+         +triple(b, knows, c)\n\
+         +triple(c, knows, d)\n\
+         \n\
+         -triple(b, knows, c)\n",
+    );
+    let out = cli()
+        .args([
+            "--stats",
+            "update",
+            g.to_str().unwrap(),
+            rules.to_str().unwrap(),
+            "query",
+            updates.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // Initial: only a→b. Batch 1: full chain a..d. Batch 2: cut at b.
+    let initial = stdout.split("== after batch 1 ==").next().unwrap();
+    assert!(initial.contains("a\tb"));
+    assert!(!initial.contains("a\td"));
+    let batch1 = stdout
+        .split("== after batch 1 ==")
+        .nth(1)
+        .unwrap()
+        .split("== after batch 2 ==")
+        .next()
+        .unwrap();
+    assert!(batch1.contains("a\td"), "{stdout}");
+    assert!(batch1.contains("c\td"));
+    let batch2 = stdout.split("== after batch 2 ==").nth(1).unwrap();
+    assert!(!batch2.contains("a\td"), "{stdout}");
+    assert!(batch2.contains("c\td"));
+    // Stats report the incremental counters: both batches were deltas,
+    // not re-chases.
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("chase runs:       1"), "{stderr}");
+    assert!(stderr.contains("deltas applied:   2"), "{stderr}");
+    assert!(stderr.contains("atoms overdeleted:"), "{stderr}");
+    assert!(stderr.contains("atoms rederived:"), "{stderr}");
+}
+
+#[test]
+fn update_mode_rejects_malformed_lines() {
+    let g = write_temp("g_upd2.ttl", "a knows b .\n");
+    let rules = write_temp("r_upd2.dl", "triple(?X, knows, ?Y) -> query(?X).\n");
+    let updates = write_temp("bad_updates.txt", "triple(a, knows, c)\n");
+    let out = cli()
+        .args([
+            "update",
+            g.to_str().unwrap(),
+            rules.to_str().unwrap(),
+            "query",
+            updates.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("must start with '+' or '-'"));
+}
+
+#[test]
 fn entailment_through_cli() {
     let g = write_temp(
         "g3.ttl",

@@ -102,8 +102,10 @@ pub struct ChaseStats {
     pub truncated: bool,
 }
 
-/// The result of chasing a database with a program.
-#[derive(Debug)]
+/// The result of chasing a database with a program. `Clone` so the
+/// incremental subsystem can snapshot a maintained outcome behind an
+/// `Arc` and mutate its own copy.
+#[derive(Clone, Debug)]
 pub struct ChaseOutcome {
     /// The computed (finite) instance `Π(D)` (up to the depth bound).
     pub instance: Instance,
@@ -119,26 +121,26 @@ pub struct ChaseOutcome {
 
 /// A term of a compiled atom: a fixed ground value or a slot.
 #[derive(Clone, Copy, Debug)]
-enum CTerm {
+pub(crate) enum CTerm {
     Fixed(TermId),
     Slot(u16),
 }
 
 #[derive(Clone, Debug)]
-struct CAtom {
-    pred: Symbol,
-    terms: Vec<CTerm>,
+pub(crate) struct CAtom {
+    pub(crate) pred: Symbol,
+    pub(crate) terms: Vec<CTerm>,
 }
 
 #[derive(Clone, Copy, Debug)]
-enum CBuiltin {
+pub(crate) enum CBuiltin {
     Eq(CTerm, CTerm),
     Neq(CTerm, CTerm),
 }
 
 /// A constraint body with slot-indexed variables.
 #[derive(Clone, Debug)]
-struct CompiledConstraint {
+pub(crate) struct CompiledConstraint {
     n_slots: usize,
     atoms: Vec<CAtom>,
     builtins: Vec<CBuiltin>,
@@ -146,17 +148,17 @@ struct CompiledConstraint {
 
 /// A rule with slot-indexed variables.
 #[derive(Clone, Debug)]
-struct CompiledRule {
-    n_slots: usize,
-    body_pos: Vec<CAtom>,
-    body_neg: Vec<CAtom>,
-    builtins: Vec<CBuiltin>,
-    heads: Vec<CAtom>,
+pub(crate) struct CompiledRule {
+    pub(crate) n_slots: usize,
+    pub(crate) body_pos: Vec<CAtom>,
+    pub(crate) body_neg: Vec<CAtom>,
+    pub(crate) builtins: Vec<CBuiltin>,
+    pub(crate) heads: Vec<CAtom>,
     /// Slots of frontier variables, in ascending `VarId` order (stable
     /// skolem keys).
     frontier_slots: Vec<u16>,
     /// Slots of the existential variables, in declaration order.
-    exist_slots: Vec<u16>,
+    pub(crate) exist_slots: Vec<u16>,
 }
 
 struct SlotMap {
@@ -246,10 +248,10 @@ fn compile_rule(rule: &Rule) -> CompiledRule {
 
 /// A slot assignment during matching (usually a strided slice of a flat
 /// per-round buffer).
-type Slots = [Option<TermId>];
+pub(crate) type Slots = [Option<TermId>];
 
 #[inline]
-fn resolve(t: CTerm, slots: &Slots) -> Option<TermId> {
+pub(crate) fn resolve(t: CTerm, slots: &Slots) -> Option<TermId> {
     match t {
         CTerm::Fixed(v) => Some(v),
         CTerm::Slot(s) => slots[s as usize],
@@ -316,7 +318,7 @@ fn enumerate_matches(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn solve(
+pub(crate) fn solve(
     inst: &Instance,
     atoms: &[CAtom],
     rels: &[Option<&Relation>],
@@ -413,7 +415,7 @@ fn solve(
 
 /// Encodes a compiled atom under a total slot assignment into `key`.
 #[inline]
-fn instantiate_into(atom: &CAtom, slots: &Slots, key: &mut Vec<TermId>) {
+pub(crate) fn instantiate_into(atom: &CAtom, slots: &Slots, key: &mut Vec<TermId>) {
     key.clear();
     key.extend(
         atom.terms
@@ -505,23 +507,30 @@ fn collect_rule_matches(
     }
 }
 
-struct Engine<'a> {
+/// The skolem memoization retained across incremental delta applications:
+/// (rule index, frontier values) → the null ids invented for the rule's
+/// existential variables. Resuming a chase **must** reuse this map — a
+/// fresh one would re-invent nulls for frontiers that already fired,
+/// producing atoms a from-scratch chase would never contain.
+pub(crate) type SkolemMemo = HashMap<(usize, Box<[TermId]>), Vec<TermId>>;
+
+pub(crate) struct Engine<'a> {
     compiled: &'a [CompiledRule],
     constraints: &'a [CompiledConstraint],
     config: ChaseConfig,
     /// Hardware threads, sampled once per chase run (the per-round hot
     /// loop must not re-query the scheduler).
     hw_threads: usize,
-    instance: Instance,
-    stats: ChaseStats,
+    pub(crate) instance: Instance,
+    pub(crate) stats: ChaseStats,
     /// Skolem memo: (rule, frontier values) → existential null ids.
-    skolem: HashMap<(usize, Box<[TermId]>), Vec<TermId>>,
+    pub(crate) skolem: SkolemMemo,
     /// Scratch row for head instantiation / negative checks.
     key_buf: Vec<TermId>,
 }
 
 impl<'a> Engine<'a> {
-    fn new(
+    pub(crate) fn new(
         compiled: &'a [CompiledRule],
         constraints: &'a [CompiledConstraint],
         seed: Instance,
@@ -541,14 +550,26 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn builtin_holds(b: CBuiltin, slots: &Slots) -> bool {
+    /// Destructures the engine into its retained state (instance, run
+    /// counters, skolem memo) — the pieces a [`crate::incremental`]
+    /// materialized view keeps alive between delta applications.
+    pub(crate) fn into_parts(self) -> (Instance, ChaseStats, SkolemMemo) {
+        (self.instance, self.stats, self.skolem)
+    }
+
+    /// Restores a retained skolem memo before resuming a chase.
+    pub(crate) fn set_skolem(&mut self, memo: SkolemMemo) {
+        self.skolem = memo;
+    }
+
+    pub(crate) fn builtin_holds(b: CBuiltin, slots: &Slots) -> bool {
         match b {
             CBuiltin::Eq(x, y) => resolve(x, slots) == resolve(y, slots),
             CBuiltin::Neq(x, y) => resolve(x, slots) != resolve(y, slots),
         }
     }
 
-    fn check_negatives_and_builtins(&mut self, rule_idx: usize, slots: &Slots) -> bool {
+    pub(crate) fn check_negatives_and_builtins(&mut self, rule_idx: usize, slots: &Slots) -> bool {
         let rule = &self.compiled[rule_idx];
         for &b in &rule.builtins {
             if !Self::builtin_holds(b, slots) {
@@ -566,7 +587,12 @@ impl<'a> Engine<'a> {
 
     /// Applies one rule match; `slots` is mutated to hold existential
     /// values during head instantiation and restored afterwards.
-    fn apply(&mut self, rule_idx: usize, slots: &mut Slots, body_ids: &[AtomId]) -> Result<()> {
+    pub(crate) fn apply(
+        &mut self,
+        rule_idx: usize,
+        slots: &mut Slots,
+        body_ids: &[AtomId],
+    ) -> Result<()> {
         let rule = &self.compiled[rule_idx];
         if !rule.exist_slots.is_empty() {
             let frontier_vals: Box<[TermId]> = rule
@@ -712,10 +738,24 @@ impl<'a> Engine<'a> {
         (collected, true)
     }
 
-    /// Runs the rules of one stratum to fixpoint (semi-naive).
+    /// Runs the rules of one stratum to fixpoint (semi-naive), starting
+    /// from the beginning of the instance.
     fn run_stratum(&mut self, rule_indices: &[usize]) -> Result<()> {
+        self.run_stratum_from(rule_indices, 0)
+    }
+
+    /// Runs the rules of one stratum to fixpoint, treating only atoms
+    /// with id ≥ `initial_delta_start` as new. With `0` this is the full
+    /// stratum evaluation; the incremental subsystem resumes a finished
+    /// chase by passing the pre-delta id watermark, so the first round
+    /// pivots exclusively on the freshly inserted atoms.
+    pub(crate) fn run_stratum_from(
+        &mut self,
+        rule_indices: &[usize],
+        initial_delta_start: AtomId,
+    ) -> Result<()> {
         let mut went_parallel = false;
-        let mut delta_start: AtomId = 0;
+        let mut delta_start: AtomId = initial_delta_start;
         loop {
             self.stats.rounds += 1;
             let prev_len = self.instance.len() as AtomId;
@@ -749,7 +789,7 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
-    fn check_constraints(&mut self) -> bool {
+    pub(crate) fn check_constraints(&mut self) -> bool {
         for c in self.constraints {
             let cap = self.instance.len() as AtomId;
             let ranges = vec![(0, cap); c.atoms.len()];
@@ -821,18 +861,36 @@ fn run_compiled(
     seed: Instance,
     config: ChaseConfig,
 ) -> Result<ChaseOutcome> {
+    let mut engine = chase_to_fixpoint(compiled, constraints, strata_rules, seed, config)?;
+    let inconsistent = engine.check_constraints();
+    let (instance, stats, _) = engine.into_parts();
+    Ok(ChaseOutcome {
+        inconsistent,
+        stats,
+        instance,
+    })
+}
+
+/// Runs every stratum of a compiled program to fixpoint over `seed` and
+/// returns the engine **with its retained state** (instance, counters,
+/// skolem memo) — shared by the one-shot chase above (which consumes it
+/// into a [`ChaseOutcome`]) and by `crate::incremental`'s initial
+/// materialization (which keeps the memo alive). Constraints are *not*
+/// checked here; callers do that on the returned engine.
+pub(crate) fn chase_to_fixpoint<'a>(
+    compiled: &'a [CompiledRule],
+    constraints: &'a [CompiledConstraint],
+    strata_rules: &[Vec<usize>],
+    seed: Instance,
+    config: ChaseConfig,
+) -> Result<Engine<'a>> {
     let mut engine = Engine::new(compiled, constraints, seed, config);
     for indices in strata_rules {
         if !indices.is_empty() {
             engine.run_stratum(indices)?;
         }
     }
-    let inconsistent = engine.check_constraints();
-    Ok(ChaseOutcome {
-        inconsistent,
-        stats: engine.stats,
-        instance: engine.instance,
-    })
+    Ok(engine)
 }
 
 /// A prepared chase: stratification and rule compilation are paid **once**
@@ -888,6 +946,21 @@ impl ChaseRunner {
     /// The prepared program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The slot-compiled rules (for the incremental maintenance engine).
+    pub(crate) fn compiled(&self) -> &[CompiledRule] {
+        &self.compiled
+    }
+
+    /// The compiled constraints.
+    pub(crate) fn compiled_constraints(&self) -> &[CompiledConstraint] {
+        &self.constraints
+    }
+
+    /// Rule indices grouped by stratum, ascending.
+    pub(crate) fn strata_rules(&self) -> &[Vec<usize>] {
+        &self.strata_rules
     }
 
     /// The cached stratification.

@@ -146,6 +146,16 @@ struct Meta {
     /// 0 for database atoms and null-free derived atoms; otherwise
     /// the maximum invention depth of the nulls mentioned.
     depth: u32,
+    /// Times this tuple was (re-)asserted: 1 at first insert, +1 per
+    /// duplicate insertion attempt (another rule application deriving the
+    /// same tuple, or a redundant database add). A diagnostic *upper
+    /// bound* on the number of distinct supports — the exact count is
+    /// schedule-dependent — used by the incremental subsystem's stats.
+    support: u32,
+    /// Tombstone: the atom was deleted. Dead atoms keep their id and row
+    /// (ids are never reused) but are removed from every index, so joins,
+    /// membership probes and iteration no longer see them.
+    dead: bool,
 }
 
 /// Columnar storage of one predicate at one arity.
@@ -159,8 +169,12 @@ pub struct Relation {
     pred: Symbol,
     arity: usize,
     cols: Vec<Vec<TermId>>,
-    /// Row → global [`AtomId`] (ascending).
+    /// Live rows' global [`AtomId`]s (ascending). Tombstoned rows are
+    /// removed, so this is the *live* extent, not the row count.
     atom_ids: Vec<AtomId>,
+    /// Row → global [`AtomId`], for **all** rows ever stored (tombstoned
+    /// rows keep their entry; they are unreachable through the indexes).
+    row_id: Vec<AtomId>,
     /// Tuple hash → candidate rows (collisions resolved column-wise).
     row_lookup: FxHashMap<u64, Vec<u32>>,
     /// Per column: value → atoms holding it there (ascending ids).
@@ -174,6 +188,7 @@ impl Relation {
             arity,
             cols: vec![Vec::new(); arity],
             atom_ids: Vec::new(),
+            row_id: Vec::new(),
             row_lookup: FxHashMap::default(),
             col_index: vec![FxHashMap::default(); arity],
         }
@@ -248,19 +263,60 @@ impl Relation {
                 return (row, false);
             }
         }
-        let row = self.atom_ids.len() as u32;
+        let row = self.row_id.len() as u32;
         rows.push(row);
         for (c, &t) in key.iter().enumerate() {
             self.cols[c].push(t);
             self.col_index[c].entry(t).or_default().push(id);
         }
         self.atom_ids.push(id);
+        self.row_id.push(id);
         (row, true)
     }
 
     /// The row as an iterator of ids (column order).
     pub fn row(&self, row: u32) -> impl Iterator<Item = TermId> + '_ {
         self.cols.iter().map(move |col| col[row as usize])
+    }
+
+    /// The global id of a stored row (dead or alive).
+    #[inline]
+    pub fn row_to_id(&self, row: u32) -> Option<AtomId> {
+        self.row_id.get(row as usize).copied()
+    }
+
+    /// Unlinks a row from every index (dedup table, posting lists, the
+    /// id directory). The column data stays in place — rows are never
+    /// renumbered — so `value`/`row` keep working for the dead atom.
+    ///
+    /// Each removal is O(list length) (`Vec::remove` keeps the lists
+    /// sorted for the binary-searchable delta windows), so deleting a
+    /// large DRed cone costs O(cone × relation). If cone deletion ever
+    /// dominates a profile, batch the unlinks per relation: collect the
+    /// dead ids, then one `retain` pass over `atom_ids` and each touched
+    /// posting list.
+    fn unlink(&mut self, row: u32, id: AtomId) {
+        let hash = tuple_hash(self.cols.iter().map(|col| col[row as usize]));
+        if let Some(rows) = self.row_lookup.get_mut(&hash) {
+            rows.retain(|&r| r != row);
+            if rows.is_empty() {
+                self.row_lookup.remove(&hash);
+            }
+        }
+        for (c, col) in self.cols.iter().enumerate() {
+            let value = col[row as usize];
+            if let Some(ids) = self.col_index[c].get_mut(&value) {
+                if let Ok(pos) = ids.binary_search(&id) {
+                    ids.remove(pos);
+                }
+                if ids.is_empty() {
+                    self.col_index[c].remove(&value);
+                }
+            }
+        }
+        if let Ok(pos) = self.atom_ids.binary_search(&id) {
+            self.atom_ids.remove(pos);
+        }
     }
 }
 
@@ -287,6 +343,8 @@ pub struct Instance {
     meta: Vec<Meta>,
     /// Depth at which each null was invented (indexed by `NullId`).
     null_depth: Vec<u32>,
+    /// Number of tombstoned atoms (`meta` entries with `dead` set).
+    dead: usize,
 }
 
 impl Instance {
@@ -295,14 +353,27 @@ impl Instance {
         Instance::default()
     }
 
-    /// Number of atoms.
+    /// Number of atom ids ever issued, **including** tombstoned atoms —
+    /// i.e. the id watermark (the next atom gets this id). For the count
+    /// of atoms actually present use [`Instance::live_len`]; the two
+    /// coincide on instances that never saw a deletion.
     pub fn len(&self) -> usize {
         self.meta.len()
     }
 
-    /// True iff the instance is empty.
+    /// Number of live (non-tombstoned) atoms.
+    pub fn live_len(&self) -> usize {
+        self.meta.len() - self.dead
+    }
+
+    /// Number of tombstoned atoms.
+    pub fn dead_len(&self) -> usize {
+        self.dead
+    }
+
+    /// True iff the instance holds no live atoms.
     pub fn is_empty(&self) -> bool {
-        self.meta.is_empty()
+        self.live_len() == 0
     }
 
     /// The relation holding `pred` at `arity`, if any tuples exist.
@@ -357,6 +428,12 @@ impl Instance {
         self.meta[id as usize].row
     }
 
+    /// The atom's encoded argument tuple (column order).
+    pub fn key_of(&self, id: AtomId) -> Vec<TermId> {
+        let m = &self.meta[id as usize];
+        self.relations[m.rel as usize].row(m.row).collect()
+    }
+
     /// Decodes the atom into constants only; `None` if it mentions a null.
     pub fn const_tuple(&self, id: AtomId) -> Option<Vec<Symbol>> {
         let m = &self.meta[id as usize];
@@ -368,6 +445,82 @@ impl Instance {
     /// atoms).
     pub fn derivation(&self, id: AtomId) -> Option<&Derivation> {
         self.meta[id as usize].derivation.as_ref()
+    }
+
+    /// True iff the atom has not been tombstoned.
+    #[inline]
+    pub fn is_live(&self, id: AtomId) -> bool {
+        !self.meta[id as usize].dead
+    }
+
+    /// The support count of the atom: 1 + the number of duplicate
+    /// insertion attempts observed. A schedule-dependent diagnostic upper
+    /// bound on the number of distinct derivations, surfaced by the
+    /// incremental-maintenance stats.
+    pub fn support(&self, id: AtomId) -> u32 {
+        self.meta[id as usize].support
+    }
+
+    /// Tombstones an atom: it disappears from every index (joins,
+    /// membership probes, posting lists, iteration) while keeping its id
+    /// and row slot, so surviving ids never shift. Returns `false` if the
+    /// atom was already dead. The caller is responsible for the semantic
+    /// side (DRed over-deletion of dependents — see
+    /// [`crate::incremental`]).
+    pub fn tombstone(&mut self, id: AtomId) -> bool {
+        let m = &mut self.meta[id as usize];
+        if m.dead {
+            return false;
+        }
+        m.dead = true;
+        let (rel_idx, row) = (m.rel, m.row);
+        self.relations[rel_idx as usize].unlink(row, id);
+        let pred = self.relations[rel_idx as usize].pred;
+        if let Some(ids) = self.by_pred.get_mut(&pred) {
+            if let Ok(pos) = ids.binary_search(&id) {
+                ids.remove(pos);
+            }
+        }
+        self.dead += 1;
+        true
+    }
+
+    /// A compacted copy: live atoms only, dense fresh ids (in the same
+    /// relative order), re-pointed provenance. Returns the copy plus the
+    /// id remapping (`old id → new id`, `None` for dead atoms). Null ids
+    /// and their depths are preserved verbatim, so `TermId`s (and any
+    /// skolem memoization keyed on them) stay valid across compaction.
+    pub fn compacted(&self) -> (Instance, Vec<Option<AtomId>>) {
+        let mut out = Instance::new();
+        out.null_depth = self.null_depth.clone();
+        let mut remap: Vec<Option<AtomId>> = vec![None; self.meta.len()];
+        let mut key: Vec<TermId> = Vec::new();
+        for (id, m) in self.meta.iter().enumerate() {
+            if m.dead {
+                continue;
+            }
+            let rel = &self.relations[m.rel as usize];
+            key.clear();
+            key.extend(rel.row(m.row));
+            let derivation = m.derivation.as_ref().map(|d| Derivation {
+                rule: d.rule,
+                body: d
+                    .body
+                    .iter()
+                    .map(|&b| {
+                        remap[b as usize].expect(
+                            "a live atom's provenance references live atoms \
+                             (dependents are over-deleted before their support)",
+                        )
+                    })
+                    .collect(),
+            });
+            let (new_id, fresh) = out.insert_ids(rel.pred, &key, derivation);
+            debug_assert!(fresh, "live atoms are distinct tuples");
+            out.meta[new_id as usize].support = m.support;
+            remap[id] = Some(new_id);
+        }
+        (out, remap)
     }
 
     /// The null-invention depth of the atom (0 if it mentions no nulls).
@@ -397,7 +550,7 @@ impl Instance {
                 .enumerate()
                 .all(|(c, &t)| TermId::from_term(t) == Some(rel.cols[c][row as usize]))
         })?;
-        Some(rel.atom_ids[row as usize])
+        Some(rel.row_id[row as usize])
     }
 
     /// Borrowed-key membership for a term slice.
@@ -410,7 +563,7 @@ impl Instance {
     pub fn find_ids(&self, pred: Symbol, key: &[TermId]) -> Option<AtomId> {
         let rel = self.relation(pred, key.len())?;
         let row = rel.find_row(key)?;
-        Some(rel.atom_ids[row as usize])
+        Some(rel.row_id[row as usize])
     }
 
     /// Borrowed-key membership over an already-encoded row.
@@ -480,10 +633,11 @@ impl Instance {
         let id = self.meta.len() as AtomId;
         let (row, inserted) = self.relations[rel_idx as usize].find_or_push(key, id);
         if !inserted {
-            return (
-                self.relations[rel_idx as usize].atom_ids[row as usize],
-                false,
-            );
+            let existing = self.relations[rel_idx as usize]
+                .row_to_id(row)
+                .expect("a deduplicated row is live");
+            self.meta[existing as usize].support += 1;
+            return (existing, false);
         }
         let depth = key
             .iter()
@@ -497,6 +651,8 @@ impl Instance {
             row,
             derivation,
             depth,
+            support: 1,
+            dead: false,
         });
         (id, true)
     }
@@ -515,50 +671,13 @@ impl Instance {
         self.by_pred.get(&pred).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Ids of atoms with predicate `pred` and `term` at `column`,
-    /// ascending — across *all* arities of the predicate, like the old
-    /// `(pred, column, term)`-keyed index. Borrows the posting list
-    /// directly in the common single-arity case; only the mixed-arity
-    /// corner allocates to merge. (The chase probes one [`Relation`]
-    /// directly.)
-    pub fn ids_by_column(
-        &self,
-        pred: Symbol,
-        column: u32,
-        term: Term,
-    ) -> std::borrow::Cow<'_, [AtomId]> {
-        use std::borrow::Cow;
-        let Some(value) = TermId::from_term(term) else {
-            return Cow::Borrowed(&[]);
-        };
-        let mut lists = self
-            .rels_of
-            .get(&pred)
-            .into_iter()
-            .flatten()
-            .map(|&i| &self.relations[i as usize])
-            .filter(|r| (column as usize) < r.arity)
-            .map(|r| r.ids_by_column(column as usize, value))
-            .filter(|ids| !ids.is_empty());
-        let Some(first) = lists.next() else {
-            return Cow::Borrowed(&[]);
-        };
-        let rest: Vec<&[AtomId]> = lists.collect();
-        if rest.is_empty() {
-            return Cow::Borrowed(first);
-        }
-        let mut out: Vec<AtomId> = first.to_vec();
-        for ids in rest {
-            out.extend_from_slice(ids);
-        }
-        out.sort_unstable();
-        Cow::Owned(out)
-    }
-
-    /// Iterates over all atoms (with ids), in insertion order. Atoms are
-    /// decoded on the fly from the columnar store.
+    /// Iterates over all live atoms (with ids), in insertion order. Atoms
+    /// are decoded on the fly from the columnar store; tombstoned atoms
+    /// are skipped.
     pub fn iter(&self) -> impl Iterator<Item = (AtomId, GroundAtom)> + '_ {
-        (0..self.meta.len() as AtomId).map(move |id| (id, self.atom(id)))
+        (0..self.meta.len() as AtomId)
+            .filter(move |&id| !self.meta[id as usize].dead)
+            .map(move |id| (id, self.atom(id)))
     }
 
     /// All atoms of a predicate, decoded.
@@ -624,15 +743,33 @@ impl Database {
 
     /// Adds a fact from already-interned symbols — the fast bridge path
     /// (`τ_db` of §5.1 feeds rows straight from the RDF store without a
-    /// string round-trip).
-    pub fn add_row(&mut self, pred: Symbol, constants: &[Symbol]) {
+    /// string round-trip). Returns `true` if the fact was not already
+    /// present.
+    pub fn add_row(&mut self, pred: Symbol, constants: &[Symbol]) -> bool {
         let key: Vec<TermId> = constants.iter().copied().map(TermId::from_const).collect();
-        self.instance.insert_ids(pred, &key, None);
+        self.instance.insert_ids(pred, &key, None).1
+    }
+
+    /// Removes a fact given as interned symbols; returns `true` if it was
+    /// present. Removal tombstones the row — [`Database::to_instance`]
+    /// compacts before seeding a chase, so chase ids stay dense.
+    pub fn remove_row(&mut self, pred: Symbol, constants: &[Symbol]) -> bool {
+        let key: Vec<TermId> = constants.iter().copied().map(TermId::from_const).collect();
+        match self.instance.find_ids(pred, &key) {
+            Some(id) => self.instance.tombstone(id),
+            None => false,
+        }
+    }
+
+    /// Removes a fact given as strings; returns `true` if it was present.
+    pub fn remove_fact(&mut self, pred: &str, constants: &[&str]) -> bool {
+        let symbols: Vec<Symbol> = constants.iter().map(|c| Symbol::new(c)).collect();
+        self.remove_row(Symbol::new(pred), &symbols)
     }
 
     /// Number of facts.
     pub fn len(&self) -> usize {
-        self.instance.len()
+        self.instance.live_len()
     }
 
     /// True iff the database has no facts.
@@ -641,9 +778,15 @@ impl Database {
     }
 
     /// The facts as a fresh [`Instance`] seed. The columnar store clones
-    /// wholesale (columns + indexes), with no per-atom re-hashing.
+    /// wholesale (columns + indexes), with no per-atom re-hashing; only a
+    /// database that has seen removals pays for a compacting copy (the
+    /// chase relies on dense, gap-free seed ids).
     pub fn to_instance(&self) -> Instance {
-        self.instance.clone()
+        if self.instance.dead_len() == 0 {
+            self.instance.clone()
+        } else {
+            self.instance.compacted().0
+        }
     }
 
     /// Iterates over the facts.
@@ -651,11 +794,15 @@ impl Database {
         self.instance.iter().map(|(_, a)| a)
     }
 
-    /// All constants occurring in the database (`dom(D)`).
+    /// All constants occurring in the database (`dom(D)`). Streams the
+    /// live rows straight out of the columns — no per-fact decoding or
+    /// allocation; removed facts no longer contribute.
     pub fn domain(&self) -> std::collections::BTreeSet<Symbol> {
-        self.instance
-            .relations()
-            .flat_map(|r| (0..r.arity()).flat_map(move |c| r.cols[c].iter()))
+        let inst = &self.instance;
+        inst.meta
+            .iter()
+            .filter(|m| !m.dead)
+            .flat_map(|m| inst.relations[m.rel as usize].row(m.row))
             .filter_map(|t| t.as_const())
             .collect()
     }
@@ -663,6 +810,13 @@ impl Database {
     /// Membership test for a fully-ground atom.
     pub fn contains(&self, atom: &GroundAtom) -> bool {
         self.instance.contains(atom)
+    }
+
+    /// Borrowed-key membership over an already-encoded row (used by the
+    /// incremental maintenance to re-assert base facts whose instance
+    /// atom was over-deleted).
+    pub fn contains_ids(&self, pred: Symbol, key: &[TermId]) -> bool {
+        self.instance.contains_ids(pred, key)
     }
 }
 
@@ -700,9 +854,10 @@ mod tests {
         inst.insert_fact("edge", &["a", "b"]);
         inst.insert_fact("edge", &["a", "c"]);
         inst.insert_fact("edge", &["b", "c"]);
-        let a = Term::constant("a");
-        assert_eq!(inst.ids_by_column(intern("edge"), 0, a).len(), 2);
-        assert_eq!(inst.ids_by_column(intern("edge"), 1, a).len(), 0);
+        let a = TermId::from_const(intern("a"));
+        let rel = inst.relation(intern("edge"), 2).unwrap();
+        assert_eq!(rel.ids_by_column(0, a).len(), 2);
+        assert_eq!(rel.ids_by_column(1, a).len(), 0);
         assert_eq!(inst.ids_by_pred(intern("edge")).len(), 3);
         assert_eq!(inst.ids_by_pred(intern("nothing")).len(), 0);
     }
@@ -779,6 +934,102 @@ mod tests {
         assert_eq!(d.rule, 3);
         assert_eq!(d.body, vec![body]);
         assert!(inst.derivation(body).is_none());
+    }
+
+    #[test]
+    fn tombstone_hides_atom_from_every_index() {
+        let mut inst = Instance::new();
+        let a = inst.insert_fact("e", &["a", "b"]);
+        let b = inst.insert_fact("e", &["b", "c"]);
+        assert!(inst.tombstone(a));
+        assert!(!inst.tombstone(a), "double tombstone is a no-op");
+        assert_eq!(inst.len(), 2, "len stays the id watermark");
+        assert_eq!(inst.live_len(), 1);
+        assert_eq!(inst.dead_len(), 1);
+        assert!(!inst.is_live(a));
+        assert!(inst.is_live(b));
+        // Probes, posting lists, per-pred ids and iteration all miss it.
+        let key = [
+            TermId::from_const(intern("a")),
+            TermId::from_const(intern("b")),
+        ];
+        assert!(!inst.contains_ids(intern("e"), &key));
+        assert_eq!(inst.ids_by_pred(intern("e")), &[b]);
+        assert_eq!(
+            inst.relation(intern("e"), 2)
+                .unwrap()
+                .ids_by_column(0, TermId::from_const(intern("a")))
+                .len(),
+            0
+        );
+        assert_eq!(inst.iter().count(), 1);
+        let rel = inst.relation(intern("e"), 2).unwrap();
+        assert_eq!(rel.atom_ids(), &[b]);
+        // The dead atom still decodes (ids are never reused).
+        assert_eq!(inst.atom(a).to_string(), "e(a, b)");
+        // Re-inserting the tuple issues a fresh id.
+        let a2 = inst.insert_fact("e", &["a", "b"]);
+        assert_ne!(a2, a);
+        assert!(inst.contains_ids(intern("e"), &key));
+        assert_eq!(inst.find_ids(intern("e"), &key), Some(a2));
+    }
+
+    #[test]
+    fn support_counts_duplicate_insertions() {
+        let mut inst = Instance::new();
+        let id = inst.insert_fact("p", &["a"]);
+        assert_eq!(inst.support(id), 1);
+        let (again, fresh) = inst.insert(
+            GroundAtom::new(intern("p"), vec![Term::constant("a")].into()),
+            Some(Derivation {
+                rule: 0,
+                body: vec![],
+            }),
+        );
+        assert_eq!(again, id);
+        assert!(!fresh);
+        assert_eq!(inst.support(id), 2);
+    }
+
+    #[test]
+    fn compaction_renumbers_and_repoints_provenance() {
+        let mut inst = Instance::new();
+        let e = inst.insert_fact("e", &["a", "b"]);
+        let dead = inst.insert_fact("e", &["x", "y"]);
+        let atom = GroundAtom::new(intern("t"), vec![Term::constant("a")].into());
+        let (t, _) = inst.insert(
+            atom.clone(),
+            Some(Derivation {
+                rule: 7,
+                body: vec![e],
+            }),
+        );
+        inst.tombstone(dead);
+        let (compact, remap) = inst.compacted();
+        assert_eq!(compact.len(), 2);
+        assert_eq!(compact.dead_len(), 0);
+        assert_eq!(remap[dead as usize], None);
+        let new_t = remap[t as usize].unwrap();
+        assert_eq!(compact.atom(new_t), atom);
+        let d = compact.derivation(new_t).unwrap();
+        assert_eq!(d.rule, 7);
+        assert_eq!(d.body, vec![remap[e as usize].unwrap()]);
+    }
+
+    #[test]
+    fn database_removal_and_compacting_seed() {
+        let mut db = Database::new();
+        db.add_fact("e", &["a", "b"]);
+        db.add_fact("e", &["b", "c"]);
+        assert!(db.remove_fact("e", &["a", "b"]));
+        assert!(!db.remove_fact("e", &["a", "b"]), "absent fact");
+        assert_eq!(db.len(), 1);
+        assert!(!db.domain().contains(&intern("a")));
+        let seed = db.to_instance();
+        assert_eq!(seed.len(), 1, "seed is compacted (dense ids)");
+        assert_eq!(seed.dead_len(), 0);
+        assert!(db.add_row(intern("e"), &[intern("a"), intern("b")]));
+        assert_eq!(db.len(), 2);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod builders;
 mod chase;
 mod classify;
 mod eval;
+pub mod incremental;
 mod instance;
 mod parser;
 pub mod pep;
@@ -52,15 +53,18 @@ pub use classify::{
     classify_program, rule_variable_classes, LanguageClass, ProgramClassification, RuleClasses,
 };
 pub use eval::{AnswerIter, Answers, Query};
+pub use incremental::{DeltaSummary, MaintenanceStats, MaterializedView};
 pub use instance::{AtomId, Database, Derivation, GroundAtom, Instance, Relation};
 pub use parser::{parse_atom, parse_program, parse_query};
 pub use positions::{affected_positions, Pos, PositionSet};
 pub use program::{Constraint, Program, Rule};
-pub use proof::{proof_tree, render_proof_tree, ProofNode, ProofTree};
+pub use proof::{proof_tree, render_proof_tree, DependencyIndex, ProofNode, ProofTree};
 pub use prooftree::{
     eliminate_negation, prooftree_decide, prooftree_decide_with_negation, single_head_normal_form,
     ProofTreeConfig,
 };
 pub use stratify::{stratify, stratify_run_count, Stratification};
 
-pub use triq_common::{intern, NullId, Result, Symbol, Term, TermId, TriqError, VarId};
+pub use triq_common::{
+    intern, Delta, Fact, NullId, Result, Symbol, Term, TermId, TriqError, VarId,
+};

@@ -92,6 +92,102 @@ pub fn proof_tree(instance: &Instance, id: AtomId) -> ProofTree {
     }
 }
 
+/// Reverse provenance: for every atom, the atoms whose *recorded*
+/// derivation uses it as a body atom — the edge set of Definition 6.11
+/// with the arrows turned around, materialized as adjacency lists.
+///
+/// This is the "provenance directory" the delete-and-rederive (DRed)
+/// maintenance of [`crate::incremental`] walks: deleting an atom must
+/// over-delete its transitive dependents ([`DependencyIndex::cone`])
+/// before rederivation decides which of them survive. The index is
+/// append-only, mirroring the instance: after the instance grows, call
+/// [`DependencyIndex::extend_to`] to index the new derivations.
+#[derive(Clone, Debug, Default)]
+pub struct DependencyIndex {
+    /// `dependents[id]` = ids whose derivation body mentions `id`.
+    dependents: Vec<Vec<AtomId>>,
+}
+
+impl DependencyIndex {
+    /// An index over no atoms.
+    pub fn new() -> DependencyIndex {
+        DependencyIndex::default()
+    }
+
+    /// Builds the index for every atom of `instance`.
+    pub fn from_instance(instance: &Instance) -> DependencyIndex {
+        let mut index = DependencyIndex::new();
+        index.extend_to(instance);
+        index
+    }
+
+    /// Number of atom ids covered so far.
+    pub fn len(&self) -> usize {
+        self.dependents.len()
+    }
+
+    /// True iff no atoms are covered.
+    pub fn is_empty(&self) -> bool {
+        self.dependents.is_empty()
+    }
+
+    /// Indexes the derivations of atoms appended since the last call
+    /// (ids `self.len()..instance.len()`).
+    pub fn extend_to(&mut self, instance: &Instance) {
+        let from = self.dependents.len() as AtomId;
+        let to = instance.len() as AtomId;
+        self.dependents.resize_with(to as usize, Vec::new);
+        for id in from..to {
+            if let Some(d) = instance.derivation(id) {
+                for &body in &d.body {
+                    self.dependents[body as usize].push(id);
+                }
+            }
+        }
+    }
+
+    /// Direct dependents of one atom.
+    pub fn dependents_of(&self, id: AtomId) -> &[AtomId] {
+        self.dependents
+            .get(id as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The transitive support cone **above** `seeds`: every atom whose
+    /// recorded derivation reaches a seed, excluding the seeds
+    /// themselves. Sorted ascending and deduplicated. (Dead atoms are
+    /// not filtered here — the caller decides what tombstoning means.)
+    ///
+    /// Work is proportional to the cone, not the instance — the visited
+    /// set is hashed, so a single-fact deletion on a view of millions of
+    /// atoms does not pay an O(|instance|) scan per delta.
+    pub fn cone(&self, seeds: &[AtomId]) -> Vec<AtomId> {
+        let mut visited: std::collections::HashSet<AtomId> =
+            std::collections::HashSet::with_capacity(seeds.len() * 2);
+        let mut queue: Vec<AtomId> = Vec::new();
+        for &s in seeds {
+            if (s as usize) < self.dependents.len() && visited.insert(s) {
+                queue.push(s);
+            }
+        }
+        let mut out: Vec<AtomId> = Vec::new();
+        let mut head = 0;
+        while head < queue.len() {
+            let cur = queue[head];
+            head += 1;
+            for &dep in self.dependents_of(cur) {
+                if visited.insert(dep) {
+                    queue.push(dep);
+                    out.push(dep);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
 fn render(node: &ProofNode, program: &Program, prefix: &str, is_last: bool, out: &mut String) {
     let connector = if prefix.is_empty() {
         ""
@@ -219,6 +315,64 @@ mod tests {
         assert_eq!(tree.size(), 1);
         assert_eq!(tree.height(), 0);
         assert_eq!(tree.root.rule, None);
+    }
+
+    #[test]
+    fn dependency_index_cones() {
+        // e -> t -> r, plus an unrelated fact.
+        let program = parse_program(
+            "e(?X, ?Y) -> t(?X, ?Y).\n\
+             t(?X, ?Y) -> r(?X).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.add_fact("e", &["a", "b"]);
+        db.add_fact("u", &["z"]);
+        let out = chase(&db, &program, ChaseConfig::default()).unwrap();
+        let inst = &out.instance;
+        let e = inst
+            .find(&GroundAtom::new(
+                intern("e"),
+                vec![Term::constant("a"), Term::constant("b")].into(),
+            ))
+            .unwrap();
+        let t = inst
+            .find(&GroundAtom::new(
+                intern("t"),
+                vec![Term::constant("a"), Term::constant("b")].into(),
+            ))
+            .unwrap();
+        let r = inst
+            .find(&GroundAtom::new(
+                intern("r"),
+                vec![Term::constant("a")].into(),
+            ))
+            .unwrap();
+        let u = inst
+            .find(&GroundAtom::new(
+                intern("u"),
+                vec![Term::constant("z")].into(),
+            ))
+            .unwrap();
+        let index = DependencyIndex::from_instance(inst);
+        assert_eq!(index.len(), inst.len());
+        assert_eq!(index.dependents_of(e), &[t]);
+        assert_eq!(index.cone(&[e]), vec![t, r]);
+        assert_eq!(index.cone(&[t]), vec![r]);
+        assert!(index.cone(&[r]).is_empty());
+        assert!(index.cone(&[u]).is_empty());
+        // Incremental extension covers atoms appended later.
+        let mut grown = inst.clone();
+        let (extra, _) = grown.insert(
+            GroundAtom::new(intern("x"), vec![Term::constant("a")].into()),
+            Some(crate::instance::Derivation {
+                rule: 0,
+                body: vec![r],
+            }),
+        );
+        let mut index = index;
+        index.extend_to(&grown);
+        assert_eq!(index.cone(&[e]), vec![t, r, extra]);
     }
 
     #[test]

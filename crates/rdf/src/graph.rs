@@ -86,6 +86,37 @@ impl Graph {
         self.insert(Triple::from_strs(s, p, o))
     }
 
+    /// Removes a triple; returns `true` if it was present. Removal keeps
+    /// the insertion-order determinism of iteration; the position
+    /// indexes are rebuilt, so this is O(|G|) — fine for interactive
+    /// mutation, while bulk live updates should flow through the raw
+    /// database path (`triq::Session` bridges triples 1:1 via `τ_db`).
+    pub fn remove(&mut self, t: &Triple) -> bool {
+        if !self.set.remove(t) {
+            return false;
+        }
+        let pos = self
+            .triples
+            .iter()
+            .position(|x| x == t)
+            .expect("set and triple list agree");
+        self.triples.remove(pos);
+        self.by_s.clear();
+        self.by_p.clear();
+        self.by_o.clear();
+        for (i, t) in self.triples.iter().enumerate() {
+            self.by_s.entry(t.s).or_default().push(i as u32);
+            self.by_p.entry(t.p).or_default().push(i as u32);
+            self.by_o.entry(t.o).or_default().push(i as u32);
+        }
+        true
+    }
+
+    /// Removes a triple built from three strings.
+    pub fn remove_strs(&mut self, s: &str, p: &str, o: &str) -> bool {
+        self.remove(&Triple::from_strs(s, p, o))
+    }
+
     /// Membership test.
     pub fn contains(&self, t: &Triple) -> bool {
         self.set.contains(t)
@@ -187,6 +218,24 @@ mod tests {
         assert_eq!(g.len(), 4);
         assert!(!g.insert_strs("dbAho", "name", "Alfred Aho"));
         assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn remove_unlinks_and_reindexes() {
+        let mut g = sample();
+        assert!(g.remove_strs("dbUllman", "name", "Jeffrey Ullman"));
+        assert!(!g.remove_strs("dbUllman", "name", "Jeffrey Ullman"));
+        assert_eq!(g.len(), 3);
+        assert!(!g.contains(&Triple::from_strs("dbUllman", "name", "Jeffrey Ullman")));
+        // Indexes reflect the removal; insertion order is preserved.
+        assert_eq!(g.matching(Some(intern("dbUllman")), None, None).len(), 1);
+        assert_eq!(g.matching(None, Some(intern("name")), None).len(), 1);
+        let order: Vec<&Triple> = g.iter().collect();
+        assert_eq!(order[0].p, intern("is_author_of"));
+        // Re-insertion works and appends at the end.
+        assert!(g.insert_strs("dbUllman", "name", "Jeffrey Ullman"));
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.matching(None, Some(intern("name")), None).len(), 2);
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Shared random-input generators for the differential suites
+//! (`differential_chase.rs`, `differential_incremental.rs`): one
+//! program/database/graph generator, parameterized instead of
+//! copy-pasted, so a widened rule shape or a fixed safety hole reaches
+//! every harness at once.
+
+#![allow(dead_code)] // each test binary uses a subset
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+use triq::common::Term;
+use triq::datalog::{Atom, Program, Rule};
+use triq::prelude::*;
+
+pub const PREDS: [&str; 4] = ["p", "q", "r", "s"];
+pub const CONSTS: [&str; 3] = ["a", "b", "c"];
+
+/// A random Datalog∃,¬s,⊥ program: joins, constants, negation, builtins,
+/// existentials and constraints all appear. With `allow_multihead`,
+/// rules may carry a second head atom — multi-head rules are *lifted* to
+/// the max of their head strata, the shape that forces the incremental
+/// maintenance sweep to re-enter earlier strata.
+pub fn random_program(rng: &mut StdRng, allow_exists: bool, allow_multihead: bool) -> Program {
+    let arities: Vec<usize> = PREDS.iter().map(|_| rng.gen_range(1..4)).collect();
+    let vars = ["X", "Y", "Z", "W"];
+    let mut rules = Vec::new();
+    for _ in 0..rng.gen_range(1..5) {
+        let n_body = rng.gen_range(1..4);
+        let mut body = Vec::new();
+        let mut body_vars: Vec<VarId> = Vec::new();
+        for _ in 0..n_body {
+            let pi = rng.gen_range(0..PREDS.len());
+            let terms: Vec<Term> = (0..arities[pi])
+                .map(|_| {
+                    if rng.gen_bool(0.15) {
+                        Term::constant(CONSTS[rng.gen_range(0..CONSTS.len())])
+                    } else {
+                        let v = VarId::new(vars[rng.gen_range(0..vars.len())]);
+                        body_vars.push(v);
+                        Term::Var(v)
+                    }
+                })
+                .collect();
+            body.push(Atom::new(intern(PREDS[pi]), terms));
+        }
+        if body_vars.is_empty() {
+            continue; // unsafe rule shapes are not the point here
+        }
+        // Optional negated atom over body variables only (safety).
+        let mut body_neg = Vec::new();
+        if rng.gen_bool(0.3) {
+            let pi = rng.gen_range(0..PREDS.len());
+            let terms: Vec<Term> = (0..arities[pi])
+                .map(|_| Term::Var(body_vars[rng.gen_range(0..body_vars.len())]))
+                .collect();
+            body_neg.push(Atom::new(intern(PREDS[pi]), terms));
+        }
+        // Optional built-in between two body variables.
+        let mut builtins = Vec::new();
+        if rng.gen_bool(0.3) && body_vars.len() >= 2 {
+            let x = Term::Var(body_vars[rng.gen_range(0..body_vars.len())]);
+            let y = Term::Var(body_vars[rng.gen_range(0..body_vars.len())]);
+            builtins.push(if rng.gen_bool(0.5) {
+                triq::datalog::Builtin::Neq(x, y)
+            } else {
+                triq::datalog::Builtin::Eq(x, y)
+            });
+        }
+        let existential = allow_exists && rng.gen_bool(0.35);
+        let exist_var = VarId::new("E");
+        let head_atom = |rng: &mut StdRng| {
+            let hi = rng.gen_range(0..PREDS.len());
+            let terms: Vec<Term> = (0..arities[hi])
+                .map(|i| {
+                    if existential && i == 0 {
+                        Term::Var(exist_var)
+                    } else {
+                        Term::Var(body_vars[rng.gen_range(0..body_vars.len())])
+                    }
+                })
+                .collect();
+            Atom::new(intern(PREDS[hi]), terms)
+        };
+        let mut head = vec![head_atom(rng)];
+        if allow_multihead && rng.gen_bool(0.3) {
+            head.push(head_atom(rng));
+        }
+        rules.push(Rule {
+            body_pos: body,
+            body_neg,
+            builtins,
+            exist_vars: if existential { vec![exist_var] } else { vec![] },
+            head,
+        });
+    }
+    let mut constraints = Vec::new();
+    if rng.gen_bool(0.3) {
+        // One random single-atom constraint: chance to classify as ⊤.
+        let pi = rng.gen_range(0..PREDS.len());
+        let v = VarId::new("X");
+        let terms: Vec<Term> = (0..arities[pi]).map(|_| Term::Var(v)).collect();
+        constraints.push(triq::datalog::Constraint {
+            body: vec![Atom::new(intern(PREDS[pi]), terms)],
+            builtins: vec![],
+        });
+    }
+    Program { rules, constraints }
+}
+
+/// The program's schema as a sorted list (deterministic across runs —
+/// `Program::schema()` is a `HashMap`).
+pub fn schema_of(program: &Program) -> Vec<(String, usize)> {
+    let mut schema: Vec<(String, usize)> = program
+        .schema()
+        .iter()
+        .map(|(p, a)| (p.as_str().to_string(), *a))
+        .collect();
+    schema.sort();
+    schema
+}
+
+/// A random fact over the program's schema.
+pub fn random_fact(rng: &mut StdRng, schema: &[(String, usize)]) -> Option<Fact> {
+    if schema.is_empty() {
+        return None;
+    }
+    let (pred, arity) = &schema[rng.gen_range(0..schema.len())];
+    let args: Vec<&str> = (0..*arity)
+        .map(|_| CONSTS[rng.gen_range(0..CONSTS.len())])
+        .collect();
+    Some(Fact::from_strs(pred, &args))
+}
+
+/// A random database over the program's schema.
+pub fn random_db(rng: &mut StdRng, program: &Program) -> Database {
+    let mut db = Database::new();
+    let schema = schema_of(program);
+    for _ in 0..rng.gen_range(0..8) {
+        if let Some(f) = random_fact(rng, &schema) {
+            let args: Vec<&str> = f.args.iter().map(|s| s.as_str()).collect();
+            db.add_fact(f.pred.as_str(), &args);
+        }
+    }
+    db
+}
+
+/// A random RDF graph with occasional ontology scaffolding (subclass /
+/// subproperty / disjointness axioms) plus assertions.
+pub fn random_graph(rng: &mut StdRng) -> Graph {
+    let entities = ["ind_a", "ind_b", "ind_c"];
+    let classes = ["C1", "C2"];
+    let props = ["e1", "e2"];
+    let mut g = Graph::new();
+    if rng.gen_bool(0.7) {
+        g.insert_strs("C1", "rdfs:subClassOf", "C2");
+    }
+    if rng.gen_bool(0.5) {
+        g.insert_strs("e1", "rdfs:subPropertyOf", "e2");
+    }
+    if rng.gen_bool(0.2) {
+        g.insert_strs("C1", "owl:disjointWith", "C2");
+    }
+    for _ in 0..rng.gen_range(1..6) {
+        let s = entities[rng.gen_range(0..entities.len())];
+        if rng.gen_bool(0.4) {
+            g.insert_strs(s, "rdf:type", classes[rng.gen_range(0..classes.len())]);
+        } else {
+            let p = props[rng.gen_range(0..props.len())];
+            let o = entities[rng.gen_range(0..entities.len())];
+            g.insert_strs(s, p, o);
+        }
+    }
+    g
+}
+
+/// The ground atoms of a chase outcome, printable and order-free.
+pub fn ground_strings(outcome: &triq::datalog::ChaseOutcome) -> BTreeSet<String> {
+    outcome
+        .instance
+        .ground_part()
+        .iter()
+        .map(|a| a.to_string())
+        .collect()
+}

@@ -13,129 +13,19 @@
 //!   J·K^U, J·K^All) through the prepared-query facade must decode to the
 //!   same mappings the naive evaluator derives from the §5 translations.
 
+mod common;
+
+use common::{ground_strings, random_db, random_graph, random_program, PREDS};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeSet;
-use triq::common::Term;
 use triq::datalog::reference::naive_chase;
-use triq::datalog::{chase, Atom, ChaseConfig, Program, Rule};
+use triq::datalog::{chase, ChaseConfig};
 use triq::prelude::*;
 use triq::translate::{
     decode_tuple_vars, regime_chase_config, translate_pattern, translate_pattern_all,
     translate_pattern_u,
 };
-
-const PREDS: [&str; 4] = ["p", "q", "r", "s"];
-
-/// A random Datalog∃,¬s,⊥ program: joins, constants, negation, builtins,
-/// existentials and constraints all appear.
-fn random_program(rng: &mut StdRng, allow_exists: bool) -> Program {
-    let arities: Vec<usize> = PREDS.iter().map(|_| rng.gen_range(1..4)).collect();
-    let vars = ["X", "Y", "Z", "W"];
-    let consts = ["a", "b", "c"];
-    let mut rules = Vec::new();
-    for _ in 0..rng.gen_range(1..5) {
-        let n_body = rng.gen_range(1..4);
-        let mut body = Vec::new();
-        let mut body_vars: Vec<VarId> = Vec::new();
-        for _ in 0..n_body {
-            let pi = rng.gen_range(0..PREDS.len());
-            let terms: Vec<Term> = (0..arities[pi])
-                .map(|_| {
-                    if rng.gen_bool(0.15) {
-                        Term::constant(consts[rng.gen_range(0..consts.len())])
-                    } else {
-                        let v = VarId::new(vars[rng.gen_range(0..vars.len())]);
-                        body_vars.push(v);
-                        Term::Var(v)
-                    }
-                })
-                .collect();
-            body.push(Atom::new(intern(PREDS[pi]), terms));
-        }
-        if body_vars.is_empty() {
-            continue; // unsafe rule shapes are not the point here
-        }
-        // Optional negated atom over body variables only (safety).
-        let mut body_neg = Vec::new();
-        if rng.gen_bool(0.3) {
-            let pi = rng.gen_range(0..PREDS.len());
-            let terms: Vec<Term> = (0..arities[pi])
-                .map(|_| Term::Var(body_vars[rng.gen_range(0..body_vars.len())]))
-                .collect();
-            body_neg.push(Atom::new(intern(PREDS[pi]), terms));
-        }
-        // Optional built-in between two body variables.
-        let mut builtins = Vec::new();
-        if rng.gen_bool(0.3) && body_vars.len() >= 2 {
-            let x = Term::Var(body_vars[rng.gen_range(0..body_vars.len())]);
-            let y = Term::Var(body_vars[rng.gen_range(0..body_vars.len())]);
-            builtins.push(if rng.gen_bool(0.5) {
-                triq::datalog::Builtin::Neq(x, y)
-            } else {
-                triq::datalog::Builtin::Eq(x, y)
-            });
-        }
-        let existential = allow_exists && rng.gen_bool(0.35);
-        let exist_var = VarId::new("E");
-        let hi = rng.gen_range(0..PREDS.len());
-        let head_terms: Vec<Term> = (0..arities[hi])
-            .map(|i| {
-                if existential && i == 0 {
-                    Term::Var(exist_var)
-                } else {
-                    Term::Var(body_vars[rng.gen_range(0..body_vars.len())])
-                }
-            })
-            .collect();
-        rules.push(Rule {
-            body_pos: body,
-            body_neg,
-            builtins,
-            exist_vars: if existential { vec![exist_var] } else { vec![] },
-            head: vec![Atom::new(intern(PREDS[hi]), head_terms)],
-        });
-    }
-    let mut constraints = Vec::new();
-    if rng.gen_bool(0.3) {
-        // One random binary-join constraint: chance to classify as ⊤.
-        let pi = rng.gen_range(0..PREDS.len());
-        let v = VarId::new("X");
-        let terms: Vec<Term> = (0..arities[pi]).map(|_| Term::Var(v)).collect();
-        constraints.push(triq::datalog::Constraint {
-            body: vec![Atom::new(intern(PREDS[pi]), terms)],
-            builtins: vec![],
-        });
-    }
-    Program { rules, constraints }
-}
-
-fn random_db(rng: &mut StdRng, program: &Program) -> Database {
-    let consts = ["a", "b", "c"];
-    let mut db = Database::new();
-    let schema = program.schema();
-    for pred in PREDS {
-        if let Some(&arity) = schema.get(&intern(pred)) {
-            for _ in 0..rng.gen_range(0..4) {
-                let args: Vec<&str> = (0..arity)
-                    .map(|_| consts[rng.gen_range(0..consts.len())])
-                    .collect();
-                db.add_fact(pred, &args);
-            }
-        }
-    }
-    db
-}
-
-fn ground_strings(outcome: &triq::datalog::ChaseOutcome) -> BTreeSet<String> {
-    outcome
-        .instance
-        .ground_part()
-        .iter()
-        .map(|a| a.to_string())
-        .collect()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(250))]
@@ -144,7 +34,7 @@ proptest! {
     #[test]
     fn columnar_chase_matches_naive_reference(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let program = random_program(&mut rng, true);
+        let program = random_program(&mut rng, true, false);
         prop_assume!(program.validate().is_ok());
         prop_assume!(triq::datalog::stratify(&program).is_ok());
         let db = random_db(&mut rng, &program);
@@ -182,7 +72,7 @@ proptest! {
     #[test]
     fn restricted_strategy_matches_on_existential_free(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let program = random_program(&mut rng, false);
+        let program = random_program(&mut rng, false, false);
         prop_assume!(program.validate().is_ok());
         prop_assume!(triq::datalog::stratify(&program).is_ok());
         let db = random_db(&mut rng, &program);
@@ -202,34 +92,6 @@ proptest! {
 // ---------------------------------------------------------------------------
 // The three SPARQL semantics against the reference evaluator.
 // ---------------------------------------------------------------------------
-
-fn random_graph(rng: &mut StdRng) -> Graph {
-    let entities = ["ind_a", "ind_b", "ind_c"];
-    let classes = ["C1", "C2"];
-    let props = ["e1", "e2"];
-    let mut g = Graph::new();
-    // Ontology scaffolding (sometimes): subclass / subproperty axioms.
-    if rng.gen_bool(0.7) {
-        g.insert_strs("C1", "rdfs:subClassOf", "C2");
-    }
-    if rng.gen_bool(0.5) {
-        g.insert_strs("e1", "rdfs:subPropertyOf", "e2");
-    }
-    if rng.gen_bool(0.2) {
-        g.insert_strs("C1", "owl:disjointWith", "C2");
-    }
-    for _ in 0..rng.gen_range(1..6) {
-        let s = entities[rng.gen_range(0..entities.len())];
-        if rng.gen_bool(0.4) {
-            g.insert_strs(s, "rdf:type", classes[rng.gen_range(0..classes.len())]);
-        } else {
-            let p = props[rng.gen_range(0..props.len())];
-            let o = entities[rng.gen_range(0..entities.len())];
-            g.insert_strs(s, p, o);
-        }
-    }
-    g
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
