@@ -12,7 +12,12 @@ use std::fmt;
 pub enum TriqError {
     /// `E-PARSE`: a parser rejected its input (`what` identifies the
     /// parser).
-    Parse { what: &'static str, message: String },
+    Parse {
+        /// Which parser rejected the input (`"datalog"`, `"sparql"`, …).
+        what: &'static str,
+        /// The parser's diagnostic.
+        message: String,
+    },
     /// `E-INVALID-PROGRAM`: a program failed a static well-formedness
     /// check (arity mismatch, unsafe rule, ...).
     InvalidProgram(String),
@@ -25,7 +30,9 @@ pub enum TriqError {
     /// `E-LANG-MEMBERSHIP`: a program failed a language-membership check
     /// (e.g. a query handed to the TriQ-Lite 1.0 engine is not warded).
     NotInLanguage {
+        /// The language whose membership check failed.
         language: &'static str,
+        /// Why the program is outside the language.
         reason: String,
     },
     /// `E-RESOURCE`: the chase exceeded its configured step / depth

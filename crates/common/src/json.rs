@@ -1,0 +1,145 @@
+//! A minimal JSON writer.
+//!
+//! The serving layer (`triq-server`) speaks JSON on the wire, and this
+//! workspace is deliberately dependency-free (every external crate is a
+//! vendored stand-in), so the answer/stats serializers are built on this
+//! tiny value type instead of `serde`. It lives in `triq-common` — below
+//! every other crate — so the server, the CLI and tests all share one
+//! escaping implementation.
+//!
+//! Only *writing* is provided. The wire protocol (`docs/PROTOCOL.md`)
+//! was shaped so requests arrive as plain text (query source, `+fact` /
+//! `-fact` lines) and only responses are JSON; nothing in the workspace
+//! needs a JSON parser.
+//!
+//! ```
+//! use triq_common::json::Json;
+//!
+//! let j = Json::obj([
+//!     ("rows", Json::arr([Json::arr([Json::str("a"), Json::str("b")])])),
+//!     ("top", Json::Bool(false)),
+//!     ("count", Json::U64(1)),
+//! ]);
+//! assert_eq!(j.to_string(), r#"{"rows":[["a","b"]],"top":false,"count":1}"#);
+//! ```
+
+use std::fmt;
+
+/// A JSON value, rendered compactly (no whitespace) by [`fmt::Display`].
+///
+/// Object member order is preserved as given — serializations are
+/// deterministic and stable for tests and wire clients.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (engine counters, row counts, versions).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: ordered key/value members.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value (convenience over `Json::Str(s.into())`).
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An array from an iterator of values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// An object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(members: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+}
+
+/// Writes `s` with JSON string escaping (quotes included).
+pub fn write_json_str(f: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::U64(n) => write!(f, "{n}"),
+            Json::I64(n) => write!(f, "{n}"),
+            Json::Str(s) => write_json_str(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(members) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_str(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        let j = Json::str("a\"b\\c\nd\te\u{1}");
+        assert_eq!(j.to_string(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structures_render_compact_and_ordered() {
+        let j = Json::obj([
+            ("b", Json::U64(2)),
+            (
+                "a",
+                Json::arr([Json::Null, Json::Bool(true), Json::I64(-1)]),
+            ),
+        ]);
+        assert_eq!(j.to_string(), r#"{"b":2,"a":[null,true,-1]}"#);
+        assert_eq!(Json::arr([]).to_string(), "[]");
+        assert_eq!(Json::obj::<String>([]).to_string(), "{}");
+    }
+
+    #[test]
+    fn unicode_passes_through_unescaped() {
+        assert_eq!(Json::str("⊤ λ").to_string(), "\"⊤ λ\"");
+    }
+}

@@ -20,9 +20,12 @@
 //! string data — the representation recommended by the performance guide
 //! for database engines.
 
+#![warn(missing_docs)]
+
 mod delta;
 mod error;
 mod interner;
+pub mod json;
 mod term;
 mod termid;
 

@@ -45,14 +45,15 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
+use triq_common::json::Json;
 use triq_common::{Delta, Fact, Result, Symbol, TriqError, VarId};
 use triq_datalog::{
     classify_program, AnswerIter, Answers, ChaseConfig, ChaseOutcome, ChaseRunner, Database,
     ExistentialStrategy, MaterializedView, Program, ProgramClassification,
 };
 use triq_owl2ql::tau_db;
-use triq_rdf::Graph;
+use triq_rdf::{Graph, Triple};
 use triq_sparql::{GraphPattern, MappingSet, SelectQuery};
 use triq_translate::{
     decode_tuple_vars, regime_chase_config, translate_pattern, translate_pattern_all,
@@ -214,6 +215,26 @@ pub struct EngineStats {
     pub atoms_overdeleted: u64,
     /// Over-deleted atoms that rederivation restored.
     pub atoms_rederived: u64,
+}
+
+impl EngineStats {
+    /// The counters as a JSON object (the `GET /stats` payload of the
+    /// server wire protocol — see `docs/PROTOCOL.md`). Member names match
+    /// the field names exactly.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("prepared_queries", Json::U64(self.prepared_queries as u64)),
+            ("executions", Json::U64(self.executions as u64)),
+            ("chase_runs", Json::U64(self.chase_runs as u64)),
+            ("cache_hits", Json::U64(self.cache_hits as u64)),
+            ("atoms_derived", Json::U64(self.atoms_derived)),
+            ("join_probes", Json::U64(self.join_probes)),
+            ("parallel_strata", Json::U64(self.parallel_strata as u64)),
+            ("deltas_applied", Json::U64(self.deltas_applied as u64)),
+            ("atoms_overdeleted", Json::U64(self.atoms_overdeleted)),
+            ("atoms_rederived", Json::U64(self.atoms_rederived)),
+        ])
+    }
 }
 
 /// The top-level handle: policy + prepared-query factory.
@@ -695,6 +716,100 @@ impl Session {
         }
     }
 
+    /// Applies a whole [`Delta`] to the session's extensional data:
+    /// deletes first, then inserts (the [`Delta`] contract), with
+    /// `triple/3` facts mirrored into the RDF graph (graph deletions are
+    /// batched into a single reindex pass via [`Graph::remove_all`]).
+    /// Returns `(inserted, deleted)` — the counts of facts that actually
+    /// changed (redundant operations are no-ops). Maintained views absorb
+    /// the change incrementally, exactly as for the single-fact mutators.
+    pub fn apply_delta(&mut self, delta: &Delta) -> (usize, usize) {
+        let triple = triq_common::intern("triple");
+        let as_triple = |f: &Fact| {
+            (f.pred == triple && f.args.len() == 3)
+                .then(|| Triple::new(f.args[0], f.args[1], f.args[2]))
+        };
+        let mut graph_dels: Vec<Triple> = Vec::new();
+        let mut deleted = 0usize;
+        for f in &delta.deletes {
+            if self.db.remove_row(f.pred, &f.args) {
+                deleted += 1;
+                graph_dels.extend(as_triple(f));
+                self.record(false, f.clone());
+            }
+        }
+        if !graph_dels.is_empty() {
+            if let Some(g) = &mut self.graph {
+                g.remove_all(graph_dels);
+            }
+        }
+        let mut inserted = 0usize;
+        for f in &delta.inserts {
+            if self.db.add_row(f.pred, &f.args) {
+                inserted += 1;
+                if let (Some(t), Some(g)) = (as_triple(f), self.graph.as_mut()) {
+                    g.insert(t);
+                }
+                self.record(true, f.clone());
+            }
+        }
+        (inserted, deleted)
+    }
+
+    /// Brings every maintained view up to the head of the op log and
+    /// returns a snapshot handle per plan — the publication step of the
+    /// [`SharedSession`] writer. Views whose delta application fails are
+    /// discarded (they rebuild on their next execution) rather than
+    /// poisoning the whole session; entries without a built view are
+    /// dropped likewise.
+    fn sync_all_views(&mut self) -> HashMap<u64, Arc<ChaseOutcome>> {
+        let version = self.ops.version();
+        let ops = &self.ops;
+        let stats = &self.engine.inner.stats;
+        let views = self.views.get_mut().expect("session views poisoned");
+        let mut outcomes = HashMap::new();
+        views.retain(|&plan_id, cell| {
+            let mut entry = cell.lock().expect("session view poisoned");
+            let synced = entry.synced;
+            let Some(view) = entry.view.as_mut() else {
+                return false;
+            };
+            if synced != version {
+                let delta = ops.delta_since(synced);
+                match view.apply(&delta) {
+                    Ok(summary) => {
+                        stats.deltas_applied.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .atoms_overdeleted
+                            .fetch_add(summary.overdeleted as u64, Ordering::Relaxed);
+                        stats
+                            .atoms_rederived
+                            .fetch_add(summary.rederived as u64, Ordering::Relaxed);
+                        stats
+                            .atoms_derived
+                            .fetch_add(summary.inserted as u64, Ordering::Relaxed);
+                        if summary.full_rebuild {
+                            stats.chase_runs.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(_) => return false,
+                }
+            }
+            outcomes.insert(plan_id, view.snapshot());
+            entry.synced = version;
+            true
+        });
+        outcomes
+    }
+
+    /// Converts this session into a [`SharedSession`] — the concurrent,
+    /// snapshot-isolated form served by `triq-server`. Existing
+    /// maintained views carry over and appear in the first published
+    /// snapshot.
+    pub fn into_shared(self) -> SharedSession {
+        SharedSession::new(self)
+    }
+
     /// Drops all maintained chase state: the next execution of any
     /// prepared query re-chases from scratch. This is the explicit
     /// full-rebuild escape hatch; plain mutations no longer need it.
@@ -779,6 +894,271 @@ enum SyncKind {
     Delta(triq_datalog::DeltaSummary),
     /// No view existed yet: a full chase ran.
     Built,
+}
+
+// ---------------------------------------------------------------------------
+// SharedSession — concurrent snapshot-isolated reads over live views
+// ---------------------------------------------------------------------------
+
+/// An immutable, cross-plan-consistent picture of a [`SharedSession`] at
+/// one op-log version.
+///
+/// A snapshot holds one [`ChaseOutcome`] handle per materialized plan,
+/// all taken at the **same** version: executing several prepared queries
+/// against one snapshot observes a single database state, even while the
+/// writer keeps applying deltas behind it. Snapshots are cheap to obtain
+/// (one `Arc` clone under a briefly-held read lock) and keep answering
+/// for as long as they are held.
+#[derive(Debug)]
+pub struct SessionSnapshot {
+    version: u64,
+    outcomes: HashMap<u64, Arc<ChaseOutcome>>,
+}
+
+impl SessionSnapshot {
+    /// The op-log version this snapshot reflects.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of plans materialized in this snapshot.
+    pub fn plans(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Executes a prepared query against this snapshot, lock-free.
+    /// Returns `None` when the plan is not materialized here — use
+    /// [`SharedSession::execute`] to build it (that takes the writer
+    /// lock once; every later snapshot then contains the plan).
+    pub fn try_execute(&self, query: &PreparedQuery) -> Option<Answers> {
+        self.outcomes
+            .get(&query.plan_id)
+            .map(|o| Answers::from_chase(o, query.output))
+    }
+
+    /// Like [`SessionSnapshot::try_execute`], but decoding into SPARQL
+    /// mappings (`Err` for Datalog-origin plans, which have no variable
+    /// decoding; `None` when the plan is not materialized here).
+    pub fn try_mappings(&self, query: &PreparedQuery) -> Option<Result<RegimeAnswers>> {
+        self.outcomes
+            .get(&query.plan_id)
+            .map(|o| query.mappings_from_outcome(o.clone()))
+    }
+}
+
+/// What [`SharedSession::apply`] did: the published version and how many
+/// facts actually changed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppliedDelta {
+    /// The op-log version readers observe from now on.
+    pub version: u64,
+    /// Facts inserted (redundant inserts excluded).
+    pub inserted: usize,
+    /// Facts deleted (absent deletes excluded).
+    pub deleted: usize,
+}
+
+#[derive(Debug)]
+struct SharedInner {
+    engine: Engine,
+    /// The single-writer lock: mutations and first-time plan
+    /// materializations serialize here. Readers never take it.
+    writer: Mutex<Session>,
+    /// The published snapshot. The write guard is held only for the
+    /// pointer swap (and read guards only for an `Arc` clone), so no
+    /// reader is ever blocked for the duration of a chase or delta
+    /// application.
+    published: RwLock<Arc<SessionSnapshot>>,
+}
+
+/// A [`Session`] shared between N concurrent readers and one logical
+/// writer, with **snapshot isolation**: readers execute against
+/// immutable, atomically-published fixpoint snapshots and are never
+/// blocked by an in-flight mutation.
+///
+/// The concurrency contract:
+///
+/// * **Readers** ([`SharedSession::execute`], [`SharedSession::snapshot`])
+///   clone the current [`SessionSnapshot`] handle — a read lock held for
+///   one `Arc` clone — and answer from it without further coordination.
+///   A plan's first execution is the one read that takes the writer lock
+///   (the fixpoint must be chased once before it can be snapshotted).
+/// * **The writer** ([`SharedSession::apply`]) takes the writer lock,
+///   folds the delta into the base data, brings every maintained view to
+///   the new fixpoint incrementally (delta-chase inserts, DRed deletes —
+///   the `triq_datalog::incremental` machinery), and only then swaps the
+///   new snapshot in. Readers racing the apply keep the old snapshot;
+///   readers arriving after the swap see the new one; nobody observes a
+///   half-applied delta.
+/// * Snapshots are **cross-plan consistent**: all outcomes in one
+///   snapshot reflect the same op-log version.
+///
+/// Cloning a `SharedSession` is an `Arc` bump; clones share everything.
+/// This type is the in-process core of `triq-server`'s query service —
+/// see the "Serving layer" section of `docs/ARCHITECTURE.md`.
+///
+/// ```
+/// use std::sync::Arc;
+/// use triq::prelude::*;
+///
+/// let engine = Engine::new();
+/// let q = engine.prepare(Datalog(
+///     "e(?X, ?Y) -> t(?X, ?Y).\n e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).\n\
+///      t(?X, ?Y) -> out(?X, ?Y).",
+///     "out",
+/// ))?;
+/// let mut session = engine.session();
+/// session.add_fact("e", &["a", "b"]);
+/// let shared = session.into_shared();
+///
+/// // Reader threads execute lock-free against published snapshots…
+/// assert_eq!(shared.execute(&q)?.len(), 1);
+/// // …while the writer applies deltas and republishes atomically.
+/// shared.apply(&Delta::new().insert("e", &["b", "c"]));
+/// assert!(shared.execute(&q)?.contains(&["a", "c"]));
+/// # Ok::<(), TriqError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SharedSession {
+    inner: Arc<SharedInner>,
+}
+
+impl SharedSession {
+    /// Wraps a session for concurrent use. Views the session already
+    /// maintains are synced and appear in the first published snapshot.
+    pub fn new(mut session: Session) -> SharedSession {
+        let outcomes = session.sync_all_views();
+        let version = session.ops.version();
+        SharedSession {
+            inner: Arc::new(SharedInner {
+                engine: session.engine.clone(),
+                published: RwLock::new(Arc::new(SessionSnapshot { version, outcomes })),
+                writer: Mutex::new(session),
+            }),
+        }
+    }
+
+    /// The engine this shared session belongs to.
+    pub fn engine(&self) -> &Engine {
+        &self.inner.engine
+    }
+
+    /// The currently published snapshot (cheap: one `Arc` clone under a
+    /// momentary read lock). Hold it to run several queries against one
+    /// consistent database state.
+    pub fn snapshot(&self) -> Arc<SessionSnapshot> {
+        self.inner
+            .published
+            .read()
+            .expect("published snapshot poisoned")
+            .clone()
+    }
+
+    /// The op-log version readers currently observe.
+    pub fn version(&self) -> u64 {
+        self.snapshot().version
+    }
+
+    /// Executes a prepared query: lock-free against the published
+    /// snapshot when the plan is already materialized, else the plan is
+    /// chased once under the writer lock and published for every later
+    /// reader.
+    pub fn execute(&self, query: &PreparedQuery) -> Result<Answers> {
+        self.execute_versioned(query).map(|(a, _)| a)
+    }
+
+    /// Like [`SharedSession::execute`], also returning the op-log
+    /// version the answers reflect — the version and the rows come from
+    /// the **same** snapshot, so callers (e.g. the server's JSON answer
+    /// writer) can expose them together without racing a concurrent
+    /// apply.
+    pub fn execute_versioned(&self, query: &PreparedQuery) -> Result<(Answers, u64)> {
+        let (outcome, version) = self.outcome(query)?;
+        Ok((Answers::from_chase(&outcome, query.output), version))
+    }
+
+    /// Executes and decodes into SPARQL mappings (`Err` with `E-OTHER`
+    /// for Datalog-origin plans). Same locking profile as
+    /// [`SharedSession::execute`].
+    pub fn mappings(&self, query: &PreparedQuery) -> Result<RegimeAnswers> {
+        self.mappings_versioned(query).map(|(m, _)| m)
+    }
+
+    /// Like [`SharedSession::mappings`], also returning the op-log
+    /// version the mappings reflect (see
+    /// [`SharedSession::execute_versioned`]).
+    pub fn mappings_versioned(&self, query: &PreparedQuery) -> Result<(RegimeAnswers, u64)> {
+        let (outcome, version) = self.outcome(query)?;
+        Ok((query.mappings_from_outcome(outcome)?, version))
+    }
+
+    /// The snapshot outcome for `query` (with the version it belongs
+    /// to), materializing it on first use.
+    fn outcome(&self, query: &PreparedQuery) -> Result<(Arc<ChaseOutcome>, u64)> {
+        let stats = &self.inner.engine.inner.stats;
+        let snap = self.snapshot();
+        if let Some(outcome) = snap.outcomes.get(&query.plan_id) {
+            stats.executions.fetch_add(1, Ordering::Relaxed);
+            stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((outcome.clone(), snap.version));
+        }
+        self.materialize(query)
+    }
+
+    /// Slow path: chase the plan under the writer lock, then republish
+    /// the snapshot map extended with it (same version — the data did
+    /// not change). Publications all happen under the writer lock, so
+    /// concurrent first-executions of different plans cannot lose each
+    /// other's entries.
+    fn materialize(&self, query: &PreparedQuery) -> Result<(Arc<ChaseOutcome>, u64)> {
+        let session = self.inner.writer.lock().expect("writer session poisoned");
+        let current = self.snapshot();
+        // Double-check: the plan may have been published while this
+        // thread waited on the writer lock.
+        if let Some(outcome) = current.outcomes.get(&query.plan_id) {
+            return Ok((outcome.clone(), current.version));
+        }
+        let outcome = query.outcome(&session)?;
+        let mut outcomes = current.outcomes.clone();
+        outcomes.insert(query.plan_id, outcome.clone());
+        let next = Arc::new(SessionSnapshot {
+            version: current.version,
+            outcomes,
+        });
+        *self
+            .inner
+            .published
+            .write()
+            .expect("published snapshot poisoned") = next;
+        Ok((outcome, current.version))
+    }
+
+    /// Applies a mutation batch: folds the delta into the base data,
+    /// brings every maintained view to the new fixpoint incrementally,
+    /// and atomically publishes the new snapshot. Readers are never
+    /// blocked while this runs — they keep the previous snapshot until
+    /// the final pointer swap.
+    ///
+    /// A view whose incremental application fails (resource budget) is
+    /// dropped from the snapshot and rebuilt on its next execution; the
+    /// apply itself does not fail for it.
+    pub fn apply(&self, delta: &Delta) -> AppliedDelta {
+        let mut session = self.inner.writer.lock().expect("writer session poisoned");
+        let (inserted, deleted) = session.apply_delta(delta);
+        let outcomes = session.sync_all_views();
+        let version = session.ops.version();
+        *self
+            .inner
+            .published
+            .write()
+            .expect("published snapshot poisoned") =
+            Arc::new(SessionSnapshot { version, outcomes });
+        AppliedDelta {
+            version,
+            inserted,
+            deleted,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -906,10 +1286,33 @@ impl PreparedQuery {
         Ok(AnswerIter::new(outcome, self.output))
     }
 
+    /// The SPARQL variable names answers decode into, in answer-tuple
+    /// argument order (`None` for Datalog-origin plans, which have no
+    /// variable decoding). The server's JSON answer writer uses this as
+    /// the `vars` header.
+    pub fn var_names(&self) -> Option<Vec<&'static str>> {
+        self.decode
+            .as_ref()
+            .map(|d| d.vars.iter().map(|v| v.name()).collect())
+    }
+
+    /// The decoded variables themselves, in the same order as
+    /// [`PreparedQuery::var_names`] (`None` for Datalog-origin plans).
+    pub fn vars(&self) -> Option<&[VarId]> {
+        self.decode.as_ref().map(|d| d.vars.as_slice())
+    }
+
     /// Executes and decodes into SPARQL mappings (`µ_{t,P}` of §5.1).
     /// Errors with `E-OTHER` for raw Datalog queries, which have no
     /// variable decoding.
     pub fn mappings(&self, session: &Session) -> Result<RegimeAnswers> {
+        let outcome = self.outcome(session)?;
+        self.mappings_from_outcome(outcome)
+    }
+
+    /// Decodes a chase outcome (a session- or snapshot-served fixpoint)
+    /// into SPARQL mappings.
+    fn mappings_from_outcome(&self, outcome: Arc<ChaseOutcome>) -> Result<RegimeAnswers> {
         let decode = self.decode.as_ref().ok_or_else(|| {
             TriqError::Other(
                 "prepared query has no SPARQL variable decoding (it was built \
@@ -917,7 +1320,7 @@ impl PreparedQuery {
                     .into(),
             )
         })?;
-        let mut iter = self.execute_iter(session)?;
+        let mut iter = AnswerIter::new(outcome, self.output);
         if iter.is_top() {
             return Ok(RegimeAnswers::Top);
         }

@@ -98,14 +98,22 @@
 //! paper's language membership (Definition 4.2 / Definition 6.1) at
 //! construction time and plug into [`Engine::prepare`] like every other
 //! query form.
+//!
+//! For concurrent serving, [`Session::into_shared`] yields a
+//! [`SharedSession`]: N reader threads execute lock-free against
+//! atomically published fixpoint snapshots while a single writer
+//! applies deltas (snapshot isolation — see the "Serving layer" section
+//! of `docs/ARCHITECTURE.md`). The HTTP service built on it lives in
+//! the `triq-server` crate, together with the `triq-cli` binary
+//! (`triq-cli serve`, wire format in `docs/PROTOCOL.md`).
 
 pub mod api;
 pub mod engine;
 mod triq_lang;
 
 pub use api::{
-    Datalog, Engine, EngineBuilder, EngineStats, IntoQuery, PreparedQuery, QuerySpec, Semantics,
-    Session, Sparql,
+    AppliedDelta, Datalog, Engine, EngineBuilder, EngineStats, IntoQuery, PreparedQuery, QuerySpec,
+    Semantics, Session, SessionSnapshot, SharedSession, Sparql,
 };
 pub use triq_lang::{TriqLiteQuery, TriqQuery};
 
@@ -125,10 +133,11 @@ pub use triq_translate as translate;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::api::{
-        Datalog, Engine, EngineBuilder, EngineStats, IntoQuery, PreparedQuery, QuerySpec,
-        Semantics, Session, Sparql,
+        AppliedDelta, Datalog, Engine, EngineBuilder, EngineStats, IntoQuery, PreparedQuery,
+        QuerySpec, Semantics, Session, SessionSnapshot, SharedSession, Sparql,
     };
     pub use crate::{TriqLiteQuery, TriqQuery};
+    pub use triq_common::json::Json;
     pub use triq_common::{intern, Delta, Fact, NullId, Symbol, Term, TriqError, VarId};
     pub use triq_datalog::{
         classify_program, parse_atom, parse_program, parse_query, AnswerIter, Answers, ChaseConfig,

@@ -25,6 +25,8 @@
 //!   instrumentation of §6.2 and the program-expressive-power witness of
 //!   Theorem 7.1.
 
+#![warn(missing_docs)]
+
 pub mod atm;
 mod atom;
 pub mod builders;

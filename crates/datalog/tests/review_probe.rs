@@ -1,7 +1,7 @@
 //! Review probe: adversarial incremental-maintenance scenarios.
 
-use triq_datalog::{parse_program, ChaseConfig, ChaseRunner, Database, MaterializedView};
 use triq_common::Delta;
+use triq_datalog::{parse_program, ChaseConfig, ChaseRunner, Database, MaterializedView};
 
 fn view(program: &str, facts: &[(&str, &[&str])]) -> MaterializedView {
     let p = parse_program(program).unwrap();
@@ -91,12 +91,11 @@ fn chained_negation_delete_and_insert() {
 fn delete_unblocks_existential_rule() {
     let program = "person(?X), !blocked(?X) -> exists ?Y parent(?X, ?Y).\n\
                    parent(?X, ?Y) -> haskid(?X).";
-    let mut v = view(
-        program,
-        &[("person", &["alice"]), ("blocked", &["alice"])],
-    );
+    let mut v = view(program, &[("person", &["alice"]), ("blocked", &["alice"])]);
     assert_eq!(v.outcome().stats.nulls, 0);
-    let s = v.apply(&Delta::new().delete("blocked", &["alice"])).unwrap();
+    let s = v
+        .apply(&Delta::new().delete("blocked", &["alice"]))
+        .unwrap();
     // Whether incremental or rebuild, the ground part must match.
     let scratch = v.runner().run(v.database()).unwrap();
     assert_eq!(

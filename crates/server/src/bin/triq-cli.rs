@@ -5,6 +5,7 @@
 //! triq-cli [--stats] sparql <graph.ttl> '<SELECT query>' [--regime u|all]
 //! triq-cli [--stats] rules <graph.ttl> <rules.dl> <output-pred>
 //! triq-cli [--stats] update <graph.ttl> <rules.dl> <output-pred> <updates.txt>
+//! triq-cli [--stats] serve <graph.ttl> <rules.dl> [--addr HOST:PORT] [--threads N]
 //! triq-cli classify <rules.dl>
 //! triq-cli entail <graph.ttl> <s> <p> <o>
 //! triq-cli explain <graph.ttl> <s> <p> <o>
@@ -17,20 +18,35 @@
 //! answers after each batch (batches are separated by blank lines; a
 //! file without blank lines is one batch).
 //!
+//! `serve` starts the snapshot-isolated HTTP query service (see
+//! `docs/PROTOCOL.md` for the wire format): the graph is loaded once,
+//! the rule program is installed as an engine library applied to every
+//! query, and `POST /update` batches flow through the same incremental
+//! maintenance path as `update`. `--addr` defaults to `127.0.0.1:7878`
+//! (use port `0` for an ephemeral port — the bound address is printed),
+//! `--threads` sets the HTTP worker count (default 4), and
+//! `--enable-shutdown` arms the `POST /shutdown` endpoint (used by the
+//! CI smoke test for a clean stop).
+//!
 //! `--stats` prints the engine's execution counters (chase runs, atoms
 //! derived, join probes, parallel strata, deltas applied, atoms
-//! over-deleted/rederived, …) to stderr after the answer. Errors print
-//! their stable code (e.g. `E-STRATIFY`, `E-LANG-MEMBERSHIP`) so scripts
-//! can match failures without parsing prose.
+//! over-deleted/rederived, …) to stderr after the answer (for `serve`:
+//! after shutdown). Errors print their stable code (e.g. `E-STRATIFY`,
+//! `E-LANG-MEMBERSHIP`) so scripts can match failures without parsing
+//! prose.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 use triq::prelude::*;
+use triq_server::{parse_update_line, QueryService, Server, ServiceConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  triq-cli [--stats] sparql <graph.ttl> '<SELECT query>' [--regime u|all]\n  \
          triq-cli [--stats] rules <graph.ttl> <rules.dl> <output-pred>\n  \
          triq-cli [--stats] update <graph.ttl> <rules.dl> <output-pred> <updates.txt>\n  \
+         triq-cli [--stats] serve <graph.ttl> <rules.dl> [--addr HOST:PORT] [--threads N] \
+         [--enable-shutdown]\n  \
          triq-cli classify <rules.dl>\n  \
          triq-cli entail <graph.ttl> <s> <p> <o>\n  \
          triq-cli explain <graph.ttl> <s> <p> <o>\n  \
@@ -68,6 +84,7 @@ fn main() -> ExitCode {
         Some("sparql") => cmd_sparql(&args[1..], stats),
         Some("rules") => cmd_rules(&args[1..], stats),
         Some("update") => cmd_update(&args[1..], stats),
+        Some("serve") => cmd_serve(&args[1..], stats),
         Some(cmd @ ("classify" | "entail" | "explain" | "saturate")) if stats => Err(
             TriqError::Other(format!("--stats is not supported for `{cmd}`")),
         ),
@@ -178,27 +195,6 @@ fn cmd_rules(args: &[String], stats: bool) -> Result<(), TriqError> {
     Ok(())
 }
 
-/// Parses one `+fact(a, b)` / `-fact(a, b)` update line.
-fn parse_update_line(line: &str) -> Result<(bool, Fact), TriqError> {
-    let (insert, rest) = match line.as_bytes().first() {
-        Some(b'+') => (true, &line[1..]),
-        Some(b'-') => (false, &line[1..]),
-        _ => {
-            return Err(TriqError::Other(format!(
-                "update line must start with '+' or '-': {line}"
-            )))
-        }
-    };
-    let atom = parse_atom(rest.trim())?;
-    let args: Option<Vec<Symbol>> = atom.terms.iter().map(|t| t.as_const()).collect();
-    let Some(args) = args else {
-        return Err(TriqError::Other(format!(
-            "update facts must be ground over constants: {line}"
-        )));
-    };
-    Ok((insert, Fact::new(atom.pred, args)))
-}
-
 fn print_answers(answers: &Answers) {
     if answers.is_top() {
         println!("⊤  (inconsistent)");
@@ -256,6 +252,63 @@ fn cmd_update(args: &[String], stats: bool) -> Result<(), TriqError> {
     if dirty {
         flush(&session, &mut batch_no)?;
     }
+    if stats {
+        print_stats(&engine);
+    }
+    Ok(())
+}
+
+/// `serve`: start the snapshot-isolated HTTP query service over a graph
+/// plus a rule library, and park until a shutdown is requested.
+fn cmd_serve(args: &[String], stats: bool) -> Result<(), TriqError> {
+    let [graph_path, rules_path, rest @ ..] = args else {
+        return Err(TriqError::Other(
+            "serve needs <graph.ttl> <rules.dl> [--addr HOST:PORT] [--threads N] \
+             [--enable-shutdown]"
+                .into(),
+        ));
+    };
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut threads = 4usize;
+    let mut enable_shutdown = false;
+    let mut rest = rest.iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--addr" => {
+                addr = rest
+                    .next()
+                    .ok_or_else(|| TriqError::Other("--addr needs HOST:PORT".into()))?
+                    .clone();
+            }
+            "--threads" => {
+                threads = rest
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| TriqError::Other("--threads needs a positive count".into()))?;
+            }
+            "--enable-shutdown" => enable_shutdown = true,
+            other => {
+                return Err(TriqError::Other(format!("unknown serve flag `{other}`")));
+            }
+        }
+    }
+    // The rule program is validated up front and installed as an engine
+    // library: every query the server prepares is evaluated over the
+    // graph AND these rules, kept incrementally materialized.
+    let rules = parse_program(&read_file(rules_path)?)?;
+    let engine = Engine::builder().library(rules).build();
+    let session = engine.load_graph(load_graph(graph_path)?);
+    let service = QueryService::new(engine.clone(), session, ServiceConfig { enable_shutdown });
+    let server = Server::serve(service.clone(), &addr, threads)
+        .map_err(|e| TriqError::Other(format!("cannot bind {addr}: {e}")))?;
+    // The bound address on stdout is the machine-readable contract the
+    // smoke tests (and scripts using --addr …:0) rely on.
+    println!("listening on http://{}", server.local_addr());
+    std::io::stdout().flush().ok();
+    server.join();
+    service.stop_writer();
+    eprintln!("server stopped");
     if stats {
         print_stats(&engine);
     }

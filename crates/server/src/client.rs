@@ -1,0 +1,141 @@
+//! A minimal blocking HTTP/1.1 client.
+//!
+//! The container has no `curl` guarantee and no registry access, so the
+//! integration tests, the CI smoke step and the closed-loop benches
+//! drive the server through this client. It supports exactly what the
+//! server emits: status line, `Content-Length`-framed bodies, and
+//! persistent connections (one connection per client, re-established on
+//! error).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A persistent connection to one server.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+/// A decoded response: status code and body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The response body, decoded as UTF-8.
+    pub body: String,
+}
+
+impl Client {
+    /// A client for `addr` (connects lazily).
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr, conn: None }
+    }
+
+    /// `GET` a path (query string included in `path` if needed).
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, b"")
+    }
+
+    /// `POST` a text body to a path.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, body.as_bytes())
+    }
+
+    /// Issues one request, reusing the persistent connection when
+    /// possible (one transparent reconnect+retry on a broken one).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        match self.try_request(method, path, body) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                // The pooled connection may have idled out server-side;
+                // retry once on a fresh one.
+                self.conn = None;
+                self.try_request(method, path, body)
+            }
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        let reader = self.conn.as_mut().expect("connection just established");
+        {
+            let stream = reader.get_mut();
+            write!(
+                stream,
+                "{method} {path} HTTP/1.1\r\nHost: triq\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )?;
+            stream.write_all(body)?;
+            stream.flush()?;
+        }
+        match read_response(reader) {
+            Ok((response, close)) => {
+                if close {
+                    self.conn = None;
+                }
+                Ok(response)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Reads one response; the second component is true when the server
+/// announced `Connection: close` (the connection must not be reused).
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(ClientResponse, bool)> {
+    use std::io::{Error, ErrorKind};
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::new(ErrorKind::InvalidData, format!("bad status line: {line:?}")))?;
+    let mut content_length = 0usize;
+    let mut close = false;
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| Error::new(ErrorKind::InvalidData, "bad Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("close")
+            {
+                close = true;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| Error::new(ErrorKind::InvalidData, "response body is not UTF-8"))?;
+    Ok((ClientResponse { status, body }, close))
+}

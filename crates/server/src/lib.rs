@@ -1,0 +1,67 @@
+//! `triq-server` — a concurrent, snapshot-isolated query service over
+//! live materialized views.
+//!
+//! This crate is the serving layer on top of the `triq` facade: a
+//! **std-only** HTTP/1.1 server (hand-rolled over
+//! [`std::net::TcpListener`] with a fixed worker thread pool — the build
+//! environment has no registry access, so there are deliberately no
+//! framework dependencies) exposing a SPARQL-Protocol-style endpoint
+//! triple:
+//!
+//! * `POST /query` — SPARQL or Datalog text, semantics selectable via
+//!   `regime=plain|ku|kall`, answered from an atomically-published
+//!   immutable snapshot (readers never block on writers);
+//! * `POST /update` — `+fact(…)` / `-fact(…)` batches, coalesced by a
+//!   single writer thread and applied through the incremental
+//!   maintenance path (delta-chase inserts, DRed deletes);
+//! * `GET /stats` — engine and service counters as JSON.
+//!
+//! The wire format is specified in `docs/PROTOCOL.md`; the snapshot-swap
+//! design is described in the "Serving layer" section of
+//! `docs/ARCHITECTURE.md`. The concurrency substrate itself —
+//! [`SharedSession`](triq::SharedSession) — lives in the `triq` crate so
+//! embedders get the same isolation guarantees without HTTP.
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use triq::prelude::*;
+//! use triq_server::{Client, QueryService, Server, ServiceConfig};
+//!
+//! let engine = Engine::new();
+//! let session = engine.load_turtle("a knows b .\n b knows c .")?;
+//! let service = QueryService::new(engine, session, ServiceConfig::default());
+//! let server = Server::serve(service.clone(), "127.0.0.1:0", 2).unwrap();
+//!
+//! let mut client = Client::new(server.local_addr());
+//! let resp = client
+//!     .post("/query", "SELECT ?X WHERE { ?X knows ?Y }")
+//!     .unwrap();
+//! assert_eq!(resp.status, 200);
+//! assert!(resp.body.contains("\"rows\":[[\"a\"],[\"b\"]]"));
+//!
+//! let resp = client.post("/update", "+triple(c, knows, d)").unwrap();
+//! assert_eq!(resp.status, 200);
+//!
+//! service.stop_writer();
+//! server.shutdown();
+//! # Ok::<(), TriqError>(())
+//! ```
+//!
+//! The same service runs from the command line as
+//! `triq-cli serve <graph.ttl> <rules.dl> [--addr HOST:PORT]
+//! [--threads N]`, where the rule program is installed as an engine
+//! library — every query posted to the server is evaluated over the
+//! graph *and* those rules, kept incrementally materialized across
+//! updates.
+
+#![warn(missing_docs)]
+
+mod client;
+mod http;
+mod service;
+
+pub use client::{Client, ClientResponse};
+pub use http::{Handler, Request, Response, Server, ServerControl};
+pub use service::{http_status, parse_update_line, parse_update_text, QueryService, ServiceConfig};

@@ -1,0 +1,553 @@
+//! The query service: protocol handlers over a [`SharedSession`].
+//!
+//! One [`QueryService`] owns the engine, the shared snapshot-isolated
+//! session, a bounded prepared-query cache and the **single writer
+//! thread**. Readers (`POST /query`, `GET /stats`) run entirely on the
+//! HTTP worker threads against published snapshots; mutations
+//! (`POST /update`) are queued to the writer thread, which nets every
+//! delta waiting in the queue into one batch, applies it through the
+//! incremental maintenance path, and publishes the new snapshot before
+//! replying — so concurrent writers coalesce instead of convoying.
+//!
+//! The wire format (endpoints, parameters, response shapes, error-code
+//! mapping) is specified in `docs/PROTOCOL.md`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use triq::prelude::*;
+use triq_common::json::Json;
+
+use crate::http::{Handler, Request, Response, ServerControl};
+
+/// Upper bound on distinct prepared queries kept hot. When full the
+/// cache is cleared wholesale (coarse but bounded; re-preparing is
+/// always correct — and the session's own view cache is bounded
+/// separately).
+const MAX_PREPARED: usize = 64;
+
+/// Service tuning knobs.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceConfig {
+    /// Allow `POST /shutdown` to stop the server (used by tests and the
+    /// CI smoke; off by default).
+    pub enable_shutdown: bool,
+}
+
+/// One queued mutation: the parsed delta plus the channel the writer
+/// thread replies on.
+struct UpdateJob {
+    delta: Delta,
+    reply: mpsc::SyncSender<(AppliedDelta, usize)>,
+}
+
+/// The serving layer's application object; implements [`Handler`].
+pub struct QueryService {
+    engine: Engine,
+    shared: SharedSession,
+    config: ServiceConfig,
+    prepared: Mutex<HashMap<QueryKey, PreparedQuery>>,
+    update_tx: Mutex<Option<mpsc::Sender<UpdateJob>>>,
+    writer: Mutex<Option<JoinHandle<()>>>,
+    queries_served: AtomicU64,
+    updates_applied: AtomicU64,
+}
+
+/// Prepared-query cache key: everything that shapes the compiled plan.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct QueryKey {
+    lang: Lang,
+    regime: Semantics,
+    output: Option<String>,
+    text: String,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Lang {
+    Sparql,
+    Datalog,
+}
+
+impl QueryService {
+    /// Builds the service over a session (spawning the writer thread).
+    pub fn new(engine: Engine, session: Session, config: ServiceConfig) -> Arc<QueryService> {
+        let shared = session.into_shared();
+        let (tx, rx) = mpsc::channel::<UpdateJob>();
+        let service = Arc::new(QueryService {
+            engine,
+            shared: shared.clone(),
+            config,
+            prepared: Mutex::new(HashMap::new()),
+            update_tx: Mutex::new(Some(tx)),
+            writer: Mutex::new(None),
+            queries_served: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
+        });
+        let writer = std::thread::spawn(move || writer_loop(shared, rx));
+        *service.writer.lock().expect("writer handle poisoned") = Some(writer);
+        service
+    }
+
+    /// The shared session (mainly for in-process tests and benches).
+    pub fn shared(&self) -> &SharedSession {
+        &self.shared
+    }
+
+    /// Stops the writer thread (idempotent). In-flight updates drain
+    /// first; later `POST /update` requests fail with `503`.
+    pub fn stop_writer(&self) {
+        self.update_tx
+            .lock()
+            .expect("update channel poisoned")
+            .take();
+        if let Some(w) = self.writer.lock().expect("writer handle poisoned").take() {
+            let _ = w.join();
+        }
+    }
+
+    // -- /query ---------------------------------------------------------
+
+    fn handle_query(&self, req: &Request) -> Response {
+        let text = match req.body_str() {
+            Ok(t) => t,
+            Err(resp) => return resp,
+        };
+        if text.trim().is_empty() {
+            return Response::error(400, "E-HTTP-BAD-REQUEST", "empty query body");
+        }
+        let lang = match req.param("lang") {
+            None | Some("sparql") => Lang::Sparql,
+            Some("datalog") => Lang::Datalog,
+            Some(other) => {
+                return Response::error(
+                    400,
+                    "E-HTTP-BAD-REQUEST",
+                    &format!("unknown lang `{other}` (expected sparql|datalog)"),
+                )
+            }
+        };
+        let regime = match req.param("regime") {
+            None | Some("plain") => Semantics::Plain,
+            Some("ku") => Semantics::RegimeU,
+            Some("kall") => Semantics::RegimeAll,
+            Some(other) => {
+                return Response::error(
+                    400,
+                    "E-HTTP-BAD-REQUEST",
+                    &format!("unknown regime `{other}` (expected plain|ku|kall)"),
+                )
+            }
+        };
+        let output = req.param("output").map(str::to_owned);
+        if lang == Lang::Datalog && output.is_none() {
+            return Response::error(
+                400,
+                "E-HTTP-BAD-REQUEST",
+                "datalog queries need an `output` parameter",
+            );
+        }
+        let key = QueryKey {
+            lang,
+            regime,
+            output,
+            text: text.to_owned(),
+        };
+        match self.run_query(&key) {
+            Ok(json) => {
+                self.queries_served.fetch_add(1, Ordering::Relaxed);
+                Response::json(200, &json)
+            }
+            Err(e) => triq_error_response(&e),
+        }
+    }
+
+    fn prepare_cached(&self, key: &QueryKey) -> Result<PreparedQuery, TriqError> {
+        // Double-checked: the cache lock is never held across the
+        // (possibly expensive) prepare, so one slow first-time prepare
+        // does not convoy the snapshot-served reads of other threads. A
+        // racing duplicate prepare is harmless — last insert wins.
+        if let Some(q) = self
+            .prepared
+            .lock()
+            .expect("prepared cache poisoned")
+            .get(key)
+        {
+            return Ok(q.clone());
+        }
+        let prepared = match key.lang {
+            Lang::Sparql => {
+                let select = parse_select(&key.text)?;
+                self.engine.prepare((select, key.regime))?
+            }
+            Lang::Datalog => {
+                let output = key.output.as_deref().expect("validated by handle_query");
+                self.engine.prepare(Datalog(&key.text, output))?
+            }
+        };
+        let mut cache = self.prepared.lock().expect("prepared cache poisoned");
+        if cache.len() >= MAX_PREPARED {
+            cache.clear();
+        }
+        cache.insert(key.clone(), prepared.clone());
+        Ok(prepared)
+    }
+
+    fn run_query(&self, key: &QueryKey) -> Result<Json, TriqError> {
+        let q = self.prepare_cached(key)?;
+        // The versioned entry points pair the rows with the op-log
+        // version of the snapshot that produced them (lock-free when the
+        // plan is already materialized) and keep the engine's
+        // execution/cache-hit counters honest for GET /stats.
+        Ok(match key.lang {
+            Lang::Sparql => {
+                let (mappings, version) = self.shared.mappings_versioned(&q)?;
+                sparql_answers_json(&q, &mappings, version)
+            }
+            Lang::Datalog => {
+                let (answers, version) = self.shared.execute_versioned(&q)?;
+                datalog_answers_json(&answers, version)
+            }
+        })
+    }
+
+    // -- /update --------------------------------------------------------
+
+    fn handle_update(&self, req: &Request) -> Response {
+        let text = match req.body_str() {
+            Ok(t) => t,
+            Err(resp) => return resp,
+        };
+        let delta = match parse_update_text(text) {
+            Ok(d) => d,
+            Err(e) => return triq_error_response(&e),
+        };
+        if delta.is_empty() {
+            return Response::json(
+                200,
+                &Json::obj([
+                    ("version", Json::U64(self.shared.version())),
+                    ("inserted", Json::U64(0)),
+                    ("deleted", Json::U64(0)),
+                    ("batched", Json::U64(0)),
+                ]),
+            );
+        }
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let sent = {
+            let tx = self.update_tx.lock().expect("update channel poisoned");
+            match tx.as_ref() {
+                Some(tx) => tx
+                    .send(UpdateJob {
+                        delta,
+                        reply: reply_tx,
+                    })
+                    .is_ok(),
+                None => false,
+            }
+        };
+        if !sent {
+            return Response::error(503, "E-HTTP-UNAVAILABLE", "writer is shut down");
+        }
+        match reply_rx.recv() {
+            Ok((applied, batched)) => {
+                self.updates_applied.fetch_add(1, Ordering::Relaxed);
+                Response::json(
+                    200,
+                    &Json::obj([
+                        ("version", Json::U64(applied.version)),
+                        ("inserted", Json::U64(applied.inserted as u64)),
+                        ("deleted", Json::U64(applied.deleted as u64)),
+                        ("batched", Json::U64(batched as u64)),
+                    ]),
+                )
+            }
+            Err(_) => Response::error(503, "E-HTTP-UNAVAILABLE", "writer stopped mid-update"),
+        }
+    }
+
+    // -- /stats ---------------------------------------------------------
+
+    fn handle_stats(&self) -> Response {
+        let snap = self.shared.snapshot();
+        Response::json(
+            200,
+            &Json::obj([
+                ("engine", self.engine.stats().to_json()),
+                (
+                    "service",
+                    Json::obj([
+                        (
+                            "queries_served",
+                            Json::U64(self.queries_served.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "updates_applied",
+                            Json::U64(self.updates_applied.load(Ordering::Relaxed)),
+                        ),
+                        ("version", Json::U64(snap.version())),
+                        ("plans_materialized", Json::U64(snap.plans() as u64)),
+                    ]),
+                ),
+            ]),
+        )
+    }
+}
+
+impl Handler for QueryService {
+    fn handle(&self, req: &Request, ctl: &ServerControl) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/query") => self.handle_query(req),
+            ("POST", "/update") => self.handle_update(req),
+            ("GET", "/stats") => self.handle_stats(),
+            ("GET", "/health") => Response::json(200, &Json::obj([("ok", Json::Bool(true))])),
+            ("POST", "/shutdown") => {
+                if self.config.enable_shutdown {
+                    self.stop_writer();
+                    ctl.request_shutdown();
+                    Response::json(200, &Json::obj([("ok", Json::Bool(true))]))
+                } else {
+                    Response::error(
+                        403,
+                        "E-HTTP-FORBIDDEN",
+                        "shutdown endpoint disabled (start with --enable-shutdown)",
+                    )
+                }
+            }
+            ("POST" | "GET", "/query" | "/update" | "/stats" | "/health" | "/shutdown") => {
+                Response::error(405, "E-HTTP-METHOD", "wrong method for this endpoint")
+            }
+            _ => Response::error(404, "E-HTTP-NOT-FOUND", "unknown endpoint"),
+        }
+    }
+}
+
+/// The writer loop: drain-and-net batching. Every job waiting in the
+/// queue when an apply begins is folded into one netted delta (last
+/// operation per fact wins — the same set semantics as the session op
+/// log), applied once, and all coalesced callers get the same published
+/// version back.
+fn writer_loop(shared: SharedSession, rx: mpsc::Receiver<UpdateJob>) {
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        while let Ok(more) = rx.try_recv() {
+            jobs.push(more);
+        }
+        let net = net_deltas(jobs.iter().map(|j| &j.delta));
+        let applied = shared.apply(&net);
+        for job in &jobs {
+            let _ = job.reply.send((applied, jobs.len()));
+        }
+    }
+}
+
+/// Nets a sequence of deltas into one: per fact, the last operation in
+/// arrival order wins (each delta's deletes precede its inserts, per the
+/// [`Delta`] contract).
+fn net_deltas<'a>(deltas: impl Iterator<Item = &'a Delta>) -> Delta {
+    let mut order: Vec<(Fact, bool)> = Vec::new();
+    let mut last: HashMap<Fact, usize> = HashMap::new();
+    let mut note = |fact: &Fact, insert: bool| match last.get(fact) {
+        Some(&i) => order[i].1 = insert,
+        None => {
+            last.insert(fact.clone(), order.len());
+            order.push((fact.clone(), insert));
+        }
+    };
+    for d in deltas {
+        for f in &d.deletes {
+            note(f, false);
+        }
+        for f in &d.inserts {
+            note(f, true);
+        }
+    }
+    let mut net = Delta::new();
+    for (fact, insert) in order {
+        if insert {
+            net.add_insert(fact);
+        } else {
+            net.add_delete(fact);
+        }
+    }
+    net
+}
+
+/// Parses one `+fact(a, b)` / `-fact(a, b)` update line.
+pub fn parse_update_line(line: &str) -> Result<(bool, Fact), TriqError> {
+    let (insert, rest) = match line.as_bytes().first() {
+        Some(b'+') => (true, &line[1..]),
+        Some(b'-') => (false, &line[1..]),
+        _ => {
+            return Err(TriqError::Parse {
+                what: "update",
+                message: format!("update line must start with '+' or '-': {line}"),
+            })
+        }
+    };
+    let atom = parse_atom(rest.trim())?;
+    let args: Option<Vec<Symbol>> = atom.terms.iter().map(|t| t.as_const()).collect();
+    let Some(args) = args else {
+        return Err(TriqError::Parse {
+            what: "update",
+            message: format!("update facts must be ground over constants: {line}"),
+        });
+    };
+    Ok((insert, Fact::new(atom.pred, args)))
+}
+
+/// Parses a whole `POST /update` body (one `±fact(…)` per line, `#`
+/// comments and blank lines allowed) into a delta.
+pub fn parse_update_text(text: &str) -> Result<Delta, TriqError> {
+    let mut delta = Delta::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (insert, fact) = parse_update_line(line)?;
+        if insert {
+            delta.add_insert(fact);
+        } else {
+            delta.add_delete(fact);
+        }
+    }
+    Ok(delta)
+}
+
+/// Maps a [`TriqError`] to the protocol's HTTP status (the table in
+/// `docs/PROTOCOL.md`): malformed input is `400`, a well-formed but
+/// rejected program is `422`, resource exhaustion is `503`, anything
+/// else `500`.
+pub fn http_status(e: &TriqError) -> u16 {
+    match e.code() {
+        "E-PARSE" => 400,
+        "E-INVALID-PROGRAM" | "E-STRATIFY" | "E-OUTPUT-IN-BODY" | "E-LANG-MEMBERSHIP" => 422,
+        "E-RESOURCE" => 503,
+        _ => 500,
+    }
+}
+
+fn triq_error_response(e: &TriqError) -> Response {
+    Response::error(http_status(e), e.code(), &e.to_string())
+}
+
+fn datalog_answers_json(answers: &Answers, version: u64) -> Json {
+    let rows = if answers.is_top() {
+        Json::arr([])
+    } else {
+        // Sort by string content: the store's own order is by interner
+        // id, which depends on interning history, not the data.
+        let mut rows: Vec<Vec<&str>> = answers
+            .tuples()
+            .iter()
+            .map(|t| t.iter().map(|s| s.as_str()).collect())
+            .collect();
+        rows.sort_unstable();
+        Json::arr(
+            rows.into_iter()
+                .map(|t| Json::arr(t.into_iter().map(Json::str))),
+        )
+    };
+    Json::obj([
+        ("version", Json::U64(version)),
+        ("top", Json::Bool(answers.is_top())),
+        ("rows", rows),
+    ])
+}
+
+fn sparql_answers_json(q: &PreparedQuery, mappings: &RegimeAnswers, version: u64) -> Json {
+    // SPARQL-results convention: variable names without the `?` sigil.
+    let vars: Vec<&str> = q
+        .var_names()
+        .unwrap_or_default()
+        .into_iter()
+        .map(|v| v.trim_start_matches('?'))
+        .collect();
+    let (top, rows) = match mappings {
+        RegimeAnswers::Top => (true, Json::arr([])),
+        RegimeAnswers::Mappings(ms) => {
+            let var_ids = q.vars().unwrap_or(&[]);
+            // Sort by string content (unbound cells first), independent
+            // of interner-id order.
+            let mut rows: Vec<Vec<Option<&str>>> = ms
+                .iter()
+                .map(|m| {
+                    var_ids
+                        .iter()
+                        .map(|v| m.get(*v).map(|s| s.as_str()))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            rows.sort_unstable();
+            (
+                false,
+                Json::arr(rows.into_iter().map(|row| {
+                    Json::arr(row.into_iter().map(|cell| match cell {
+                        Some(s) => Json::str(s),
+                        None => Json::Null,
+                    }))
+                })),
+            )
+        }
+    };
+    Json::obj([
+        ("version", Json::U64(version)),
+        ("vars", Json::arr(vars.into_iter().map(Json::str))),
+        ("top", Json::Bool(top)),
+        ("rows", rows),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netting_last_op_wins_across_deltas() {
+        let d1 = Delta::new().insert("p", &["a"]).delete("p", &["b"]);
+        let d2 = Delta::new().delete("p", &["a"]).insert("p", &["c"]);
+        let net = net_deltas([&d1, &d2].into_iter());
+        // d1's delete of p(b) was noted first; p(a)'s last op (d2's
+        // delete) overwrote its earlier insert in place.
+        assert_eq!(
+            net.deletes,
+            vec![Fact::from_strs("p", &["b"]), Fact::from_strs("p", &["a"])]
+        );
+        assert_eq!(net.inserts, vec![Fact::from_strs("p", &["c"])]);
+    }
+
+    #[test]
+    fn update_text_parsing() {
+        let d = parse_update_text("# comment\n+e(a, b)\n\n-e(b, c)\n+p(x)\n").unwrap();
+        assert_eq!(d.inserts.len(), 2);
+        assert_eq!(d.deletes.len(), 1);
+        assert!(parse_update_text("e(a, b)").is_err());
+        assert!(parse_update_text("+e(?X)").is_err());
+    }
+
+    #[test]
+    fn status_mapping_covers_all_codes() {
+        assert_eq!(
+            http_status(&TriqError::Parse {
+                what: "x",
+                message: String::new()
+            }),
+            400
+        );
+        assert_eq!(http_status(&TriqError::Unstratifiable(String::new())), 422);
+        assert_eq!(http_status(&TriqError::OutputInBody(String::new())), 422);
+        assert_eq!(
+            http_status(&TriqError::NotInLanguage {
+                language: "x",
+                reason: String::new()
+            }),
+            422
+        );
+        assert_eq!(
+            http_status(&TriqError::ResourceExhausted(String::new())),
+            503
+        );
+        assert_eq!(http_status(&TriqError::Other(String::new())), 500);
+    }
+}

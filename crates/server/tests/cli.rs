@@ -1,7 +1,7 @@
 //! Integration tests for the `triq-cli` binary.
 
-use std::io::Write;
-use std::process::Command;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
 
 fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join("triq-cli-tests");
@@ -142,6 +142,83 @@ fn update_mode_rejects_malformed_lines() {
     assert!(String::from_utf8(out.stderr)
         .unwrap()
         .contains("must start with '+' or '-'"));
+}
+
+/// The CI server-smoke shape: start `triq-cli serve` on an ephemeral
+/// port, drive query/update/stats through the test client
+/// (curl-equivalent), then stop it cleanly through `POST /shutdown` and
+/// check the exit status.
+#[test]
+fn serve_smoke_starts_serves_and_shuts_down_cleanly() {
+    let g = write_temp("g_serve.ttl", "a knows b .\n b knows c .\n");
+    let rules = write_temp(
+        "serve_rules.dl",
+        "triple(?X, knows, ?Y), triple(?Y, knows, ?Z) -> triple(?X, reaches, ?Z).\n",
+    );
+    let mut child = cli()
+        .args([
+            "serve",
+            g.to_str().unwrap(),
+            rules.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--enable-shutdown",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // The bound address is the first stdout line.
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines.next().unwrap().unwrap();
+    let addr = banner
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .parse()
+        .unwrap();
+
+    let mut client = triq_server::Client::new(addr);
+    let resp = client
+        .post("/query", "SELECT ?X WHERE { ?X reaches ?Z }")
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"rows\":[[\"a\"]]"), "{}", resp.body);
+
+    let resp = client.post("/update", "+triple(c, knows, d)").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let resp = client
+        .post("/query", "SELECT ?X WHERE { ?X reaches ?Z }")
+        .unwrap();
+    assert!(
+        resp.body.contains("\"rows\":[[\"a\"],[\"b\"]]"),
+        "{}",
+        resp.body
+    );
+
+    let resp = client.get("/stats").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"updates_applied\":1"), "{}", resp.body);
+
+    // Clean shutdown: the endpoint answers, the process exits 0.
+    assert_eq!(client.post("/shutdown", "").unwrap().status, 200);
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve exited with {status:?}");
+}
+
+#[test]
+fn serve_rejects_bad_rules_at_startup() {
+    let g = write_temp("g_serve2.ttl", "a p b .\n");
+    let rules = write_temp("serve_bad.dl", "this is not datalog(((\n");
+    let out = cli()
+        .args(["serve", g.to_str().unwrap(), rules.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("E-PARSE"));
 }
 
 #[test]

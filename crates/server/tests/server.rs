@@ -1,0 +1,340 @@
+//! End-to-end integration tests for the HTTP query service: spin up a
+//! server on an ephemeral port and exercise query/update/stats over the
+//! wire, including concurrent readers observing consistent snapshots
+//! mid-update.
+
+use std::sync::Arc;
+use triq::prelude::*;
+use triq_server::{Client, QueryService, Server, ServiceConfig};
+
+/// A graph+rules service on an ephemeral port.
+fn start(turtle: &str, rules: &str, threads: usize) -> (Arc<QueryService>, Server) {
+    let engine = Engine::builder()
+        .library(parse_program(rules).unwrap())
+        .build();
+    let session = engine.load_graph(parse_turtle(turtle).unwrap());
+    let service = QueryService::new(engine, session, ServiceConfig::default());
+    let server = Server::serve(service.clone(), "127.0.0.1:0", threads).unwrap();
+    (service, server)
+}
+
+fn stop(service: Arc<QueryService>, server: Server) {
+    service.stop_writer();
+    server.shutdown();
+}
+
+#[test]
+fn query_update_stats_end_to_end() {
+    let (service, server) = start("a knows b .\n b knows c .", "", 2);
+    let mut client = Client::new(server.local_addr());
+
+    // SPARQL query.
+    let resp = client
+        .post("/query", "SELECT ?X WHERE { ?X knows ?Y }")
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"vars\":[\"X\"]"), "{}", resp.body);
+    assert!(
+        resp.body.contains("\"rows\":[[\"a\"],[\"b\"]]"),
+        "{}",
+        resp.body
+    );
+
+    // Datalog query with explicit output predicate.
+    let resp = client
+        .post(
+            "/query?lang=datalog&output=q",
+            "triple(?X, knows, ?Y), triple(?Y, knows, ?Z) -> q(?X, ?Z).",
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"rows\":[[\"a\",\"c\"]]"),
+        "{}",
+        resp.body
+    );
+
+    // Update: one insert, one delete; both SPARQL answers move.
+    let resp = client
+        .post("/update", "+triple(c, knows, d)\n-triple(a, knows, b)\n")
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"inserted\":1"), "{}", resp.body);
+    assert!(resp.body.contains("\"deleted\":1"), "{}", resp.body);
+
+    let resp = client
+        .post("/query", "SELECT ?X WHERE { ?X knows ?Y }")
+        .unwrap();
+    assert!(
+        resp.body.contains("\"rows\":[[\"b\"],[\"c\"]]"),
+        "{}",
+        resp.body
+    );
+
+    // Stats reflect the work — including snapshot-served reads in the
+    // engine's execution counter.
+    let resp = client.get("/stats").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"queries_served\":3"), "{}", resp.body);
+    assert!(resp.body.contains("\"executions\":3"), "{}", resp.body);
+    assert!(resp.body.contains("\"updates_applied\":1"), "{}", resp.body);
+    assert!(resp.body.contains("\"deltas_applied\""), "{}", resp.body);
+
+    // Health endpoint.
+    assert_eq!(client.get("/health").unwrap().status, 200);
+    stop(service, server);
+}
+
+#[test]
+fn rule_library_applies_to_served_queries() {
+    // The serve-time rule program derives triples every query sees.
+    let (service, server) = start(
+        "a knows b .\n b knows c .",
+        "triple(?X, knows, ?Y), triple(?Y, knows, ?Z) -> triple(?X, reaches, ?Z).",
+        2,
+    );
+    let mut client = Client::new(server.local_addr());
+    let resp = client
+        .post("/query", "SELECT ?X WHERE { ?X reaches ?Z }")
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"rows\":[[\"a\"]]"), "{}", resp.body);
+    stop(service, server);
+}
+
+#[test]
+fn rows_sort_by_content_not_interning_order() {
+    // "z"/"m" intern before "a" does (graph load order), but the wire
+    // rows must come back in string order regardless.
+    let (service, server) = start("z knows m .", "", 1);
+    let mut client = Client::new(server.local_addr());
+    let resp = client.post("/update", "+triple(a, knows, b)").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let resp = client
+        .post("/query", "SELECT ?X WHERE { ?X knows ?Y }")
+        .unwrap();
+    assert!(
+        resp.body.contains("\"rows\":[[\"a\"],[\"z\"]]"),
+        "{}",
+        resp.body
+    );
+    let resp = client
+        .post(
+            "/query?lang=datalog&output=q",
+            "triple(?X, knows, ?Y) -> q(?X).",
+        )
+        .unwrap();
+    assert!(
+        resp.body.contains("\"rows\":[[\"a\"],[\"z\"]]"),
+        "{}",
+        resp.body
+    );
+    stop(service, server);
+}
+
+#[test]
+fn regimes_are_selectable() {
+    let (service, server) = start(
+        "dog rdf:type animal .\n\
+         animal rdfs:subClassOf some_eats .\n\
+         some_eats rdf:type owl:Restriction .\n\
+         some_eats owl:onProperty eats .\n\
+         some_eats owl:someValuesFrom owl:Thing .",
+        "",
+        2,
+    );
+    let mut client = Client::new(server.local_addr());
+    let q = "SELECT ?X WHERE { ?X eats _:B }";
+    let plain = client.post("/query?regime=plain", q).unwrap();
+    assert!(plain.body.contains("\"rows\":[]"), "{}", plain.body);
+    let kall = client.post("/query?regime=kall", q).unwrap();
+    assert!(kall.body.contains("[\"dog\""), "{}", kall.body);
+    let bad = client.post("/query?regime=nonsense", q).unwrap();
+    assert_eq!(bad.status, 400);
+    stop(service, server);
+}
+
+#[test]
+fn error_codes_map_to_http_statuses() {
+    let (service, server) = start("a p b .", "", 1);
+    let mut client = Client::new(server.local_addr());
+
+    // Parse error → 400 with the stable code in the body.
+    let resp = client.post("/query", "SELECT WHERE {").unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("\"error\":\"E-PARSE\""), "{}", resp.body);
+
+    // Output predicate in a rule body → 422.
+    let resp = client
+        .post("/query?lang=datalog&output=q", "q(?X) -> r(?X).")
+        .unwrap();
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"error\":\"E-OUTPUT-IN-BODY\""),
+        "{}",
+        resp.body
+    );
+
+    // Unstratifiable program → 422 E-STRATIFY.
+    let resp = client
+        .post(
+            "/query?lang=datalog&output=out",
+            "p(?X), !q(?X) -> q(?X).\n q(?X) -> out(?X).",
+        )
+        .unwrap();
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"error\":\"E-STRATIFY\""),
+        "{}",
+        resp.body
+    );
+
+    // Missing output for datalog, malformed update line → 400.
+    let resp = client
+        .post("/query?lang=datalog", "p(?X) -> q(?X).")
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = client.post("/update", "triple(a, p, b)").unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+
+    // Unknown endpoint → 404; wrong method → 405; disabled /shutdown → 403.
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    assert_eq!(client.get("/query").unwrap().status, 405);
+    assert_eq!(client.post("/shutdown", "").unwrap().status, 403);
+    stop(service, server);
+}
+
+#[test]
+fn concurrent_readers_observe_consistent_snapshots_mid_update() {
+    // Readers hammer two queries whose answers must stay mutually
+    // consistent (k edges ⇒ k·(k+1)/2 closure pairs on a chain) while a
+    // writer keeps growing the chain through POST /update. Every
+    // response pair read within one /query call reflects one published
+    // snapshot — the version field lets the test pair them up.
+    let (service, server) = start(
+        "n0 e n1 .",
+        "triple(?X, e, ?Y) -> triple(?X, t, ?Y).\n\
+         triple(?X, e, ?Y), triple(?Y, t, ?Z) -> triple(?X, t, ?Z).",
+        4,
+    );
+    let addr = server.local_addr();
+
+    // Materialize both plans before racing.
+    let mut c = Client::new(addr);
+    assert_eq!(
+        c.post("/query", "SELECT ?X ?Y WHERE { ?X e ?Y }")
+            .unwrap()
+            .status,
+        200
+    );
+    assert_eq!(
+        c.post("/query", "SELECT ?X ?Y WHERE { ?X t ?Y }")
+            .unwrap()
+            .status,
+        200
+    );
+
+    let writer = std::thread::spawn(move || {
+        let mut c = Client::new(addr);
+        for i in 1..24 {
+            let line = format!("+triple(n{i}, e, n{})", i + 1);
+            let resp = c.post("/update", &line).unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.body);
+        }
+    });
+
+    fn rows_and_version(body: &str) -> (usize, u64) {
+        let rows = body.matches("[\"n").count();
+        let version: u64 = body
+            .split("\"version\":")
+            .nth(1)
+            .and_then(|s| s.split(&[',', '}'][..]).next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no version in {body}"));
+        (rows, version)
+    }
+
+    let mut readers = Vec::new();
+    for _ in 0..3 {
+        readers.push(std::thread::spawn(move || {
+            let mut c = Client::new(addr);
+            for _ in 0..30 {
+                let e = c.post("/query", "SELECT ?X ?Y WHERE { ?X e ?Y }").unwrap();
+                let t = c.post("/query", "SELECT ?X ?Y WHERE { ?X t ?Y }").unwrap();
+                assert_eq!(e.status, 200);
+                assert_eq!(t.status, 200);
+                let (k, ve) = rows_and_version(&e.body);
+                let (pairs, vt) = rows_and_version(&t.body);
+                // Same version ⇒ the two answers came from the same
+                // snapshot and must be arithmetically consistent.
+                if ve == vt {
+                    assert_eq!(
+                        pairs,
+                        k * (k + 1) / 2,
+                        "snapshot v{ve} is internally inconsistent: \
+                         {k} edges vs {pairs} closure pairs"
+                    );
+                }
+            }
+        }));
+    }
+    for r in readers {
+        r.join().unwrap();
+    }
+    writer.join().unwrap();
+
+    // Final state: 24 edges on the chain.
+    let final_resp = c.post("/query", "SELECT ?X ?Y WHERE { ?X e ?Y }").unwrap();
+    let (k, _) = rows_and_version(&final_resp.body);
+    assert_eq!(k, 24);
+    stop(service, server);
+}
+
+#[test]
+fn oversized_request_head_gets_413_not_unbounded_buffering() {
+    use std::io::{Read, Write};
+    let (service, server) = start("a p b .", "", 1);
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    // Stream far more than the 64 KiB head budget with no newline: the
+    // server must answer 413 instead of buffering forever.
+    let chunk = [b'A'; 8 * 1024];
+    let mut sent = 0usize;
+    while sent < 96 * 1024 {
+        match stream.write_all(&chunk) {
+            Ok(()) => sent += chunk.len(),
+            Err(_) => break, // server already responded and closed
+        }
+    }
+    let mut response = String::new();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let _ = stream.read_to_string(&mut response);
+    assert!(
+        response.starts_with("HTTP/1.1 413"),
+        "expected 413, got: {:.100}",
+        response
+    );
+    stop(service, server);
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server_cleanly() {
+    let engine = Engine::new();
+    let session = engine.load_graph(parse_turtle("a p b .").unwrap());
+    let service = QueryService::new(
+        engine,
+        session,
+        ServiceConfig {
+            enable_shutdown: true,
+        },
+    );
+    let server = Server::serve(service.clone(), "127.0.0.1:0", 2).unwrap();
+    let mut client = Client::new(server.local_addr());
+    assert_eq!(client.get("/health").unwrap().status, 200);
+    let resp = client.post("/shutdown", "").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(server.shutdown_requested());
+    // join() drains and returns promptly after the request above.
+    server.join();
+}

@@ -6,3 +6,10 @@
 //! interning boundary and the chase data flow.
 
 pub use triq::*;
+
+/// The README's code blocks, compiled and run as doctests — the
+/// doc-freshness guard: if the quickstart snippets stop building,
+/// `cargo test` (and CI) fail.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
