@@ -1,0 +1,262 @@
+//! Per-relation statistics for cost-based join planning.
+//!
+//! The chase's join planner orders a rule's body atoms by *estimated*
+//! intermediate-result size, which needs three numbers per stored column:
+//! how many rows there are, roughly how many **distinct** values the
+//! column holds (the divisor that turns "rows" into "rows per binding"),
+//! and the value range (a bound constant outside `[min, max]` cannot
+//! match at all). The types here are deliberately dependency-free and
+//! *insert-monotone*: the relation store updates them in O(1) on every
+//! fresh insert and never on lookup, so keeping statistics costs the hot
+//! write path two array writes and a hash.
+//!
+//! Distinct counts use a small HyperLogLog sketch ([`DistinctSketch`],
+//! 256 one-byte registers): exact behaviour on tiny columns via the
+//! standard linear-counting small-range correction, and a relative error
+//! around 6–7 % at any larger cardinality — adversarial skew (the same
+//! value inserted a million times) cannot inflate the estimate, because
+//! the sketch observes each distinct hash, not each insert.
+
+/// Number of HyperLogLog registers (must be a power of two). 256 gives
+/// `1.04 / sqrt(256)` ≈ 6.5 % standard error in 256 bytes per column.
+const REGISTERS: usize = 256;
+/// log2(REGISTERS): the number of hash bits consumed by register choice.
+const REG_BITS: u32 = 8;
+
+/// SplitMix64: a statistically strong, dependency-free 64-bit mixer.
+/// The sketch needs well-dispersed bits from small integer keys
+/// (interned ids); this is the standard choice.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A HyperLogLog cardinality sketch over `u64` keys.
+///
+/// `insert` is O(1) and idempotent per distinct key; `estimate` applies
+/// the standard bias correction plus the linear-counting small-range
+/// correction, so small columns (the common case for rule constants)
+/// are counted near-exactly.
+#[derive(Clone)]
+pub struct DistinctSketch {
+    registers: [u8; REGISTERS],
+}
+
+impl Default for DistinctSketch {
+    fn default() -> Self {
+        DistinctSketch {
+            registers: [0; REGISTERS],
+        }
+    }
+}
+
+impl std::fmt::Debug for DistinctSketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistinctSketch")
+            .field("estimate", &self.estimate())
+            .finish()
+    }
+}
+
+impl DistinctSketch {
+    /// An empty sketch (estimate 0).
+    pub fn new() -> Self {
+        DistinctSketch::default()
+    }
+
+    /// Observes one key. Duplicate keys never change the estimate.
+    #[inline]
+    pub fn insert(&mut self, key: u64) {
+        let h = mix64(key);
+        let reg = (h & (REGISTERS as u64 - 1)) as usize;
+        // Rank of the remaining bits: position of the first set bit,
+        // counted from 1. A zero remainder ranks at the full width.
+        let rest = h >> REG_BITS;
+        let rank = (rest.trailing_zeros() + 1).min(64 - REG_BITS + 1) as u8;
+        if rank > self.registers[reg] {
+            self.registers[reg] = rank;
+        }
+    }
+
+    /// The estimated number of distinct keys observed.
+    pub fn estimate(&self) -> u64 {
+        let m = REGISTERS as f64;
+        let mut sum = 0.0f64;
+        let mut zeros = 0usize;
+        for &r in &self.registers {
+            sum += 1.0 / f64::from(1u32 << u32::from(r.min(31)));
+            if r == 0 {
+                zeros += 1;
+            }
+        }
+        // alpha_256 from the HLL paper's alpha_m formula (m >= 128).
+        let alpha = 0.7213 / (1.0 + 1.079 / m);
+        let raw = alpha * m * m / sum;
+        let est = if raw <= 2.5 * m && zeros > 0 {
+            // Small-range correction: linear counting on empty registers.
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        };
+        est.round() as u64
+    }
+}
+
+/// Insert-monotone statistics of one stored column.
+#[derive(Clone, Debug, Default)]
+pub struct ColumnStats {
+    sketch: DistinctSketch,
+    /// Smallest raw key observed (`None` while the column is empty).
+    min: Option<u32>,
+    /// Largest raw key observed.
+    max: Option<u32>,
+}
+
+impl ColumnStats {
+    /// Observes a freshly inserted value (its raw interned id).
+    #[inline]
+    pub fn observe(&mut self, raw: u32) {
+        self.sketch.insert(u64::from(raw));
+        self.min = Some(self.min.map_or(raw, |m| m.min(raw)));
+        self.max = Some(self.max.map_or(raw, |m| m.max(raw)));
+    }
+
+    /// Estimated distinct values ever inserted (tombstones are not
+    /// subtracted — the stats are planning hints, not live counts).
+    pub fn distinct(&self) -> u64 {
+        self.sketch.estimate()
+    }
+
+    /// True iff `raw` lies outside every value ever inserted here — a
+    /// probe for it can be costed at zero.
+    #[inline]
+    pub fn excludes(&self, raw: u32) -> bool {
+        match (self.min, self.max) {
+            (Some(lo), Some(hi)) => raw < lo || raw > hi,
+            _ => true, // nothing inserted: everything is excluded
+        }
+    }
+
+    /// The observed `[min, max]` raw-key range, if any value was inserted.
+    pub fn range(&self) -> Option<(u32, u32)> {
+        Some((self.min?, self.max?))
+    }
+}
+
+/// Statistics of one relation: insert count plus per-column stats.
+///
+/// `rows` counts *insertions*; the live row count (which deletions
+/// shrink) belongs to the store itself. The planner uses live counts for
+/// cardinality and these per-column stats for selectivity.
+#[derive(Clone, Debug, Default)]
+pub struct RelationStats {
+    /// Rows ever inserted (never decremented).
+    pub rows: u64,
+    /// Per-column statistics, index-aligned with the stored columns.
+    pub cols: Vec<ColumnStats>,
+}
+
+impl RelationStats {
+    /// Stats for a relation of the given arity, all columns empty.
+    pub fn new(arity: usize) -> Self {
+        RelationStats {
+            rows: 0,
+            cols: vec![ColumnStats::default(); arity],
+        }
+    }
+
+    /// Observes one freshly inserted row (raw interned ids, column order).
+    #[inline]
+    pub fn observe_row(&mut self, raw: impl Iterator<Item = u32>) {
+        self.rows += 1;
+        for (col, key) in self.cols.iter_mut().zip(raw) {
+            col.observe(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimate_of(n: u64, dup: u64) -> u64 {
+        let mut s = DistinctSketch::new();
+        for i in 0..n {
+            for _ in 0..dup {
+                s.insert(i);
+            }
+        }
+        s.estimate()
+    }
+
+    #[test]
+    fn small_cardinalities_are_near_exact() {
+        for n in [0u64, 1, 2, 5, 17, 60] {
+            let est = estimate_of(n, 1);
+            assert!(
+                est.abs_diff(n) <= 1 + n / 20,
+                "estimate {est} for {n} distinct"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_stay_within_bound_across_scales() {
+        // 1.04/sqrt(256) ≈ 6.5 % standard error; assert a 3-sigma-ish
+        // 20 % bound at every scale.
+        for n in [100u64, 1_000, 10_000, 100_000] {
+            let est = estimate_of(n, 1);
+            let err = est.abs_diff(n) as f64 / n as f64;
+            assert!(err < 0.20, "estimate {est} for {n} distinct ({err:.3})");
+        }
+    }
+
+    #[test]
+    fn adversarial_skew_does_not_inflate_the_estimate() {
+        // The same 50 keys hammered 10_000 times each must still read
+        // as ~50 distinct — duplicate inserts are invisible to HLL.
+        let est = estimate_of(50, 10_000);
+        assert!(est.abs_diff(50) <= 5, "skewed estimate {est} for 50");
+        // And a hot-key-plus-long-tail mix (zipf-ish) is just its
+        // distinct count.
+        let mut s = DistinctSketch::new();
+        for _ in 0..1_000_000 {
+            s.insert(7);
+        }
+        for i in 0..500u64 {
+            s.insert(1_000 + i);
+        }
+        let est = s.estimate();
+        let err = est.abs_diff(501) as f64 / 501.0;
+        assert!(err < 0.20, "skewed estimate {est} for 501 ({err:.3})");
+    }
+
+    #[test]
+    fn column_stats_track_range_and_distinct() {
+        let mut c = ColumnStats::default();
+        assert!(c.excludes(3));
+        for raw in [10u32, 20, 15, 10, 10] {
+            c.observe(raw);
+        }
+        assert_eq!(c.range(), Some((10, 20)));
+        assert!(c.excludes(9));
+        assert!(c.excludes(21));
+        assert!(!c.excludes(15));
+        assert!(c.distinct() >= 2 && c.distinct() <= 4, "{}", c.distinct());
+    }
+
+    #[test]
+    fn relation_stats_observe_rows_columnwise() {
+        let mut r = RelationStats::new(2);
+        r.observe_row([1u32, 100].into_iter());
+        r.observe_row([2u32, 100].into_iter());
+        r.observe_row([3u32, 100].into_iter());
+        assert_eq!(r.rows, 3);
+        assert!(r.cols[0].distinct() >= 2);
+        assert_eq!(r.cols[1].distinct(), 1);
+        assert_eq!(r.cols[1].range(), Some((100, 100)));
+    }
+}

@@ -179,6 +179,55 @@ struct EngineCounters {
     deltas_applied: AtomicUsize,
     atoms_overdeleted: AtomicU64,
     atoms_rederived: AtomicU64,
+    plans_compiled: AtomicU64,
+    replans: AtomicU64,
+    index_builds: AtomicU64,
+    index_probes: AtomicU64,
+}
+
+impl EngineCounters {
+    /// Folds one incremental delta application into the counters.
+    fn absorb_delta(&self, summary: &triq_datalog::DeltaSummary) {
+        self.deltas_applied.fetch_add(1, Ordering::Relaxed);
+        self.atoms_overdeleted
+            .fetch_add(summary.overdeleted as u64, Ordering::Relaxed);
+        self.atoms_rederived
+            .fetch_add(summary.rederived as u64, Ordering::Relaxed);
+        self.atoms_derived
+            .fetch_add(summary.inserted as u64, Ordering::Relaxed);
+        self.plans_compiled
+            .fetch_add(summary.plans_compiled as u64, Ordering::Relaxed);
+        self.replans
+            .fetch_add(summary.replans as u64, Ordering::Relaxed);
+        self.index_builds
+            .fetch_add(summary.index_builds as u64, Ordering::Relaxed);
+        self.index_probes
+            .fetch_add(summary.index_probes, Ordering::Relaxed);
+        if summary.full_rebuild {
+            // Null-entangled deletion: the delta was answered by the
+            // automatic full re-chase fallback.
+            self.chase_runs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds one from-scratch chase (a view's first build) into the
+    /// counters.
+    fn absorb_built(&self, stats: &triq_datalog::ChaseStats) {
+        self.chase_runs.fetch_add(1, Ordering::Relaxed);
+        self.atoms_derived
+            .fetch_add(stats.derived as u64, Ordering::Relaxed);
+        self.join_probes.fetch_add(stats.probes, Ordering::Relaxed);
+        self.parallel_strata
+            .fetch_add(stats.parallel_strata, Ordering::Relaxed);
+        self.plans_compiled
+            .fetch_add(stats.plans_compiled as u64, Ordering::Relaxed);
+        self.replans
+            .fetch_add(stats.replans as u64, Ordering::Relaxed);
+        self.index_builds
+            .fetch_add(stats.index_builds as u64, Ordering::Relaxed);
+        self.index_probes
+            .fetch_add(stats.index_probes, Ordering::Relaxed);
+    }
 }
 
 #[derive(Debug)]
@@ -215,6 +264,18 @@ pub struct EngineStats {
     pub atoms_overdeleted: u64,
     /// Over-deleted atoms that rederivation restored.
     pub atoms_rederived: u64,
+    /// Join plans compiled from live statistics by the chase's
+    /// cost-based planner (first stats-driven planning of a rule within
+    /// a run).
+    pub plans_compiled: u64,
+    /// Plans recomputed at stratum entry after cardinality drift.
+    pub replans: u64,
+    /// On-demand joint hash indexes built on relations (rebuilds after
+    /// tombstone/compaction invalidation count again).
+    pub index_builds: u64,
+    /// Join probes served by hash indexes (whole-tuple probes at
+    /// fully-bound plan positions plus joint-index lookups).
+    pub index_probes: u64,
 }
 
 impl EngineStats {
@@ -233,6 +294,10 @@ impl EngineStats {
             ("deltas_applied", Json::U64(self.deltas_applied as u64)),
             ("atoms_overdeleted", Json::U64(self.atoms_overdeleted)),
             ("atoms_rederived", Json::U64(self.atoms_rederived)),
+            ("plans_compiled", Json::U64(self.plans_compiled)),
+            ("replans", Json::U64(self.replans)),
+            ("index_builds", Json::U64(self.index_builds)),
+            ("index_probes", Json::U64(self.index_probes)),
         ])
     }
 }
@@ -286,6 +351,10 @@ impl Engine {
             deltas_applied: s.deltas_applied.load(Ordering::Relaxed),
             atoms_overdeleted: s.atoms_overdeleted.load(Ordering::Relaxed),
             atoms_rederived: s.atoms_rederived.load(Ordering::Relaxed),
+            plans_compiled: s.plans_compiled.load(Ordering::Relaxed),
+            replans: s.replans.load(Ordering::Relaxed),
+            index_builds: s.index_builds.load(Ordering::Relaxed),
+            index_probes: s.index_probes.load(Ordering::Relaxed),
         }
     }
 
@@ -777,21 +846,7 @@ impl Session {
             if synced != version {
                 let delta = ops.delta_since(synced);
                 match view.apply(&delta) {
-                    Ok(summary) => {
-                        stats.deltas_applied.fetch_add(1, Ordering::Relaxed);
-                        stats
-                            .atoms_overdeleted
-                            .fetch_add(summary.overdeleted as u64, Ordering::Relaxed);
-                        stats
-                            .atoms_rederived
-                            .fetch_add(summary.rederived as u64, Ordering::Relaxed);
-                        stats
-                            .atoms_derived
-                            .fetch_add(summary.inserted as u64, Ordering::Relaxed);
-                        if summary.full_rebuild {
-                            stats.chase_runs.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
+                    Ok(summary) => stats.absorb_delta(&summary),
                     Err(_) => return false,
                 }
             }
@@ -1240,35 +1295,8 @@ impl PreparedQuery {
             SyncKind::Hit => {
                 stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             }
-            SyncKind::Delta(summary) => {
-                stats.deltas_applied.fetch_add(1, Ordering::Relaxed);
-                stats
-                    .atoms_overdeleted
-                    .fetch_add(summary.overdeleted as u64, Ordering::Relaxed);
-                stats
-                    .atoms_rederived
-                    .fetch_add(summary.rederived as u64, Ordering::Relaxed);
-                stats
-                    .atoms_derived
-                    .fetch_add(summary.inserted as u64, Ordering::Relaxed);
-                if summary.full_rebuild {
-                    // Null-entangled deletion: the delta was answered by
-                    // the automatic full re-chase fallback.
-                    stats.chase_runs.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            SyncKind::Built => {
-                stats.chase_runs.fetch_add(1, Ordering::Relaxed);
-                stats
-                    .atoms_derived
-                    .fetch_add(outcome.stats.derived as u64, Ordering::Relaxed);
-                stats
-                    .join_probes
-                    .fetch_add(outcome.stats.probes, Ordering::Relaxed);
-                stats
-                    .parallel_strata
-                    .fetch_add(outcome.stats.parallel_strata, Ordering::Relaxed);
-            }
+            SyncKind::Delta(summary) => stats.absorb_delta(&summary),
+            SyncKind::Built => stats.absorb_built(&outcome.stats),
         }
         Ok(outcome)
     }

@@ -78,6 +78,13 @@
 //! session.remove_fact("e", &["b", "c"]);
 //! assert!(!reach.execute(&session)?.contains(&["a", "d"]));
 //! assert!(engine.stats().deltas_applied >= 2);
+//! // The chase's cost-based join planner reports through the same
+//! // counters: plans compiled / re-planned on cardinality drift, plus
+//! // on-demand hash-index builds and the probes they served (see the
+//! // "Join planning" section of docs/ARCHITECTURE.md). A db this tiny
+//! // never drifts past the planning threshold, so nothing ticks yet.
+//! let stats = engine.stats();
+//! let _ = (stats.plans_compiled, stats.replans, stats.index_builds);
 //! # Ok::<(), TriqError>(())
 //! ```
 //!
@@ -141,7 +148,7 @@ pub mod prelude {
     pub use triq_common::{intern, Delta, Fact, NullId, Symbol, Term, TriqError, VarId};
     pub use triq_datalog::{
         classify_program, parse_atom, parse_program, parse_query, AnswerIter, Answers, ChaseConfig,
-        ChaseRunner, Database, ExistentialStrategy, MaterializedView, Program, Query,
+        ChaseRunner, Database, ExistentialStrategy, JoinPlanner, MaterializedView, Program, Query,
     };
     pub use triq_owl2ql::{
         ontology_from_graph, ontology_to_graph, parse_functional, tau_db, tau_owl2ql_core, Axiom,

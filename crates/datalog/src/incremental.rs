@@ -67,6 +67,7 @@ use crate::chase::{
     Engine, SkolemMemo,
 };
 use crate::instance::{AtomId, Database, Instance, Relation};
+use crate::planner::RulePlan;
 use crate::proof::DependencyIndex;
 use crate::Program;
 use std::collections::{HashMap, HashSet};
@@ -103,6 +104,14 @@ pub struct DeltaSummary {
     /// True iff the delta was answered by a full re-chase instead of
     /// incremental maintenance.
     pub full_rebuild: bool,
+    /// Join plans the resumed chase compiled from live statistics.
+    pub plans_compiled: usize,
+    /// Plans recomputed because cardinalities drifted during the apply.
+    pub replans: usize,
+    /// Joint hash indexes (re-)built during the apply.
+    pub index_builds: usize,
+    /// Probes served by hash indexes during the apply.
+    pub index_probes: u64,
 }
 
 /// Head predicate → `(stratum, rule index)` of every rule that can
@@ -122,6 +131,10 @@ pub struct MaterializedView {
     base: Database,
     outcome: Arc<ChaseOutcome>,
     skolem: SkolemMemo,
+    /// Stats-driven join plans retained across applies (like the skolem
+    /// memo): each resumed chase re-plans only on cardinality drift
+    /// instead of from scratch.
+    plans: Vec<RulePlan>,
     deps: DependencyIndex,
     stats: MaintenanceStats,
     /// Predicates occurring in the head of some existential rule — an
@@ -157,11 +170,12 @@ impl MaterializedView {
             runner.compiled(),
             runner.compiled_constraints(),
             runner.strata_rules(),
+            runner.initial_plans(),
             db.to_instance(),
             runner.config(),
         )?;
         let inconsistent = engine.check_constraints();
-        let (instance, stats, skolem) = engine.into_parts();
+        let (instance, stats, skolem, plans) = engine.into_parts();
         let deps = DependencyIndex::from_instance(&instance);
         let program = runner.program();
         let mut exist_head_preds = HashSet::new();
@@ -194,6 +208,7 @@ impl MaterializedView {
                 stats,
             }),
             skolem,
+            plans,
             deps,
             stats: MaintenanceStats::default(),
             exist_head_preds,
@@ -326,13 +341,23 @@ impl MaterializedView {
     pub fn full_rebuild(&mut self) -> Result<DeltaSummary> {
         match MaterializedView::new(self.runner.clone(), self.base.clone()) {
             Ok(rebuilt) => {
+                // The rebuild's own chase planned and indexed from
+                // scratch; surface that work in the summary so the
+                // engine counters don't go flat exactly on the degraded
+                // path an operator would be diagnosing.
+                let run = rebuilt.outcome.stats;
                 self.outcome = rebuilt.outcome;
                 self.skolem = rebuilt.skolem;
+                self.plans = rebuilt.plans;
                 self.deps = rebuilt.deps;
                 self.stats.full_rebuilds += 1;
                 self.poisoned = false;
                 Ok(DeltaSummary {
                     full_rebuild: true,
+                    plans_compiled: run.plans_compiled,
+                    replans: run.replans,
+                    index_builds: run.index_builds,
+                    index_probes: run.index_probes,
                     ..DeltaSummary::default()
                 })
             }
@@ -376,6 +401,7 @@ impl MaterializedView {
         let mut engine = Engine::new(
             self.runner.compiled(),
             self.runner.compiled_constraints(),
+            std::mem::take(&mut self.plans),
             instance,
             self.runner.config(),
         );
@@ -497,15 +523,24 @@ impl MaterializedView {
         // Constraints see the final instance, as in a from-scratch run.
         outcome.inconsistent = !program.constraints.is_empty() && engine.check_constraints();
 
-        let (instance, run_stats, skolem) = engine.into_parts();
+        let (instance, run_stats, skolem, plans) = engine.into_parts();
         outcome.stats.derived += run_stats.derived;
         outcome.stats.rounds += run_stats.rounds;
         outcome.stats.nulls += run_stats.nulls;
         outcome.stats.probes += run_stats.probes;
         outcome.stats.parallel_strata += run_stats.parallel_strata;
+        outcome.stats.plans_compiled += run_stats.plans_compiled;
+        outcome.stats.replans += run_stats.replans;
+        outcome.stats.index_builds += run_stats.index_builds;
+        outcome.stats.index_probes += run_stats.index_probes;
         outcome.stats.truncated |= run_stats.truncated;
         outcome.instance = instance;
         self.skolem = skolem;
+        self.plans = plans;
+        summary.plans_compiled = run_stats.plans_compiled;
+        summary.replans = run_stats.replans;
+        summary.index_builds = run_stats.index_builds;
+        summary.index_probes = run_stats.index_probes;
 
         self.stats.atoms_overdeleted += summary.overdeleted as u64;
         self.stats.atoms_rederived += summary.rederived as u64;

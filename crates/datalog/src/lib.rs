@@ -37,6 +37,7 @@ pub mod incremental;
 mod instance;
 mod parser;
 pub mod pep;
+mod planner;
 mod positions;
 mod program;
 mod proof;
@@ -58,6 +59,7 @@ pub use eval::{AnswerIter, Answers, Query};
 pub use incremental::{DeltaSummary, MaintenanceStats, MaterializedView};
 pub use instance::{AtomId, Database, Derivation, GroundAtom, Instance, Relation};
 pub use parser::{parse_atom, parse_program, parse_query};
+pub use planner::JoinPlanner;
 pub use positions::{affected_positions, Pos, PositionSet};
 pub use program::{Constraint, Program, Rule};
 pub use proof::{proof_tree, render_proof_tree, DependencyIndex, ProofNode, ProofTree};

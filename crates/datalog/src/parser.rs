@@ -54,8 +54,12 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
     while let Some(&(i, c)) = chars.peek() {
         match c {
             '#' => {
+                // A comment runs to the end of the line, where "line"
+                // must include CR-only endings: stopping at '\n' alone
+                // silently swallowed the rest of a CR-terminated program
+                // (the rules after the comment simply vanished).
                 for (_, ch) in chars.by_ref() {
-                    if ch == '\n' {
+                    if ch == '\n' || ch == '\r' {
                         break;
                     }
                 }

@@ -1,5 +1,6 @@
 //! Fuzz-style robustness: the parsers must reject garbage with an error,
-//! never panic, on arbitrary input.
+//! never panic, on arbitrary input — and comments / exotic line endings
+//! anywhere in a rule must not change what is parsed.
 
 use proptest::prelude::*;
 use triq_datalog::{parse_atom, parse_program};
@@ -23,10 +24,72 @@ proptest! {
         prop::sample::select(vec![
             "p(?X)", "->", "exists", "?Y", ",", ".", "!", "false", "(", ")",
             "q(?X, ?Y)", "?X != ?Y", "\"lit\"", "triple(?A, rdf:type, ?B)",
+            "# comment", "\r\n", "\r", "\n",
         ]),
         0..12,
     )) {
         let input = tokens.join(" ");
         let _ = parse_program(&input);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Comments and line endings inside rule bodies.
+//
+// The reference program, written plainly:
+const PLAIN: &str = "p(?X, c), q(?X) -> r(?X).\n q(?X), !r(?X) -> s(?X).";
+
+/// Every variant must parse to exactly the program `PLAIN` parses to.
+fn assert_parses_like_plain(variant: &str) {
+    let want = parse_program(PLAIN).unwrap();
+    let got = parse_program(variant)
+        .unwrap_or_else(|e| panic!("variant {variant:?} failed to parse: {e}"));
+    assert_eq!(got, want, "variant {variant:?} parsed differently");
+}
+
+#[test]
+fn comments_inside_rule_bodies() {
+    // Between body literals, before the arrow, before the head, and
+    // before the terminating dot.
+    assert_parses_like_plain("p(?X, c), # joined on X\n q(?X) -> r(?X).\n q(?X), !r(?X) -> s(?X).");
+    assert_parses_like_plain("p(?X, c), q(?X) # body done\n -> r(?X).\n q(?X), !r(?X) -> s(?X).");
+    assert_parses_like_plain("p(?X, c), q(?X) -> # head next\n r(?X).\n q(?X), !r(?X) -> s(?X).");
+    assert_parses_like_plain("p(?X, c), q(?X) -> r(?X) # dot next\n.\n q(?X), !r(?X) -> s(?X).");
+}
+
+#[test]
+fn crlf_line_endings_everywhere() {
+    // The whole program with Windows line endings, including inside a
+    // rule body split across lines.
+    assert_parses_like_plain("p(?X, c),\r\nq(?X) -> r(?X).\r\nq(?X), !r(?X) -> s(?X).\r\n");
+    // CRLF directly after a comment inside a body.
+    assert_parses_like_plain("p(?X, c), # note\r\nq(?X) -> r(?X).\r\nq(?X), !r(?X) -> s(?X).\r\n");
+}
+
+#[test]
+fn cr_only_line_endings_do_not_swallow_rules() {
+    // Regression: a comment used to run to the next '\n' only, so with
+    // classic-Mac CR-only line endings everything after the first
+    // comment was silently *dropped* — the program parsed "successfully"
+    // with zero rules. A comment now ends at '\r' too.
+    assert_parses_like_plain("# header\rp(?X, c), q(?X) -> r(?X).\rq(?X), !r(?X) -> s(?X).\r");
+    assert_parses_like_plain(
+        "p(?X, c), # mid-body comment\rq(?X) -> r(?X).\rq(?X), !r(?X) -> s(?X).",
+    );
+    let p = parse_program("# only a comment\rp(?X) -> q(?X).").unwrap();
+    assert_eq!(p.rules.len(), 1, "the rule after a CR-terminated comment");
+}
+
+#[test]
+fn trailing_comment_without_newline() {
+    assert_parses_like_plain("p(?X, c), q(?X) -> r(?X).\n q(?X), !r(?X) -> s(?X). # done");
+}
+
+#[test]
+fn comments_never_leak_into_string_literals() {
+    // '#' inside a quoted literal is content, not a comment.
+    let p = parse_program("triple(?X, label, \"#1 hit\") -> q(?X).").unwrap();
+    assert_eq!(p.rules.len(), 1);
+    let shown = p.to_string();
+    assert!(shown.contains("#1 hit"), "literal survived: {shown}");
 }

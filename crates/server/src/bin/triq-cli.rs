@@ -69,6 +69,10 @@ fn print_stats(engine: &Engine) {
     eprintln!("  deltas applied:   {}", s.deltas_applied);
     eprintln!("  atoms overdeleted:{}", s.atoms_overdeleted);
     eprintln!("  atoms rederived:  {}", s.atoms_rederived);
+    eprintln!("  plans compiled:   {}", s.plans_compiled);
+    eprintln!("  replans:          {}", s.replans);
+    eprintln!("  index builds:     {}", s.index_builds);
+    eprintln!("  index probes:     {}", s.index_probes);
 }
 
 fn main() -> ExitCode {

@@ -16,6 +16,153 @@ use triq::prelude::*;
 pub const PREDS: [&str; 4] = ["p", "q", "r", "s"];
 pub const CONSTS: [&str; 3] = ["a", "b", "c"];
 
+/// A random long-chain rule: `c0(?V0,?V1), c1(?V1,?V2), …, ck-1(?Vk-1,?Vk)
+/// -> chain_out(?V0,?Vk)`, optionally *closed* into a cycle (the last
+/// atom reuses `?V0`, making its probe position fully bound under any
+/// sensible join order). 3–6 hops over dedicated binary predicates —
+/// the shape where join *order* (not just adaptivity) decides how much
+/// intermediate fanout a plan materializes.
+pub fn random_chain_rule(rng: &mut StdRng) -> Rule {
+    let hops = rng.gen_range(3..=6);
+    let closed = rng.gen_bool(0.5);
+    let var = |i: usize| VarId::new(&format!("V{i}"));
+    let mut body = Vec::new();
+    for k in 0..hops {
+        let to = if closed && k == hops - 1 {
+            var(0)
+        } else {
+            var(k + 1)
+        };
+        body.push(Atom::new(
+            intern(&format!("c{k}")),
+            vec![Term::Var(var(k)), Term::Var(to)],
+        ));
+    }
+    let head_to = if closed { var(0) } else { var(hops) };
+    Rule {
+        body_pos: body,
+        body_neg: vec![],
+        builtins: vec![],
+        exist_vars: vec![],
+        head: vec![Atom::new(
+            intern("chain_out"),
+            vec![Term::Var(var(0)), Term::Var(head_to)],
+        )],
+    }
+}
+
+/// A random star-join rule: 2–3 unary spokes bind distinct columns of a
+/// wide `hub` predicate — the shape where multi-column hub probes have
+/// high single-column fanout and a joint index (or a bad order) shows.
+pub fn random_star_rule(rng: &mut StdRng) -> Rule {
+    let spokes = rng.gen_range(2..=3);
+    let arity = spokes + 1;
+    let var = |i: usize| VarId::new(&format!("S{i}"));
+    let mut body: Vec<Atom> = (0..spokes)
+        .map(|k| Atom::new(intern(&format!("sp{k}")), vec![Term::Var(var(k))]))
+        .collect();
+    let hub_terms: Vec<Term> = (0..arity).map(|i| Term::Var(var(i))).collect();
+    let hub = Atom::new(intern("hub"), hub_terms);
+    // The hub's position in the body is part of what the planner must
+    // not care about: sometimes first, sometimes last.
+    if rng.gen_bool(0.5) {
+        body.insert(0, hub);
+    } else {
+        body.push(hub);
+    }
+    Rule {
+        body_pos: body,
+        body_neg: vec![],
+        builtins: vec![],
+        exist_vars: vec![],
+        head: vec![Atom::new(intern("star_out"), vec![Term::Var(var(spokes))])],
+    }
+}
+
+/// Knobs for [`random_program_shaped`].
+#[derive(Clone, Copy, Debug)]
+pub struct ProgramShape {
+    /// Allow existential rules.
+    pub allow_exists: bool,
+    /// Allow two-headed rules.
+    pub allow_multihead: bool,
+    /// Mix in long-chain and star-join rules (the planner stressors).
+    pub join_shapes: bool,
+}
+
+/// [`random_program`] plus, with `join_shapes`, a chain and/or star rule
+/// appended — programs whose body lengths actually give a join planner
+/// orders to choose between.
+pub fn random_program_shaped(rng: &mut StdRng, shape: ProgramShape) -> Program {
+    let mut program = random_program(rng, shape.allow_exists, shape.allow_multihead);
+    if shape.join_shapes {
+        if rng.gen_bool(0.7) {
+            program.rules.push(random_chain_rule(rng));
+        }
+        if rng.gen_bool(0.7) {
+            program.rules.push(random_star_rule(rng));
+        }
+    }
+    program
+}
+
+/// Bulk-loads the chain (`c*`) and star (`hub`/`sp*`) predicates of
+/// `program` past the planner's drift floor (64 rows) and the
+/// joint-index thresholds (256 rows, fanout ≥ 16) — the handful-of-facts
+/// [`random_db`] never reaches them, so without this the differential
+/// suite would only ever exercise the build-time heuristic plans. Sizes
+/// are chosen so the chase stays small enough for a proptest case.
+pub fn bulk_load_join_shapes(rng: &mut StdRng, program: &Program, db: &mut Database) {
+    let is_chain_hop =
+        |p: &str| p.len() >= 2 && p.starts_with('c') && p[1..].chars().all(|c| c.is_ascii_digit());
+    for (pred, arity) in schema_of(program) {
+        if is_chain_hop(&pred) && arity == 2 {
+            // Fanout-3 hop relation over a 30-node pool: > 64 rows, and
+            // closed chains keep the match count bounded.
+            for i in 0..30 {
+                for j in 0..3 {
+                    db.add_fact(
+                        &pred,
+                        &[
+                            &format!("bn{i}"),
+                            &format!("bn{}", (3 * i + j + rng.gen_range(0..3)) % 30),
+                        ],
+                    );
+                }
+            }
+        } else if pred == "hub" {
+            // 300 rows, first two columns over 16-value pools: clears
+            // JOINT_MIN_ROWS=256 with per-value fanout ~19 ≥ 16.
+            for i in 0..300usize {
+                let args: Vec<String> = (0..arity)
+                    .map(|c| match c {
+                        0 => format!("ba{}", i % 16),
+                        1 => format!("bb{}", i % 16),
+                        // The last column is the star's output variable
+                        // (kept distinct); a middle third column is a
+                        // spoke-bound pool like the first two.
+                        2 if arity == 4 => format!("bc{}", i % 8),
+                        _ => format!("bt{i}"),
+                    })
+                    .collect();
+                let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+                db.add_fact(&pred, &refs);
+            }
+        } else if pred.starts_with("sp") && arity == 1 {
+            // Spokes selective enough to bind, numerous enough that the
+            // expected scan work justifies building the joint index.
+            let pool = match pred.as_str() {
+                "sp0" => "ba",
+                "sp1" => "bb",
+                _ => "bc",
+            };
+            for i in 0..12 {
+                db.add_fact(&pred, &[&format!("{pool}{i}")]);
+            }
+        }
+    }
+}
+
 /// A random Datalog∃,¬s,⊥ program: joins, constants, negation, builtins,
 /// existentials and constraints all appear. With `allow_multihead`,
 /// rules may carry a second head atom — multi-head rules are *lifted* to

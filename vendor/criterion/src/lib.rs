@@ -81,7 +81,27 @@ fn human(ns: f64) -> String {
     }
 }
 
+/// The benchmark-name filter, like real criterion's: the first CLI
+/// argument that is not a flag is a substring filter (`cargo bench
+/// --bench e6_chase_scaling -- star_join` runs only matching benches).
+fn name_filter() -> Option<&'static str> {
+    static FILTER: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    FILTER
+        .get_or_init(|| std::env::args().skip(1).find(|a| !a.starts_with('-')))
+        .as_deref()
+}
+
+/// Whether a benchmark name passes the CLI name filter. Exposed so bench
+/// files can gate their own side work (setup, hand-timed ratio reports)
+/// on exactly the same rule `bench_function` applies.
+pub fn matches_filter(name: &str) -> bool {
+    name_filter().is_none_or(|f| name.contains(f))
+}
+
 fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if !matches_filter(name) {
+        return;
+    }
     let mut b = Bencher::new(samples);
     let wall = Instant::now();
     f(&mut b);
