@@ -1,0 +1,243 @@
+//! E12 — durability: crash recovery vs full re-chase, and the WAL tax
+//! on the write path.
+//!
+//! Workloads (transitive closure over the e6/e9/e10 random graph):
+//!
+//! * `recover/8` — boot from a data directory whose snapshot holds the
+//!   materialized view at scale 8 plus a short WAL tail: open,
+//!   replay, and answer the first query. The snapshot's view is adopted
+//!   by plan fingerprint, so the query is served **without a chase**
+//!   (asserted on the engine counters).
+//! * `rechase/8` — the same final state built the non-durable way: load
+//!   every base fact and run the chase from scratch.
+//! * `apply/{in-memory,wal-off,wal-per-batch}` — the e10 write path
+//!   (single-edge insert+delete pair through `SharedSession::apply`)
+//!   bare, behind a WAL append without fsync, and behind a WAL append
+//!   with per-batch fsync — the durability tax on acknowledged writes.
+//!
+//! The driver's acceptance gate: recovery ≥ 5x faster than the re-chase
+//! at scale 8. Printed as an informational ratio (median of 9) — the CI
+//! container's timer is too noisy to fail the build on, but the answer
+//! counts are asserted equal however the ratio turns out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use triq::prelude::*;
+use triq_persist::{FsyncPolicy, PersistConfig, Persistence};
+
+const TC: &str = "e(?X, ?Y) -> t(?X, ?Y).\n e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).\n\
+                  t(n0, ?Y) -> out(?Y).";
+
+/// Edges per node: denser than e9's 2 so the chase derives each closure
+/// tuple many times over (recovery decodes each retained atom once —
+/// the asymmetry under measurement).
+const DEGREE: usize = 20;
+
+/// WAL records laid down after the checkpoint (the replay tail).
+const TAIL_OPS: usize = 4;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("triq-e12-recovery")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn random_edges(n: usize, seed: u64) -> Vec<(String, String)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for _ in 0..DEGREE {
+            let j = rng.gen_range(0..n);
+            edges.push((format!("n{i}"), format!("n{j}")));
+        }
+    }
+    edges
+}
+
+fn build_engine() -> Engine {
+    Engine::builder().max_atoms(50_000_000).build()
+}
+
+/// Builds a data directory the way a serving process would leave it:
+/// a checkpoint capturing the materialized view, then `TAIL_OPS` more
+/// durably-logged single-edge inserts that only live in the WAL.
+/// Returns the full edge list (base + tail) for the re-chase baseline.
+fn seed_data_dir(dir: &Path, n: usize) -> Vec<(String, String)> {
+    let mut edges = random_edges(n, 42);
+    let engine = build_engine();
+    let q = engine.prepare(Datalog(TC, "out")).unwrap();
+    let mut session = engine.session();
+    for (x, y) in &edges {
+        session.add_fact("e", &[x, y]);
+    }
+    let shared = session.into_shared();
+    shared.execute(&q).unwrap(); // materialize the view
+
+    let opened = Persistence::open(dir, PersistConfig::default(), &engine).unwrap();
+    assert!(opened.session.is_none(), "fresh directory");
+    let mut persistence = opened.persistence;
+    persistence.checkpoint(&shared).unwrap();
+    for i in 0..TAIL_OPS {
+        let (x, y) = (format!("t{i}"), "n0".to_string());
+        let delta = Delta::new().insert("e", &[&x, &y]);
+        persistence
+            .append(shared.version(), &delta, shared.engine())
+            .unwrap();
+        shared.apply(&delta);
+        edges.push((x, y));
+    }
+    edges
+}
+
+/// One cold recovery: fresh engine, open the data directory (snapshot
+/// load + WAL replay), answer the query off the adopted view.
+fn recover_once(dir: &Path) -> (Engine, usize) {
+    let engine = build_engine();
+    let opened = Persistence::open(dir, PersistConfig::default(), &engine).unwrap();
+    let shared = opened.session.expect("data directory holds state");
+    let q = engine.prepare(Datalog(TC, "out")).unwrap();
+    let rows = shared.execute(&q).unwrap().len();
+    (engine, rows)
+}
+
+/// The non-durable baseline: load every fact and chase from scratch.
+fn rechase_once(edges: &[(String, String)]) -> usize {
+    let engine = build_engine();
+    let q = engine.prepare(Datalog(TC, "out")).unwrap();
+    let mut session = engine.session();
+    for (x, y) in edges {
+        session.add_fact("e", &[x, y]);
+    }
+    q.execute(&session).unwrap().len()
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_recovery");
+    group.sample_size(10);
+
+    let scale = 8usize;
+    let dir = fresh_dir(&format!("scale{scale}"));
+    let edges = seed_data_dir(&dir, 25 * scale);
+
+    if std::env::var_os("E12_PROFILE").is_some() {
+        let engine = build_engine();
+        let t = Instant::now();
+        let opened = Persistence::open(&dir, PersistConfig::default(), &engine).unwrap();
+        let t_open = t.elapsed();
+        let shared = opened.session.unwrap();
+        let t = Instant::now();
+        let q = engine.prepare(Datalog(TC, "out")).unwrap();
+        let t_prep = t.elapsed();
+        let t = Instant::now();
+        let rows = shared.execute(&q).unwrap().len();
+        let t_exec = t.elapsed();
+        println!("profile: open {t_open:?} prepare {t_prep:?} execute {t_exec:?} rows {rows}");
+        let t = Instant::now();
+        let engine2 = build_engine();
+        let q2 = engine2.prepare(Datalog(TC, "out")).unwrap();
+        let mut session = engine2.session();
+        for (x, y) in &edges {
+            session.add_fact("e", &[x, y]);
+        }
+        let t_load = t.elapsed();
+        let t = Instant::now();
+        let rows2 = q2.execute(&session).unwrap().len();
+        let t_chase = t.elapsed();
+        println!("profile: rechase load {t_load:?} chase+extract {t_chase:?} rows {rows2}");
+    }
+
+    // Recovery must serve the exact same answers as the re-chase, and
+    // serve them without running a chase at all.
+    let (engine, recovered_rows) = recover_once(&dir);
+    assert_eq!(engine.stats().chase_runs, 0, "recovery re-ran the chase");
+    assert_eq!(recovered_rows, rechase_once(&edges), "answers diverge");
+
+    group.bench_function(format!("recover/{scale}"), |b| {
+        b.iter(|| recover_once(&dir).1)
+    });
+    group.bench_function(format!("rechase/{scale}"), |b| {
+        b.iter(|| rechase_once(&edges))
+    });
+
+    if criterion::matches_filter("e12_recovery/ratio") {
+        let t_recover = median(
+            (0..9)
+                .map(|_| {
+                    let t = Instant::now();
+                    std::hint::black_box(recover_once(&dir));
+                    t.elapsed().as_secs_f64()
+                })
+                .collect(),
+        );
+        let t_rechase = median(
+            (0..9)
+                .map(|_| {
+                    let t = Instant::now();
+                    std::hint::black_box(rechase_once(&edges));
+                    t.elapsed().as_secs_f64()
+                })
+                .collect(),
+        );
+        println!(
+            "e12_recovery/ratio: recover {:.2?} vs rechase {:.2?} → {:.2}x \
+             (informational gate ≥ 5.0x)",
+            std::time::Duration::from_secs_f64(t_recover),
+            std::time::Duration::from_secs_f64(t_rechase),
+            t_rechase / t_recover,
+        );
+    }
+
+    // -- WAL tax on the write path (scale 2, like e9's fast pair) ------
+    let engine = build_engine();
+    let q = engine.prepare(Datalog(TC, "out")).unwrap();
+    let mut session = engine.session();
+    for (x, y) in random_edges(50, 42) {
+        session.add_fact("e", &[&x, &y]);
+    }
+    let shared = session.into_shared();
+    shared.execute(&q).unwrap();
+
+    let pair = |persistence: &mut Option<Persistence>| {
+        let ins = Delta::new().insert("e", &["fresh", "n0"]);
+        let del = Delta::new().delete("e", &["fresh", "n0"]);
+        for delta in [&ins, &del] {
+            if let Some(p) = persistence.as_mut() {
+                p.append(shared.version(), delta, shared.engine()).unwrap();
+            }
+            shared.apply(delta);
+        }
+    };
+    let wal_only = |fsync: FsyncPolicy, name: &str| -> Option<Persistence> {
+        let config = PersistConfig {
+            fsync,
+            // Never checkpoint mid-bench: this measures the append alone.
+            checkpoint_ops: u64::MAX,
+            checkpoint_bytes: u64::MAX,
+            ..PersistConfig::default()
+        };
+        let opened = Persistence::open(&fresh_dir(name), config, &engine).unwrap();
+        Some(opened.persistence)
+    };
+
+    let mut bare: Option<Persistence> = None;
+    group.bench_function("apply/in-memory", |b| b.iter(|| pair(&mut bare)));
+    let mut off = wal_only(FsyncPolicy::Off, "wal-off");
+    group.bench_function("apply/wal-off", |b| b.iter(|| pair(&mut off)));
+    let mut per_batch = wal_only(FsyncPolicy::PerBatch, "wal-per-batch");
+    group.bench_function("apply/wal-per-batch", |b| b.iter(|| pair(&mut per_batch)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

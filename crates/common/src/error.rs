@@ -38,6 +38,9 @@ pub enum TriqError {
     /// `E-RESOURCE`: the chase exceeded its configured step / depth
     /// budget.
     ResourceExhausted(String),
+    /// `E-PERSIST`: the durability layer failed — an I/O error on the
+    /// WAL or snapshot store, or a corrupt/truncated encoded stream.
+    Persist(String),
     /// `E-OTHER`: anything else.
     Other(String),
 }
@@ -61,6 +64,7 @@ impl TriqError {
             TriqError::OutputInBody(_) => "E-OUTPUT-IN-BODY",
             TriqError::NotInLanguage { .. } => "E-LANG-MEMBERSHIP",
             TriqError::ResourceExhausted(_) => "E-RESOURCE",
+            TriqError::Persist(_) => "E-PERSIST",
             TriqError::Other(_) => "E-OTHER",
         }
     }
@@ -78,6 +82,7 @@ impl fmt::Display for TriqError {
                 write!(f, "query is not in {language}: {reason}")
             }
             TriqError::ResourceExhausted(m) => write!(f, "resource budget exhausted: {m}"),
+            TriqError::Persist(m) => write!(f, "persistence failure: {m}"),
             TriqError::Other(m) => f.write_str(m),
         }
     }
@@ -125,6 +130,7 @@ mod tests {
                 reason: String::new(),
             },
             TriqError::ResourceExhausted(String::new()),
+            TriqError::Persist(String::new()),
             TriqError::Other(String::new()),
         ];
         let codes: Vec<&str> = errors.iter().map(TriqError::code).collect();
@@ -137,6 +143,7 @@ mod tests {
                 "E-OUTPUT-IN-BODY",
                 "E-LANG-MEMBERSHIP",
                 "E-RESOURCE",
+                "E-PERSIST",
                 "E-OTHER",
             ]
         );

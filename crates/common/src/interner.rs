@@ -54,6 +54,21 @@ pub fn resolve(sym: Symbol) -> &'static str {
     global().read().expect("interner lock poisoned").strings[sym.0 as usize]
 }
 
+/// A point-in-time copy of the full string table, in id order — the side
+/// table a persistence snapshot writes so its symbol ids stay decodable
+/// in a different process (see `codec::encode_interner`).
+///
+/// The interner is append-only, so index `i` of the returned vector is
+/// the string of `Symbol(i)` forever; later interning only extends the
+/// table.
+pub fn interned_strings() -> Vec<&'static str> {
+    global()
+        .read()
+        .expect("interner lock poisoned")
+        .strings
+        .clone()
+}
+
 impl Symbol {
     /// Interns `s` (alias for the free function [`intern`]).
     pub fn new(s: &str) -> Self {

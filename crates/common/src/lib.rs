@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 mod delta;
 mod error;
 mod interner;
@@ -32,7 +33,7 @@ mod termid;
 
 pub use delta::{Delta, Fact};
 pub use error::{Result, TriqError};
-pub use interner::{intern, resolve, Symbol};
+pub use interner::{intern, interned_strings, resolve, Symbol};
 pub use stats::{ColumnStats, DistinctSketch, RelationStats};
 pub use term::{NullId, Term, VarId};
 pub use termid::TermId;

@@ -183,6 +183,11 @@ struct EngineCounters {
     replans: AtomicU64,
     index_builds: AtomicU64,
     index_probes: AtomicU64,
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
+    snapshots_written: AtomicU64,
+    last_checkpoint_version: AtomicU64,
+    recovery_replayed_ops: AtomicU64,
 }
 
 impl EngineCounters {
@@ -276,6 +281,17 @@ pub struct EngineStats {
     /// Join probes served by hash indexes (whole-tuple probes at
     /// fully-bound plan positions plus joint-index lookups).
     pub index_probes: u64,
+    /// Write-ahead-log records appended by the durability layer (one per
+    /// acknowledged update batch when persistence is enabled).
+    pub wal_records: u64,
+    /// Total bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Snapshot checkpoints written by the durability layer.
+    pub snapshots_written: u64,
+    /// Op-log version of the most recent checkpoint (0 before the first).
+    pub last_checkpoint_version: u64,
+    /// Operations replayed from the WAL tail during startup recovery.
+    pub recovery_replayed_ops: u64,
 }
 
 impl EngineStats {
@@ -298,6 +314,17 @@ impl EngineStats {
             ("replans", Json::U64(self.replans)),
             ("index_builds", Json::U64(self.index_builds)),
             ("index_probes", Json::U64(self.index_probes)),
+            ("wal_records", Json::U64(self.wal_records)),
+            ("wal_bytes", Json::U64(self.wal_bytes)),
+            ("snapshots_written", Json::U64(self.snapshots_written)),
+            (
+                "last_checkpoint_version",
+                Json::U64(self.last_checkpoint_version),
+            ),
+            (
+                "recovery_replayed_ops",
+                Json::U64(self.recovery_replayed_ops),
+            ),
         ])
     }
 }
@@ -355,7 +382,44 @@ impl Engine {
             replans: s.replans.load(Ordering::Relaxed),
             index_builds: s.index_builds.load(Ordering::Relaxed),
             index_probes: s.index_probes.load(Ordering::Relaxed),
+            wal_records: s.wal_records.load(Ordering::Relaxed),
+            wal_bytes: s.wal_bytes.load(Ordering::Relaxed),
+            snapshots_written: s.snapshots_written.load(Ordering::Relaxed),
+            last_checkpoint_version: s.last_checkpoint_version.load(Ordering::Relaxed),
+            recovery_replayed_ops: s.recovery_replayed_ops.load(Ordering::Relaxed),
         }
+    }
+
+    /// Persistence hook: one WAL record of `bytes` bytes was appended
+    /// (called by the durability layer, surfaced through
+    /// [`Engine::stats`]).
+    pub fn record_wal_append(&self, bytes: u64) {
+        self.inner.stats.wal_records.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .wal_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Persistence hook: a snapshot checkpoint at `version` was written.
+    pub fn record_checkpoint(&self, version: u64) {
+        self.inner
+            .stats
+            .snapshots_written
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .last_checkpoint_version
+            .store(version, Ordering::Relaxed);
+    }
+
+    /// Persistence hook: `ops` operations were replayed from the WAL
+    /// tail during startup recovery.
+    pub fn record_recovery_replayed(&self, ops: u64) {
+        self.inner
+            .stats
+            .recovery_replayed_ops
+            .fetch_add(ops, Ordering::Relaxed);
     }
 
     /// An empty session.
@@ -366,6 +430,7 @@ impl Engine {
             db: Database::new(),
             ops: OpLog::default(),
             views: Mutex::new(HashMap::new()),
+            restored: Mutex::new(HashMap::new()),
         }
     }
 
@@ -377,6 +442,7 @@ impl Engine {
             graph: Some(graph),
             ops: OpLog::default(),
             views: Mutex::new(HashMap::new()),
+            restored: Mutex::new(HashMap::new()),
         }
     }
 
@@ -393,6 +459,7 @@ impl Engine {
             db,
             ops: OpLog::default(),
             views: Mutex::new(HashMap::new()),
+            restored: Mutex::new(HashMap::new()),
         }
     }
 
@@ -443,9 +510,12 @@ impl Engine {
             .stats
             .prepared_queries
             .fetch_add(1, Ordering::Relaxed);
+        let fingerprint =
+            triq_datalog::persist::plan_fingerprint(runner.program(), &runner.config());
         Ok(PreparedQuery {
             engine: self.clone(),
             plan_id: NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed),
+            fingerprint,
             runner,
             output,
             classification,
@@ -623,21 +693,21 @@ const MAX_PENDING_OPS: usize = 4096;
 /// the view has not seen, as one netted [`Delta`]. The log prefix every
 /// view has absorbed is pruned on the next mutation.
 #[derive(Debug, Default)]
-struct OpLog {
+pub(crate) struct OpLog {
     /// Version of the first entry in `ops`.
-    base: u64,
-    ops: Vec<(bool, Fact)>,
+    pub(crate) base: u64,
+    pub(crate) ops: Vec<(bool, Fact)>,
 }
 
 impl OpLog {
-    fn version(&self) -> u64 {
+    pub(crate) fn version(&self) -> u64 {
         self.base + self.ops.len() as u64
     }
 
     /// The net delta from log version `from` to the head: per fact, the
     /// **last** operation wins (insert-then-delete nets to a delete, and
     /// vice versa — presence is set semantics).
-    fn delta_since(&self, from: u64) -> Delta {
+    pub(crate) fn delta_since(&self, from: u64) -> Delta {
         let start = (from.saturating_sub(self.base)) as usize;
         let mut last: HashMap<&Fact, bool> = HashMap::new();
         for (insert, fact) in &self.ops[start..] {
@@ -659,15 +729,15 @@ impl OpLog {
 /// `None` before the first successful build and after an apply error
 /// (the next execution rebuilds from the session database).
 #[derive(Debug)]
-struct ViewEntry {
-    view: Option<MaterializedView>,
-    synced: u64,
+pub(crate) struct ViewEntry {
+    pub(crate) view: Option<MaterializedView>,
+    pub(crate) synced: u64,
 }
 
 /// One lock per plan: the outer map mutex is held only for the lookup /
 /// insert, so a long chase or delta application on one prepared query
 /// never blocks executions of other queries against the same session.
-type ViewCell = Arc<Mutex<ViewEntry>>;
+pub(crate) type ViewCell = Arc<Mutex<ViewEntry>>;
 
 /// Loaded data plus maintained chase state.
 ///
@@ -682,11 +752,26 @@ type ViewCell = Arc<Mutex<ViewEntry>>;
 /// automatically.
 #[derive(Debug)]
 pub struct Session {
-    engine: Engine,
-    graph: Option<Graph>,
-    db: Database,
-    ops: OpLog,
-    views: Mutex<HashMap<u64, ViewCell>>,
+    pub(crate) engine: Engine,
+    pub(crate) graph: Option<Graph>,
+    pub(crate) db: Database,
+    pub(crate) ops: OpLog,
+    pub(crate) views: Mutex<HashMap<u64, ViewCell>>,
+    /// Views recovered from a persistence snapshot, keyed by durable
+    /// plan fingerprint (`triq_datalog::persist::plan_fingerprint`) —
+    /// in-process plan ids do not survive a restart, so recovered views
+    /// wait here until an execution of a matching prepared query
+    /// *adopts* one into `views` (no chase). They are kept synced with
+    /// the op log like live views and participate in log pruning.
+    pub(crate) restored: Mutex<HashMap<u64, RestoredView>>,
+}
+
+/// A recovered [`MaterializedView`] awaiting adoption, plus the op-log
+/// version it reflects.
+#[derive(Debug)]
+pub(crate) struct RestoredView {
+    pub(crate) view: MaterializedView,
+    pub(crate) synced: u64,
 }
 
 impl Session {
@@ -753,16 +838,20 @@ impl Session {
         self.ops.ops.push((insert, fact));
         let version = self.ops.version();
         let views = self.views.get_mut().expect("session views poisoned");
+        let restored = self.restored.get_mut().expect("restored views poisoned");
         // A view that has sat out thousands of mutations is cheaper to
         // rebuild than to keep the log suffix alive for: evict far-behind
         // views so the log stays bounded even when a prepared query goes
-        // idle on a long-lived session.
+        // idle on a long-lived session. Restored (not-yet-adopted) views
+        // are held to the same bound.
         if self.ops.ops.len() > MAX_PENDING_OPS {
             views.retain(|_, cell| {
                 let entry = cell.lock().expect("session view poisoned");
                 entry.view.is_some()
                     && version.saturating_sub(entry.synced) <= (MAX_PENDING_OPS / 2) as u64
             });
+            restored
+                .retain(|_, rv| version.saturating_sub(rv.synced) <= (MAX_PENDING_OPS / 2) as u64);
         }
         let min_synced = views
             .values()
@@ -776,6 +865,7 @@ impl Session {
                     version
                 }
             })
+            .chain(restored.values().map(|rv| rv.synced))
             .min()
             .unwrap_or(version);
         let drop = min_synced.saturating_sub(self.ops.base) as usize;
@@ -854,6 +944,25 @@ impl Session {
             entry.synced = version;
             true
         });
+        // Recovered views awaiting adoption ride along: keeping them at
+        // the head means a checkpoint taken now can persist them and the
+        // op-log prefix stays prunable. One that cannot absorb its suffix
+        // is dropped (the matching query will simply chase from scratch).
+        let restored = self.restored.get_mut().expect("restored views poisoned");
+        restored.retain(|_, rv| {
+            if rv.synced == version {
+                return true;
+            }
+            let delta = ops.delta_since(rv.synced);
+            match rv.view.apply(&delta) {
+                Ok(summary) => {
+                    stats.absorb_delta(&summary);
+                    rv.synced = version;
+                    true
+                }
+                Err(_) => false,
+            }
+        });
         outcomes
     }
 
@@ -873,8 +982,20 @@ impl Session {
             .get_mut()
             .expect("session views poisoned")
             .clear();
+        self.restored
+            .get_mut()
+            .expect("restored views poisoned")
+            .clear();
         self.ops.base = self.ops.version();
         self.ops.ops.clear();
+    }
+
+    /// The current op-log version: the number of effective extensional
+    /// operations this session has absorbed over its lifetime (the
+    /// version readers of a [`SharedSession`] observe, and the version
+    /// the durability layer stamps WAL records and snapshots with).
+    pub fn version(&self) -> u64 {
+        self.ops.version()
     }
 
     /// Convenience mirror of [`PreparedQuery::execute`].
@@ -889,6 +1010,7 @@ impl Session {
     fn outcome_for(
         &self,
         plan_id: u64,
+        fingerprint: u64,
         runner: &ChaseRunner,
     ) -> Result<(Arc<ChaseOutcome>, SyncKind)> {
         // `&self` executions can race each other, but mutations take
@@ -932,6 +1054,32 @@ impl Session {
                     return Err(e);
                 }
             }
+        }
+        // No live view: before chasing from scratch, try to adopt a view
+        // recovered from a persistence snapshot. Lock order is views-map →
+        // entry → restored, matching every other path.
+        if let Some(mut rv) = self
+            .restored
+            .lock()
+            .expect("restored views poisoned")
+            .remove(&fingerprint)
+        {
+            if rv.synced == version {
+                let outcome = rv.view.outcome().clone();
+                entry.view = Some(rv.view);
+                entry.synced = version;
+                return Ok((outcome, SyncKind::Hit));
+            }
+            if rv.synced >= self.ops.base {
+                if let Ok(summary) = rv.view.apply(&self.ops.delta_since(rv.synced)) {
+                    let outcome = rv.view.outcome().clone();
+                    entry.view = Some(rv.view);
+                    entry.synced = version;
+                    return Ok((outcome, SyncKind::Delta(summary)));
+                }
+            }
+            // The suffix it needs was pruned, or the apply failed: fall
+            // through to a full build (the recovered view is discarded).
         }
         let view = MaterializedView::new(runner.clone(), self.db.clone())?;
         let outcome = view.outcome().clone();
@@ -1188,6 +1336,16 @@ impl SharedSession {
         Ok((outcome, current.version))
     }
 
+    /// Runs `f` against the writer session under the writer lock — the
+    /// persistence layer uses this to encode a checkpoint of the exact
+    /// current state. While `f` runs the write path is stalled (readers
+    /// are unaffected: they answer from the published snapshot). Do not
+    /// call while already holding the lock.
+    pub fn with_writer<R>(&self, f: impl FnOnce(&mut Session) -> R) -> R {
+        let mut session = self.inner.writer.lock().expect("writer session poisoned");
+        f(&mut session)
+    }
+
     /// Applies a mutation batch: folds the delta into the base data,
     /// brings every maintained view to the new fixpoint incrementally,
     /// and atomically publishes the new snapshot. Readers are never
@@ -1238,6 +1396,9 @@ struct SparqlDecode {
 pub struct PreparedQuery {
     engine: Engine,
     plan_id: u64,
+    /// Durable plan identity (program text + chase config), stable
+    /// across restarts — see `triq_datalog::persist::plan_fingerprint`.
+    fingerprint: u64,
     runner: ChaseRunner,
     output: Symbol,
     classification: ProgramClassification,
@@ -1279,8 +1440,20 @@ impl PreparedQuery {
         if self.runner.config() != config {
             self.runner.set_config(config);
             self.plan_id = NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed);
+            self.fingerprint = triq_datalog::persist::plan_fingerprint(
+                self.runner.program(),
+                &self.runner.config(),
+            );
         }
         self
+    }
+
+    /// The durable plan fingerprint: a hash of the compiled program's
+    /// canonical text and the chase configuration. Unlike the in-process
+    /// cache identity, it is stable across restarts — persistence
+    /// snapshots use it to match recovered views to re-prepared queries.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The chase outcome for this query over `session` — served from
@@ -1290,7 +1463,7 @@ impl PreparedQuery {
     fn outcome(&self, session: &Session) -> Result<Arc<ChaseOutcome>> {
         let stats = &self.engine.inner.stats;
         stats.executions.fetch_add(1, Ordering::Relaxed);
-        let (outcome, sync) = session.outcome_for(self.plan_id, &self.runner)?;
+        let (outcome, sync) = session.outcome_for(self.plan_id, self.fingerprint, &self.runner)?;
         match sync {
             SyncKind::Hit => {
                 stats.cache_hits.fetch_add(1, Ordering::Relaxed);

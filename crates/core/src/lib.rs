@@ -116,6 +116,7 @@
 
 pub mod api;
 pub mod engine;
+pub mod persist;
 mod triq_lang;
 
 pub use api::{

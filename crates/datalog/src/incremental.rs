@@ -118,6 +118,37 @@ pub struct DeltaSummary {
 /// derive it, ascending by stratum: the rederivation schedule.
 type Derivers = HashMap<Symbol, Vec<(usize, usize)>>;
 
+/// The program-derived predicate sets a view's maintenance machinery
+/// consults: existential head predicates, negated predicates, and the
+/// rederivation schedule. Shared between the chasing constructor
+/// ([`MaterializedView::new`]) and the snapshot-restoring one
+/// ([`MaterializedView::restore`]).
+fn program_sets(runner: &ChaseRunner) -> (HashSet<Symbol>, HashSet<Symbol>, Derivers) {
+    let program = runner.program();
+    let mut exist_head_preds = HashSet::new();
+    let mut negated_preds = HashSet::new();
+    let mut derivers: Derivers = HashMap::new();
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let stratum = runner.stratification().rule_stratum[ri];
+        for neg in &rule.body_neg {
+            negated_preds.insert(neg.pred);
+        }
+        for head in &rule.head {
+            if rule.is_existential() {
+                exist_head_preds.insert(head.pred);
+            }
+            let entry = derivers.entry(head.pred).or_default();
+            if !entry.contains(&(stratum, ri)) {
+                entry.push((stratum, ri));
+            }
+        }
+    }
+    for list in derivers.values_mut() {
+        list.sort_unstable();
+    }
+    (exist_head_preds, negated_preds, derivers)
+}
+
 /// A maintained chase fixpoint: `Π(D)` plus everything needed to update
 /// it in place — the compiled [`ChaseRunner`], the base database, the
 /// retained skolem memo, and the reverse-provenance directory.
@@ -177,28 +208,7 @@ impl MaterializedView {
         let inconsistent = engine.check_constraints();
         let (instance, stats, skolem, plans) = engine.into_parts();
         let deps = DependencyIndex::from_instance(&instance);
-        let program = runner.program();
-        let mut exist_head_preds = HashSet::new();
-        let mut negated_preds = HashSet::new();
-        let mut derivers: Derivers = HashMap::new();
-        for (ri, rule) in program.rules.iter().enumerate() {
-            let stratum = runner.stratification().rule_stratum[ri];
-            for neg in &rule.body_neg {
-                negated_preds.insert(neg.pred);
-            }
-            for head in &rule.head {
-                if rule.is_existential() {
-                    exist_head_preds.insert(head.pred);
-                }
-                let entry = derivers.entry(head.pred).or_default();
-                if !entry.contains(&(stratum, ri)) {
-                    entry.push((stratum, ri));
-                }
-            }
-        }
-        for list in derivers.values_mut() {
-            list.sort_unstable();
-        }
+        let (exist_head_preds, negated_preds, derivers) = program_sets(&runner);
         Ok(MaterializedView {
             runner,
             base: db,
@@ -216,6 +226,50 @@ impl MaterializedView {
             derivers,
             poisoned: false,
         })
+    }
+
+    /// Reconstructs a view from persisted state without chasing: the
+    /// outcome and skolem memo come from a snapshot, while everything
+    /// derived from them — reverse provenance, the program's predicate
+    /// sets, join plans — is rebuilt in place (see [`crate::persist`]).
+    /// The caller guarantees `outcome` is the fixpoint of `base` under
+    /// the runner's program; a mismatched pair yields a view whose
+    /// applies would violate the "every base fact is materialized"
+    /// invariant.
+    pub(crate) fn restore(
+        runner: ChaseRunner,
+        base: Database,
+        outcome: Arc<ChaseOutcome>,
+        skolem: SkolemMemo,
+    ) -> MaterializedView {
+        let deps = DependencyIndex::from_instance(&outcome.instance);
+        let (exist_head_preds, negated_preds, derivers) = program_sets(&runner);
+        let plans = runner.initial_plans().to_vec();
+        MaterializedView {
+            runner,
+            base,
+            outcome,
+            skolem,
+            plans,
+            deps,
+            stats: MaintenanceStats::default(),
+            exist_head_preds,
+            negated_preds,
+            derivers,
+            poisoned: false,
+        }
+    }
+
+    /// The retained skolem memo (persistence codec).
+    pub(crate) fn skolem_ref(&self) -> &SkolemMemo {
+        &self.skolem
+    }
+
+    /// True iff a failed apply (and failed recovery rebuild) left the
+    /// held outcome out of sync with the base. Poisoned views are
+    /// skipped by persistence snapshots.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// The maintained chase outcome (shared snapshot).

@@ -242,6 +242,11 @@ impl Relation {
         self.pred
     }
 
+    /// The raw column vectors (persistence codec bulk path).
+    pub(crate) fn columns(&self) -> &[Vec<TermId>] {
+        &self.cols
+    }
+
     /// The tuple width.
     pub fn arity(&self) -> usize {
         self.arity
@@ -380,6 +385,56 @@ impl Relation {
             idx.map.entry(hash).or_default().push(id);
         }
         (row, true)
+    }
+
+    /// Bulk construction from complete columns (persistence decode):
+    /// the column vectors are adopted verbatim, `row_ids[row]` is each
+    /// row's global [`AtomId`], and the dedup table, posting lists and
+    /// stats are rebuilt in one pre-sized pass over the rows — in row
+    /// order, which is the original insert order, so the insert-monotone
+    /// sketches come out identical. Fails on duplicate rows.
+    fn from_columns(
+        pred: Symbol,
+        arity: usize,
+        cols: Vec<Vec<TermId>>,
+        row_ids: Vec<AtomId>,
+    ) -> std::result::Result<Relation, &'static str> {
+        let rows = row_ids.len();
+        let mut row_lookup: FxHashMap<u64, Vec<u32>> =
+            FxHashMap::with_capacity_and_hasher(rows, Default::default());
+        let mut col_index: Vec<FxHashMap<TermId, Vec<AtomId>>> = vec![FxHashMap::default(); arity];
+        let mut stats = RelationStats::new(arity);
+        let mut key: Vec<TermId> = Vec::with_capacity(arity);
+        for row in 0..rows {
+            key.clear();
+            key.extend(cols.iter().map(|col| col[row]));
+            let hash = tuple_hash(key.iter().copied());
+            let candidates = row_lookup.entry(hash).or_default();
+            if candidates.iter().any(|&r| {
+                key.iter()
+                    .enumerate()
+                    .all(|(c, &t)| cols[c][r as usize] == t)
+            }) {
+                return Err("duplicate row in relation");
+            }
+            candidates.push(row as u32);
+            let id = row_ids[row];
+            for (c, &t) in key.iter().enumerate() {
+                col_index[c].entry(t).or_default().push(id);
+            }
+            stats.observe_row(key.iter().map(|t| t.raw()));
+        }
+        Ok(Relation {
+            pred,
+            arity,
+            cols,
+            atom_ids: row_ids.clone(),
+            row_id: row_ids,
+            row_lookup,
+            col_index,
+            joint: Vec::new(),
+            stats,
+        })
     }
 
     /// The row as an iterator of ids (column order).
@@ -522,6 +577,100 @@ impl Instance {
     /// All relations (arbitrary order).
     pub fn relations(&self) -> impl Iterator<Item = &Relation> + '_ {
         self.relations.iter()
+    }
+
+    /// The relations in creation order (persistence codec: index `i`
+    /// here is the `rel` directory index atoms are encoded against).
+    pub(crate) fn relations_slice(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// The relation directory index of an atom (persistence codec).
+    pub(crate) fn rel_index_of(&self, id: AtomId) -> u32 {
+        self.meta[id as usize].rel
+    }
+
+    /// Per-null invention depths, indexed by `NullId` (persistence codec).
+    pub(crate) fn null_depths(&self) -> &[u32] {
+        &self.null_depth
+    }
+
+    /// Persistence decode's bulk path: rebuilds an instance from fully
+    /// decoded columns and a per-atom directory of
+    /// `(relation index, support, provenance)` in global id order,
+    /// without routing every row through [`Instance::insert_ids`].
+    /// Columns are adopted verbatim and every index, sketch and depth is
+    /// reconstructed in pre-sized single passes, producing a state
+    /// byte-identical (under re-encoding) to replaying the inserts — the
+    /// sketches see each relation's rows in the original insert order.
+    /// Errors are structural-corruption messages for the codec to wrap.
+    pub(crate) fn bulk_load(
+        null_depth: Vec<u32>,
+        rels: Vec<(Symbol, usize, Vec<Vec<TermId>>)>,
+        directory: Vec<(u32, u32, Option<Derivation>)>,
+    ) -> std::result::Result<Instance, &'static str> {
+        let mut rels_of: FxHashMap<Symbol, Vec<u32>> = FxHashMap::default();
+        for (i, (pred, arity, _)) in rels.iter().enumerate() {
+            let entries = rels_of.entry(*pred).or_default();
+            if entries.iter().any(|&j| rels[j as usize].1 == *arity) {
+                return Err("duplicate relation in directory");
+            }
+            entries.push(i as u32);
+        }
+        // Pass 1 — the atom directory assigns global ids to relation
+        // rows in order; depths are recomputed from the null table
+        // exactly as the original inserts did.
+        let mut row_ids: Vec<Vec<AtomId>> = rels
+            .iter()
+            .map(|(_, arity, cols)| Vec::with_capacity(if *arity == 0 { 0 } else { cols[0].len() }))
+            .collect();
+        let mut meta = Vec::with_capacity(directory.len());
+        let mut by_pred: FxHashMap<Symbol, Vec<AtomId>> = FxHashMap::default();
+        for (id, (rel_idx, support, derivation)) in directory.into_iter().enumerate() {
+            let (pred, arity, cols) = rels
+                .get(rel_idx as usize)
+                .ok_or("atom directory references an unknown relation")?;
+            let row = row_ids[rel_idx as usize].len();
+            if *arity > 0 && row >= cols[0].len() {
+                return Err("atom directory overruns its relation");
+            }
+            let mut depth = 0;
+            for col in cols.iter() {
+                if let Some(n) = col[row].as_null() {
+                    let d = *null_depth.get(n.0 as usize).ok_or("null id out of range")?;
+                    depth = depth.max(d);
+                }
+            }
+            row_ids[rel_idx as usize].push(id as AtomId);
+            by_pred.entry(*pred).or_default().push(id as AtomId);
+            meta.push(Meta {
+                rel: rel_idx,
+                row: row as u32,
+                derivation,
+                depth,
+                support,
+                dead: false,
+            });
+        }
+        // Pass 2 — per relation, adopt the columns and rebuild the
+        // dedup table, posting lists and stats in one sized sweep.
+        let mut relations = Vec::with_capacity(rels.len());
+        for ((pred, arity, cols), ids) in rels.into_iter().zip(row_ids) {
+            let rows = if arity == 0 { ids.len() } else { cols[0].len() };
+            if ids.len() != rows {
+                return Err("relation rows not covered by atom directory");
+            }
+            relations.push(Relation::from_columns(pred, arity, cols, ids)?);
+        }
+        Ok(Instance {
+            relations,
+            rels_of,
+            by_pred,
+            meta,
+            null_depth,
+            dead: 0,
+            joint_builds: 0,
+        })
     }
 
     /// Ensures a joint hash index over `cols` (ascending column indexes)
@@ -879,6 +1028,17 @@ impl Database {
     /// An empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// The backing instance (persistence codec).
+    pub(crate) fn instance_ref(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Wraps a decoded instance (persistence decode). The caller
+    /// guarantees database invariants: constants only, no derivations.
+    pub(crate) fn from_instance(instance: Instance) -> Database {
+        Database { instance }
     }
 
     /// Adds a fact; errors if any term is not a constant.

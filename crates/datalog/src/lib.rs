@@ -37,6 +37,7 @@ pub mod incremental;
 mod instance;
 mod parser;
 pub mod pep;
+pub mod persist;
 mod planner;
 mod positions;
 mod program;

@@ -51,25 +51,34 @@ fn candidate_probes_allocate_nothing() {
     let rel = inst.relation(edge, 2).expect("edge relation exists");
     let col_key = TermId::from_const(intern("n7"));
 
-    // Warm every code path once, then measure.
+    // Warm every code path once, then measure. The counter is global,
+    // so an allocation on another in-process thread (test-harness
+    // machinery) can land inside the window — retry a few times and
+    // require at least one clean window: a probe-path allocation would
+    // taint EVERY window by at least 6000, never leaving a clean one.
     assert!(inst.contains_terms(edge, &present));
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    let mut hits = 0usize;
-    for _ in 0..1_000 {
-        hits += usize::from(inst.contains_terms(edge, &present));
-        hits += usize::from(inst.contains_terms(edge, &absent));
-        hits += usize::from(inst.find_terms(edge, &present).is_some());
-        hits += usize::from(inst.contains_ids(edge, &present_key));
-        hits += usize::from(rel.find_row(&present_key).is_some());
-        hits += rel.ids_by_column(0, col_key).len();
-        hits += rel.ids_by_column(1, col_key).len();
+    let mut cleanest = usize::MAX;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let mut hits = 0usize;
+        for _ in 0..1_000 {
+            hits += usize::from(inst.contains_terms(edge, &present));
+            hits += usize::from(inst.contains_terms(edge, &absent));
+            hits += usize::from(inst.find_terms(edge, &present).is_some());
+            hits += usize::from(inst.contains_ids(edge, &present_key));
+            hits += usize::from(rel.find_row(&present_key).is_some());
+            hits += rel.ids_by_column(0, col_key).len();
+            hits += rel.ids_by_column(1, col_key).len();
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(hits, 6_000, "every probe resolved as expected");
+        cleanest = cleanest.min(after - before);
+        if cleanest == 0 {
+            break;
+        }
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
-    assert_eq!(hits, 6_000, "every probe resolved as expected");
     assert_eq!(
-        after - before,
-        0,
-        "borrowed-key probes must not allocate (got {} allocations)",
-        after - before
+        cleanest, 0,
+        "borrowed-key probes must not allocate (got {cleanest} allocations in the cleanest of 5 windows)",
     );
 }

@@ -1,0 +1,357 @@
+//! # triq-persist — durability for TriQ sessions
+//!
+//! Crash safety for the serving layer, in three parts:
+//!
+//! * a **write-ahead op log** ([`Wal`]): every netted [`Delta`] batch is
+//!   appended as a CRC-framed record *before* the in-memory apply is
+//!   acknowledged (fsync policy: per batch, interval, or off);
+//! * **snapshot checkpoints** ([`SnapshotStore`]): the exact session
+//!   state — interner, columnar database, every maintained view's
+//!   instance and skolem memo — written atomically (tmp + fsync +
+//!   rename) on a policy of every N ops / M bytes of WAL, after which
+//!   the WAL is truncated;
+//! * **recovery** ([`Persistence::open`]): load the newest valid
+//!   snapshot, replay the WAL tail through the engine's incremental
+//!   apply path (torn or corrupt tails are truncated, not fatal), and
+//!   hand back a [`SharedSession`] at the **exact pre-crash version**
+//!   with byte-identical answers — no re-chase.
+//!
+//! The handle assumes the server's single-writer discipline: one thread
+//! interleaves [`Persistence::append`] → [`SharedSession::apply`] →
+//! [`Persistence::maybe_checkpoint`]. Under that ordering every WAL
+//! record present at checkpoint time is already folded into the
+//! checkpointed state, which is what makes the post-checkpoint WAL
+//! truncation safe.
+//!
+//! See the "Durability" section of `docs/ARCHITECTURE.md` for the file
+//! formats and the recovery protocol.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::path::Path;
+
+use triq::api::{Engine, SharedSession};
+use triq_common::{Delta, Result, TriqError};
+
+mod snapshot;
+mod wal;
+
+pub use snapshot::{SnapshotStore, SNAP_MAGIC};
+pub use wal::{FsyncPolicy, Wal, WalRecord, WAL_FILE, WAL_MAGIC};
+
+pub(crate) fn io_err(what: &str, path: &Path, e: &io::Error) -> TriqError {
+    TriqError::Persist(format!("{what} ({}): {e}", path.display()))
+}
+
+/// Tuning for the durability layer.
+#[derive(Clone, Copy, Debug)]
+pub struct PersistConfig {
+    /// When to fsync the WAL (default: per batch).
+    pub fsync: FsyncPolicy,
+    /// Checkpoint after this many WAL records (default 4096).
+    pub checkpoint_ops: u64,
+    /// …or after this many bytes of WAL, whichever comes first
+    /// (default 16 MiB).
+    pub checkpoint_bytes: u64,
+    /// Snapshot files retained after a checkpoint (default 2: the new
+    /// one plus one fallback).
+    pub keep_snapshots: usize,
+}
+
+impl Default for PersistConfig {
+    fn default() -> PersistConfig {
+        PersistConfig {
+            fsync: FsyncPolicy::PerBatch,
+            checkpoint_ops: 4096,
+            checkpoint_bytes: 16 << 20,
+            keep_snapshots: 2,
+        }
+    }
+}
+
+/// What recovery did, for operator-facing startup logs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryStats {
+    /// Version of the snapshot the session was rebuilt from.
+    pub snapshot_version: u64,
+    /// WAL records replayed on top of it.
+    pub replayed_records: u64,
+    /// The recovered op-log version — exactly the last acknowledged
+    /// pre-crash version.
+    pub recovered_version: u64,
+}
+
+/// The result of [`Persistence::open`].
+#[derive(Debug)]
+pub struct Opened {
+    /// The durability handle for the running server.
+    pub persistence: Persistence,
+    /// The recovered session, when the data directory held state.
+    /// `None` on a fresh directory — the caller builds its initial
+    /// session and should [`Persistence::checkpoint`] it before
+    /// serving, so a crash before the first mutation still recovers.
+    pub session: Option<SharedSession>,
+    /// Recovery details (present iff `session` is).
+    pub recovery: Option<RecoveryStats>,
+}
+
+/// The durability handle of one data directory: owns the WAL and the
+/// snapshot store, tracks the checkpoint policy.
+#[derive(Debug)]
+pub struct Persistence {
+    wal: Wal,
+    store: SnapshotStore,
+    config: PersistConfig,
+    last_checkpoint_version: u64,
+}
+
+impl Persistence {
+    /// Opens a data directory and recovers whatever state it holds.
+    ///
+    /// * Fresh (or empty) directory → `session: None`; the caller
+    ///   builds the initial state and checkpoints it.
+    /// * Snapshot present → decode it, replay the WAL tail through the
+    ///   incremental apply path, return the session at the exact
+    ///   pre-crash version.
+    /// * WAL records but **no** usable snapshot → `E-PERSIST`: the base
+    ///   state the records build on is gone, silently starting empty
+    ///   would lose acknowledged writes.
+    ///
+    /// Torn or corrupt WAL tails are truncated in place; invalid
+    /// snapshot files are skipped in favor of the next older one.
+    pub fn open(dir: &Path, config: PersistConfig, engine: &Engine) -> Result<Opened> {
+        let store = SnapshotStore::new(dir)?;
+        let (wal, records) = Wal::open(dir, config.fsync)?;
+        let snapshot = store.load_newest()?;
+        let mut persistence = Persistence {
+            wal,
+            store,
+            config,
+            last_checkpoint_version: 0,
+        };
+        let Some((snap_version, body)) = snapshot else {
+            if !records.is_empty() {
+                return Err(TriqError::Persist(format!(
+                    "{} holds {} WAL record(s) but no usable snapshot — refusing to drop \
+                     acknowledged writes (restore a snapshot file or clear the directory)",
+                    dir.display(),
+                    records.len()
+                )));
+            }
+            return Ok(Opened {
+                persistence,
+                session: None,
+                recovery: None,
+            });
+        };
+        persistence.last_checkpoint_version = snap_version;
+        let mut session = triq::persist::decode_snapshot(engine, &body)?;
+        let mut replayed = 0u64;
+        for record in &records {
+            if record.pre_version < snap_version {
+                continue; // already folded into the snapshot
+            }
+            if session.version() != record.pre_version {
+                return Err(TriqError::Persist(format!(
+                    "WAL replay diverged: record expects version {}, session is at {} \
+                     (snapshot {})",
+                    record.pre_version,
+                    session.version(),
+                    snap_version
+                )));
+            }
+            session.apply_delta(&record.delta);
+            replayed += 1;
+        }
+        engine.record_recovery_replayed(replayed);
+        let recovery = RecoveryStats {
+            snapshot_version: snap_version,
+            replayed_records: replayed,
+            recovered_version: session.version(),
+        };
+        Ok(Opened {
+            persistence,
+            session: Some(session.into_shared()),
+            recovery: Some(recovery),
+        })
+    }
+
+    /// Logs one netted batch at `pre_version` (the session version
+    /// *before* it applies). Call before [`SharedSession::apply`]; on
+    /// `Err` do **not** apply — the write is not durable and must be
+    /// rejected. Ticks the engine's `wal_records` / `wal_bytes`
+    /// counters.
+    pub fn append(&mut self, pre_version: u64, delta: &Delta, engine: &Engine) -> Result<()> {
+        let bytes = self.wal.append(pre_version, delta)?;
+        engine.record_wal_append(bytes);
+        Ok(())
+    }
+
+    /// Whether the checkpoint policy says it is time (WAL records or
+    /// bytes over budget).
+    pub fn should_checkpoint(&self) -> bool {
+        self.wal.appended_records() >= self.config.checkpoint_ops
+            || self.wal.len_bytes() >= self.config.checkpoint_bytes
+    }
+
+    /// Checkpoints when the policy calls for it; returns the
+    /// checkpointed version, if one was taken.
+    pub fn maybe_checkpoint(&mut self, shared: &SharedSession) -> Result<Option<u64>> {
+        if !self.should_checkpoint() {
+            return Ok(None);
+        }
+        self.checkpoint(shared).map(Some)
+    }
+
+    /// Takes a checkpoint now: encodes the exact current session state
+    /// under the writer lock, writes it atomically, prunes old
+    /// snapshots and truncates the WAL. Returns the checkpointed
+    /// version and ticks the engine's `snapshots_written` /
+    /// `last_checkpoint_version` counters.
+    pub fn checkpoint(&mut self, shared: &SharedSession) -> Result<u64> {
+        let (body, version) = triq::persist::encode_snapshot(shared);
+        self.store.write(version, &body)?;
+        self.store.prune(self.config.keep_snapshots.max(1))?;
+        self.wal.truncate()?;
+        self.last_checkpoint_version = version;
+        shared.engine().record_checkpoint(version);
+        Ok(version)
+    }
+
+    /// The version of the most recent checkpoint (0 before the first).
+    pub fn last_checkpoint_version(&self) -> u64 {
+        self.last_checkpoint_version
+    }
+
+    /// Current WAL length in bytes.
+    pub fn wal_len_bytes(&self) -> u64 {
+        self.wal.len_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use triq::api::Datalog;
+
+    const TC: &str = "e(?X, ?Y) -> t(?X, ?Y).\n e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).\n\
+                      t(?X, ?Y) -> out(?X, ?Y).";
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("triq-persist-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn edge(n: u32) -> Delta {
+        Delta::new().insert("e", &[&format!("n{n}"), &format!("n{}", n + 1)])
+    }
+
+    /// The single-writer protocol, as the server's writer thread runs it.
+    fn durable_apply(p: &mut Persistence, shared: &SharedSession, delta: &Delta) {
+        p.append(shared.version(), delta, shared.engine()).unwrap();
+        shared.apply(delta);
+        p.maybe_checkpoint(shared).unwrap();
+    }
+
+    #[test]
+    fn fresh_open_then_recover_exact_version() {
+        let dir = tmpdir("recover");
+        let engine = Engine::new();
+        let q = engine.prepare(Datalog(TC, "out")).unwrap();
+        let opened = Persistence::open(&dir, PersistConfig::default(), &engine).unwrap();
+        assert!(opened.session.is_none());
+        let mut p = opened.persistence;
+        let shared = engine.session().into_shared();
+        p.checkpoint(&shared).unwrap();
+        for n in 0..6 {
+            durable_apply(&mut p, &shared, &edge(n));
+        }
+        let answers = shared.execute(&q).unwrap();
+        let version = shared.version();
+        drop((p, shared)); // "crash": nothing flushed beyond the WAL
+
+        let engine2 = Engine::new();
+        let q2 = engine2.prepare(Datalog(TC, "out")).unwrap();
+        let opened = Persistence::open(&dir, PersistConfig::default(), &engine2).unwrap();
+        let recovered = opened.session.expect("state must recover");
+        let stats = opened.recovery.unwrap();
+        assert_eq!(stats.recovered_version, version);
+        assert_eq!(recovered.version(), version);
+        assert_eq!(recovered.execute(&q2).unwrap().tuples(), answers.tuples());
+        assert_eq!(
+            engine2.stats().recovery_replayed_ops,
+            stats.replayed_records
+        );
+    }
+
+    #[test]
+    fn checkpoint_policy_truncates_wal_and_recovery_skips_replay() {
+        let dir = tmpdir("policy");
+        let engine = Engine::new();
+        let config = PersistConfig {
+            checkpoint_ops: 3,
+            ..PersistConfig::default()
+        };
+        let opened = Persistence::open(&dir, config, &engine).unwrap();
+        let mut p = opened.persistence;
+        let shared = engine.session().into_shared();
+        p.checkpoint(&shared).unwrap();
+        for n in 0..3 {
+            durable_apply(&mut p, &shared, &edge(n));
+        }
+        // Third append crossed the policy: WAL is empty again.
+        assert_eq!(p.wal_len_bytes(), WAL_MAGIC.len() as u64);
+        assert_eq!(p.last_checkpoint_version(), shared.version());
+        assert!(engine.stats().snapshots_written >= 2);
+        assert_eq!(engine.stats().last_checkpoint_version, shared.version());
+        drop((p, shared));
+
+        let engine2 = Engine::new();
+        let opened = Persistence::open(&dir, config, &engine2).unwrap();
+        let stats = opened.recovery.unwrap();
+        assert_eq!(stats.replayed_records, 0, "checkpoint made the WAL empty");
+        assert_eq!(opened.session.unwrap().version(), 3);
+    }
+
+    #[test]
+    fn wal_without_snapshot_is_refused() {
+        let dir = tmpdir("orphan-wal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (mut wal, _) = Wal::open(&dir, FsyncPolicy::Off).unwrap();
+        wal.append(0, &edge(0)).unwrap();
+        drop(wal);
+        let engine = Engine::new();
+        let err = Persistence::open(&dir, PersistConfig::default(), &engine).unwrap_err();
+        assert_eq!(err.code(), "E-PERSIST");
+    }
+
+    #[test]
+    fn deletes_and_redundant_ops_replay_deterministically() {
+        let dir = tmpdir("deletes");
+        let engine = Engine::new();
+        let q = engine.prepare(Datalog(TC, "out")).unwrap();
+        let opened = Persistence::open(&dir, PersistConfig::default(), &engine).unwrap();
+        let mut p = opened.persistence;
+        let shared = engine.session().into_shared();
+        p.checkpoint(&shared).unwrap();
+        durable_apply(&mut p, &shared, &edge(0));
+        durable_apply(&mut p, &shared, &edge(1));
+        // A redundant insert (version must not advance) and a delete.
+        durable_apply(&mut p, &shared, &edge(1));
+        durable_apply(&mut p, &shared, &Delta::new().delete("e", &["n0", "n1"]));
+        let answers = shared.execute(&q).unwrap();
+        let version = shared.version();
+        assert_eq!(version, 3, "redundant insert did not advance the version");
+        drop((p, shared));
+
+        let engine2 = Engine::new();
+        let q2 = engine2.prepare(Datalog(TC, "out")).unwrap();
+        let opened = Persistence::open(&dir, PersistConfig::default(), &engine2).unwrap();
+        let recovered = opened.session.unwrap();
+        assert_eq!(recovered.version(), version);
+        assert_eq!(recovered.execute(&q2).unwrap().tuples(), answers.tuples());
+    }
+}

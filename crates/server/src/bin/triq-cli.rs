@@ -6,6 +6,8 @@
 //! triq-cli [--stats] rules <graph.ttl> <rules.dl> <output-pred>
 //! triq-cli [--stats] update <graph.ttl> <rules.dl> <output-pred> <updates.txt>
 //! triq-cli [--stats] serve <graph.ttl> <rules.dl> [--addr HOST:PORT] [--threads N]
+//!          [--data-dir DIR] [--fsync per-batch|interval:<ms>|off]
+//!          [--checkpoint-ops N] [--checkpoint-bytes N] [--queue-cap N]
 //! triq-cli classify <rules.dl>
 //! triq-cli entail <graph.ttl> <s> <p> <o>
 //! triq-cli explain <graph.ttl> <s> <p> <o>
@@ -28,6 +30,19 @@
 //! `--enable-shutdown` arms the `POST /shutdown` endpoint (used by the
 //! CI smoke test for a clean stop).
 //!
+//! `serve --data-dir <dir>` makes the server **durable**: every update
+//! is written ahead to `<dir>/wal.triq` before it is acknowledged, and
+//! the whole session state is checkpointed to `<dir>/snap-*.triq` on a
+//! policy (`--checkpoint-ops N`, `--checkpoint-bytes N`). On startup,
+//! a non-empty data directory is **recovered** — newest valid snapshot
+//! plus WAL replay through the incremental apply path — and the graph
+//! file argument is ignored (the recovered database is the source of
+//! truth; a summary is printed to stderr). `--fsync
+//! per-batch|interval:<ms>|off` tunes the durability window and
+//! `--queue-cap N` bounds the writer queue (overflow → `503
+//! E-RESOURCE`). See the "Durability" section of
+//! `docs/ARCHITECTURE.md`.
+//!
 //! `--stats` prints the engine's execution counters (chase runs, atoms
 //! derived, join probes, parallel strata, deltas applied, atoms
 //! over-deleted/rederived, …) to stderr after the answer (for `serve`:
@@ -38,6 +53,7 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 use triq::prelude::*;
+use triq_persist::{PersistConfig, Persistence};
 use triq_server::{parse_update_line, QueryService, Server, ServiceConfig};
 
 fn usage() -> ExitCode {
@@ -46,7 +62,8 @@ fn usage() -> ExitCode {
          triq-cli [--stats] rules <graph.ttl> <rules.dl> <output-pred>\n  \
          triq-cli [--stats] update <graph.ttl> <rules.dl> <output-pred> <updates.txt>\n  \
          triq-cli [--stats] serve <graph.ttl> <rules.dl> [--addr HOST:PORT] [--threads N] \
-         [--enable-shutdown]\n  \
+         [--enable-shutdown] [--data-dir DIR] [--fsync per-batch|interval:<ms>|off] \
+         [--checkpoint-ops N] [--checkpoint-bytes N] [--queue-cap N]\n  \
          triq-cli classify <rules.dl>\n  \
          triq-cli entail <graph.ttl> <s> <p> <o>\n  \
          triq-cli explain <graph.ttl> <s> <p> <o>\n  \
@@ -73,6 +90,11 @@ fn print_stats(engine: &Engine) {
     eprintln!("  replans:          {}", s.replans);
     eprintln!("  index builds:     {}", s.index_builds);
     eprintln!("  index probes:     {}", s.index_probes);
+    eprintln!("  wal records:      {}", s.wal_records);
+    eprintln!("  wal bytes:        {}", s.wal_bytes);
+    eprintln!("  snapshots written:{}", s.snapshots_written);
+    eprintln!("  last checkpoint:  v{}", s.last_checkpoint_version);
+    eprintln!("  recovery replayed:{}", s.recovery_replayed_ops);
 }
 
 fn main() -> ExitCode {
@@ -268,14 +290,24 @@ fn cmd_serve(args: &[String], stats: bool) -> Result<(), TriqError> {
     let [graph_path, rules_path, rest @ ..] = args else {
         return Err(TriqError::Other(
             "serve needs <graph.ttl> <rules.dl> [--addr HOST:PORT] [--threads N] \
-             [--enable-shutdown]"
+             [--enable-shutdown] [--data-dir DIR] [--fsync per-batch|interval:<ms>|off] \
+             [--checkpoint-ops N] [--checkpoint-bytes N] [--queue-cap N]"
                 .into(),
         ));
     };
     let mut addr = String::from("127.0.0.1:7878");
     let mut threads = 4usize;
     let mut enable_shutdown = false;
+    let mut data_dir: Option<String> = None;
+    let mut pconfig = PersistConfig::default();
+    let mut queue_cap = ServiceConfig::default().queue_cap;
     let mut rest = rest.iter();
+    let next_num = |rest: &mut std::slice::Iter<String>, flag: &str| -> Result<u64, TriqError> {
+        rest.next()
+            .and_then(|n| n.parse().ok())
+            .filter(|&n| n > 0)
+            .ok_or_else(|| TriqError::Other(format!("{flag} needs a positive count")))
+    };
     while let Some(flag) = rest.next() {
         match flag.as_str() {
             "--addr" => {
@@ -284,14 +316,28 @@ fn cmd_serve(args: &[String], stats: bool) -> Result<(), TriqError> {
                     .ok_or_else(|| TriqError::Other("--addr needs HOST:PORT".into()))?
                     .clone();
             }
-            "--threads" => {
-                threads = rest
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .filter(|&n| n > 0)
-                    .ok_or_else(|| TriqError::Other("--threads needs a positive count".into()))?;
-            }
+            "--threads" => threads = next_num(&mut rest, "--threads")? as usize,
             "--enable-shutdown" => enable_shutdown = true,
+            "--data-dir" => {
+                data_dir = Some(
+                    rest.next()
+                        .ok_or_else(|| TriqError::Other("--data-dir needs a directory".into()))?
+                        .clone(),
+                );
+            }
+            "--fsync" => {
+                pconfig.fsync = rest
+                    .next()
+                    .ok_or_else(|| {
+                        TriqError::Other("--fsync needs per-batch|interval:<ms>|off".into())
+                    })?
+                    .parse()?;
+            }
+            "--checkpoint-ops" => pconfig.checkpoint_ops = next_num(&mut rest, "--checkpoint-ops")?,
+            "--checkpoint-bytes" => {
+                pconfig.checkpoint_bytes = next_num(&mut rest, "--checkpoint-bytes")?;
+            }
+            "--queue-cap" => queue_cap = next_num(&mut rest, "--queue-cap")? as usize,
             other => {
                 return Err(TriqError::Other(format!("unknown serve flag `{other}`")));
             }
@@ -302,8 +348,46 @@ fn cmd_serve(args: &[String], stats: bool) -> Result<(), TriqError> {
     // graph AND these rules, kept incrementally materialized.
     let rules = parse_program(&read_file(rules_path)?)?;
     let engine = Engine::builder().library(rules).build();
-    let session = engine.load_graph(load_graph(graph_path)?);
-    let service = QueryService::new(engine.clone(), session, ServiceConfig { enable_shutdown });
+    let config = ServiceConfig {
+        enable_shutdown,
+        queue_cap,
+    };
+    let service = match &data_dir {
+        None => {
+            let session = engine.load_graph(load_graph(graph_path)?);
+            QueryService::from_shared(engine.clone(), session.into_shared(), None, config)
+        }
+        Some(dir) => {
+            let opened = Persistence::open(std::path::Path::new(dir), pconfig, &engine)?;
+            let mut persistence = opened.persistence;
+            let shared = match opened.session {
+                Some(shared) => {
+                    // Recovered state wins over the graph file: the
+                    // database in the snapshot + WAL already contains
+                    // every acknowledged write (including the original
+                    // τ_db load), so re-reading the graph would at best
+                    // duplicate it and at worst roll back updates.
+                    let r = opened.recovery.expect("recovery stats accompany a session");
+                    eprintln!(
+                        "recovered {dir}: snapshot v{}, {} WAL record(s) replayed, \
+                         serving v{} (graph file ignored)",
+                        r.snapshot_version, r.replayed_records, r.recovered_version
+                    );
+                    shared
+                }
+                None => {
+                    let session = engine.load_graph(load_graph(graph_path)?);
+                    let shared = session.into_shared();
+                    // Checkpoint 0 before serving: a crash before the
+                    // first update must still recover the loaded graph.
+                    persistence.checkpoint(&shared)?;
+                    eprintln!("initialized {dir}: checkpoint at v{}", shared.version());
+                    shared
+                }
+            };
+            QueryService::from_shared(engine.clone(), shared, Some(persistence), config)
+        }
+    };
     let server = Server::serve(service.clone(), &addr, threads)
         .map_err(|e| TriqError::Other(format!("cannot bind {addr}: {e}")))?;
     // The bound address on stdout is the machine-readable contract the

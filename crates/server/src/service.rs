@@ -18,6 +18,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use triq::prelude::*;
 use triq_common::json::Json;
+use triq_persist::Persistence;
 
 use crate::http::{Handler, Request, Response, ServerControl};
 
@@ -28,18 +29,32 @@ use crate::http::{Handler, Request, Response, ServerControl};
 const MAX_PREPARED: usize = 64;
 
 /// Service tuning knobs.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Allow `POST /shutdown` to stop the server (used by tests and the
     /// CI smoke; off by default).
     pub enable_shutdown: bool,
+    /// Upper bound on updates queued to the writer thread. When the
+    /// queue is full, `POST /update` fails fast with `503 E-RESOURCE`
+    /// instead of growing the backlog without limit (default 1024).
+    pub queue_cap: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            enable_shutdown: false,
+            queue_cap: 1024,
+        }
+    }
 }
 
 /// One queued mutation: the parsed delta plus the channel the writer
-/// thread replies on.
+/// thread replies on. The reply is `Err` when the write-ahead log
+/// rejected the batch — in that case it was **not** applied.
 struct UpdateJob {
     delta: Delta,
-    reply: mpsc::SyncSender<(AppliedDelta, usize)>,
+    reply: mpsc::SyncSender<Result<(AppliedDelta, usize), TriqError>>,
 }
 
 /// The serving layer's application object; implements [`Handler`].
@@ -48,7 +63,7 @@ pub struct QueryService {
     shared: SharedSession,
     config: ServiceConfig,
     prepared: Mutex<HashMap<QueryKey, PreparedQuery>>,
-    update_tx: Mutex<Option<mpsc::Sender<UpdateJob>>>,
+    update_tx: Mutex<Option<mpsc::SyncSender<UpdateJob>>>,
     writer: Mutex<Option<JoinHandle<()>>>,
     queries_served: AtomicU64,
     updates_applied: AtomicU64,
@@ -71,9 +86,25 @@ enum Lang {
 
 impl QueryService {
     /// Builds the service over a session (spawning the writer thread).
+    /// Updates are applied in memory only; for crash safety use
+    /// [`QueryService::from_shared`] with a [`Persistence`] handle.
     pub fn new(engine: Engine, session: Session, config: ServiceConfig) -> Arc<QueryService> {
-        let shared = session.into_shared();
-        let (tx, rx) = mpsc::channel::<UpdateJob>();
+        QueryService::from_shared(engine, session.into_shared(), None, config)
+    }
+
+    /// Builds the service over an already-shared session, optionally
+    /// durable: with a [`Persistence`] handle, the writer thread logs
+    /// every netted batch to the WAL *before* applying it (an update is
+    /// only acknowledged once it is recoverable) and checkpoints on the
+    /// handle's policy. This is the constructor `triq-cli serve
+    /// --data-dir` uses after recovery.
+    pub fn from_shared(
+        engine: Engine,
+        shared: SharedSession,
+        persistence: Option<Persistence>,
+        config: ServiceConfig,
+    ) -> Arc<QueryService> {
+        let (tx, rx) = mpsc::sync_channel::<UpdateJob>(config.queue_cap.max(1));
         let service = Arc::new(QueryService {
             engine,
             shared: shared.clone(),
@@ -84,7 +115,7 @@ impl QueryService {
             queries_served: AtomicU64::new(0),
             updates_applied: AtomicU64::new(0),
         });
-        let writer = std::thread::spawn(move || writer_loop(shared, rx));
+        let writer = std::thread::spawn(move || writer_loop(shared, rx, persistence));
         *service.writer.lock().expect("writer handle poisoned") = Some(writer);
         service
     }
@@ -237,12 +268,25 @@ impl QueryService {
         let sent = {
             let tx = self.update_tx.lock().expect("update channel poisoned");
             match tx.as_ref() {
-                Some(tx) => tx
-                    .send(UpdateJob {
-                        delta,
-                        reply: reply_tx,
-                    })
-                    .is_ok(),
+                Some(tx) => match tx.try_send(UpdateJob {
+                    delta,
+                    reply: reply_tx,
+                }) {
+                    Ok(()) => true,
+                    Err(mpsc::TrySendError::Full(_)) => {
+                        // Bounded backpressure: fail fast instead of
+                        // queueing without limit behind a slow apply.
+                        return Response::error(
+                            503,
+                            "E-RESOURCE",
+                            &format!(
+                                "update queue is full ({} pending) — retry later",
+                                self.config.queue_cap
+                            ),
+                        );
+                    }
+                    Err(mpsc::TrySendError::Disconnected(_)) => false,
+                },
                 None => false,
             }
         };
@@ -250,7 +294,7 @@ impl QueryService {
             return Response::error(503, "E-HTTP-UNAVAILABLE", "writer is shut down");
         }
         match reply_rx.recv() {
-            Ok((applied, batched)) => {
+            Ok(Ok((applied, batched))) => {
                 self.updates_applied.fetch_add(1, Ordering::Relaxed);
                 Response::json(
                     200,
@@ -262,6 +306,9 @@ impl QueryService {
                     ]),
                 )
             }
+            // The WAL rejected the batch: nothing was applied, the
+            // server keeps serving its current state.
+            Ok(Err(e)) => triq_error_response(&e),
             Err(_) => Response::error(503, "E-HTTP-UNAVAILABLE", "writer stopped mid-update"),
         }
     }
@@ -327,16 +374,45 @@ impl Handler for QueryService {
 /// operation per fact wins — the same set semantics as the session op
 /// log), applied once, and all coalesced callers get the same published
 /// version back.
-fn writer_loop(shared: SharedSession, rx: mpsc::Receiver<UpdateJob>) {
+///
+/// With a [`Persistence`] handle the loop runs the durability protocol:
+/// the netted batch is appended to the WAL (at the pre-apply version)
+/// **before** the apply — on a WAL failure nothing is applied and every
+/// coalesced caller gets the error — and after the reply a checkpoint is
+/// taken when the policy calls for one. A failed checkpoint is logged
+/// and the server keeps serving (the WAL still covers the state).
+fn writer_loop(
+    shared: SharedSession,
+    rx: mpsc::Receiver<UpdateJob>,
+    mut persistence: Option<Persistence>,
+) {
     while let Ok(first) = rx.recv() {
         let mut jobs = vec![first];
         while let Ok(more) = rx.try_recv() {
             jobs.push(more);
         }
         let net = net_deltas(jobs.iter().map(|j| &j.delta));
-        let applied = shared.apply(&net);
-        for job in &jobs {
-            let _ = job.reply.send((applied, jobs.len()));
+        let logged = match persistence.as_mut() {
+            Some(p) => p.append(shared.version(), &net, shared.engine()),
+            None => Ok(()),
+        };
+        match logged {
+            Ok(()) => {
+                let applied = shared.apply(&net);
+                for job in &jobs {
+                    let _ = job.reply.send(Ok((applied, jobs.len())));
+                }
+                if let Some(p) = persistence.as_mut() {
+                    if let Err(e) = p.maybe_checkpoint(&shared) {
+                        eprintln!("triq-server: checkpoint failed (still serving): {e}");
+                    }
+                }
+            }
+            Err(e) => {
+                for job in &jobs {
+                    let _ = job.reply.send(Err(e.clone()));
+                }
+            }
         }
     }
 }

@@ -327,6 +327,7 @@ fn shutdown_endpoint_stops_the_server_cleanly() {
         session,
         ServiceConfig {
             enable_shutdown: true,
+            ..ServiceConfig::default()
         },
     );
     let server = Server::serve(service.clone(), "127.0.0.1:0", 2).unwrap();
@@ -337,4 +338,109 @@ fn shutdown_endpoint_stops_the_server_cleanly() {
     assert!(server.shutdown_requested());
     // join() drains and returns promptly after the request above.
     server.join();
+}
+
+/// Bounded writer backpressure: with `queue_cap: 1` and the writer
+/// stalled mid-apply, concurrent updates beyond the in-flight batch and
+/// the single queue slot bounce immediately with `503 E-RESOURCE` — and
+/// once the backlog drains, updates go through again.
+///
+/// The stall is deterministic, not timing-based: the test holds the
+/// session's writer lock (`SharedSession::with_writer`, the same lock a
+/// checkpoint holds), so the writer thread blocks inside its apply and
+/// the queue cannot drain until the test releases it.
+#[test]
+fn full_writer_queue_rejects_updates_with_503_e_resource() {
+    use std::sync::mpsc;
+    use std::thread;
+    use std::time::Duration;
+
+    let engine = Engine::builder()
+        .library(parse_program("triple(?X, knows, ?Y) -> triple(?X, reaches, ?Y).").unwrap())
+        .build();
+    let session = engine.load_graph(parse_turtle("a knows b .").unwrap());
+    let service = QueryService::new(
+        engine,
+        session,
+        ServiceConfig {
+            queue_cap: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let server = Server::serve(service.clone(), "127.0.0.1:0", 8).unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::new(addr);
+
+    // Stall the writer: hold the writer lock, post one plug update, and
+    // give the writer thread a moment to dequeue it and block in apply.
+    let (held_tx, held_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let shared = service.shared().clone();
+    let blocker = thread::spawn(move || {
+        shared.with_writer(|_| {
+            held_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        });
+    });
+    held_rx.recv().unwrap();
+    let plug = thread::spawn(move || Client::new(addr).post("/update", "+triple(x, knows, y)"));
+    thread::sleep(Duration::from_millis(300));
+
+    // Six more concurrent updates against the stalled writer. The
+    // writer holds at most one batch (netted before it blocked) and the
+    // queue holds one job, so at least four of the six MUST bounce —
+    // whatever the thread schedule. Bounces reply immediately; accepted
+    // updates cannot reply until the lock is released, so everything
+    // received before the release below is a 503.
+    let (status_tx, status_rx) = mpsc::channel();
+    let posters: Vec<_> = (0..6)
+        .map(|i| {
+            let status_tx = status_tx.clone();
+            thread::spawn(move || {
+                let resp = Client::new(addr)
+                    .post("/update", &format!("+triple(p{i}, knows, q{i})"))
+                    .unwrap();
+                status_tx.send(resp).unwrap();
+            })
+        })
+        .collect();
+    for _ in 0..4 {
+        let resp = status_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("posts against the full queue must bounce");
+        assert_eq!(resp.status, 503, "{}", resp.body);
+        assert!(resp.body.contains("E-RESOURCE"), "{}", resp.body);
+        assert!(resp.body.contains("queue is full"), "{}", resp.body);
+    }
+
+    // Release the writer: the plug and any queued updates complete.
+    release_tx.send(()).unwrap();
+    blocker.join().unwrap();
+    let plug = plug.join().unwrap().unwrap();
+    assert_eq!(plug.status, 200, "{}", plug.body);
+    for p in posters {
+        p.join().unwrap();
+    }
+    for resp in status_rx.try_iter() {
+        assert!(
+            resp.status == 200 || resp.status == 503,
+            "{} {}",
+            resp.status,
+            resp.body
+        );
+    }
+
+    // Once the backlog drains, updates go through again.
+    let mut recovered = false;
+    for _ in 0..100 {
+        let resp = client.post("/update", "+triple(p, knows, q)").unwrap();
+        if resp.status == 200 {
+            recovered = true;
+            break;
+        }
+        assert_eq!(resp.status, 503, "{}", resp.body);
+        thread::sleep(Duration::from_millis(50));
+    }
+    assert!(recovered, "the queue never drained after the overflow");
+    stop(service, server);
 }
