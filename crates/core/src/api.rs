@@ -188,6 +188,7 @@ struct EngineCounters {
     snapshots_written: AtomicU64,
     last_checkpoint_version: AtomicU64,
     recovery_replayed_ops: AtomicU64,
+    checkpoint_failures: AtomicU64,
 }
 
 impl EngineCounters {
@@ -292,6 +293,11 @@ pub struct EngineStats {
     pub last_checkpoint_version: u64,
     /// Operations replayed from the WAL tail during startup recovery.
     pub recovery_replayed_ops: u64,
+    /// Checkpoint attempts that failed (the WAL keeps covering the
+    /// state; the durability layer backs off before retrying). A
+    /// non-zero value that keeps growing means the data directory's
+    /// disk needs attention.
+    pub checkpoint_failures: u64,
 }
 
 impl EngineStats {
@@ -325,6 +331,7 @@ impl EngineStats {
                 "recovery_replayed_ops",
                 Json::U64(self.recovery_replayed_ops),
             ),
+            ("checkpoint_failures", Json::U64(self.checkpoint_failures)),
         ])
     }
 }
@@ -387,6 +394,7 @@ impl Engine {
             snapshots_written: s.snapshots_written.load(Ordering::Relaxed),
             last_checkpoint_version: s.last_checkpoint_version.load(Ordering::Relaxed),
             recovery_replayed_ops: s.recovery_replayed_ops.load(Ordering::Relaxed),
+            checkpoint_failures: s.checkpoint_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -411,6 +419,15 @@ impl Engine {
             .stats
             .last_checkpoint_version
             .store(version, Ordering::Relaxed);
+    }
+
+    /// Persistence hook: a checkpoint attempt failed. The WAL still
+    /// covers the state; the durability layer backs off and retries.
+    pub fn record_checkpoint_failure(&self) {
+        self.inner
+            .stats
+            .checkpoint_failures
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Persistence hook: `ops` operations were replayed from the WAL

@@ -104,6 +104,12 @@ pub struct Persistence {
     store: SnapshotStore,
     config: PersistConfig,
     last_checkpoint_version: u64,
+    /// Backoff after a failed checkpoint: do not retry until this many
+    /// records have been appended since the last truncation (0 = no
+    /// failure pending). Without it a persistent disk error would make
+    /// every subsequent update re-encode the whole session under the
+    /// writer lock.
+    retry_checkpoint_at: u64,
 }
 
 impl Persistence {
@@ -119,7 +125,12 @@ impl Persistence {
     ///   would lose acknowledged writes.
     ///
     /// Torn or corrupt WAL tails are truncated in place; invalid
-    /// snapshot files are skipped in favor of the next older one.
+    /// snapshot files are skipped in favor of the next older one —
+    /// but only when the surviving snapshot plus the WAL still reach
+    /// the newest version named in the directory. If they cannot
+    /// (the records bridging the gap were truncated at the failed
+    /// snapshot's checkpoint), recovery refuses with `E-PERSIST`
+    /// instead of silently rolling back acknowledged writes.
     pub fn open(dir: &Path, config: PersistConfig, engine: &Engine) -> Result<Opened> {
         let store = SnapshotStore::new(dir)?;
         let (wal, records) = Wal::open(dir, config.fsync)?;
@@ -129,6 +140,7 @@ impl Persistence {
             store,
             config,
             last_checkpoint_version: 0,
+            retry_checkpoint_at: 0,
         };
         let Some((snap_version, body)) = snapshot else {
             if !records.is_empty() {
@@ -149,20 +161,43 @@ impl Persistence {
         let mut session = triq::persist::decode_snapshot(engine, &body)?;
         let mut replayed = 0u64;
         for record in &records {
-            if record.pre_version < snap_version {
+            if record.pre_version < session.version() {
                 continue; // already folded into the snapshot
             }
-            if session.version() != record.pre_version {
+            if record.pre_version > session.version() {
+                // The WAL's epoch is newer than the snapshot we could
+                // load: the snapshot these records build on is missing
+                // or failed validation (checkpoints truncate the WAL,
+                // so an older snapshot cannot be rolled forward across
+                // the gap). Refuse rather than lose acknowledged
+                // writes.
                 return Err(TriqError::Persist(format!(
-                    "WAL replay diverged: record expects version {}, session is at {} \
-                     (snapshot {})",
+                    "WAL epoch is newer than the recovered snapshot: record expects \
+                     version {} but snapshot {snap_version} only reaches {} — the \
+                     snapshot these records build on is missing or corrupt; restore \
+                     it from backup or clear the directory to start over",
                     record.pre_version,
                     session.version(),
-                    snap_version
                 )));
             }
             session.apply_delta(&record.delta);
             replayed += 1;
+        }
+        // Same gap, empty-WAL shape: a newer snapshot is named in the
+        // directory but failed validation, and the WAL that would roll
+        // this older one forward was truncated at that checkpoint.
+        // Serving here would silently roll back acknowledged writes.
+        if let Some(newest) = persistence.store.newest_named_version()? {
+            if session.version() < newest {
+                return Err(TriqError::Persist(format!(
+                    "newest snapshot (version {newest}) failed validation and the \
+                     surviving state only reaches version {} — the WAL records \
+                     needed to roll forward were truncated at that checkpoint; \
+                     refusing to silently roll back acknowledged writes (restore \
+                     the snapshot from backup or clear the directory)",
+                    session.version(),
+                )));
+            }
         }
         engine.record_recovery_replayed(replayed);
         let recovery = RecoveryStats {
@@ -197,24 +232,46 @@ impl Persistence {
 
     /// Checkpoints when the policy calls for it; returns the
     /// checkpointed version, if one was taken.
+    ///
+    /// After a failed checkpoint this backs off — the next attempt
+    /// waits for `checkpoint_ops` more appended records instead of
+    /// retrying (and re-encoding the whole session under the writer
+    /// lock) on every subsequent update. Failures tick the engine's
+    /// `checkpoint_failures` counter, surfaced through `GET /stats`;
+    /// the WAL keeps covering the state either way.
     pub fn maybe_checkpoint(&mut self, shared: &SharedSession) -> Result<Option<u64>> {
         if !self.should_checkpoint() {
             return Ok(None);
         }
-        self.checkpoint(shared).map(Some)
+        if self.wal.appended_records() < self.retry_checkpoint_at {
+            return Ok(None); // backing off after a failure
+        }
+        match self.checkpoint(shared) {
+            Ok(version) => Ok(Some(version)),
+            Err(e) => {
+                self.retry_checkpoint_at =
+                    self.wal.appended_records() + self.config.checkpoint_ops.max(1);
+                shared.engine().record_checkpoint_failure();
+                Err(e)
+            }
+        }
     }
 
     /// Takes a checkpoint now: encodes the exact current session state
-    /// under the writer lock, writes it atomically, prunes old
-    /// snapshots and truncates the WAL. Returns the checkpointed
-    /// version and ticks the engine's `snapshots_written` /
-    /// `last_checkpoint_version` counters.
+    /// under the writer lock, writes it atomically, verifies the
+    /// published file reads back, and only then prunes old snapshots
+    /// and truncates the WAL — the state that could replace a bad
+    /// snapshot is never destroyed before the snapshot has proven
+    /// itself. Returns the checkpointed version and ticks the engine's
+    /// `snapshots_written` / `last_checkpoint_version` counters.
     pub fn checkpoint(&mut self, shared: &SharedSession) -> Result<u64> {
         let (body, version) = triq::persist::encode_snapshot(shared);
         self.store.write(version, &body)?;
+        self.store.verify(version)?;
         self.store.prune(self.config.keep_snapshots.max(1))?;
         self.wal.truncate()?;
         self.last_checkpoint_version = version;
+        self.retry_checkpoint_at = 0;
         shared.engine().record_checkpoint(version);
         Ok(version)
     }
@@ -326,6 +383,118 @@ mod tests {
         let engine = Engine::new();
         let err = Persistence::open(&dir, PersistConfig::default(), &engine).unwrap_err();
         assert_eq!(err.code(), "E-PERSIST");
+    }
+
+    #[test]
+    fn stale_snapshot_fallback_is_refused_not_silent() {
+        let dir = tmpdir("stale");
+        let engine = Engine::new();
+        let config = PersistConfig {
+            checkpoint_ops: 2,
+            ..PersistConfig::default()
+        };
+        let opened = Persistence::open(&dir, config, &engine).unwrap();
+        let mut p = opened.persistence;
+        let shared = engine.session().into_shared();
+        p.checkpoint(&shared).unwrap(); // snap v0
+        for n in 0..2 {
+            durable_apply(&mut p, &shared, &edge(n)); // snap v2, WAL truncated
+        }
+        assert_eq!(p.last_checkpoint_version(), 2);
+        drop((p, shared));
+
+        // Corrupt the newest snapshot. The old snap v0 is intact, but
+        // the WAL that would roll it forward to v2 is gone — recovery
+        // must refuse rather than silently serve v0.
+        let newest = dir.join("snap-00000000000000000002.triq");
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&newest, &bytes).unwrap();
+        let err = Persistence::open(&dir, config, &Engine::new()).unwrap_err();
+        assert_eq!(err.code(), "E-PERSIST");
+        assert!(
+            err.to_string().contains("failed validation"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn wal_epoch_newer_than_snapshot_is_refused() {
+        let dir = tmpdir("epoch");
+        let engine = Engine::new();
+        let config = PersistConfig {
+            checkpoint_ops: 2,
+            ..PersistConfig::default()
+        };
+        let opened = Persistence::open(&dir, config, &engine).unwrap();
+        let mut p = opened.persistence;
+        let shared = engine.session().into_shared();
+        p.checkpoint(&shared).unwrap(); // snap v0
+        for n in 0..3 {
+            // Records at pre 0 and 1 are folded into snap v2 (WAL
+            // truncated); the third lives in the WAL at pre 2.
+            durable_apply(&mut p, &shared, &edge(n));
+        }
+        drop((p, shared));
+
+        // With snap v2 corrupt, the WAL tail (pre 2) builds on a
+        // snapshot newer than the one that loads (v0): a clear
+        // epoch-gap refusal, not a bogus "diverged" apply.
+        let newest = dir.join("snap-00000000000000000002.triq");
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&newest, &bytes).unwrap();
+        let err = Persistence::open(&dir, config, &Engine::new()).unwrap_err();
+        assert_eq!(err.code(), "E-PERSIST");
+        assert!(
+            err.to_string().contains("epoch"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_failure_backs_off_then_recovers() {
+        let dir = tmpdir("backoff");
+        let engine = Engine::new();
+        let config = PersistConfig {
+            checkpoint_ops: 2,
+            ..PersistConfig::default()
+        };
+        let opened = Persistence::open(&dir, config, &engine).unwrap();
+        let mut p = opened.persistence;
+        let shared = engine.session().into_shared();
+        p.checkpoint(&shared).unwrap();
+        // Squat a directory on the tmp name of the checkpoint the
+        // policy will trigger at version 2, so its write fails.
+        let blocker = dir.join("snap-00000000000000000002.triq.tmp");
+        std::fs::create_dir_all(&blocker).unwrap();
+
+        p.append(shared.version(), &edge(0), shared.engine()).unwrap();
+        shared.apply(&edge(0));
+        assert!(p.maybe_checkpoint(&shared).unwrap().is_none(), "1 < 2 ops");
+
+        p.append(shared.version(), &edge(1), shared.engine()).unwrap();
+        shared.apply(&edge(1));
+        assert!(p.maybe_checkpoint(&shared).is_err(), "blocked tmp file");
+        assert_eq!(engine.stats().checkpoint_failures, 1);
+
+        // Backoff: the very next update does not retry (and does not
+        // re-encode the session), even though the policy still fires.
+        p.append(shared.version(), &edge(2), shared.engine()).unwrap();
+        shared.apply(&edge(2));
+        assert!(p.should_checkpoint());
+        assert!(p.maybe_checkpoint(&shared).unwrap().is_none(), "backing off");
+        assert_eq!(engine.stats().checkpoint_failures, 1);
+
+        // After checkpoint_ops more records the retry runs — and
+        // succeeds, because version 4's tmp name is unobstructed.
+        p.append(shared.version(), &edge(3), shared.engine()).unwrap();
+        shared.apply(&edge(3));
+        assert_eq!(p.maybe_checkpoint(&shared).unwrap(), Some(shared.version()));
+        assert_eq!(p.last_checkpoint_version(), 4);
+        assert_eq!(p.wal_len_bytes(), WAL_MAGIC.len() as u64);
     }
 
     #[test]

@@ -69,11 +69,30 @@ impl SnapshotStore {
         drop(tmp);
         fs::rename(&tmp_path, &final_path)
             .map_err(|e| io_err("publish snapshot", &final_path, &e))?;
-        // Make the rename itself durable.
-        if let Ok(d) = File::open(&self.dir) {
-            let _ = d.sync_all();
-        }
+        // Make the rename itself durable. A failure here means the
+        // publish may not survive a crash — it must surface, because
+        // the caller is about to truncate the WAL that still covers
+        // this state.
+        File::open(&self.dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| io_err("fsync data dir", &self.dir, &e))?;
         Ok(final_path)
+    }
+
+    /// Re-reads and fully validates (magic, version, length, CRC) the
+    /// published snapshot for `version`. Called after [`Self::write`],
+    /// before the WAL covering the same state is truncated.
+    pub fn verify(&self, version: u64) -> Result<()> {
+        read_snapshot(&self.dir.join(Self::file_name(version)), version).map(|_| ())
+    }
+
+    /// The newest snapshot version *named* in the directory, valid or
+    /// not. Recovery compares it against the version it actually
+    /// loaded: a newer named snapshot that failed validation means the
+    /// WAL records needed to roll an older snapshot forward were
+    /// already truncated.
+    pub fn newest_named_version(&self) -> Result<Option<u64>> {
+        Ok(self.versions()?.into_iter().next())
     }
 
     /// All snapshot versions present (valid or not), descending.

@@ -104,6 +104,16 @@ pub struct Wal {
     /// Records appended since the log was last truncated (not counting
     /// the ones recovered at open).
     appended: u64,
+    /// Set when a failed append could not be rolled back: the file may
+    /// hold a torn frame, and anything appended after it would be
+    /// unreachable to recovery (scan stops at the first bad frame).
+    /// Refusing further appends beats acknowledging writes that a
+    /// restart would silently drop.
+    poisoned: bool,
+    /// Test hook: make the next append write only this many frame
+    /// bytes and then fail, as a crash or ENOSPC mid-`write_all` would.
+    #[cfg(test)]
+    fail_append_after: Option<usize>,
 }
 
 impl Wal {
@@ -124,6 +134,11 @@ impl Wal {
             file.write_all(WAL_MAGIC)
                 .and_then(|()| file.sync_all())
                 .map_err(|e| io_err("initialize WAL", &path, &e))?;
+            // The file's directory entry must survive a crash too:
+            // fsync the directory that now names it.
+            File::open(dir)
+                .and_then(|d| d.sync_all())
+                .map_err(|e| io_err("fsync data dir", dir, &e))?;
         }
         let mut bytes = Vec::new();
         file.seek(SeekFrom::Start(0))
@@ -152,6 +167,9 @@ impl Wal {
                 last_sync: Instant::now(),
                 len: valid_len,
                 appended: 0,
+                poisoned: false,
+                #[cfg(test)]
+                fail_append_after: None,
             },
             records,
         ))
@@ -161,7 +179,22 @@ impl Wal {
     /// the fsync policy. Returns the number of bytes written. On `Ok`,
     /// the record is in the file (and, under [`FsyncPolicy::PerBatch`],
     /// durable) — callers acknowledge the write only after this returns.
+    ///
+    /// On `Err` the record is **not** in the file: a partially written
+    /// frame (ENOSPC mid-`write_all`) or a frame whose fsync failed is
+    /// cut back off before returning, so the rejected batch is never
+    /// replayed at recovery and later successful appends extend the
+    /// valid prefix instead of landing unreachable behind a torn frame.
+    /// If that rollback itself fails the log is poisoned and refuses
+    /// all further appends.
     pub fn append(&mut self, pre_version: u64, delta: &Delta) -> Result<u64> {
+        if self.poisoned {
+            return Err(TriqError::Persist(format!(
+                "WAL is poisoned after an append failure could not be rolled back ({}); \
+                 refusing further appends",
+                self.path.display()
+            )));
+        }
         let mut payload = Encoder::new();
         payload.varint(pre_version);
         encode_delta(&mut payload, delta);
@@ -171,21 +204,56 @@ impl Wal {
         frame.u32_fixed(crc32(&payload));
         frame.raw(&payload);
         let frame = frame.into_bytes();
-        self.file
-            .write_all(&frame)
-            .map_err(|e| io_err("append WAL record", &self.path, &e))?;
-        match self.policy {
-            FsyncPolicy::PerBatch => self.sync()?,
-            FsyncPolicy::Interval(every) => {
-                if self.last_sync.elapsed() >= every {
-                    self.sync()?;
-                }
-            }
-            FsyncPolicy::Off => {}
+        if let Err(e) = self.write_frame(&frame) {
+            return Err(self.rollback_append(e));
         }
         self.len += frame.len() as u64;
         self.appended += 1;
         Ok(frame.len() as u64)
+    }
+
+    /// Writes one framed record and applies the fsync policy.
+    fn write_frame(&mut self, frame: &[u8]) -> Result<()> {
+        #[cfg(test)]
+        if let Some(n) = self.fail_append_after.take() {
+            let n = n.min(frame.len());
+            let _ = self.file.write_all(&frame[..n]);
+            return Err(TriqError::Persist(format!(
+                "append WAL record ({}): injected failure after {n} bytes",
+                self.path.display()
+            )));
+        }
+        self.file
+            .write_all(frame)
+            .map_err(|e| io_err("append WAL record", &self.path, &e))?;
+        match self.policy {
+            FsyncPolicy::PerBatch => self.sync(),
+            FsyncPolicy::Interval(every) if self.last_sync.elapsed() >= every => self.sync(),
+            FsyncPolicy::Interval(_) | FsyncPolicy::Off => Ok(()),
+        }
+    }
+
+    /// Restores the valid-prefix invariant after a failed append:
+    /// truncate the (possibly torn) frame back off, return the cursor
+    /// to the old end, and make the repair durable. On success the
+    /// original error is returned and the log stays usable; if the
+    /// repair fails the log is poisoned.
+    fn rollback_append(&mut self, cause: TriqError) -> TriqError {
+        let repaired = self
+            .file
+            .set_len(self.len)
+            .and_then(|()| self.file.seek(SeekFrom::Start(self.len)).map(|_| ()))
+            .and_then(|()| self.file.sync_all());
+        match repaired {
+            Ok(()) => cause,
+            Err(e) => {
+                self.poisoned = true;
+                TriqError::Persist(format!(
+                    "{cause}; rolling the torn frame back also failed \
+                     ({e}) — WAL poisoned, refusing further appends"
+                ))
+            }
+        }
     }
 
     /// Forces the log to stable storage now.
@@ -340,6 +408,31 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let (_, records) = Wal::open(&dir, FsyncPolicy::Off).unwrap();
         assert!(records.is_empty());
+    }
+
+    #[test]
+    fn failed_append_rolls_back_and_later_appends_survive() {
+        let dir = tmpdir("rollback");
+        let (mut wal, _) = Wal::open(&dir, FsyncPolicy::PerBatch).unwrap();
+        wal.append(0, &delta(0)).unwrap();
+        let len = wal.len_bytes();
+        // A torn write mid-frame, as ENOSPC would leave it.
+        wal.fail_append_after = Some(5);
+        assert!(wal.append(1, &delta(1)).is_err());
+        assert_eq!(wal.len_bytes(), len, "failed frame must be cut back off");
+        let on_disk = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        assert_eq!(on_disk, len, "no torn bytes left in the file");
+        // Later appends land on the valid prefix and are recoverable —
+        // without the rollback they would sit unreachable behind the
+        // torn frame and recovery would silently drop them.
+        wal.append(1, &delta(1)).unwrap();
+        wal.append(2, &delta(2)).unwrap();
+        drop(wal);
+        let (_, records) = Wal::open(&dir, FsyncPolicy::Off).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[1].pre_version, 1);
+        assert_eq!(records[2].pre_version, 2);
+        assert_eq!(records[2].delta, delta(2));
     }
 
     #[test]

@@ -95,6 +95,7 @@ fn print_stats(engine: &Engine) {
     eprintln!("  snapshots written:{}", s.snapshots_written);
     eprintln!("  last checkpoint:  v{}", s.last_checkpoint_version);
     eprintln!("  recovery replayed:{}", s.recovery_replayed_ops);
+    eprintln!("  checkpoint fails: {}", s.checkpoint_failures);
 }
 
 fn main() -> ExitCode {

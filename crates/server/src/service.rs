@@ -380,7 +380,10 @@ impl Handler for QueryService {
 /// **before** the apply — on a WAL failure nothing is applied and every
 /// coalesced caller gets the error — and after the reply a checkpoint is
 /// taken when the policy calls for one. A failed checkpoint is logged
-/// and the server keeps serving (the WAL still covers the state).
+/// and the server keeps serving (the WAL still covers the state): the
+/// persistence handle backs off before retrying, so a persistent disk
+/// error does not re-encode the whole session on every update, and the
+/// failure shows up as `checkpoint_failures` in `GET /stats`.
 fn writer_loop(
     shared: SharedSession,
     rx: mpsc::Receiver<UpdateJob>,
