@@ -10,6 +10,9 @@
 //! * `parallel/{k}` vs `sequential/{k}` — `k` independent closure
 //!   families evaluated in one stratum, with per-rule parallel match
 //!   collection on vs off (`parallel_threshold`);
+//! * `tc_morsel/{serial,morsel}/{scale}` — a *single* recursive closure
+//!   rule, the shape rule-level parallelism could never split: the
+//!   morsel path slices the rule's own delta window across workers;
 //! * `chain_join/{planner}/{scale}` — a 6-hop cycle join whose last hop
 //!   closes back onto the first variable: the cost-based planner probes
 //!   it with O(1) whole-tuple hashes where the greedy fallback scans
@@ -46,12 +49,29 @@ fn random_edges(n: usize, per_node: usize, seed: u64) -> Database {
     db
 }
 
+const TC_PROGRAM: &str = "e(?X, ?Y) -> t(?X, ?Y).\n e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).";
+
 fn runner(program: &str, threshold: usize) -> ChaseRunner {
     let p = parse_program(program).unwrap();
     ChaseRunner::new(
         p,
         ChaseConfig {
             parallel_threshold: threshold,
+            max_atoms: 50_000_000,
+            ..ChaseConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// A runner with the morsel path forced on (`parallel_threshold: 0`)
+/// and a pinned worker count (`0` = one per hardware thread).
+fn morsel_runner(program: &str, chase_threads: usize) -> ChaseRunner {
+    ChaseRunner::new(
+        parse_program(program).unwrap(),
+        ChaseConfig {
+            parallel_threshold: 0,
+            chase_threads,
             max_atoms: 50_000_000,
             ..ChaseConfig::default()
         },
@@ -198,6 +218,60 @@ fn report_ratio(name: &str, program: &str, db: &Database, gate: f64) {
     );
 }
 
+/// Serial vs morsel-forced wall-clock for the single-rule closure at
+/// `scale`, plus a `threads=1` parity row: a forced single-worker morsel
+/// run must stay within noise of the serial path (the morsel machinery
+/// itself must cost nothing when it cannot fan out). The ≥ `gate` ratio
+/// is informational — a 1-core container cannot beat serial and cannot
+/// time reliably — but byte-identity across all three schedules is
+/// enforced.
+fn report_morsel_ratio(name: &str, scale: usize, gate: f64) {
+    if !criterion::matches_filter(name) {
+        return;
+    }
+    let db = random_edges(50 * scale, 2, 42);
+    let serial = runner(TC_PROGRAM, usize::MAX);
+    let morsel = morsel_runner(TC_PROGRAM, 0);
+    let single = morsel_runner(TC_PROGRAM, 1);
+    let out_serial = serial.run(&db).unwrap();
+    for (label, r) in [("morsel", &morsel), ("threads=1", &single)] {
+        let out = r.run(&db).unwrap();
+        assert!(
+            out.stats.morsel_batches > 0,
+            "morsel path must engage ({name}/{label})"
+        );
+        assert_eq!(
+            out.instance.len(),
+            out_serial.instance.len(),
+            "morsels changed the atom count on {name}/{label}"
+        );
+        for (id, atom) in out_serial.instance.iter() {
+            assert_eq!(
+                out.instance.find(&atom),
+                Some(id),
+                "morsels changed atom {atom} on {name}/{label}"
+            );
+        }
+    }
+    let t_serial = median_run(&serial, &db, 5);
+    let t_morsel = median_run(&morsel, &db, 5);
+    let t_single = median_run(&single, &db, 5);
+    println!(
+        "{name}: serial {:.2?} vs morsel {:.2?} → {:.2}x \
+         (informational gate ≥ {gate:.1}x on multi-core)",
+        std::time::Duration::from_secs_f64(t_serial),
+        std::time::Duration::from_secs_f64(t_morsel),
+        t_serial / t_morsel,
+    );
+    println!(
+        "{name}/threads=1: serial {:.2?} vs single-worker morsel {:.2?} → {:.2}x \
+         (parity row — must be within noise of serial)",
+        std::time::Duration::from_secs_f64(t_serial),
+        std::time::Duration::from_secs_f64(t_single),
+        t_serial / t_single,
+    );
+}
+
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_chase_scaling");
     group.sample_size(10);
@@ -247,6 +321,24 @@ fn bench(c: &mut Criterion) {
         b.iter(|| seq.run(&db).unwrap().stats.derived)
     });
 
+    // Single-rule closure, serial vs morsel-forced: the workload
+    // rule-level parallelism could never split.
+    for scale in [2usize, 8] {
+        let db = random_edges(50 * scale, 2, 42);
+        let ser = runner(TC_PROGRAM, usize::MAX);
+        let mor = morsel_runner(TC_PROGRAM, 0);
+        group.bench_function(format!("tc_morsel/serial/{scale}"), |b| {
+            b.iter(|| ser.run(&db).unwrap().stats.derived)
+        });
+        group.bench_function(format!("tc_morsel/morsel/{scale}"), |b| {
+            b.iter(|| {
+                let out = mor.run(&db).unwrap();
+                assert!(out.stats.morsel_batches > 0, "morsel path must engage");
+                out.stats.derived
+            })
+        });
+    }
+
     for scale in [2usize, 8] {
         let db = chain_db(scale);
         for (label, planner) in [
@@ -277,6 +369,8 @@ fn bench(c: &mut Criterion) {
 
     report_ratio("chain_join/8", CHAIN_PROGRAM, &chain_db(8), 1.3);
     report_ratio("star_join/8", STAR_PROGRAM, &star_db(8), 1.3);
+    report_morsel_ratio("tc_morsel/2", 2, 1.5);
+    report_morsel_ratio("tc_morsel/8", 8, 1.5);
 }
 
 criterion_group!(benches, bench);

@@ -137,6 +137,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the morsel worker count for all query kinds (`0` = one
+    /// worker per hardware thread, the default).
+    pub fn chase_threads(mut self, threads: usize) -> EngineBuilder {
+        self.plain_config.chase_threads = threads;
+        self.regime_config.chase_threads = threads;
+        self
+    }
+
     /// Sets the semantics used when a SPARQL query is prepared without an
     /// explicit one.
     pub fn default_semantics(mut self, semantics: Semantics) -> EngineBuilder {
@@ -183,6 +191,8 @@ struct EngineCounters {
     replans: AtomicU64,
     index_builds: AtomicU64,
     index_probes: AtomicU64,
+    morsel_batches: AtomicU64,
+    kernel_filter_rows: AtomicU64,
     wal_records: AtomicU64,
     wal_bytes: AtomicU64,
     snapshots_written: AtomicU64,
@@ -209,6 +219,10 @@ impl EngineCounters {
             .fetch_add(summary.index_builds as u64, Ordering::Relaxed);
         self.index_probes
             .fetch_add(summary.index_probes, Ordering::Relaxed);
+        self.morsel_batches
+            .fetch_add(summary.morsel_batches, Ordering::Relaxed);
+        self.kernel_filter_rows
+            .fetch_add(summary.kernel_filter_rows, Ordering::Relaxed);
         if summary.full_rebuild {
             // Null-entangled deletion: the delta was answered by the
             // automatic full re-chase fallback.
@@ -233,6 +247,10 @@ impl EngineCounters {
             .fetch_add(stats.index_builds as u64, Ordering::Relaxed);
         self.index_probes
             .fetch_add(stats.index_probes, Ordering::Relaxed);
+        self.morsel_batches
+            .fetch_add(stats.morsel_batches, Ordering::Relaxed);
+        self.kernel_filter_rows
+            .fetch_add(stats.kernel_filter_rows, Ordering::Relaxed);
     }
 }
 
@@ -282,6 +300,13 @@ pub struct EngineStats {
     /// Join probes served by hash indexes (whole-tuple probes at
     /// fully-bound plan positions plus joint-index lookups).
     pub index_probes: u64,
+    /// Morsel match batches collected by the parallel chase (each is one
+    /// fixed-size slice of a rule's semi-naive pivot window matched on a
+    /// worker thread).
+    pub morsel_batches: u64,
+    /// Rows screened by the vectorized column kernels (leading-scan
+    /// constant and repeated-variable filters).
+    pub kernel_filter_rows: u64,
     /// Write-ahead-log records appended by the durability layer (one per
     /// acknowledged update batch when persistence is enabled).
     pub wal_records: u64,
@@ -320,6 +345,8 @@ impl EngineStats {
             ("replans", Json::U64(self.replans)),
             ("index_builds", Json::U64(self.index_builds)),
             ("index_probes", Json::U64(self.index_probes)),
+            ("morsel_batches", Json::U64(self.morsel_batches)),
+            ("kernel_filter_rows", Json::U64(self.kernel_filter_rows)),
             ("wal_records", Json::U64(self.wal_records)),
             ("wal_bytes", Json::U64(self.wal_bytes)),
             ("snapshots_written", Json::U64(self.snapshots_written)),
@@ -389,6 +416,8 @@ impl Engine {
             replans: s.replans.load(Ordering::Relaxed),
             index_builds: s.index_builds.load(Ordering::Relaxed),
             index_probes: s.index_probes.load(Ordering::Relaxed),
+            morsel_batches: s.morsel_batches.load(Ordering::Relaxed),
+            kernel_filter_rows: s.kernel_filter_rows.load(Ordering::Relaxed),
             wal_records: s.wal_records.load(Ordering::Relaxed),
             wal_bytes: s.wal_bytes.load(Ordering::Relaxed),
             snapshots_written: s.snapshots_written.load(Ordering::Relaxed),

@@ -35,14 +35,27 @@
 //!
 //! Within a stratum round, match *enumeration* is read-only (semi-naive
 //! delta windows cap every candidate range at the round's start length),
-//! so the matches of independent rules are collected **in parallel** with
-//! `std::thread::scope` and then *applied* serially in rule order —
-//! byte-for-byte the same instance the sequential schedule produces.
+//! so it is collected **morsel-parallel**: every rule's pivot windows are
+//! split into fixed-size morsels of pivot atoms
+//! ([`ChaseConfig::morsel_size`]), a `std::thread::scope` worker pool
+//! drains the flat task list through a shared atomic cursor into
+//! per-task flat buffers, and the buffers are merged back in task order.
+//! Because the morsels partition each rule's match set disjointly and the
+//! merged matches then pass through the same canonical per-rule sort the
+//! sequential path uses, *application* (serial, in rule order) produces
+//! byte-for-byte the same instance — identical [`AtomId`]s, nulls and
+//! provenance — regardless of morsel size or worker count. A rule whose
+//! pivot atom leads its join order additionally routes the leading scan
+//! through the vectorized column kernels of [`crate::kernels`] when the
+//! relation is dense and the filter is unselective enough
+//! ([`ChaseStats::kernel_filter_rows`] counts the rows so screened).
 
 use crate::instance::{AtomId, Database, Derivation, Instance, Relation};
+use crate::kernels;
 use crate::planner::{self, BoundOrder, JoinPlanner, ProbeKind, RulePlan};
 use crate::{Atom, Builtin, Program, Rule, Stratification};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use triq_common::{Result, Symbol, Term, TermId, TriqError, VarId};
 
 /// How existential rules instantiate their head nulls.
@@ -64,13 +77,24 @@ pub struct ChaseConfig {
     pub max_null_depth: u32,
     /// Hard budget on the total number of stored atoms.
     pub max_atoms: usize,
-    /// Evaluate a stratum's rules with parallel match collection once a
-    /// round's delta window (new atoms since the previous round) holds at
-    /// least this many atoms (`usize::MAX` forces sequential evaluation;
-    /// `0` forces parallel). Parallelism never changes results — only
-    /// wall-clock: tiny rounds stay on one thread where spawn overhead
-    /// would dominate.
+    /// Evaluate a round with morsel-parallel match collection once its
+    /// delta window (new atoms since the previous round) holds at least
+    /// this many atoms (`usize::MAX` forces sequential evaluation; `0`
+    /// forces the morsel machinery even on one worker, for the
+    /// schedule-equality tests). Parallelism never changes results —
+    /// only wall-clock: tiny rounds stay on one thread where task
+    /// dispatch would dominate.
     pub parallel_threshold: usize,
+    /// Atoms per morsel: each rule's pivot window is split into tasks of
+    /// at most this many pivot candidates, which workers steal
+    /// independently. Smaller morsels balance better and bigger ones
+    /// amortize task overhead; `0` is treated as `1`. The differential
+    /// suites force extreme values (down to 1) to pin schedule
+    /// independence.
+    pub morsel_size: usize,
+    /// Worker threads for morsel-parallel collection; `0` (the default)
+    /// means one per available hardware thread.
+    pub chase_threads: usize,
     /// Which join order the match loops follow. Plans never change
     /// results — the collected matches of a round are applied in a
     /// canonical order regardless of how they were enumerated — so this
@@ -87,6 +111,8 @@ impl Default for ChaseConfig {
             max_null_depth: 6,
             max_atoms: 10_000_000,
             parallel_threshold: 4096,
+            morsel_size: 2048,
+            chase_threads: 0,
             planner: JoinPlanner::CostBased,
         }
     }
@@ -105,6 +131,15 @@ pub struct ChaseStats {
     pub probes: u64,
     /// Strata whose rules were evaluated with parallel match collection.
     pub parallel_strata: usize,
+    /// Morsel tasks executed by the parallel match collector (each task
+    /// is one rule × pivot × window slice of at most
+    /// [`ChaseConfig::morsel_size`] pivot candidates).
+    pub morsel_batches: u64,
+    /// Rows examined by the vectorized column filter kernels
+    /// ([`crate::kernels`]) while enumerating leading-atom scans — the
+    /// work that runs as chunked compare loops instead of per-row hash
+    /// probes.
+    pub kernel_filter_rows: u64,
     /// Rule join plans compiled from live statistics (first stats-driven
     /// planning of a rule within a run).
     pub plans_compiled: usize,
@@ -301,10 +336,26 @@ fn candidates<'a>(
             }
         }
     }
-    let lo = best.partition_point(|&id| id < range.0);
-    let hi = best.partition_point(|&id| id < range.1);
+    // Window the ascending list: short lists take the branch-free linear
+    // count kernel (one vectorized pass beats binary-search branching),
+    // long ones binary-search.
+    let (lo, hi) = if best.len() <= SHORT_LIST {
+        (
+            kernels::count_lt(best, range.0),
+            kernels::count_lt(best, range.1),
+        )
+    } else {
+        (
+            best.partition_point(|&id| id < range.0),
+            best.partition_point(|&id| id < range.1),
+        )
+    };
     &best[lo..hi]
 }
+
+/// Posting lists at most this long are windowed with the linear
+/// [`kernels::count_lt`] kernel instead of binary search.
+const SHORT_LIST: usize = 128;
 
 /// Enumerates homomorphisms from `atoms` into `inst`, where atom `i` may
 /// only match stored atoms with id in `ranges[i]`. Calls `on_match` for
@@ -594,111 +645,360 @@ struct RuleMatches {
     ids_flat: Vec<AtomId>,
     probes: u64,
     index_probes: u64,
+    /// Morsel tasks merged into this rule's matches (0 on the
+    /// sequential path).
+    batches: u64,
+    /// Rows the vectorized filter kernels examined.
+    kernel_rows: u64,
 }
 
-/// Collects the semi-naive matches of one rule within a round, through
-/// the rule's compiled [`RulePlan`] (or the adaptive greedy pick when
-/// `plan` is `None`). Read-only on the instance: every candidate range is
-/// capped at `prev_len`, so the result is independent of any same-round
-/// insertions — which is what makes per-rule parallel collection exact,
-/// not approximate.
-///
-/// The returned matches are in **canonical order** (sorted by their
-/// chosen body-atom ids). The match *set* of a round is a function of the
-/// instance and the windows alone, so canonicalizing the apply order
-/// makes the chase's output — AtomIds, null numbering, provenance, all of
-/// it — independent of the join order the planner picked. That is the
-/// invariant `tests/differential_planner.rs` pins byte-for-byte.
-fn collect_rule_matches(
-    inst: &Instance,
-    rule: &CompiledRule,
-    plan: Option<&RulePlan>,
-    delta_start: AtomId,
-    prev_len: AtomId,
-) -> RuleMatches {
-    let n = rule.body_pos.len();
-    let mut count = 0usize;
-    let mut slots_flat: Vec<Option<TermId>> = Vec::new();
-    let mut ids_flat: Vec<AtomId> = Vec::new();
-    let mut probes = 0u64;
-    let mut index_probes = 0u64;
-    // Scratch reused across pivots: the relation lookups depend only on
-    // the rule, and the solvers restore `slots`/`solved` on unwind.
-    let rels: Vec<Option<&Relation>> = rule
-        .body_pos
-        .iter()
-        .map(|a| inst.relation(a.pred, a.terms.len()))
-        .collect();
-    let mut ranges: Vec<(AtomId, AtomId)> = vec![(0, 0); n];
-    let mut slots: Vec<Option<TermId>> = vec![None; rule.n_slots];
-    let mut chosen: Vec<AtomId> = vec![0; n];
-    let mut solved: Vec<bool> = vec![false; n];
-    let mut key_buf: Vec<TermId> = Vec::new();
-    for pivot in 0..n {
-        // Semi-naive windows: atoms before the pivot must be old, the
-        // pivot must be new, the rest unconstrained (but capped at
-        // prev_len so a round never consumes its own output).
-        if delta_start == 0 && pivot > 0 {
-            break; // first round: single full join
+/// A growing flat match buffer plus the counters accumulated while
+/// filling it — what one morsel task produces, and what the per-rule
+/// merge concatenates before canonicalization.
+#[derive(Default)]
+struct MatchAccum {
+    count: usize,
+    slots_flat: Vec<Option<TermId>>,
+    ids_flat: Vec<AtomId>,
+    probes: u64,
+    index_probes: u64,
+    kernel_rows: u64,
+    batches: u64,
+}
+
+impl MatchAccum {
+    /// Appends another accumulator's matches (in task order — the
+    /// canonical sort in [`finish_rule_matches`] makes the final order
+    /// schedule-independent).
+    fn absorb(&mut self, other: MatchAccum) {
+        self.count += other.count;
+        self.slots_flat.extend_from_slice(&other.slots_flat);
+        self.ids_flat.extend_from_slice(&other.ids_flat);
+        self.probes += other.probes;
+        self.index_probes += other.index_probes;
+        self.kernel_rows += other.kernel_rows;
+        self.batches += other.batches + 1;
+    }
+}
+
+/// One unit of morsel-parallel work: match rule `rule_pos` (a position
+/// into the round's `rule_indices`) with pivot atom `pivot` restricted
+/// to candidate ids in `lo..hi` — a slice of at most
+/// [`ChaseConfig::morsel_size`] pivot candidates. In the first round
+/// (`delta_start == 0`) `pivot` is the rule's *split* atom instead.
+struct MorselTask {
+    rule_pos: u32,
+    pivot: u32,
+    lo: AtomId,
+    hi: AtomId,
+}
+
+/// Per-rule scratch the match loops reuse across pivots (and one morsel
+/// task allocates once): the solvers restore `slots`/`solved` on unwind,
+/// so reuse is safe.
+struct PivotScratch {
+    ranges: Vec<(AtomId, AtomId)>,
+    slots: Vec<Option<TermId>>,
+    chosen: Vec<AtomId>,
+    solved: Vec<bool>,
+    key_buf: Vec<TermId>,
+    /// Kernel selection vector (absolute row positions).
+    sel: Vec<u32>,
+    /// Kernel-materialized pivot candidate ids.
+    pivot_ids: Vec<AtomId>,
+}
+
+impl PivotScratch {
+    fn for_rule(rule: &CompiledRule) -> PivotScratch {
+        let n = rule.body_pos.len();
+        PivotScratch {
+            ranges: vec![(0, 0); n],
+            slots: vec![None; rule.n_slots],
+            chosen: vec![0; n],
+            solved: vec![false; n],
+            key_buf: Vec::new(),
+            sel: Vec::new(),
+            pivot_ids: Vec::new(),
         }
-        for (i, r) in ranges.iter_mut().enumerate() {
-            *r = if i < pivot {
-                (0, delta_start)
-            } else if i == pivot {
-                (delta_start, prev_len)
-            } else {
-                (0, prev_len)
-            };
-        }
-        let mut on_match = |s: &Slots, ids: &[AtomId]| {
-            count += 1;
-            slots_flat.extend_from_slice(s);
-            ids_flat.extend_from_slice(ids);
-            true
-        };
-        match plan {
-            Some(plan) => {
-                let order = if delta_start == 0 {
-                    &plan.full
-                } else {
-                    &plan.pivots[pivot]
-                };
-                solve_ordered(
-                    inst,
-                    &rule.body_pos,
-                    &rels,
-                    &ranges,
-                    order,
-                    0,
-                    &mut slots,
-                    &mut chosen,
-                    &mut key_buf,
-                    &mut probes,
-                    &mut index_probes,
-                    &mut on_match,
-                );
-            }
-            None => {
-                solve(
-                    inst,
-                    &rule.body_pos,
-                    &rels,
-                    &ranges,
-                    &mut slots,
-                    &mut chosen,
-                    &mut solved,
-                    0,
-                    &mut probes,
-                    &mut on_match,
-                );
+    }
+}
+
+/// Minimum rows in a scan window before the kernel leading scan is worth
+/// a vectorized pass (below one [`kernels::CHUNK`] the scalar loop wins).
+const KERNEL_MIN_ROWS: usize = 64;
+/// The kernel scan is skipped when some fixed column's posting list is
+/// this many times smaller than the row window — the posting-list probe
+/// touches far fewer rows than even a vectorized scan would.
+const KERNEL_SELECTIVITY: usize = 4;
+
+/// Computes the pivot atom's candidate ids for a window with the
+/// vectorized column kernels: maps the id range to a contiguous row
+/// range (dense relations only — no tombstones), filters the atom's
+/// fixed columns and repeated-variable column pairs as chunked compare
+/// passes, and gathers the surviving rows' ids into `pivot_ids`
+/// (ascending). Returns `false` — leaving the caller on the posting-list
+/// path — when the relation is missing or not dense, the atom has
+/// nothing to filter on, the window is too small, or a posting list is
+/// selective enough to beat a scan. The candidate *set* is exactly what
+/// the posting path would enumerate-and-verify, so taking either path
+/// never changes the match set.
+fn kernel_pivot_ids(
+    rel: Option<&Relation>,
+    atom: &CAtom,
+    range: (AtomId, AtomId),
+    sel: &mut Vec<u32>,
+    pivot_ids: &mut Vec<AtomId>,
+    kernel_rows: &mut u64,
+) -> bool {
+    let Some(rel) = rel else { return false };
+    if !rel.is_dense() {
+        return false;
+    }
+    // The atom's filterable structure: fixed columns and repeated-slot
+    // column pairs (first occurrence vs repeat).
+    let mut fixed: Vec<(usize, TermId)> = Vec::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for (c, &t) in atom.terms.iter().enumerate() {
+        match t {
+            CTerm::Fixed(v) => fixed.push((c, v)),
+            CTerm::Slot(s) => {
+                if let Some(first) = atom.terms[..c]
+                    .iter()
+                    .position(|&u| matches!(u, CTerm::Slot(s2) if s2 == s))
+                {
+                    pairs.push((first, c));
+                }
             }
         }
     }
-    // Canonical apply order: distinct matches always have distinct id
-    // tuples (the windows of different pivots are disjoint, and within a
-    // pivot the enumeration visits each candidate combination once).
-    // Enumeration often already emits in this order (single-atom bodies
-    // always do), so check before paying for the permutation.
+    if fixed.is_empty() && pairs.is_empty() {
+        return false;
+    }
+    let row_ids = rel.row_ids();
+    let r_lo = row_ids.partition_point(|&id| id < range.0);
+    let r_hi = row_ids.partition_point(|&id| id < range.1);
+    let window = r_hi - r_lo;
+    if window < KERNEL_MIN_ROWS {
+        return false;
+    }
+    for &(c, v) in &fixed {
+        if rel.ids_by_column(c, v).len() * KERNEL_SELECTIVITY < window {
+            return false;
+        }
+    }
+    sel.clear();
+    let base = r_lo as u32;
+    if let Some(&(c0, v0)) = fixed.first() {
+        kernels::filter_eq(&rel.col(c0)[r_lo..r_hi], v0, base, sel);
+        *kernel_rows += window as u64;
+        for &(c, v) in &fixed[1..] {
+            *kernel_rows += sel.len() as u64;
+            kernels::refine_eq(&rel.col(c)[r_lo..r_hi], v, base, sel);
+        }
+        for &(a, b) in &pairs {
+            *kernel_rows += sel.len() as u64;
+            kernels::refine_pair_eq(&rel.col(a)[r_lo..r_hi], &rel.col(b)[r_lo..r_hi], base, sel);
+        }
+    } else {
+        let (a, b) = pairs[0];
+        kernels::filter_pair_eq(&rel.col(a)[r_lo..r_hi], &rel.col(b)[r_lo..r_hi], base, sel);
+        *kernel_rows += window as u64;
+        for &(a, b) in &pairs[1..] {
+            *kernel_rows += sel.len() as u64;
+            kernels::refine_pair_eq(&rel.col(a)[r_lo..r_hi], &rel.col(b)[r_lo..r_hi], base, sel);
+        }
+    }
+    pivot_ids.clear();
+    kernels::gather(row_ids, sel, pivot_ids);
+    true
+}
+
+/// Enumerates one pivot's matches of one rule within a round, appending
+/// them (unsorted) to `out`. `pivot_range` restricts the pivot atom's
+/// candidate ids — `(delta_start, prev_len)` for a whole pivot window,
+/// or a morsel slice of it. For the first round (`delta_start == 0`)
+/// there is a single call per rule and `pivot` names the *split* atom
+/// whose scan the morsels partition; every other atom sees the full
+/// `(0, prev_len)` window.
+///
+/// Read-only on the instance, so any number of calls (across pivots,
+/// morsels, threads) may run concurrently; because the pivot windows of
+/// different calls are disjoint, their match sets partition the round's
+/// total match set — which is what makes morsel-parallel collection
+/// exact, not approximate.
+#[allow(clippy::too_many_arguments)]
+fn match_one_pivot(
+    inst: &Instance,
+    rule: &CompiledRule,
+    plan: Option<&RulePlan>,
+    rels: &[Option<&Relation>],
+    scratch: &mut PivotScratch,
+    delta_start: AtomId,
+    prev_len: AtomId,
+    pivot: usize,
+    pivot_range: (AtomId, AtomId),
+    out: &mut MatchAccum,
+) {
+    let PivotScratch {
+        ranges,
+        slots,
+        chosen,
+        solved,
+        key_buf,
+        sel,
+        pivot_ids,
+    } = scratch;
+    // Semi-naive windows: atoms before the pivot must be old, the pivot
+    // must be in its (possibly morsel-restricted) delta slice, the rest
+    // unconstrained but capped at prev_len so a round never consumes its
+    // own output. First round: everything capped at prev_len.
+    for (i, r) in ranges.iter_mut().enumerate() {
+        *r = if i == pivot {
+            pivot_range
+        } else if delta_start == 0 || i > pivot {
+            (0, prev_len)
+        } else {
+            (0, delta_start)
+        };
+    }
+    let order = plan.map(|p| {
+        if delta_start == 0 {
+            &p.full
+        } else {
+            &p.pivots[pivot]
+        }
+    });
+    let MatchAccum {
+        count,
+        slots_flat,
+        ids_flat,
+        probes,
+        index_probes,
+        kernel_rows,
+        batches: _,
+    } = out;
+    let mut on_match = |s: &Slots, ids: &[AtomId]| {
+        *count += 1;
+        slots_flat.extend_from_slice(s);
+        ids_flat.extend_from_slice(ids);
+        true
+    };
+    // Kernel leading scan: when the pivot atom leads the join anyway
+    // (always, under greedy; when the plan's order starts with it, under
+    // a plan) and has fixed columns or repeated variables to filter on,
+    // enumerate its candidates with the vectorized kernels and hand each
+    // bound row to the remaining join. Only the enumeration of the same
+    // candidate set changes — never the match set.
+    let plan_leads_with_pivot = match order {
+        None => true,
+        Some(o) => {
+            o.order[0] as usize == pivot && matches!(o.probes[0], ProbeKind::Scan | ProbeKind::Cols)
+        }
+    };
+    let pa = &rule.body_pos[pivot];
+    if plan_leads_with_pivot
+        && kernel_pivot_ids(rels[pivot], pa, pivot_range, sel, pivot_ids, kernel_rows)
+    {
+        let rel = rels[pivot].expect("kernel scan implies the relation exists");
+        *probes += pivot_ids.len() as u64;
+        let mut trail: Vec<u16> = Vec::with_capacity(pa.terms.len());
+        solved[pivot] = true;
+        for &id in pivot_ids.iter() {
+            let row = inst.row_of(id);
+            if !bind_row(rel, pa, row, slots, &mut trail) {
+                continue;
+            }
+            chosen[pivot] = id;
+            let keep_going = match order {
+                Some(order) => solve_ordered(
+                    inst,
+                    &rule.body_pos,
+                    rels,
+                    ranges,
+                    order,
+                    1,
+                    slots,
+                    chosen,
+                    key_buf,
+                    probes,
+                    index_probes,
+                    &mut on_match,
+                ),
+                None => solve(
+                    inst,
+                    &rule.body_pos,
+                    rels,
+                    ranges,
+                    slots,
+                    chosen,
+                    solved,
+                    1,
+                    probes,
+                    &mut on_match,
+                ),
+            };
+            for s in trail.drain(..) {
+                slots[s as usize] = None;
+            }
+            if !keep_going {
+                break;
+            }
+        }
+        solved[pivot] = false;
+        return;
+    }
+    match order {
+        Some(order) => {
+            solve_ordered(
+                inst,
+                &rule.body_pos,
+                rels,
+                ranges,
+                order,
+                0,
+                slots,
+                chosen,
+                key_buf,
+                probes,
+                index_probes,
+                &mut on_match,
+            );
+        }
+        None => {
+            solve(
+                inst,
+                &rule.body_pos,
+                rels,
+                ranges,
+                slots,
+                chosen,
+                solved,
+                0,
+                probes,
+                &mut on_match,
+            );
+        }
+    }
+}
+
+/// Canonicalizes an accumulated match buffer into [`RuleMatches`]:
+/// distinct matches always have distinct chosen-id tuples (the windows
+/// of different pivots are disjoint, morsels partition each window, and
+/// within a slice the enumeration visits each candidate combination
+/// once), so sorting by those tuples yields one schedule-independent
+/// order. Enumeration often already emits in this order (single-atom
+/// bodies always do), so check before paying for the permutation.
+fn finish_rule_matches(rule: &CompiledRule, accum: MatchAccum) -> RuleMatches {
+    let n = rule.body_pos.len();
+    let MatchAccum {
+        count,
+        mut slots_flat,
+        mut ids_flat,
+        probes,
+        index_probes,
+        kernel_rows,
+        batches,
+    } = accum;
     let already_sorted =
         || (1..count).all(|i| ids_flat[(i - 1) * n..i * n] <= ids_flat[i * n..(i + 1) * n]);
     if count > 1 && n > 0 && !already_sorted() {
@@ -726,7 +1026,57 @@ fn collect_rule_matches(
         ids_flat,
         probes,
         index_probes,
+        batches,
+        kernel_rows,
     }
+}
+
+/// Collects the semi-naive matches of one rule within a round, through
+/// the rule's compiled [`RulePlan`] (or the adaptive greedy pick when
+/// `plan` is `None`). Read-only on the instance: every candidate range is
+/// capped at `prev_len`, so the result is independent of any same-round
+/// insertions — which is what makes per-rule parallel collection exact,
+/// not approximate.
+///
+/// The returned matches are in **canonical order** (sorted by their
+/// chosen body-atom ids). The match *set* of a round is a function of the
+/// instance and the windows alone, so canonicalizing the apply order
+/// makes the chase's output — AtomIds, null numbering, provenance, all of
+/// it — independent of the join order the planner picked. That is the
+/// invariant `tests/differential_planner.rs` pins byte-for-byte.
+fn collect_rule_matches(
+    inst: &Instance,
+    rule: &CompiledRule,
+    plan: Option<&RulePlan>,
+    delta_start: AtomId,
+    prev_len: AtomId,
+) -> RuleMatches {
+    let n = rule.body_pos.len();
+    let rels: Vec<Option<&Relation>> = rule
+        .body_pos
+        .iter()
+        .map(|a| inst.relation(a.pred, a.terms.len()))
+        .collect();
+    let mut scratch = PivotScratch::for_rule(rule);
+    let mut accum = MatchAccum::default();
+    for pivot in 0..n {
+        if delta_start == 0 && pivot > 0 {
+            break; // first round: single full join
+        }
+        match_one_pivot(
+            inst,
+            rule,
+            plan,
+            &rels,
+            &mut scratch,
+            delta_start,
+            prev_len,
+            pivot,
+            (delta_start, prev_len),
+            &mut accum,
+        );
+    }
+    finish_rule_matches(rule, accum)
 }
 
 /// The skolem memoization retained across incremental delta applications:
@@ -1000,12 +1350,117 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
-    /// Collects one round's matches for every rule of the stratum — in
-    /// parallel when the stratum has independent rules, the delta window
-    /// is big enough to amortize thread spawn, and more than one hardware
-    /// thread exists (`parallel_threshold == 0` forces the scoped-thread
-    /// machinery regardless, for the schedule-equality tests). Returns
-    /// the matches plus whether the parallel path was taken.
+    /// Morsel workers for this run: the configured thread count, or one
+    /// per hardware thread when unset.
+    fn morsel_workers(&self) -> usize {
+        if self.config.chase_threads > 0 {
+            self.config.chase_threads
+        } else {
+            self.hw_threads
+        }
+    }
+
+    /// The body atom whose scan the first (full-join) round splits into
+    /// morsels: the one with the largest live extent below `prev_len`
+    /// (most rows to split; ties break on the lowest body index, keeping
+    /// the task list deterministic). Restricting any *single* atom's id
+    /// range partitions the rule's match set, so the choice affects
+    /// balance, never results. `None` when no atom has candidates — the
+    /// rule cannot match this round.
+    fn split_atom(&self, rule: &CompiledRule, prev_len: AtomId) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (extent, atom index)
+        for (i, atom) in rule.body_pos.iter().enumerate() {
+            let extent = self
+                .instance
+                .relation(atom.pred, atom.terms.len())
+                .map_or(0, |rel| rel.atom_ids().partition_point(|&id| id < prev_len));
+            if best.is_none_or(|(b, _)| extent > b) {
+                best = Some((extent, i));
+            }
+        }
+        match best {
+            Some((extent, i)) if extent > 0 => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Builds the round's morsel task list: for every rule, every pivot
+    /// (the split atom alone in the first round), the pivot atom's live
+    /// ids inside the delta window are chunked into slices of at most
+    /// `morsel_size`, each becoming one independent task. The task
+    /// ranges partition each pivot's window exactly, so the tasks' match
+    /// sets partition the round's — any schedule reassembles the same
+    /// round.
+    fn morsel_tasks(
+        &self,
+        rule_indices: &[usize],
+        delta_start: AtomId,
+        prev_len: AtomId,
+    ) -> Vec<MorselTask> {
+        let morsel = self.config.morsel_size.max(1);
+        let mut tasks: Vec<MorselTask> = Vec::new();
+        for (pos, &ri) in rule_indices.iter().enumerate() {
+            let rule = &self.compiled[ri];
+            let n = rule.body_pos.len();
+            if n == 0 {
+                continue; // bodyless rules derive nothing (no pivot scan)
+            }
+            let (pivot_lo, pivot_hi) = if delta_start == 0 {
+                match self.split_atom(rule, prev_len) {
+                    Some(split) => (split, split + 1),
+                    None => continue,
+                }
+            } else {
+                (0, n)
+            };
+            for pivot in pivot_lo..pivot_hi {
+                let atom = &rule.body_pos[pivot];
+                let Some(rel) = self.instance.relation(atom.pred, atom.terms.len()) else {
+                    continue;
+                };
+                let ids = rel.atom_ids();
+                let lo_idx = ids.partition_point(|&id| id < delta_start);
+                let hi_idx = ids.partition_point(|&id| id < prev_len);
+                let extent = &ids[lo_idx..hi_idx];
+                if extent.is_empty() {
+                    continue; // the pivot atom has no candidates: no matches
+                }
+                let mut start = delta_start;
+                let mut k = morsel;
+                while k < extent.len() {
+                    tasks.push(MorselTask {
+                        rule_pos: pos as u32,
+                        pivot: pivot as u32,
+                        lo: start,
+                        hi: extent[k],
+                    });
+                    start = extent[k];
+                    k += morsel;
+                }
+                tasks.push(MorselTask {
+                    rule_pos: pos as u32,
+                    pivot: pivot as u32,
+                    lo: start,
+                    hi: prev_len,
+                });
+            }
+        }
+        tasks
+    }
+
+    /// Collects one round's matches for every rule of the stratum.
+    ///
+    /// When the round's delta window reaches `parallel_threshold` and
+    /// more than one worker is available (`parallel_threshold == 0`
+    /// forces the machinery even on one worker, for the
+    /// schedule-equality tests), the round is split into **morsel
+    /// tasks** — rule × pivot × window slice — which scoped workers
+    /// steal off a shared cursor into private flat buffers; the buffers
+    /// are then merged per rule in task order and canonicalized exactly
+    /// like the sequential path's, so a single hot recursive rule now
+    /// scales with cores instead of pinning one. Otherwise every rule is
+    /// collected sequentially. Either way the returned matches are
+    /// byte-identical; the flag reports whether the morsel path ran.
     fn collect_round(
         &self,
         rule_indices: &[usize],
@@ -1017,11 +1472,9 @@ impl<'a> Engine<'a> {
         // rejections first — the common case is a sequential round.
         let window = (prev_len - delta_start) as usize;
         let forced = self.config.parallel_threshold == 0;
-        let threads = self.hw_threads.min(rule_indices.len());
-        let parallel = rule_indices.len() >= 2
-            && window >= self.config.parallel_threshold
-            && (threads >= 2 || forced);
-        if !parallel {
+        let workers = self.morsel_workers();
+        let parallel = window >= self.config.parallel_threshold && (workers >= 2 || forced);
+        let sequential = |taken: bool| {
             let collected = rule_indices
                 .iter()
                 .map(|&ri| {
@@ -1033,34 +1486,122 @@ impl<'a> Engine<'a> {
                         prev_len,
                     )
                 })
-                .collect();
-            return (collected, false);
+                .collect::<Vec<_>>();
+            (collected, taken)
+        };
+        if !parallel {
+            return sequential(false);
         }
-        let mut results: Vec<Option<RuleMatches>> = Vec::new();
-        results.resize_with(rule_indices.len(), || None);
-        let chunk = rule_indices.len().div_ceil(threads.max(1));
-        let inst = &self.instance;
-        let compiled = self.compiled;
+        let tasks = self.morsel_tasks(rule_indices, delta_start, prev_len);
+        if tasks.is_empty() {
+            return sequential(false);
+        }
+        let n_workers = workers.min(tasks.len()).max(1);
+        if n_workers == 1 {
+            // One available worker (forced single-thread or a 1-core
+            // host): run the task list inline — same morsel boundaries,
+            // same task order, but no spawn and no merge copies, so a
+            // forced-morsel schedule stays within noise of the
+            // sequential path.
+            let mut merged: Vec<MatchAccum> = Vec::new();
+            merged.resize_with(rule_indices.len(), MatchAccum::default);
+            let mut scratch: Option<(u32, Vec<Option<&Relation>>, PivotScratch)> = None;
+            for task in &tasks {
+                let ri = rule_indices[task.rule_pos as usize];
+                let rule = &self.compiled[ri];
+                if !matches!(&scratch, Some((rp, ..)) if *rp == task.rule_pos) {
+                    let rels = rule
+                        .body_pos
+                        .iter()
+                        .map(|a| self.instance.relation(a.pred, a.terms.len()))
+                        .collect();
+                    scratch = Some((task.rule_pos, rels, PivotScratch::for_rule(rule)));
+                }
+                let (_, rels, scr) = scratch.as_mut().expect("scratch was just ensured");
+                let accum = &mut merged[task.rule_pos as usize];
+                match_one_pivot(
+                    &self.instance,
+                    rule,
+                    self.plan_for(ri),
+                    rels,
+                    scr,
+                    delta_start,
+                    prev_len,
+                    task.pivot as usize,
+                    (task.lo, task.hi),
+                    accum,
+                );
+                accum.batches += 1;
+            }
+            let collected = rule_indices
+                .iter()
+                .zip(merged)
+                .map(|(&ri, accum)| finish_rule_matches(&self.compiled[ri], accum))
+                .collect();
+            return (collected, true);
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut outs: Vec<Option<MatchAccum>> = Vec::new();
+        outs.resize_with(tasks.len(), || None);
         std::thread::scope(|scope| {
-            for (idx_chunk, out_chunk) in rule_indices.chunks(chunk).zip(results.chunks_mut(chunk))
-            {
+            let mut handles = Vec::with_capacity(n_workers);
+            for _ in 0..n_workers {
+                let tasks = &tasks;
+                let cursor = &cursor;
                 let this = &*self;
-                scope.spawn(move || {
-                    for (&ri, slot) in idx_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *slot = Some(collect_rule_matches(
-                            inst,
-                            &compiled[ri],
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<(usize, MatchAccum)> = Vec::new();
+                    loop {
+                        let t = cursor.fetch_add(1, Ordering::Relaxed);
+                        if t >= tasks.len() {
+                            break;
+                        }
+                        let task = &tasks[t];
+                        let ri = rule_indices[task.rule_pos as usize];
+                        let rule = &this.compiled[ri];
+                        let rels: Vec<Option<&Relation>> = rule
+                            .body_pos
+                            .iter()
+                            .map(|a| this.instance.relation(a.pred, a.terms.len()))
+                            .collect();
+                        let mut scratch = PivotScratch::for_rule(rule);
+                        let mut accum = MatchAccum::default();
+                        match_one_pivot(
+                            &this.instance,
+                            rule,
                             this.plan_for(ri),
+                            &rels,
+                            &mut scratch,
                             delta_start,
                             prev_len,
-                        ));
+                            task.pivot as usize,
+                            (task.lo, task.hi),
+                            &mut accum,
+                        );
+                        local.push((t, accum));
                     }
-                });
+                    local
+                }));
+            }
+            for h in handles {
+                for (t, accum) in h.join().expect("morsel worker must not panic") {
+                    outs[t] = Some(accum);
+                }
             }
         });
-        let collected = results
-            .into_iter()
-            .map(|r| r.expect("every rule chunk was processed"))
+        // Merge per rule in task order (tasks are emitted rule-major,
+        // pivot-minor, window-ascending), then canonicalize — the same
+        // sort the sequential path applies, over the same match set.
+        let mut merged: Vec<MatchAccum> = Vec::new();
+        merged.resize_with(rule_indices.len(), MatchAccum::default);
+        for (task, accum) in tasks.iter().zip(outs) {
+            let accum = accum.expect("every morsel task was executed");
+            merged[task.rule_pos as usize].absorb(accum);
+        }
+        let collected = rule_indices
+            .iter()
+            .zip(merged)
+            .map(|(&ri, accum)| finish_rule_matches(&self.compiled[ri], accum))
             .collect();
         (collected, true)
     }
@@ -1100,6 +1641,8 @@ impl<'a> Engine<'a> {
             for (&ri, mut rm) in rule_indices.iter().zip(per_rule) {
                 self.stats.probes += rm.probes;
                 self.stats.index_probes += rm.index_probes;
+                self.stats.morsel_batches += rm.batches;
+                self.stats.kernel_filter_rows += rm.kernel_rows;
                 for i in 0..rm.count {
                     let slots = &mut rm.slots_flat[i * rm.n_slots..(i + 1) * rm.n_slots];
                     let ids = &rm.ids_flat[i * rm.n_body..(i + 1) * rm.n_body];
@@ -1698,6 +2241,71 @@ mod tests {
             cost.stats.probes,
             greedy.stats.probes
         );
+    }
+
+    #[test]
+    fn morsel_schedules_are_byte_identical_and_counters_tick() {
+        // One hot recursive rule per stratum-mate — including the shape
+        // rule-level parallelism could never split (a single rule doing
+        // all the work) — plus a constant-filtered rule and a repeated-
+        // variable rule so the kernel leading scan fires. Forced morsel
+        // schedules at extreme morsel sizes and worker counts must be
+        // byte-identical to the sequential run.
+        let program = "e(?X, ?Y) -> t(?X, ?Y).\n\
+                       e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).\n\
+                       e(hub, ?Y) -> from_hub(?Y).\n\
+                       e(?X, ?X) -> selfloop(?X).";
+        let p = parse_program(program).unwrap();
+        let mut db = Database::new();
+        for i in 0..120u32 {
+            db.add_fact("e", &[&format!("n{i}"), &format!("n{}", (i + 1) % 120)]);
+            // Half the edges leave the hub: the hub posting list is
+            // unselective enough that the kernel scan beats it.
+            db.add_fact(
+                "e",
+                &[if i % 2 == 0 { "hub" } else { "spoke" }, &format!("n{i}")],
+            );
+        }
+        db.add_fact("e", &["hub", "hub"]);
+        let sequential = chase(
+            &db,
+            &p,
+            ChaseConfig {
+                parallel_threshold: usize::MAX,
+                ..ChaseConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sequential.stats.morsel_batches, 0, "sequential: no morsels");
+        assert!(
+            sequential.stats.kernel_filter_rows > 0,
+            "kernels are orthogonal to parallelism and fire sequentially too"
+        );
+        for (morsel_size, chase_threads) in [(1, 2), (7, 3), (2048, 1)] {
+            let forced = chase(
+                &db,
+                &p,
+                ChaseConfig {
+                    parallel_threshold: 0,
+                    morsel_size,
+                    chase_threads,
+                    ..ChaseConfig::default()
+                },
+            )
+            .unwrap();
+            let ctx = format!("morsel_size {morsel_size}, chase_threads {chase_threads}");
+            assert!(forced.stats.morsel_batches > 0, "batches tick ({ctx})");
+            assert!(forced.stats.parallel_strata >= 1, "{ctx}");
+            assert_eq!(forced.instance.len(), sequential.instance.len(), "{ctx}");
+            for (id, atom) in sequential.instance.iter() {
+                assert_eq!(forced.instance.find(&atom), Some(id), "{ctx}");
+                assert_eq!(
+                    forced.instance.derivation(id),
+                    sequential.instance.derivation(id),
+                    "{ctx}"
+                );
+            }
+        }
     }
 
     #[test]

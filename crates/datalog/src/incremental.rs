@@ -112,6 +112,10 @@ pub struct DeltaSummary {
     pub index_builds: usize,
     /// Probes served by hash indexes during the apply.
     pub index_probes: u64,
+    /// Morsel match batches collected in parallel during the apply.
+    pub morsel_batches: u64,
+    /// Rows screened by the vectorized column kernels during the apply.
+    pub kernel_filter_rows: u64,
 }
 
 /// Head predicate → `(stratum, rule index)` of every rule that can
@@ -412,6 +416,8 @@ impl MaterializedView {
                     replans: run.replans,
                     index_builds: run.index_builds,
                     index_probes: run.index_probes,
+                    morsel_batches: run.morsel_batches,
+                    kernel_filter_rows: run.kernel_filter_rows,
                     ..DeltaSummary::default()
                 })
             }
@@ -587,6 +593,8 @@ impl MaterializedView {
         outcome.stats.replans += run_stats.replans;
         outcome.stats.index_builds += run_stats.index_builds;
         outcome.stats.index_probes += run_stats.index_probes;
+        outcome.stats.morsel_batches += run_stats.morsel_batches;
+        outcome.stats.kernel_filter_rows += run_stats.kernel_filter_rows;
         outcome.stats.truncated |= run_stats.truncated;
         outcome.instance = instance;
         self.skolem = skolem;
@@ -595,6 +603,8 @@ impl MaterializedView {
         summary.replans = run_stats.replans;
         summary.index_builds = run_stats.index_builds;
         summary.index_probes = run_stats.index_probes;
+        summary.morsel_batches = run_stats.morsel_batches;
+        summary.kernel_filter_rows = run_stats.kernel_filter_rows;
 
         self.stats.atoms_overdeleted += summary.overdeleted as u64;
         self.stats.atoms_rederived += summary.rederived as u64;

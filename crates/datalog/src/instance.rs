@@ -289,6 +289,33 @@ impl Relation {
         &self.stats
     }
 
+    /// One raw column as a contiguous slice — the surface the
+    /// [`crate::kernels`] filters scan. Includes tombstoned rows, so
+    /// row-range kernel scans must first check [`Relation::is_dense`].
+    #[inline]
+    pub(crate) fn col(&self, column: usize) -> &[TermId] {
+        &self.cols[column]
+    }
+
+    /// Row → global [`AtomId`] for every row ever stored, ascending
+    /// (rows append in id order). The inverse of [`Instance::row_of`],
+    /// as a slice — what maps a kernel selection back to ids.
+    #[inline]
+    pub(crate) fn row_ids(&self) -> &[AtomId] {
+        &self.row_id
+    }
+
+    /// True iff every stored row is live (no tombstones): the live
+    /// extent and the row space coincide, so an [`AtomId`] range maps to
+    /// a contiguous **row** range and a column slice over it contains
+    /// only live tuples — the precondition for the vectorized row-window
+    /// scans in the chase. Instances mid-deletion are not dense and fall
+    /// back to the posting-list path.
+    #[inline]
+    pub(crate) fn is_dense(&self) -> bool {
+        self.atom_ids.len() == self.row_id.len()
+    }
+
     /// True iff a joint hash index over exactly `cols` (ascending) is
     /// currently built.
     #[inline]

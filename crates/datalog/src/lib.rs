@@ -35,6 +35,7 @@ mod classify;
 mod eval;
 pub mod incremental;
 mod instance;
+pub mod kernels;
 mod parser;
 pub mod pep;
 pub mod persist;

@@ -217,6 +217,8 @@ pub fn encode_config(enc: &mut Encoder, config: &ChaseConfig) {
     enc.varint(u64::from(config.max_null_depth));
     enc.varint(config.max_atoms as u64);
     enc.varint(config.parallel_threshold as u64);
+    enc.varint(config.morsel_size as u64);
+    enc.varint(config.chase_threads as u64);
 }
 
 /// Decodes a chase configuration written by [`encode_config`].
@@ -237,11 +239,17 @@ pub fn decode_config(dec: &mut Decoder<'_>) -> Result<ChaseConfig> {
     let max_atoms = usize::try_from(dec.varint()?).map_err(|_| corrupt("max_atoms overflow"))?;
     let parallel_threshold =
         usize::try_from(dec.varint()?).map_err(|_| corrupt("parallel_threshold overflow"))?;
+    let morsel_size =
+        usize::try_from(dec.varint()?).map_err(|_| corrupt("morsel_size overflow"))?;
+    let chase_threads =
+        usize::try_from(dec.varint()?).map_err(|_| corrupt("chase_threads overflow"))?;
     Ok(ChaseConfig {
         strategy,
         max_null_depth,
         max_atoms,
         parallel_threshold,
+        morsel_size,
+        chase_threads,
         planner,
     })
 }
@@ -453,6 +461,8 @@ mod tests {
                 max_null_depth: 3,
                 max_atoms: 123,
                 parallel_threshold: usize::MAX,
+                morsel_size: 1,
+                chase_threads: 7,
                 planner: JoinPlanner::ReverseOrder,
             },
         ] {

@@ -32,6 +32,7 @@
 
 use crate::chase::{CAtom, CTerm, CompiledRule};
 use crate::instance::Instance;
+use crate::kernels;
 use triq_common::Symbol;
 
 /// How the compiled join loop probes the atom at one plan position.
@@ -188,7 +189,17 @@ struct AtomCost {
     /// True iff some fixed term lies outside its column's observed
     /// value range — the atom cannot match at all.
     impossible: bool,
+    /// Exact per-column match counts for *fixed* terms, measured with the
+    /// vectorized [`kernels`] when the relation is small and dense
+    /// (`None` otherwise — estimation falls back to `1/distinct`). An
+    /// exact zero upgrades `impossible` from a range heuristic to a
+    /// proof.
+    exact_fixed: Vec<Option<f64>>,
 }
+
+/// Above this row count the planner stops paying for exact fixed-column
+/// counts at plan time and trusts the distinct-count sketches.
+const EXACT_COUNT_MAX: usize = 4096;
 
 fn atom_costs(rule: &CompiledRule, inst: &Instance) -> Vec<AtomCost> {
     rule.body_pos
@@ -199,13 +210,21 @@ fn atom_costs(rule: &CompiledRule, inst: &Instance) -> Vec<AtomCost> {
                     rows: 0.0,
                     distinct: vec![1.0; atom.terms.len()],
                     impossible: false,
+                    exact_fixed: vec![None; atom.terms.len()],
                 };
             };
             let stats = rel.stats();
             let mut impossible = false;
+            let mut exact_fixed = vec![None; atom.terms.len()];
+            let exact_ok = !rel.is_empty() && rel.len() <= EXACT_COUNT_MAX && rel.is_dense();
             for (c, &t) in atom.terms.iter().enumerate() {
                 if let CTerm::Fixed(v) = t {
                     impossible |= stats.cols[c].excludes(v.raw());
+                    if exact_ok {
+                        let k = kernels::count_eq(rel.col(c), v);
+                        impossible |= k == 0;
+                        exact_fixed[c] = Some(k as f64);
+                    }
                 }
             }
             AtomCost {
@@ -216,14 +235,17 @@ fn atom_costs(rule: &CompiledRule, inst: &Instance) -> Vec<AtomCost> {
                     .map(|c| c.distinct().max(1) as f64)
                     .collect(),
                 impossible,
+                exact_fixed,
             }
         })
         .collect()
 }
 
 /// Estimated number of candidate rows for atom `i` with the current
-/// bound slots: `live_rows × Π 1/distinct(bound col)`, clamped at zero
-/// for impossible atoms. `None` costs (build time, no data) fall back to
+/// bound slots: `live_rows × Π selectivity(bound col)`, where a bound
+/// column's selectivity is its exact kernel-measured fraction for fixed
+/// terms on small dense relations and `1/distinct` otherwise; clamped
+/// at zero for impossible atoms. `None` costs (build time, no data) fall back to
 /// a data-free heuristic: prefer more fixed terms, then smaller arity.
 fn estimate(atom: &CAtom, cost: Option<&AtomCost>, bound: &BoundSlots) -> f64 {
     let Some(cost) = cost else {
@@ -240,7 +262,12 @@ fn estimate(atom: &CAtom, cost: Option<&AtomCost>, bound: &BoundSlots) -> f64 {
     let mut est = cost.rows;
     for (c, &t) in atom.terms.iter().enumerate() {
         if bound.is_bound(t) {
-            est /= cost.distinct[c];
+            // Fixed columns on small dense relations carry an exact
+            // kernel-measured count; everything else uses the sketch.
+            est *= match cost.exact_fixed[c] {
+                Some(k) => k / cost.rows.max(1.0),
+                None => 1.0 / cost.distinct[c],
+            };
         }
     }
     est
@@ -533,6 +560,33 @@ mod tests {
         let inst = db.to_instance();
         let plan = plan_rule(&rule, Some(&inst));
         assert_eq!(plan.full.order[0], 1, "impossible atom fails fastest");
+    }
+
+    #[test]
+    fn exact_counts_prove_in_range_constants_impossible() {
+        // The constant interns *between* the two values actually stored
+        // in q's tag column, so the range sketch cannot exclude it —
+        // only the exact kernel count over the small dense relation
+        // proves zero matches. q is big (200 rows, 2 distinct tags →
+        // sketch estimate 100) and p small (5 rows): without the exact
+        // count p would lead.
+        let n = line!();
+        let mut db = Database::new();
+        for i in 0..100 {
+            db.add_fact("q", &[&format!("v{i}"), &format!("tag_a_{n}")]);
+        }
+        // Interned after tag_a and before tag_c: in range, never in q.
+        db.add_fact("marker", &[&format!("tag_b_{n}")]);
+        for i in 0..100 {
+            db.add_fact("q", &[&format!("w{i}"), &format!("tag_c_{n}")]);
+        }
+        for i in 0..5 {
+            db.add_fact("p", &[&format!("v{i}")]);
+        }
+        let rule = rule_of(&format!("p(?X), q(?X, tag_b_{n}) -> r(?X)."));
+        let inst = db.to_instance();
+        let plan = plan_rule(&rule, Some(&inst));
+        assert_eq!(plan.full.order[0], 1, "exact zero count fails fastest");
     }
 
     #[test]

@@ -471,26 +471,33 @@ mod tests {
         let blocker = dir.join("snap-00000000000000000002.triq.tmp");
         std::fs::create_dir_all(&blocker).unwrap();
 
-        p.append(shared.version(), &edge(0), shared.engine()).unwrap();
+        p.append(shared.version(), &edge(0), shared.engine())
+            .unwrap();
         shared.apply(&edge(0));
         assert!(p.maybe_checkpoint(&shared).unwrap().is_none(), "1 < 2 ops");
 
-        p.append(shared.version(), &edge(1), shared.engine()).unwrap();
+        p.append(shared.version(), &edge(1), shared.engine())
+            .unwrap();
         shared.apply(&edge(1));
         assert!(p.maybe_checkpoint(&shared).is_err(), "blocked tmp file");
         assert_eq!(engine.stats().checkpoint_failures, 1);
 
         // Backoff: the very next update does not retry (and does not
         // re-encode the session), even though the policy still fires.
-        p.append(shared.version(), &edge(2), shared.engine()).unwrap();
+        p.append(shared.version(), &edge(2), shared.engine())
+            .unwrap();
         shared.apply(&edge(2));
         assert!(p.should_checkpoint());
-        assert!(p.maybe_checkpoint(&shared).unwrap().is_none(), "backing off");
+        assert!(
+            p.maybe_checkpoint(&shared).unwrap().is_none(),
+            "backing off"
+        );
         assert_eq!(engine.stats().checkpoint_failures, 1);
 
         // After checkpoint_ops more records the retry runs — and
         // succeeds, because version 4's tmp name is unobstructed.
-        p.append(shared.version(), &edge(3), shared.engine()).unwrap();
+        p.append(shared.version(), &edge(3), shared.engine())
+            .unwrap();
         shared.apply(&edge(3));
         assert_eq!(p.maybe_checkpoint(&shared).unwrap(), Some(shared.version()));
         assert_eq!(p.last_checkpoint_version(), 4);

@@ -6,7 +6,7 @@
 //! triq-cli [--stats] rules <graph.ttl> <rules.dl> <output-pred>
 //! triq-cli [--stats] update <graph.ttl> <rules.dl> <output-pred> <updates.txt>
 //! triq-cli [--stats] serve <graph.ttl> <rules.dl> [--addr HOST:PORT] [--threads N]
-//!          [--data-dir DIR] [--fsync per-batch|interval:<ms>|off]
+//!          [--chase-threads N] [--data-dir DIR] [--fsync per-batch|interval:<ms>|off]
 //!          [--checkpoint-ops N] [--checkpoint-bytes N] [--queue-cap N]
 //! triq-cli classify <rules.dl>
 //! triq-cli entail <graph.ttl> <s> <p> <o>
@@ -26,9 +26,11 @@
 //! query, and `POST /update` batches flow through the same incremental
 //! maintenance path as `update`. `--addr` defaults to `127.0.0.1:7878`
 //! (use port `0` for an ephemeral port — the bound address is printed),
-//! `--threads` sets the HTTP worker count (default 4), and
-//! `--enable-shutdown` arms the `POST /shutdown` endpoint (used by the
-//! CI smoke test for a clean stop).
+//! `--threads` sets the HTTP worker count (default 4),
+//! `--chase-threads` caps the morsel-parallel chase worker pool
+//! (default: one worker per hardware thread), and `--enable-shutdown`
+//! arms the `POST /shutdown` endpoint (used by the CI smoke test for a
+//! clean stop).
 //!
 //! `serve --data-dir <dir>` makes the server **durable**: every update
 //! is written ahead to `<dir>/wal.triq` before it is acknowledged, and
@@ -62,7 +64,8 @@ fn usage() -> ExitCode {
          triq-cli [--stats] rules <graph.ttl> <rules.dl> <output-pred>\n  \
          triq-cli [--stats] update <graph.ttl> <rules.dl> <output-pred> <updates.txt>\n  \
          triq-cli [--stats] serve <graph.ttl> <rules.dl> [--addr HOST:PORT] [--threads N] \
-         [--enable-shutdown] [--data-dir DIR] [--fsync per-batch|interval:<ms>|off] \
+         [--chase-threads N] [--enable-shutdown] [--data-dir DIR] \
+         [--fsync per-batch|interval:<ms>|off] \
          [--checkpoint-ops N] [--checkpoint-bytes N] [--queue-cap N]\n  \
          triq-cli classify <rules.dl>\n  \
          triq-cli entail <graph.ttl> <s> <p> <o>\n  \
@@ -90,6 +93,8 @@ fn print_stats(engine: &Engine) {
     eprintln!("  replans:          {}", s.replans);
     eprintln!("  index builds:     {}", s.index_builds);
     eprintln!("  index probes:     {}", s.index_probes);
+    eprintln!("  morsel batches:   {}", s.morsel_batches);
+    eprintln!("  kernel rows:      {}", s.kernel_filter_rows);
     eprintln!("  wal records:      {}", s.wal_records);
     eprintln!("  wal bytes:        {}", s.wal_bytes);
     eprintln!("  snapshots written:{}", s.snapshots_written);
@@ -291,13 +296,15 @@ fn cmd_serve(args: &[String], stats: bool) -> Result<(), TriqError> {
     let [graph_path, rules_path, rest @ ..] = args else {
         return Err(TriqError::Other(
             "serve needs <graph.ttl> <rules.dl> [--addr HOST:PORT] [--threads N] \
-             [--enable-shutdown] [--data-dir DIR] [--fsync per-batch|interval:<ms>|off] \
+             [--chase-threads N] [--enable-shutdown] [--data-dir DIR] \
+             [--fsync per-batch|interval:<ms>|off] \
              [--checkpoint-ops N] [--checkpoint-bytes N] [--queue-cap N]"
                 .into(),
         ));
     };
     let mut addr = String::from("127.0.0.1:7878");
     let mut threads = 4usize;
+    let mut chase_threads = 0usize;
     let mut enable_shutdown = false;
     let mut data_dir: Option<String> = None;
     let mut pconfig = PersistConfig::default();
@@ -318,6 +325,7 @@ fn cmd_serve(args: &[String], stats: bool) -> Result<(), TriqError> {
                     .clone();
             }
             "--threads" => threads = next_num(&mut rest, "--threads")? as usize,
+            "--chase-threads" => chase_threads = next_num(&mut rest, "--chase-threads")? as usize,
             "--enable-shutdown" => enable_shutdown = true,
             "--data-dir" => {
                 data_dir = Some(
@@ -348,7 +356,10 @@ fn cmd_serve(args: &[String], stats: bool) -> Result<(), TriqError> {
     // library: every query the server prepares is evaluated over the
     // graph AND these rules, kept incrementally materialized.
     let rules = parse_program(&read_file(rules_path)?)?;
-    let engine = Engine::builder().library(rules).build();
+    let engine = Engine::builder()
+        .library(rules)
+        .chase_threads(chase_threads)
+        .build();
     let config = ServiceConfig {
         enable_shutdown,
         queue_cap,

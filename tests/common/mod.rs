@@ -321,6 +321,48 @@ pub fn random_graph(rng: &mut StdRng) -> Graph {
     g
 }
 
+/// Forced-morsel chase configurations derived from `base`:
+/// `parallel_threshold: 0` forces every round down the morsel path even
+/// on a single-core host, with morsel sizes from pathological (1 pivot
+/// atom per task) through a non-divisor (7) to the default (2048), and
+/// worker counts covering the forced single worker and oversubscription.
+/// Every one of these schedules must be **byte-identical** to the
+/// sequential chase.
+pub fn forced_morsel_configs(base: triq::datalog::ChaseConfig) -> Vec<triq::datalog::ChaseConfig> {
+    [(1usize, 2usize), (7, 3), (2048, 1)]
+        .into_iter()
+        .map(|(morsel_size, chase_threads)| triq::datalog::ChaseConfig {
+            parallel_threshold: 0,
+            morsel_size,
+            chase_threads,
+            ..base
+        })
+        .collect()
+}
+
+/// Byte-level equality of two chase outcomes: same ⊤-classification,
+/// same ids for the same atoms, same provenance.
+pub fn assert_outcomes_identical(
+    base: &triq::datalog::ChaseOutcome,
+    other: &triq::datalog::ChaseOutcome,
+    what: &str,
+) {
+    assert_eq!(base.inconsistent, other.inconsistent, "⊤ diverges: {what}");
+    assert_eq!(base.instance.len(), other.instance.len(), "len: {what}");
+    for (id, atom) in base.instance.iter() {
+        assert_eq!(
+            other.instance.find(&atom),
+            Some(id),
+            "atom {atom} has a different id: {what}"
+        );
+        assert_eq!(
+            other.instance.derivation(id),
+            base.instance.derivation(id),
+            "provenance of {atom} diverges: {what}"
+        );
+    }
+}
+
 /// The ground atoms of a chase outcome, printable and order-free.
 pub fn ground_strings(outcome: &triq::datalog::ChaseOutcome) -> BTreeSet<String> {
     outcome

@@ -3,10 +3,12 @@
 //!
 //! Random programs + random databases, three angles:
 //!
-//! * the skolem chase (sequential *and* forced-parallel schedules) must
-//!   produce the same ground atoms, the same `Answers` for every
+//! * the skolem chase (sequential *and* forced-morsel-parallel
+//!   schedules, with morsel sizes down to a single pivot atom per task)
+//!   must produce the same ground atoms, the same `Answers` for every
 //!   predicate and the same ⊤/consistent classification as the naive
-//!   nested-loop evaluator;
+//!   nested-loop evaluator — and the morsel schedules must moreover be
+//!   byte-identical (ids, nulls, provenance) to the sequential one;
 //! * for existential-free programs the restricted strategy must agree
 //!   too (without `∃` the strategies coincide definitionally);
 //! * random RDF graphs queried under **all three semantics** (plain,
@@ -15,7 +17,10 @@
 
 mod common;
 
-use common::{ground_strings, random_db, random_graph, random_program, PREDS};
+use common::{
+    assert_outcomes_identical, forced_morsel_configs, ground_strings, random_db, random_graph,
+    random_program, PREDS,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,6 +70,21 @@ proptest! {
             }
         }
         prop_assert_eq!(naive.nulls, sequential.stats.nulls);
+        // Forced-morsel schedules (threshold 0, morsel sizes down to a
+        // single pivot atom per task, varying worker counts) must be
+        // byte-identical to the sequential run — ids, nulls and
+        // provenance, not just the answer sets.
+        for morsel_config in forced_morsel_configs(config) {
+            let forced = chase(&db, &program, morsel_config).unwrap();
+            assert_outcomes_identical(
+                &sequential,
+                &forced,
+                &format!(
+                    "morsel_size {} × {} workers (seed {})",
+                    morsel_config.morsel_size, morsel_config.chase_threads, seed
+                ),
+            );
+        }
     }
 
     /// Without existentials the restricted strategy coincides with skolem

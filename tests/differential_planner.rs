@@ -11,9 +11,11 @@
 //! * random programs (including the long-chain and star-join rule
 //!   shapes that actually give a planner orders to choose between) ×
 //!   random databases, chased under planner-on / forced-reverse /
-//!   greedy-fallback, each under the sequential *and* forced-parallel
-//!   schedule — instances, derivations, ⊤-classification and per-pred
-//!   answers all byte-identical;
+//!   greedy-fallback, each under the sequential and two forced-morsel
+//!   schedules (default granularity plus a seed-picked extreme: morsel
+//!   size 1, non-divisor 7, or a forced single worker) — instances,
+//!   derivations, ⊤-classification and per-pred answers all
+//!   byte-identical;
 //! * random RDF graphs queried under all three SPARQL semantics (plain,
 //!   J·K^U, J·K^All) through the prepared-query facade — mappings
 //!   byte-identical across the three planner modes.
@@ -21,13 +23,13 @@
 mod common;
 
 use common::{
-    bulk_load_join_shapes, random_chain_rule, random_db, random_graph, random_program_shaped,
-    random_star_rule, schema_of, ProgramShape, PREDS,
+    assert_outcomes_identical, bulk_load_join_shapes, random_chain_rule, random_db, random_graph,
+    random_program_shaped, random_star_rule, schema_of, ProgramShape, PREDS,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use triq::datalog::{chase, ChaseConfig, ChaseOutcome};
+use triq::datalog::{chase, ChaseConfig};
 use triq::prelude::*;
 
 /// The three planner modes under test: the cost-based default, the
@@ -37,25 +39,6 @@ const MODES: [JoinPlanner; 3] = [
     JoinPlanner::ReverseOrder,
     JoinPlanner::Greedy,
 ];
-
-/// Byte-level equality of two chase outcomes: same ⊤-classification,
-/// same ids for the same atoms, same provenance.
-fn assert_outcomes_identical(base: &ChaseOutcome, other: &ChaseOutcome, what: &str) {
-    assert_eq!(base.inconsistent, other.inconsistent, "⊤ diverges: {what}");
-    assert_eq!(base.instance.len(), other.instance.len(), "len: {what}");
-    for (id, atom) in base.instance.iter() {
-        assert_eq!(
-            other.instance.find(&atom),
-            Some(id),
-            "atom {atom} has a different id: {what}"
-        );
-        assert_eq!(
-            other.instance.derivation(id),
-            base.instance.derivation(id),
-            "provenance of {atom} diverges: {what}"
-        );
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(300))]
@@ -88,15 +71,27 @@ proptest! {
             parallel_threshold: usize::MAX,
             ..base_config
         });
+        // Each planner mode runs sequentially, forced-morsel at the
+        // default granularity, and forced-morsel at a seed-picked
+        // extreme (size 1 / non-divisor 7 / forced single worker).
+        let (morsel_size, chase_threads) =
+            [(1usize, 2usize), (7, 3), (2048, 1)][seed as usize % 3];
+        let schedules = [
+            (usize::MAX, 2048, 0),
+            (0, 2048, 0),
+            (0, morsel_size, chase_threads),
+        ];
         for planner in MODES {
-            for parallel_threshold in [usize::MAX, 0] {
+            for (parallel_threshold, morsel_size, chase_threads) in schedules {
                 let out = chase(&db, &program, ChaseConfig {
                     planner,
                     parallel_threshold,
+                    morsel_size,
+                    chase_threads,
                     ..base_config
                 });
                 let what = format!(
-                    "{planner:?}/par={} (seed {seed})",
+                    "{planner:?}/par={}/morsel={morsel_size}x{chase_threads} (seed {seed})",
                     parallel_threshold == 0
                 );
                 match (&baseline, &out) {
