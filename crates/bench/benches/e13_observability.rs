@@ -1,0 +1,136 @@
+//! E13 — observability overhead on the chase hot path.
+//!
+//! The `Recorder` contract promises that telemetry is branch-cheap when
+//! disabled and observation-only when enabled: the same transitive
+//! closure (the e6 `tc` workload at scale 8) runs with the default no-op
+//! recorder and with a live [`Telemetry`] — histograms, span tracer and
+//! all — and the bench reports the enabled/disabled wall-clock ratio.
+//!
+//! The ≤ 3% overhead gate is **informational** (a loaded 1-core
+//! container cannot time that tightly), but byte-identity of the two
+//! outcomes — same atoms, same ids, same ⊤-classification — is
+//! enforced, and so is the liveness check that the instrumented run
+//! actually recorded stratum timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use triq::obs::{Phase, Telemetry};
+use triq::prelude::*;
+
+const TC_PROGRAM: &str = "e(?X, ?Y) -> t(?X, ?Y).\n e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).";
+
+fn random_edges(n: usize, per_node: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for i in 0..n {
+        for _ in 0..per_node {
+            let j = rng.gen_range(0..n);
+            db.add_fact("e", &[&format!("n{i}"), &format!("n{j}")]);
+        }
+    }
+    db
+}
+
+fn tc_runner() -> ChaseRunner {
+    ChaseRunner::new(
+        parse_program(TC_PROGRAM).unwrap(),
+        ChaseConfig {
+            max_atoms: 50_000_000,
+            ..ChaseConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// The same runner with a live telemetry recorder installed.
+fn instrumented_runner() -> (ChaseRunner, std::sync::Arc<Telemetry>) {
+    let tel = Telemetry::new();
+    let mut runner = tc_runner();
+    runner.set_recorder(tel.clone());
+    (runner, tel)
+}
+
+/// Median wall-clock of `iters` runs.
+fn median_run(runner: &ChaseRunner, db: &Database, iters: usize) -> f64 {
+    let mut times: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(runner.run(db).unwrap());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Telemetry-on vs telemetry-off wall-clock at `scale`, printed as bench
+/// output. Byte-identity and recorder liveness are enforced; the
+/// overhead gate is informational.
+fn report_overhead(name: &str, scale: usize, gate_pct: f64) {
+    if !criterion::matches_filter(name) {
+        return;
+    }
+    let db = random_edges(50 * scale, 2, 42);
+    let silent = tc_runner();
+    let (loud, tel) = instrumented_runner();
+
+    // The recorder must be observation-only: full instance equality.
+    let out_silent = silent.run(&db).unwrap();
+    let out_loud = loud.run(&db).unwrap();
+    assert_eq!(
+        out_silent.inconsistent, out_loud.inconsistent,
+        "telemetry changed ⊤ on {name}"
+    );
+    assert_eq!(
+        out_silent.instance.len(),
+        out_loud.instance.len(),
+        "telemetry changed the atom count on {name}"
+    );
+    for (id, atom) in out_silent.instance.iter() {
+        assert_eq!(
+            out_loud.instance.find(&atom),
+            Some(id),
+            "telemetry changed atom {atom} on {name}"
+        );
+    }
+    assert!(
+        tel.phase_snapshot(Phase::ChaseStratum).count > 0,
+        "the instrumented run recorded no strata on {name}"
+    );
+
+    let t_off = median_run(&silent, &db, 5);
+    let t_on = median_run(&loud, &db, 5);
+    let overhead_pct = (t_on / t_off - 1.0) * 100.0;
+    println!(
+        "{name}: telemetry off {:.2?} vs on {:.2?} → {overhead_pct:+.1}% overhead \
+         (informational gate ≤ {gate_pct:.0}%)",
+        std::time::Duration::from_secs_f64(t_off),
+        std::time::Duration::from_secs_f64(t_on),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_observability");
+    group.sample_size(10);
+
+    for scale in [2usize, 8] {
+        let db = random_edges(50 * scale, 2, 42);
+        let silent = tc_runner();
+        let (loud, _tel) = instrumented_runner();
+        group.bench_function(format!("tc/off/{scale}"), |b| {
+            b.iter(|| silent.run(&db).unwrap().stats.derived)
+        });
+        group.bench_function(format!("tc/on/{scale}"), |b| {
+            b.iter(|| loud.run(&db).unwrap().stats.derived)
+        });
+    }
+
+    group.finish();
+
+    report_overhead("tc/8", 8, 3.0);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -52,6 +52,7 @@ use triq_datalog::{
     classify_program, AnswerIter, Answers, ChaseConfig, ChaseOutcome, ChaseRunner, Database,
     ExistentialStrategy, MaterializedView, Program, ProgramClassification,
 };
+use triq_obs::{Phase, Recorder, Timer};
 use triq_owl2ql::tau_db;
 use triq_rdf::{Graph, Triple};
 use triq_sparql::{GraphPattern, MappingSet, SelectQuery};
@@ -88,6 +89,7 @@ pub struct EngineBuilder {
     regime_config: ChaseConfig,
     default_semantics: Semantics,
     libraries: Vec<Program>,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Default for EngineBuilder {
@@ -97,6 +99,7 @@ impl Default for EngineBuilder {
             regime_config: regime_chase_config(),
             default_semantics: Semantics::Plain,
             libraries: Vec::new(),
+            recorder: Arc::new(triq_obs::Noop),
         }
     }
 }
@@ -161,6 +164,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Installs a telemetry recorder (e.g. [`triq_obs::Telemetry`]):
+    /// prepare/execute/apply spans and every chase phase timing of
+    /// queries prepared by this engine report through it. The default
+    /// is the zero-cost no-op recorder; chase outcomes are byte-
+    /// identical either way.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> EngineBuilder {
+        self.recorder = recorder;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Engine {
         Engine {
@@ -170,6 +183,7 @@ impl EngineBuilder {
                 default_semantics: self.default_semantics,
                 libraries: self.libraries,
                 stats: EngineCounters::default(),
+                recorder: self.recorder,
             }),
         }
     }
@@ -261,6 +275,9 @@ struct EngineInner {
     default_semantics: Semantics,
     libraries: Vec<Program>,
     stats: EngineCounters,
+    /// Telemetry hook shared by everything this engine prepares (and by
+    /// the persistence layer through [`Engine::recorder`]).
+    recorder: Arc<dyn Recorder>,
 }
 
 /// Usage counters of an [`Engine`] (a point-in-time snapshot).
@@ -427,6 +444,14 @@ impl Engine {
         }
     }
 
+    /// The engine's telemetry recorder (the zero-cost no-op unless
+    /// [`EngineBuilder::recorder`] installed one). The persistence and
+    /// server layers report through this same hook so one `/metrics`
+    /// scrape covers the whole stack.
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.inner.recorder
+    }
+
     /// Persistence hook: one WAL record of `bytes` bytes was appended
     /// (called by the durability layer, surfaced through
     /// [`Engine::stats`]).
@@ -518,6 +543,9 @@ impl Engine {
     }
 
     fn prepare_spec(&self, spec: QuerySpec) -> Result<PreparedQuery> {
+        let rec = &*self.inner.recorder;
+        let _span = triq_obs::span(rec, "prepare", 0);
+        let _t = Timer::start(rec, Phase::Prepare);
         let (program, output, decode) = match spec {
             QuerySpec::Sparql { pattern, semantics } => {
                 let semantics = semantics.unwrap_or(self.inner.default_semantics);
@@ -551,7 +579,8 @@ impl Engine {
             Some(d) if d.semantics != Semantics::Plain => self.inner.regime_config,
             _ => self.inner.plain_config,
         };
-        let runner = ChaseRunner::new(program, config)?;
+        let mut runner = ChaseRunner::new(program, config)?;
+        runner.set_recorder(self.inner.recorder.clone());
         self.inner
             .stats
             .prepared_queries
@@ -1403,6 +1432,13 @@ impl SharedSession {
     /// apply itself does not fail for it.
     pub fn apply(&self, delta: &Delta) -> AppliedDelta {
         let mut session = self.inner.writer.lock().expect("writer session poisoned");
+        let rec = session.engine.inner.recorder.clone();
+        let _span = triq_obs::span(
+            &*rec,
+            "apply_delta",
+            (delta.inserts.len() + delta.deletes.len()) as u64,
+        );
+        let _t = Timer::start(&*rec, Phase::ApplyDelta);
         let (inserted, deleted) = session.apply_delta(delta);
         let outcomes = session.sync_all_views();
         let version = session.ops.version();
@@ -1509,6 +1545,9 @@ impl PreparedQuery {
     fn outcome(&self, session: &Session) -> Result<Arc<ChaseOutcome>> {
         let stats = &self.engine.inner.stats;
         stats.executions.fetch_add(1, Ordering::Relaxed);
+        let rec = &*self.engine.inner.recorder;
+        let _span = triq_obs::span(rec, "execute", self.plan_id);
+        let _t = Timer::start(rec, Phase::Execute);
         let (outcome, sync) = session.outcome_for(self.plan_id, self.fingerprint, &self.runner)?;
         match sync {
             SyncKind::Hit => {

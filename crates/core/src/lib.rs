@@ -135,6 +135,9 @@ pub use triq_lang::{TriqLiteQuery, TriqQuery};
 pub use triq_common as common;
 /// Re-export: Datalog∃,¬s,⊥ engine.
 pub use triq_datalog as datalog;
+/// Re-export: observability (recorder trait, telemetry, Prometheus
+/// exposition).
+pub use triq_obs as obs;
 /// Re-export: OWL 2 QL core ontology layer.
 pub use triq_owl2ql as owl2ql;
 /// Re-export: RDF substrate.

@@ -56,7 +56,9 @@ use crate::planner::{self, BoundOrder, JoinPlanner, ProbeKind, RulePlan};
 use crate::{Atom, Builtin, Program, Rule, Stratification};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use triq_common::{Result, Symbol, Term, TermId, TriqError, VarId};
+use triq_obs::{self as obs, Phase, Recorder, Timer};
 
 /// How existential rules instantiate their head nulls.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -988,7 +990,8 @@ fn match_one_pivot(
 /// once), so sorting by those tuples yields one schedule-independent
 /// order. Enumeration often already emits in this order (single-atom
 /// bodies always do), so check before paying for the permutation.
-fn finish_rule_matches(rule: &CompiledRule, accum: MatchAccum) -> RuleMatches {
+fn finish_rule_matches(rule: &CompiledRule, accum: MatchAccum, rec: &dyn Recorder) -> RuleMatches {
+    let _sort = Timer::start(rec, Phase::ChaseSort);
     let n = rule.body_pos.len();
     let MatchAccum {
         count,
@@ -1050,6 +1053,7 @@ fn collect_rule_matches(
     plan: Option<&RulePlan>,
     delta_start: AtomId,
     prev_len: AtomId,
+    rec: &dyn Recorder,
 ) -> RuleMatches {
     let n = rule.body_pos.len();
     let rels: Vec<Option<&Relation>> = rule
@@ -1076,7 +1080,7 @@ fn collect_rule_matches(
             &mut accum,
         );
     }
-    finish_rule_matches(rule, accum)
+    finish_rule_matches(rule, accum, rec)
 }
 
 /// The skolem memoization retained across incremental delta applications:
@@ -1104,6 +1108,10 @@ pub(crate) struct Engine<'a> {
     pub(crate) skolem: SkolemMemo,
     /// Scratch row for head instantiation / negative checks.
     key_buf: Vec<TermId>,
+    /// Telemetry hook: phase timings and spans. The no-op default costs
+    /// one virtual call + branch per *round*-granularity site; the
+    /// innermost probe loops carry no hooks at all.
+    rec: &'a dyn Recorder,
 }
 
 impl<'a> Engine<'a> {
@@ -1113,6 +1121,7 @@ impl<'a> Engine<'a> {
         plans: Vec<RulePlan>,
         seed: Instance,
         config: ChaseConfig,
+        rec: &'a dyn Recorder,
     ) -> Self {
         debug_assert_eq!(plans.len(), compiled.len());
         Engine {
@@ -1127,6 +1136,7 @@ impl<'a> Engine<'a> {
             stats: ChaseStats::default(),
             skolem: HashMap::new(),
             key_buf: Vec::new(),
+            rec,
         }
     }
 
@@ -1186,7 +1196,8 @@ impl<'a> Engine<'a> {
                         } else {
                             self.stats.plans_compiled += 1;
                         }
-                        self.plans[ri] = planner::plan_rule(rule, Some(&self.instance));
+                        self.plans[ri] =
+                            planner::plan_rule_timed(rule, Some(&self.instance), self.rec);
                         replanned = true;
                     }
                 }
@@ -1210,8 +1221,15 @@ impl<'a> Engine<'a> {
         // strata re-triggers builds here too).
         for &ri in rule_indices {
             for (pred, arity, cols) in &self.plans[ri].wanted_indexes {
+                // Time the build only when it happens: the common
+                // already-built probe must not read the clock.
+                let t = self.rec.enabled().then(std::time::Instant::now);
                 if self.instance.ensure_joint_index(*pred, *arity, cols) {
                     self.stats.index_builds += 1;
+                    if let Some(t) = t {
+                        self.rec
+                            .phase(Phase::IndexBuild, t.elapsed().as_nanos() as u64);
+                    }
                 }
             }
         }
@@ -1478,12 +1496,14 @@ impl<'a> Engine<'a> {
             let collected = rule_indices
                 .iter()
                 .map(|&ri| {
+                    let _rule = Timer::start(self.rec, Phase::ChaseRuleMatch);
                     collect_rule_matches(
                         &self.instance,
                         &self.compiled[ri],
                         self.plan_for(ri),
                         delta_start,
                         prev_len,
+                        self.rec,
                     )
                 })
                 .collect::<Vec<_>>();
@@ -1533,10 +1553,12 @@ impl<'a> Engine<'a> {
                 );
                 accum.batches += 1;
             }
+            // The forced single worker drained every task.
+            self.rec.phase(Phase::MorselDrain, tasks.len() as u64);
             let collected = rule_indices
                 .iter()
                 .zip(merged)
-                .map(|(&ri, accum)| finish_rule_matches(&self.compiled[ri], accum))
+                .map(|(&ri, accum)| finish_rule_matches(&self.compiled[ri], accum, self.rec))
                 .collect();
             return (collected, true);
         }
@@ -1584,7 +1606,11 @@ impl<'a> Engine<'a> {
                 }));
             }
             for h in handles {
-                for (t, accum) in h.join().expect("morsel worker must not panic") {
+                let local = h.join().expect("morsel worker must not panic");
+                // Per-worker drain count: how evenly the shared cursor
+                // spread the round's tasks across workers.
+                self.rec.phase(Phase::MorselDrain, local.len() as u64);
+                for (t, accum) in local {
                     outs[t] = Some(accum);
                 }
             }
@@ -1601,7 +1627,7 @@ impl<'a> Engine<'a> {
         let collected = rule_indices
             .iter()
             .zip(merged)
-            .map(|(&ri, accum)| finish_rule_matches(&self.compiled[ri], accum))
+            .map(|(&ri, accum)| finish_rule_matches(&self.compiled[ri], accum, self.rec))
             .collect();
         (collected, true)
     }
@@ -1634,10 +1660,14 @@ impl<'a> Engine<'a> {
                 break;
             }
             // Phase 1 (read-only, parallelizable): enumerate matches.
-            let (per_rule, was_parallel) = self.collect_round(rule_indices, delta_start, prev_len);
+            let (per_rule, was_parallel) = {
+                let _match = Timer::start(self.rec, Phase::ChaseMatch);
+                self.collect_round(rule_indices, delta_start, prev_len)
+            };
             went_parallel |= was_parallel;
             // Phase 2 (serial, in rule order): filter and apply — the
             // same order the purely sequential schedule applies them in.
+            let _apply = Timer::start(self.rec, Phase::ChaseApply);
             for (&ri, mut rm) in rule_indices.iter().zip(per_rule) {
                 self.stats.probes += rm.probes;
                 self.stats.index_probes += rm.index_probes;
@@ -1735,8 +1765,17 @@ fn run_compiled(
     plans: &[RulePlan],
     seed: Instance,
     config: ChaseConfig,
+    rec: &dyn Recorder,
 ) -> Result<ChaseOutcome> {
-    let mut engine = chase_to_fixpoint(compiled, constraints, strata_rules, plans, seed, config)?;
+    let mut engine = chase_to_fixpoint(
+        compiled,
+        constraints,
+        strata_rules,
+        plans,
+        seed,
+        config,
+        rec,
+    )?;
     let inconsistent = engine.check_constraints();
     let (instance, stats, _, _) = engine.into_parts();
     Ok(ChaseOutcome {
@@ -1759,10 +1798,13 @@ pub(crate) fn chase_to_fixpoint<'a>(
     plans: &[RulePlan],
     seed: Instance,
     config: ChaseConfig,
+    rec: &'a dyn Recorder,
 ) -> Result<Engine<'a>> {
-    let mut engine = Engine::new(compiled, constraints, plans.to_vec(), seed, config);
-    for indices in strata_rules {
+    let mut engine = Engine::new(compiled, constraints, plans.to_vec(), seed, config, rec);
+    for (s, indices) in strata_rules.iter().enumerate() {
         if !indices.is_empty() {
+            let _span = obs::span(rec, "stratum", s as u64);
+            let _t = Timer::start(rec, Phase::ChaseStratum);
             engine.run_stratum(indices)?;
         }
     }
@@ -1787,6 +1829,11 @@ pub struct ChaseRunner {
     /// live statistics as data arrives.
     plans: Vec<RulePlan>,
     config: ChaseConfig,
+    /// Telemetry hook for every run (and the incremental maintenance
+    /// built on this runner). Defaults to the zero-cost no-op;
+    /// [`ChaseRunner::set_recorder`] installs a live one. Kept out of
+    /// [`ChaseConfig`] deliberately — the config stays `Copy + Eq`.
+    rec: Arc<dyn Recorder>,
 }
 
 impl ChaseRunner {
@@ -1822,6 +1869,7 @@ impl ChaseRunner {
             strata_rules,
             plans,
             config,
+            rec: Arc::new(obs::Noop),
         })
     }
 
@@ -1865,6 +1913,21 @@ impl ChaseRunner {
         self.config = config;
     }
 
+    /// Installs a telemetry recorder: every subsequent run (and the
+    /// incremental maintenance built on this runner) reports phase
+    /// timings and spans through it. The default no-op recorder makes
+    /// the hooks branch-cheap and the chase output is byte-identical
+    /// either way (`tests/telemetry_parity.rs`).
+    pub fn set_recorder(&mut self, rec: Arc<dyn Recorder>) {
+        self.rec = rec;
+    }
+
+    /// The installed telemetry recorder (no-op unless
+    /// [`ChaseRunner::set_recorder`] was called).
+    pub fn recorder(&self) -> &dyn Recorder {
+        &*self.rec
+    }
+
     /// Chases `db`, computing `Π(D)` and testing the constraints.
     pub fn run(&self, db: &Database) -> Result<ChaseOutcome> {
         self.run_seed(db.to_instance())
@@ -1879,6 +1942,7 @@ impl ChaseRunner {
             &self.plans,
             seed,
             self.config,
+            &*self.rec,
         )
     }
 }
@@ -1914,6 +1978,7 @@ pub fn chase_stratified(
         &plans,
         db.to_instance(),
         config,
+        obs::noop(),
     )
 }
 

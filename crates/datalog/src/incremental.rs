@@ -73,6 +73,7 @@ use crate::Program;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use triq_common::{Delta, Result, Symbol, TermId};
+use triq_obs::{Phase, Timer};
 
 /// Cumulative counters of a [`MaterializedView`]'s maintenance work.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -208,6 +209,7 @@ impl MaterializedView {
             runner.initial_plans(),
             db.to_instance(),
             runner.config(),
+            runner.recorder(),
         )?;
         let inconsistent = engine.check_constraints();
         let (instance, stats, skolem, plans) = engine.into_parts();
@@ -458,21 +460,27 @@ impl MaterializedView {
         let mut summary = DeltaSummary::default();
         let mut sweep = Sweep::new(&self.negated_preds);
 
+        let rec = self.runner.recorder();
         let mut engine = Engine::new(
             self.runner.compiled(),
             self.runner.compiled_constraints(),
             std::mem::take(&mut self.plans),
             instance,
             self.runner.config(),
+            rec,
         );
         engine.set_skolem(std::mem::take(&mut self.skolem));
 
         // Phase 0a: tombstone the deleted EDB facts and their support
         // cones (checked non-entangled above).
-        for &id in &del_ids {
-            sweep.tombstone(&mut engine.instance, &self.derivers, id, false);
+        {
+            let _t = Timer::start(rec, Phase::Overdelete);
+            for &id in &del_ids {
+                sweep.tombstone(&mut engine.instance, &self.derivers, id, false);
+            }
+            summary.overdeleted +=
+                sweep.tombstone_many(&mut engine.instance, &self.derivers, &cone);
         }
-        summary.overdeleted += sweep.tombstone_many(&mut engine.instance, &self.derivers, &cone);
 
         restore_base_facts(&self.base, &mut engine, &mut sweep, &mut summary);
 
@@ -538,13 +546,16 @@ impl MaterializedView {
             // (b) Rederivation: over-deleted tuples derivable by a rule
             // of this stratum from surviving atoms come back (with fresh
             // ids, so their dependents rebuild through the windows).
-            rederive_pending(
-                self.runner.compiled(),
-                &self.derivers,
-                &mut engine,
-                stratum,
-                &sweep,
-            )?;
+            {
+                let _t = Timer::start(rec, Phase::Rederive);
+                rederive_pending(
+                    self.runner.compiled(),
+                    &self.derivers,
+                    &mut engine,
+                    stratum,
+                    &sweep,
+                )?;
+            }
 
             // (c) Deletion-enabled matches: rules negating a predicate
             // that lost tuples are pivoted over exactly those tuples.
@@ -553,7 +564,11 @@ impl MaterializedView {
             }
 
             // (d) Semi-naive propagation of everything new this apply.
-            engine.run_stratum_from(rules_s, apply_start)?;
+            {
+                let _span = triq_obs::span(rec, "stratum", stratum as u64);
+                let _t = Timer::start(rec, Phase::ChaseStratum);
+                engine.run_stratum_from(rules_s, apply_start)?;
+            }
 
             // (e) Bookkeeping for the atoms this stratum appended.
             let end = engine.instance.len() as AtomId;

@@ -417,6 +417,19 @@ pub(crate) fn plan_rule(rule: &CompiledRule, inst: Option<&Instance>) -> RulePla
     }
 }
 
+/// [`plan_rule`] with its latency reported to a telemetry recorder
+/// (`triq_chase_plan_ns` — the chase times every drift-triggered replan
+/// through this entry point; the clock is read only when the recorder
+/// is enabled).
+pub(crate) fn plan_rule_timed(
+    rule: &CompiledRule,
+    inst: Option<&Instance>,
+    rec: &dyn triq_obs::Recorder,
+) -> RulePlan {
+    let _t = triq_obs::Timer::start(rec, triq_obs::Phase::ChasePlan);
+    plan_rule(rule, inst)
+}
+
 /// A deliberately cost-blind plan: body atoms in reverse declaration
 /// order (for every pivot too). Correctness must not care.
 pub(crate) fn plan_rule_reversed(rule: &CompiledRule) -> RulePlan {

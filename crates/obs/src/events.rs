@@ -1,0 +1,131 @@
+//! A structured JSON event log.
+//!
+//! Events are [`triq_common::json::Json`] objects written one compact
+//! line each (JSON Lines) to a configurable sink: `off`, `stderr`, or a
+//! file. The server routes its access log and slow-query records here.
+//! Writes flush per line so a crash loses at most the line being
+//! written; write errors are counted, never propagated into the
+//! request path.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use triq_common::json::Json;
+
+#[derive(Debug)]
+enum Sink {
+    Off,
+    Stderr,
+    File(Mutex<File>),
+}
+
+/// A line-oriented JSON event sink (see module docs).
+#[derive(Debug)]
+pub struct EventLog {
+    sink: Sink,
+    written: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl EventLog {
+    /// A log that drops every event (the default).
+    pub fn off() -> EventLog {
+        EventLog::with_sink(Sink::Off)
+    }
+
+    /// A log writing to stderr.
+    pub fn stderr() -> EventLog {
+        EventLog::with_sink(Sink::Stderr)
+    }
+
+    /// A log appending to `path` (created if missing).
+    pub fn file(path: &Path) -> std::io::Result<EventLog> {
+        let f = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(EventLog::with_sink(Sink::File(Mutex::new(f))))
+    }
+
+    /// Parses a `--access-log`-style spec: `off`, `stderr`, or a file
+    /// path.
+    pub fn from_spec(spec: &str) -> std::io::Result<EventLog> {
+        match spec {
+            "off" => Ok(EventLog::off()),
+            "stderr" => Ok(EventLog::stderr()),
+            path => EventLog::file(Path::new(path)),
+        }
+    }
+
+    fn with_sink(sink: Sink) -> EventLog {
+        EventLog {
+            sink,
+            written: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// True when events are actually emitted somewhere.
+    pub fn enabled(&self) -> bool {
+        !matches!(self.sink, Sink::Off)
+    }
+
+    /// Lines successfully written.
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+
+    /// Lines lost to I/O errors.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Emits one event as a single JSON line (no-op when off).
+    pub fn log(&self, event: &Json) {
+        let outcome = match &self.sink {
+            Sink::Off => return,
+            Sink::Stderr => {
+                let mut err = std::io::stderr().lock();
+                writeln!(err, "{event}")
+            }
+            Sink::File(f) => {
+                let mut f = f.lock().expect("event log poisoned");
+                writeln!(f, "{event}").and_then(|()| f.flush())
+            }
+        };
+        match outcome {
+            Ok(()) => self.written.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.errors.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_drops_everything() {
+        let log = EventLog::off();
+        log.log(&Json::obj([("k", Json::U64(1))]));
+        assert!(!log.enabled());
+        assert_eq!(log.written(), 0);
+        assert_eq!(log.errors(), 0);
+    }
+
+    #[test]
+    fn file_sink_appends_json_lines() {
+        let dir = std::env::temp_dir().join(format!("triq-obs-ev-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let log = EventLog::from_spec(path.to_str().unwrap()).unwrap();
+        log.log(&Json::obj([("a", Json::U64(1))]));
+        log.log(&Json::obj([("b", Json::str("x\"y"))]));
+        assert_eq!(log.written(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "{\"a\":1}");
+        assert_eq!(lines[1], "{\"b\":\"x\\\"y\"}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,214 @@
+//! Deterministic Prometheus text exposition (format 0.0.4).
+//!
+//! [`Exposition`] is a builder: callers add counter/gauge/histogram
+//! families and render once. Determinism is part of the contract —
+//! families are sorted by name, series within a family keep insertion
+//! order (callers insert sorted label sets), and every number is an
+//! integer or a fixed-notation float — so two scrapes of the same state
+//! produce byte-identical text, which the e2e tests and the CI smoke
+//! step assert.
+
+use crate::hist::{bucket_le, Snapshot, BUCKETS};
+use std::fmt::Write;
+
+/// Escapes a `# HELP` text: backslash and newline.
+pub fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslash, double-quote and newline.
+pub fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    /// Pre-rendered series lines (`name{labels} value`).
+    lines: Vec<String>,
+}
+
+/// A one-shot builder for a `/metrics` payload (see module docs).
+#[derive(Debug, Default)]
+pub struct Exposition {
+    families: Vec<Family>,
+}
+
+impl Exposition {
+    /// An empty exposition.
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    fn family(&mut self, name: &str, help: &str, kind: Kind) -> &mut Family {
+        // Families are few (tens); linear scan keeps this dependency-free.
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            debug_assert_eq!(self.families[i].kind, kind, "family {name} re-typed");
+            return &mut self.families[i];
+        }
+        self.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            lines: Vec::new(),
+        });
+        self.families.last_mut().expect("just pushed")
+    }
+
+    /// Adds an unlabeled counter series.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        let f = self.family(name, help, Kind::Counter);
+        f.lines.push(format!("{name} {value}"));
+    }
+
+    /// Adds one labeled series to a counter family; call repeatedly
+    /// (in sorted label order) for a vector.
+    pub fn counter_with(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        let f = self.family(name, help, Kind::Counter);
+        f.lines
+            .push(format!("{name}{} {value}", render_labels(labels)));
+    }
+
+    /// Adds an unlabeled gauge series.
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        let f = self.family(name, help, Kind::Gauge);
+        f.lines.push(format!("{name} {value}"));
+    }
+
+    /// Adds a histogram family from a [`Snapshot`]: cumulative
+    /// `_bucket{le=…}` series over the log2 bounds, `_sum`, `_count`,
+    /// plus quantile gauges (`<name>_p50/_p95/_p99`) so percentiles are
+    /// scrapeable without PromQL. Zero-count buckets below the first
+    /// occupied one are elided after the first line to keep the payload
+    /// small; cumulative semantics are preserved.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &Snapshot) {
+        {
+            let f = self.family(name, help, Kind::Histogram);
+            let mut cum = 0u64;
+            for i in 0..BUCKETS - 1 {
+                cum += snap.counts[i];
+                // Elide interior zero-delta lines except the very first
+                // bucket — the cumulative staircase stays reconstructable.
+                if snap.counts[i] == 0 && i != 0 {
+                    continue;
+                }
+                f.lines
+                    .push(format!("{name}_bucket{{le=\"{}\"}} {cum}", bucket_le(i)));
+            }
+            cum += snap.counts[BUCKETS - 1];
+            f.lines.push(format!("{name}_bucket{{le=\"+Inf\"}} {cum}"));
+            f.lines.push(format!("{name}_sum {}", snap.sum));
+            f.lines.push(format!("{name}_count {}", snap.count));
+        }
+        for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            self.gauge(
+                &format!("{name}_{suffix}"),
+                &format!("{suffix} estimate of {name} (log2-bucket interpolation)"),
+                snap.percentile(q),
+            );
+        }
+    }
+
+    /// Renders the exposition: families sorted by name, each with its
+    /// `# HELP` / `# TYPE` header. Byte-deterministic for equal inputs.
+    pub fn render(&self) -> String {
+        let mut families: Vec<&Family> = self.families.iter().collect();
+        families.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut out = String::new();
+        for f in families {
+            let _ = writeln!(out, "# HELP {} {}", f.name, escape_help(&f.help));
+            let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind.name());
+            for line in &f.lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(escape_label("say \"hi\"\n"), "say \\\"hi\\\"\\n");
+    }
+
+    #[test]
+    fn families_sorted_and_typed() {
+        let mut e = Exposition::new();
+        e.gauge("zzz_gauge", "last", 7);
+        e.counter("aaa_total", "first", 42);
+        e.counter_with("mid_total", "by status", &[("status", "200")], 3);
+        e.counter_with("mid_total", "by status", &[("status", "404")], 1);
+        let text = e.render();
+        let a = text.find("aaa_total").unwrap();
+        let m = text.find("mid_total").unwrap();
+        let z = text.find("zzz_gauge").unwrap();
+        assert!(a < m && m < z, "families must be name-sorted");
+        assert!(text.contains("# TYPE aaa_total counter"));
+        assert!(text.contains("# TYPE zzz_gauge gauge"));
+        assert!(text.contains("mid_total{status=\"200\"} 3"));
+        assert!(text.contains("mid_total{status=\"404\"} 1"));
+    }
+
+    #[test]
+    fn histogram_rendering_is_cumulative_and_deterministic() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 100, 100_000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        let render = |s: &crate::hist::Snapshot| {
+            let mut e = Exposition::new();
+            e.histogram("triq_test_ns", "test latencies", s);
+            e.render()
+        };
+        let a = render(&snap);
+        let b = render(&snap);
+        assert_eq!(a, b, "same snapshot must render byte-identically");
+        assert!(a.contains("triq_test_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(a.contains("triq_test_ns_count 4"));
+        assert!(a.contains(&format!("triq_test_ns_sum {}", 3 + 3 + 100 + 100_000)));
+        assert!(a.contains("triq_test_ns_p50"));
+        assert!(a.contains("triq_test_ns_p99"));
+        // Cumulative staircase: the le=4 bucket holds both 3s.
+        assert!(a.contains("triq_test_ns_bucket{le=\"4\"} 2"));
+    }
+}

@@ -142,6 +142,7 @@ impl Persistence {
             last_checkpoint_version: 0,
             retry_checkpoint_at: 0,
         };
+        persistence.wal.set_recorder(engine.recorder().clone());
         let Some((snap_version, body)) = snapshot else {
             if !records.is_empty() {
                 return Err(TriqError::Persist(format!(
@@ -218,7 +219,11 @@ impl Persistence {
     /// rejected. Ticks the engine's `wal_records` / `wal_bytes`
     /// counters.
     pub fn append(&mut self, pre_version: u64, delta: &Delta, engine: &Engine) -> Result<()> {
-        let bytes = self.wal.append(pre_version, delta)?;
+        let rec = &**engine.recorder();
+        let bytes = {
+            let _t = triq_obs::Timer::start(rec, triq_obs::Phase::WalAppend);
+            self.wal.append(pre_version, delta)?
+        };
         engine.record_wal_append(bytes);
         Ok(())
     }
@@ -265,9 +270,16 @@ impl Persistence {
     /// itself. Returns the checkpointed version and ticks the engine's
     /// `snapshots_written` / `last_checkpoint_version` counters.
     pub fn checkpoint(&mut self, shared: &SharedSession) -> Result<u64> {
-        let (body, version) = triq::persist::encode_snapshot(shared);
-        self.store.write(version, &body)?;
-        self.store.verify(version)?;
+        let rec = &**shared.engine().recorder();
+        let (body, version) = {
+            let _t = triq_obs::Timer::start(rec, triq_obs::Phase::CheckpointEncode);
+            triq::persist::encode_snapshot(shared)
+        };
+        {
+            let _t = triq_obs::Timer::start(rec, triq_obs::Phase::CheckpointWrite);
+            self.store.write(version, &body)?;
+            self.store.verify(version)?;
+        }
         self.store.prune(self.config.keep_snapshots.max(1))?;
         self.wal.truncate()?;
         self.last_checkpoint_version = version;

@@ -20,10 +20,12 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use triq_common::codec::{crc32, decode_delta, encode_delta, Decoder, Encoder};
 use triq_common::{Delta, Result, TriqError};
+use triq_obs::{Phase, Recorder, Timer};
 
 use crate::io_err;
 
@@ -110,6 +112,9 @@ pub struct Wal {
     /// Refusing further appends beats acknowledging writes that a
     /// restart would silently drop.
     poisoned: bool,
+    /// Telemetry sink for fsync latency (a no-op unless the owning
+    /// engine installed a live recorder).
+    rec: Arc<dyn Recorder>,
     /// Test hook: make the next append write only this many frame
     /// bytes and then fail, as a crash or ENOSPC mid-`write_all` would.
     #[cfg(test)]
@@ -168,6 +173,7 @@ impl Wal {
                 len: valid_len,
                 appended: 0,
                 poisoned: false,
+                rec: Arc::new(triq_obs::Noop),
                 #[cfg(test)]
                 fail_append_after: None,
             },
@@ -256,8 +262,14 @@ impl Wal {
         }
     }
 
+    /// Installs the recorder that fsync latency is reported to.
+    pub fn set_recorder(&mut self, rec: Arc<dyn Recorder>) {
+        self.rec = rec;
+    }
+
     /// Forces the log to stable storage now.
     pub fn sync(&mut self) -> Result<()> {
+        let _t = Timer::start(&*self.rec, Phase::WalFsync);
         self.file
             .sync_all()
             .map_err(|e| io_err("fsync WAL", &self.path, &e))?;

@@ -2,12 +2,13 @@
 //! `Engine`/`Session`/`PreparedQuery` facade.
 //!
 //! ```text
-//! triq-cli [--stats] sparql <graph.ttl> '<SELECT query>' [--regime u|all]
-//! triq-cli [--stats] rules <graph.ttl> <rules.dl> <output-pred>
-//! triq-cli [--stats] update <graph.ttl> <rules.dl> <output-pred> <updates.txt>
+//! triq-cli [--stats] [--profile] sparql <graph.ttl> '<SELECT query>' [--regime u|all]
+//! triq-cli [--stats] [--profile] rules <graph.ttl> <rules.dl> <output-pred>
+//! triq-cli [--stats] [--profile] update <graph.ttl> <rules.dl> <output-pred> <updates.txt>
 //! triq-cli [--stats] serve <graph.ttl> <rules.dl> [--addr HOST:PORT] [--threads N]
 //!          [--chase-threads N] [--data-dir DIR] [--fsync per-batch|interval:<ms>|off]
 //!          [--checkpoint-ops N] [--checkpoint-bytes N] [--queue-cap N]
+//!          [--slow-query-ms N] [--access-log off|stderr|FILE] [--trace-buffer N]
 //! triq-cli classify <rules.dl>
 //! triq-cli entail <graph.ttl> <s> <p> <o>
 //! triq-cli explain <graph.ttl> <s> <p> <o>
@@ -45,28 +46,41 @@
 //! E-RESOURCE`). See the "Durability" section of
 //! `docs/ARCHITECTURE.md`.
 //!
+//! `serve` exposes its telemetry over HTTP: `GET /metrics` (Prometheus
+//! text), `GET /version`, `GET /debug/trace?last=N` (the span ring,
+//! sized by `--trace-buffer N`) and `GET /debug/slow` (queries at or
+//! over `--slow-query-ms N`, with plan and per-stratum timings).
+//! `--access-log off|stderr|FILE` emits one JSON line per request.
+//!
 //! `--stats` prints the engine's execution counters (chase runs, atoms
 //! derived, join probes, parallel strata, deltas applied, atoms
 //! over-deleted/rederived, …) to stderr after the answer (for `serve`:
-//! after shutdown). Errors print their stable code (e.g. `E-STRATIFY`,
+//! after shutdown). `--profile` (one-shot commands only) prints a
+//! per-phase timing table — prepare, plan, chase by stratum — to stderr
+//! after the answer. Errors print their stable code (e.g. `E-STRATIFY`,
 //! `E-LANG-MEMBERSHIP`) so scripts can match failures without parsing
 //! prose.
 
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
+use triq::obs::{EventLog, Phase, Telemetry};
 use triq::prelude::*;
 use triq_persist::{PersistConfig, Persistence};
 use triq_server::{parse_update_line, QueryService, Server, ServiceConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  triq-cli [--stats] sparql <graph.ttl> '<SELECT query>' [--regime u|all]\n  \
-         triq-cli [--stats] rules <graph.ttl> <rules.dl> <output-pred>\n  \
-         triq-cli [--stats] update <graph.ttl> <rules.dl> <output-pred> <updates.txt>\n  \
+        "usage:\n  triq-cli [--stats] [--profile] sparql <graph.ttl> '<SELECT query>' \
+         [--regime u|all]\n  \
+         triq-cli [--stats] [--profile] rules <graph.ttl> <rules.dl> <output-pred>\n  \
+         triq-cli [--stats] [--profile] update <graph.ttl> <rules.dl> <output-pred> \
+         <updates.txt>\n  \
          triq-cli [--stats] serve <graph.ttl> <rules.dl> [--addr HOST:PORT] [--threads N] \
          [--chase-threads N] [--enable-shutdown] [--data-dir DIR] \
          [--fsync per-batch|interval:<ms>|off] \
-         [--checkpoint-ops N] [--checkpoint-bytes N] [--queue-cap N]\n  \
+         [--checkpoint-ops N] [--checkpoint-bytes N] [--queue-cap N] \
+         [--slow-query-ms N] [--access-log off|stderr|FILE] [--trace-buffer N]\n  \
          triq-cli classify <rules.dl>\n  \
          triq-cli entail <graph.ttl> <s> <p> <o>\n  \
          triq-cli explain <graph.ttl> <s> <p> <o>\n  \
@@ -103,19 +117,75 @@ fn print_stats(engine: &Engine) {
     eprintln!("  checkpoint fails: {}", s.checkpoint_failures);
 }
 
+/// Prints the `--profile` per-phase timing table to stderr: every phase
+/// with at least one observation (count, total, p50/p95/p99 — all in
+/// the phase's native unit, ns except `tasks` for morsel drains), then
+/// the chase-by-stratum breakdown aggregated from the span tracer.
+fn print_profile(tel: &Telemetry) {
+    eprintln!("profile:");
+    eprintln!(
+        "  {:<26} {:>9} {:>14} {:>11} {:>11} {:>11}",
+        "phase", "count", "total", "p50", "p95", "p99"
+    );
+    for phase in Phase::ALL {
+        let s = tel.phase_snapshot(phase);
+        if s.count == 0 {
+            continue;
+        }
+        eprintln!(
+            "  {:<26} {:>9} {:>14} {:>11} {:>11} {:>11}",
+            phase.metric_name().trim_start_matches("triq_"),
+            s.count,
+            s.sum,
+            s.percentile(0.50),
+            s.percentile(0.95),
+            s.percentile(0.99),
+        );
+    }
+    let tracer = tel.tracer();
+    let mut by_stratum: std::collections::BTreeMap<u64, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for span in tracer.last(tracer.capacity()) {
+        if span.name == "stratum" {
+            let e = by_stratum.entry(span.detail).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += span.dur_ns;
+        }
+    }
+    if !by_stratum.is_empty() {
+        eprintln!("  chase by stratum:");
+        for (stratum, (runs, total_ns)) in by_stratum {
+            eprintln!("    stratum {stratum:<3} runs {runs:>6}  total {total_ns:>12} ns");
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    // `--stats` is a global flag that must precede the subcommand, so a
-    // positional argument that happens to equal "--stats" (e.g. a file
-    // name) is never consumed.
+    // `--stats` / `--profile` are global flags that must precede the
+    // subcommand, so a positional argument that happens to equal one of
+    // them (e.g. a file name) is never consumed.
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let stats = args.first().is_some_and(|a| a == "--stats");
-    if stats {
+    let mut stats = false;
+    let mut profile = false;
+    loop {
+        match args.first().map(String::as_str) {
+            Some("--stats") if !stats => stats = true,
+            Some("--profile") if !profile => profile = true,
+            _ => break,
+        }
         args.remove(0);
     }
+    let tel = profile.then(Telemetry::new);
     let result = match args.first().map(String::as_str) {
-        Some("sparql") => cmd_sparql(&args[1..], stats),
-        Some("rules") => cmd_rules(&args[1..], stats),
-        Some("update") => cmd_update(&args[1..], stats),
+        Some(cmd @ ("serve" | "classify" | "entail" | "explain" | "saturate")) if profile => {
+            Err(TriqError::Other(format!(
+                "--profile is only supported for one-shot commands (sparql, rules, update), \
+                 not `{cmd}` — for serve, scrape GET /metrics instead"
+            )))
+        }
+        Some("sparql") => cmd_sparql(&args[1..], stats, tel.as_ref()),
+        Some("rules") => cmd_rules(&args[1..], stats, tel.as_ref()),
+        Some("update") => cmd_update(&args[1..], stats, tel.as_ref()),
         Some("serve") => cmd_serve(&args[1..], stats),
         Some(cmd @ ("classify" | "entail" | "explain" | "saturate")) if stats => Err(
             TriqError::Other(format!("--stats is not supported for `{cmd}`")),
@@ -127,7 +197,12 @@ fn main() -> ExitCode {
         _ => return usage(),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            if let Some(tel) = &tel {
+                print_profile(tel);
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -143,7 +218,15 @@ fn load_graph(path: &str) -> Result<Graph, TriqError> {
     parse_turtle(&read_file(path)?)
 }
 
-fn cmd_sparql(args: &[String], stats: bool) -> Result<(), TriqError> {
+/// Applies the `--profile` telemetry (if any) to an engine builder.
+fn with_profile(builder: EngineBuilder, tel: Option<&Arc<Telemetry>>) -> EngineBuilder {
+    match tel {
+        Some(tel) => builder.recorder(tel.clone()),
+        None => builder,
+    }
+}
+
+fn cmd_sparql(args: &[String], stats: bool, tel: Option<&Arc<Telemetry>>) -> Result<(), TriqError> {
     let [graph_path, query, rest @ ..] = args else {
         return Err(TriqError::Other("sparql needs <graph> <query>".into()));
     };
@@ -153,7 +236,7 @@ fn cmd_sparql(args: &[String], stats: bool) -> Result<(), TriqError> {
         [flag, mode] if flag == "--regime" && mode == "all" => Semantics::RegimeAll,
         _ => return Err(TriqError::Other("unknown trailing arguments".into())),
     };
-    let engine = Engine::builder().default_semantics(semantics).build();
+    let engine = with_profile(Engine::builder().default_semantics(semantics), tel).build();
     let select = parse_select(query)?;
     let vars: Vec<VarId> = select.vars.iter().copied().collect();
     let prepared = engine.prepare(select)?;
@@ -180,13 +263,13 @@ fn cmd_sparql(args: &[String], stats: bool) -> Result<(), TriqError> {
     Ok(())
 }
 
-fn cmd_rules(args: &[String], stats: bool) -> Result<(), TriqError> {
+fn cmd_rules(args: &[String], stats: bool, tel: Option<&Arc<Telemetry>>) -> Result<(), TriqError> {
     let [graph_path, rules_path, output] = args else {
         return Err(TriqError::Other(
             "rules needs <graph> <rules.dl> <output-pred>".into(),
         ));
     };
-    let engine = Engine::new();
+    let engine = with_profile(Engine::builder(), tel).build();
     let prepared = engine.prepare(Datalog(&read_file(rules_path)?, output))?;
     let classification = prepared.classification();
     if classification.is_triq_lite_1_0() {
@@ -240,13 +323,13 @@ fn print_answers(answers: &Answers) {
 
 /// `update`: evaluate, then apply `+fact`/`-fact` batches incrementally,
 /// re-printing the answers after each batch.
-fn cmd_update(args: &[String], stats: bool) -> Result<(), TriqError> {
+fn cmd_update(args: &[String], stats: bool, tel: Option<&Arc<Telemetry>>) -> Result<(), TriqError> {
     let [graph_path, rules_path, output, updates_path] = args else {
         return Err(TriqError::Other(
             "update needs <graph> <rules.dl> <output-pred> <updates.txt>".into(),
         ));
     };
-    let engine = Engine::new();
+    let engine = with_profile(Engine::builder(), tel).build();
     let prepared = engine.prepare(Datalog(&read_file(rules_path)?, output))?;
     let mut session = engine.load_graph(load_graph(graph_path)?);
     println!("== initial ==");
@@ -298,7 +381,8 @@ fn cmd_serve(args: &[String], stats: bool) -> Result<(), TriqError> {
             "serve needs <graph.ttl> <rules.dl> [--addr HOST:PORT] [--threads N] \
              [--chase-threads N] [--enable-shutdown] [--data-dir DIR] \
              [--fsync per-batch|interval:<ms>|off] \
-             [--checkpoint-ops N] [--checkpoint-bytes N] [--queue-cap N]"
+             [--checkpoint-ops N] [--checkpoint-bytes N] [--queue-cap N] \
+             [--slow-query-ms N] [--access-log off|stderr|FILE] [--trace-buffer N]"
                 .into(),
         ));
     };
@@ -309,6 +393,9 @@ fn cmd_serve(args: &[String], stats: bool) -> Result<(), TriqError> {
     let mut data_dir: Option<String> = None;
     let mut pconfig = PersistConfig::default();
     let mut queue_cap = ServiceConfig::default().queue_cap;
+    let mut slow_query_ms = ServiceConfig::default().slow_query_ms;
+    let mut access_log = String::from("off");
+    let mut trace_buffer = triq::obs::DEFAULT_TRACE_BUFFER;
     let mut rest = rest.iter();
     let next_num = |rest: &mut std::slice::Iter<String>, flag: &str| -> Result<u64, TriqError> {
         rest.next()
@@ -347,11 +434,28 @@ fn cmd_serve(args: &[String], stats: bool) -> Result<(), TriqError> {
                 pconfig.checkpoint_bytes = next_num(&mut rest, "--checkpoint-bytes")?;
             }
             "--queue-cap" => queue_cap = next_num(&mut rest, "--queue-cap")? as usize,
+            "--slow-query-ms" => {
+                // Unlike the other numeric flags, 0 is meaningful here:
+                // capture every query.
+                slow_query_ms = rest.next().and_then(|n| n.parse().ok()).ok_or_else(|| {
+                    TriqError::Other("--slow-query-ms needs a millisecond count".into())
+                })?;
+            }
+            "--access-log" => {
+                access_log = rest
+                    .next()
+                    .ok_or_else(|| TriqError::Other("--access-log needs off|stderr|FILE".into()))?
+                    .clone();
+            }
+            "--trace-buffer" => trace_buffer = next_num(&mut rest, "--trace-buffer")? as usize,
             other => {
                 return Err(TriqError::Other(format!("unknown serve flag `{other}`")));
             }
         }
     }
+    let events = EventLog::from_spec(&access_log)
+        .map_err(|e| TriqError::Other(format!("cannot open access log {access_log}: {e}")))?;
+    let telemetry = Telemetry::with(trace_buffer, events);
     // The rule program is validated up front and installed as an engine
     // library: every query the server prepares is evaluated over the
     // graph AND these rules, kept incrementally materialized.
@@ -359,10 +463,13 @@ fn cmd_serve(args: &[String], stats: bool) -> Result<(), TriqError> {
     let engine = Engine::builder()
         .library(rules)
         .chase_threads(chase_threads)
+        .recorder(telemetry.clone())
         .build();
     let config = ServiceConfig {
         enable_shutdown,
         queue_cap,
+        slow_query_ms,
+        telemetry: Some(telemetry),
     };
     let service = match &data_dir {
         None => {

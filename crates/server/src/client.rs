@@ -18,13 +18,25 @@ pub struct Client {
     conn: Option<BufReader<TcpStream>>,
 }
 
-/// A decoded response: status code and body text.
+/// A decoded response: status code, headers and body text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClientResponse {
     /// The HTTP status code.
     pub status: u16,
+    /// The response headers, lower-cased names, in wire order.
+    pub headers: Vec<(String, String)>,
     /// The response body, decoded as UTF-8.
     pub body: String,
+}
+
+impl ClientResponse {
+    /// The first value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 impl Client {
@@ -113,6 +125,7 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(ClientRe
         .ok_or_else(|| Error::new(ErrorKind::InvalidData, format!("bad status line: {line:?}")))?;
     let mut content_length = 0usize;
     let mut close = false;
+    let mut headers = Vec::new();
     loop {
         line.clear();
         reader.read_line(&mut line)?;
@@ -121,21 +134,28 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(ClientRe
             break;
         }
         if let Some((name, value)) = trimmed.split_once(':') {
+            let value = value.trim();
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
-                    .trim()
                     .parse()
                     .map_err(|_| Error::new(ErrorKind::InvalidData, "bad Content-Length"))?;
-            } else if name.eq_ignore_ascii_case("connection")
-                && value.trim().eq_ignore_ascii_case("close")
+            } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close")
             {
                 close = true;
             }
+            headers.push((name.to_ascii_lowercase(), value.to_string()));
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     let body = String::from_utf8(body)
         .map_err(|_| Error::new(ErrorKind::InvalidData, "response body is not UTF-8"))?;
-    Ok((ClientResponse { status, body }, close))
+    Ok((
+        ClientResponse {
+            status,
+            headers,
+            body,
+        },
+        close,
+    ))
 }

@@ -69,6 +69,10 @@ pub struct Response {
     pub status: u16,
     /// The `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (name, value), written after the framing
+    /// headers. Names must be valid header tokens; values must not
+    /// contain CR/LF.
+    pub headers: Vec<(&'static str, String)>,
     /// The response body.
     pub body: Vec<u8>,
 }
@@ -79,8 +83,25 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.to_string().into_bytes(),
         }
+    }
+
+    /// A plain-text response (the `/metrics` exposition).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Adds one extra response header.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.headers.push((name, value));
+        self
     }
 
     /// The protocol's error shape: `{"error": code, "message": …}`.
@@ -108,13 +129,17 @@ impl Response {
     fn write_to(&self, stream: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         )?;
+        for (name, value) in &self.headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        stream.write_all(b"\r\n")?;
         stream.write_all(&self.body)?;
         stream.flush()
     }

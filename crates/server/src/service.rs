@@ -12,12 +12,14 @@
 //! The wire format (endpoints, parameters, response shapes, error-code
 //! mapping) is specified in `docs/PROTOCOL.md`.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 use triq::prelude::*;
 use triq_common::json::Json;
+use triq_obs::{self as obs, Exposition, Histogram, Recorder, Telemetry};
 use triq_persist::Persistence;
 
 use crate::http::{Handler, Request, Response, ServerControl};
@@ -27,6 +29,9 @@ use crate::http::{Handler, Request, Response, ServerControl};
 /// always correct — and the session's own view cache is bounded
 /// separately).
 const MAX_PREPARED: usize = 64;
+
+/// Upper bound on retained slow-query entries (oldest evicted first).
+const MAX_SLOW_QUERIES: usize = 64;
 
 /// Service tuning knobs.
 #[derive(Clone, Debug)]
@@ -38,6 +43,16 @@ pub struct ServiceConfig {
     /// queue is full, `POST /update` fails fast with `503 E-RESOURCE`
     /// instead of growing the backlog without limit (default 1024).
     pub queue_cap: usize,
+    /// Queries at or above this latency are captured in the slow-query
+    /// log — query text, plan, and per-stratum timing breakdown
+    /// (default 500 ms; `0` captures every query).
+    pub slow_query_ms: u64,
+    /// The telemetry recorder the service reports through. Pass the
+    /// same object installed on the engine
+    /// ([`EngineBuilder::recorder`](triq::EngineBuilder::recorder)) so
+    /// chase spans and request spans land in one tracer; when `None`
+    /// the service creates a private one (HTTP metrics only).
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for ServiceConfig {
@@ -45,6 +60,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             enable_shutdown: false,
             queue_cap: 1024,
+            slow_query_ms: 500,
+            telemetry: None,
         }
     }
 }
@@ -67,6 +84,12 @@ pub struct QueryService {
     writer: Mutex<Option<JoinHandle<()>>>,
     queries_served: AtomicU64,
     updates_applied: AtomicU64,
+    telemetry: Arc<Telemetry>,
+    started: Instant,
+    next_request: AtomicU64,
+    request_hist: Histogram,
+    requests_by_status: Mutex<BTreeMap<u16, u64>>,
+    slow_queries: Mutex<VecDeque<Json>>,
 }
 
 /// Prepared-query cache key: everything that shapes the compiled plan.
@@ -105,6 +128,7 @@ impl QueryService {
         config: ServiceConfig,
     ) -> Arc<QueryService> {
         let (tx, rx) = mpsc::sync_channel::<UpdateJob>(config.queue_cap.max(1));
+        let telemetry = config.telemetry.clone().unwrap_or_else(Telemetry::new);
         let service = Arc::new(QueryService {
             engine,
             shared: shared.clone(),
@@ -114,6 +138,12 @@ impl QueryService {
             writer: Mutex::new(None),
             queries_served: AtomicU64::new(0),
             updates_applied: AtomicU64::new(0),
+            telemetry,
+            started: Instant::now(),
+            next_request: AtomicU64::new(0),
+            request_hist: Histogram::new(),
+            requests_by_status: Mutex::new(BTreeMap::new()),
+            slow_queries: Mutex::new(VecDeque::new()),
         });
         let writer = std::thread::spawn(move || writer_loop(shared, rx, persistence));
         *service.writer.lock().expect("writer handle poisoned") = Some(writer);
@@ -139,7 +169,7 @@ impl QueryService {
 
     // -- /query ---------------------------------------------------------
 
-    fn handle_query(&self, req: &Request) -> Response {
+    fn handle_query(&self, req: &Request, rid: u64) -> Response {
         let text = match req.body_str() {
             Ok(t) => t,
             Err(resp) => return resp,
@@ -184,13 +214,65 @@ impl QueryService {
             output,
             text: text.to_owned(),
         };
-        match self.run_query(&key) {
+        let started = Instant::now();
+        let q = match self.prepare_cached(&key) {
+            Ok(q) => q,
+            Err(e) => return triq_error_response(&e),
+        };
+        let result = self.run_prepared(&key, &q);
+        let elapsed = started.elapsed();
+        if elapsed.as_millis() as u64 >= self.config.slow_query_ms {
+            self.capture_slow_query(rid, &key, &q, elapsed.as_nanos() as u64);
+        }
+        match result {
             Ok(json) => {
                 self.queries_served.fetch_add(1, Ordering::Relaxed);
                 Response::json(200, &json)
             }
             Err(e) => triq_error_response(&e),
         }
+    }
+
+    /// Records one slow query — text, compiled plan, and the per-stratum
+    /// chase timing breakdown pulled from this request's tracer spans —
+    /// in the bounded slow-query ring (and the event log, if any).
+    fn capture_slow_query(&self, rid: u64, key: &QueryKey, q: &PreparedQuery, dur_ns: u64) {
+        let strata: Vec<Json> = self
+            .telemetry
+            .tracer()
+            .for_context(rid)
+            .iter()
+            .filter(|s| s.name == "stratum")
+            .map(|s| {
+                Json::obj([
+                    ("stratum", Json::U64(s.detail)),
+                    ("ns", Json::U64(s.dur_ns)),
+                ])
+            })
+            .collect();
+        let entry = Json::obj([
+            ("event", Json::str("slow_query")),
+            ("id", Json::U64(rid)),
+            (
+                "lang",
+                Json::str(match key.lang {
+                    Lang::Sparql => "sparql",
+                    Lang::Datalog => "datalog",
+                }),
+            ),
+            ("query", Json::str(&key.text)),
+            ("latency_us", Json::U64(dur_ns / 1_000)),
+            ("plan", Json::str(q.program().to_string())),
+            ("strata", Json::arr(strata)),
+        ]);
+        if self.telemetry.events().enabled() {
+            self.telemetry.events().log(&entry);
+        }
+        let mut ring = self.slow_queries.lock().expect("slow-query ring poisoned");
+        if ring.len() >= MAX_SLOW_QUERIES {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
     }
 
     fn prepare_cached(&self, key: &QueryKey) -> Result<PreparedQuery, TriqError> {
@@ -224,19 +306,18 @@ impl QueryService {
         Ok(prepared)
     }
 
-    fn run_query(&self, key: &QueryKey) -> Result<Json, TriqError> {
-        let q = self.prepare_cached(key)?;
+    fn run_prepared(&self, key: &QueryKey, q: &PreparedQuery) -> Result<Json, TriqError> {
         // The versioned entry points pair the rows with the op-log
         // version of the snapshot that produced them (lock-free when the
         // plan is already materialized) and keep the engine's
         // execution/cache-hit counters honest for GET /stats.
         Ok(match key.lang {
             Lang::Sparql => {
-                let (mappings, version) = self.shared.mappings_versioned(&q)?;
-                sparql_answers_json(&q, &mappings, version)
+                let (mappings, version) = self.shared.mappings_versioned(q)?;
+                sparql_answers_json(q, &mappings, version)
             }
             Lang::Datalog => {
-                let (answers, version) = self.shared.execute_versioned(&q)?;
+                let (answers, version) = self.shared.execute_versioned(q)?;
                 datalog_answers_json(&answers, version)
             }
         })
@@ -244,24 +325,27 @@ impl QueryService {
 
     // -- /update --------------------------------------------------------
 
-    fn handle_update(&self, req: &Request) -> Response {
+    fn handle_update(&self, req: &Request) -> (Response, u64) {
         let text = match req.body_str() {
             Ok(t) => t,
-            Err(resp) => return resp,
+            Err(resp) => return (resp, 0),
         };
         let delta = match parse_update_text(text) {
             Ok(d) => d,
-            Err(e) => return triq_error_response(&e),
+            Err(e) => return (triq_error_response(&e), 0),
         };
         if delta.is_empty() {
-            return Response::json(
-                200,
-                &Json::obj([
-                    ("version", Json::U64(self.shared.version())),
-                    ("inserted", Json::U64(0)),
-                    ("deleted", Json::U64(0)),
-                    ("batched", Json::U64(0)),
-                ]),
+            return (
+                Response::json(
+                    200,
+                    &Json::obj([
+                        ("version", Json::U64(self.shared.version())),
+                        ("inserted", Json::U64(0)),
+                        ("deleted", Json::U64(0)),
+                        ("batched", Json::U64(0)),
+                    ]),
+                ),
+                0,
             );
         }
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
@@ -276,13 +360,16 @@ impl QueryService {
                     Err(mpsc::TrySendError::Full(_)) => {
                         // Bounded backpressure: fail fast instead of
                         // queueing without limit behind a slow apply.
-                        return Response::error(
-                            503,
-                            "E-RESOURCE",
-                            &format!(
-                                "update queue is full ({} pending) — retry later",
-                                self.config.queue_cap
+                        return (
+                            Response::error(
+                                503,
+                                "E-RESOURCE",
+                                &format!(
+                                    "update queue is full ({} pending) — retry later",
+                                    self.config.queue_cap
+                                ),
                             ),
+                            0,
                         );
                     }
                     Err(mpsc::TrySendError::Disconnected(_)) => false,
@@ -291,25 +378,34 @@ impl QueryService {
             }
         };
         if !sent {
-            return Response::error(503, "E-HTTP-UNAVAILABLE", "writer is shut down");
+            return (
+                Response::error(503, "E-HTTP-UNAVAILABLE", "writer is shut down"),
+                0,
+            );
         }
         match reply_rx.recv() {
             Ok(Ok((applied, batched))) => {
                 self.updates_applied.fetch_add(1, Ordering::Relaxed);
-                Response::json(
-                    200,
-                    &Json::obj([
-                        ("version", Json::U64(applied.version)),
-                        ("inserted", Json::U64(applied.inserted as u64)),
-                        ("deleted", Json::U64(applied.deleted as u64)),
-                        ("batched", Json::U64(batched as u64)),
-                    ]),
+                (
+                    Response::json(
+                        200,
+                        &Json::obj([
+                            ("version", Json::U64(applied.version)),
+                            ("inserted", Json::U64(applied.inserted as u64)),
+                            ("deleted", Json::U64(applied.deleted as u64)),
+                            ("batched", Json::U64(batched as u64)),
+                        ]),
+                    ),
+                    batched as u64,
                 )
             }
             // The WAL rejected the batch: nothing was applied, the
             // server keeps serving its current state.
-            Ok(Err(e)) => triq_error_response(&e),
-            Err(_) => Response::error(503, "E-HTTP-UNAVAILABLE", "writer stopped mid-update"),
+            Ok(Err(e)) => (triq_error_response(&e), 0),
+            Err(_) => (
+                Response::error(503, "E-HTTP-UNAVAILABLE", "writer stopped mid-update"),
+                0,
+            ),
         }
     }
 
@@ -317,6 +413,16 @@ impl QueryService {
 
     fn handle_stats(&self) -> Response {
         let snap = self.shared.snapshot();
+        let by_status = self
+            .requests_by_status
+            .lock()
+            .expect("status counters poisoned");
+        let requests_total: u64 = by_status.values().sum();
+        let status_obj = Json::obj(
+            by_status
+                .iter()
+                .map(|(status, n)| (status.to_string(), Json::U64(*n))),
+        );
         Response::json(
             200,
             &Json::obj([
@@ -334,38 +440,338 @@ impl QueryService {
                         ),
                         ("version", Json::U64(snap.version())),
                         ("plans_materialized", Json::U64(snap.plans() as u64)),
+                        (
+                            "uptime_seconds",
+                            Json::U64(self.started.elapsed().as_secs()),
+                        ),
+                        ("requests_total", Json::U64(requests_total)),
+                        ("requests_by_status", status_obj),
                     ]),
                 ),
             ]),
         )
     }
-}
 
-impl Handler for QueryService {
-    fn handle(&self, req: &Request, ctl: &ServerControl) -> Response {
+    // -- /metrics -------------------------------------------------------
+
+    /// The Prometheus exposition: every phase histogram of the shared
+    /// telemetry, the HTTP request-latency histogram, requests-by-status
+    /// counters, uptime, trace-ring occupancy, and the engine's
+    /// monotonic counters. Rendering is deterministic for equal state
+    /// (name-sorted families, integer values).
+    fn handle_metrics(&self) -> Response {
+        let mut e = Exposition::new();
+        self.telemetry.export(&mut e);
+        e.histogram(
+            "triq_http_request_ns",
+            "HTTP request latency end-to-end, ns",
+            &self.request_hist.snapshot(),
+        );
+        {
+            let by_status = self
+                .requests_by_status
+                .lock()
+                .expect("status counters poisoned");
+            const REQ_HELP: &str = "HTTP requests served, by status code";
+            if by_status.is_empty() {
+                // Keep the family present from the very first scrape.
+                e.counter_with(
+                    "triq_http_requests_total",
+                    REQ_HELP,
+                    &[("status", "200")],
+                    0,
+                );
+            }
+            for (status, n) in by_status.iter() {
+                e.counter_with(
+                    "triq_http_requests_total",
+                    REQ_HELP,
+                    &[("status", &status.to_string())],
+                    *n,
+                );
+            }
+        }
+        e.gauge(
+            "triq_uptime_seconds",
+            "Seconds since the service started",
+            self.started.elapsed().as_secs(),
+        );
+        e.gauge(
+            "triq_trace_spans",
+            "Completed spans held in the trace ring",
+            self.telemetry.tracer().len() as u64,
+        );
+        e.counter(
+            "triq_trace_dropped_total",
+            "Spans evicted from the trace ring",
+            self.telemetry.tracer().dropped(),
+        );
+        e.counter(
+            "triq_service_queries_served_total",
+            "Successful POST /query requests",
+            self.queries_served.load(Ordering::Relaxed),
+        );
+        e.counter(
+            "triq_service_updates_applied_total",
+            "Successful POST /update requests",
+            self.updates_applied.load(Ordering::Relaxed),
+        );
+        let s = self.engine.stats();
+        for (name, help, value) in [
+            (
+                "triq_engine_prepared_queries",
+                "Queries prepared",
+                s.prepared_queries as u64,
+            ),
+            (
+                "triq_engine_executions",
+                "Prepared-query executions",
+                s.executions as u64,
+            ),
+            (
+                "triq_engine_chase_runs",
+                "Chase runs performed",
+                s.chase_runs as u64,
+            ),
+            (
+                "triq_engine_cache_hits",
+                "Executions served from cache",
+                s.cache_hits as u64,
+            ),
+            (
+                "triq_engine_atoms_derived",
+                "Atoms derived by the chase",
+                s.atoms_derived,
+            ),
+            (
+                "triq_engine_join_probes",
+                "Join candidate probes",
+                s.join_probes,
+            ),
+            (
+                "triq_engine_parallel_strata",
+                "Strata run with parallel match collection",
+                s.parallel_strata as u64,
+            ),
+            (
+                "triq_engine_deltas_applied",
+                "Session deltas absorbed incrementally",
+                s.deltas_applied as u64,
+            ),
+            (
+                "triq_engine_atoms_overdeleted",
+                "Atoms over-deleted by DRed",
+                s.atoms_overdeleted,
+            ),
+            (
+                "triq_engine_atoms_rederived",
+                "Over-deleted atoms rederived",
+                s.atoms_rederived,
+            ),
+            (
+                "triq_engine_plans_compiled",
+                "Cost-based join plans compiled",
+                s.plans_compiled,
+            ),
+            (
+                "triq_engine_replans",
+                "Plans recomputed after cardinality drift",
+                s.replans,
+            ),
+            (
+                "triq_engine_index_builds",
+                "Joint hash indexes built",
+                s.index_builds,
+            ),
+            (
+                "triq_engine_index_probes",
+                "Probes served by hash indexes",
+                s.index_probes,
+            ),
+            (
+                "triq_engine_morsel_batches",
+                "Morsel match batches collected",
+                s.morsel_batches,
+            ),
+            (
+                "triq_engine_kernel_filter_rows",
+                "Rows screened by column kernels",
+                s.kernel_filter_rows,
+            ),
+            (
+                "triq_engine_wal_records",
+                "WAL records appended",
+                s.wal_records,
+            ),
+            (
+                "triq_engine_wal_bytes",
+                "Bytes appended to the WAL",
+                s.wal_bytes,
+            ),
+            (
+                "triq_engine_snapshots_written",
+                "Checkpoint snapshots written",
+                s.snapshots_written,
+            ),
+            (
+                "triq_engine_recovery_replayed_ops",
+                "WAL records replayed at recovery",
+                s.recovery_replayed_ops,
+            ),
+            (
+                "triq_engine_checkpoint_failures",
+                "Failed checkpoint attempts",
+                s.checkpoint_failures,
+            ),
+        ] {
+            e.counter(name, help, value);
+        }
+        e.gauge(
+            "triq_engine_last_checkpoint_version",
+            "Op-log version of the most recent checkpoint",
+            s.last_checkpoint_version,
+        );
+        Response::text(200, e.render())
+    }
+
+    // -- /version -------------------------------------------------------
+
+    fn handle_version(&self) -> Response {
+        Response::json(
+            200,
+            &Json::obj([
+                ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+                (
+                    "profile",
+                    Json::str(if cfg!(debug_assertions) {
+                        "debug"
+                    } else {
+                        "release"
+                    }),
+                ),
+            ]),
+        )
+    }
+
+    // -- /debug/trace, /debug/slow --------------------------------------
+
+    fn handle_trace(&self, req: &Request) -> Response {
+        let last = req
+            .param("last")
+            .and_then(|n| n.parse::<usize>().ok())
+            .unwrap_or(100);
+        let tracer = self.telemetry.tracer();
+        let spans = tracer.last(last);
+        Response::json(
+            200,
+            &Json::obj([
+                ("capacity", Json::U64(tracer.capacity() as u64)),
+                ("dropped", Json::U64(tracer.dropped())),
+                ("spans", Json::arr(spans.iter().map(|s| s.to_json()))),
+            ]),
+        )
+    }
+
+    fn handle_slow(&self) -> Response {
+        let ring = self.slow_queries.lock().expect("slow-query ring poisoned");
+        Response::json(
+            200,
+            &Json::obj([
+                ("threshold_ms", Json::U64(self.config.slow_query_ms)),
+                ("slow_queries", Json::arr(ring.iter().cloned())),
+            ]),
+        )
+    }
+
+    /// Routes one request (without the per-request instrumentation that
+    /// [`Handler::handle`] wraps around it). The second component is the
+    /// writer-batch size for the access log (updates only).
+    fn dispatch(&self, req: &Request, ctl: &ServerControl, rid: u64) -> (Response, u64) {
         match (req.method.as_str(), req.path.as_str()) {
-            ("POST", "/query") => self.handle_query(req),
+            ("POST", "/query") => (self.handle_query(req, rid), 0),
             ("POST", "/update") => self.handle_update(req),
-            ("GET", "/stats") => self.handle_stats(),
-            ("GET", "/health") => Response::json(200, &Json::obj([("ok", Json::Bool(true))])),
+            ("GET", "/stats") => (self.handle_stats(), 0),
+            ("GET", "/metrics") => (self.handle_metrics(), 0),
+            ("GET", "/version") => (self.handle_version(), 0),
+            ("GET", "/debug/trace") => (self.handle_trace(req), 0),
+            ("GET", "/debug/slow") => (self.handle_slow(), 0),
+            ("GET", "/health") => (
+                Response::json(200, &Json::obj([("ok", Json::Bool(true))])),
+                0,
+            ),
             ("POST", "/shutdown") => {
                 if self.config.enable_shutdown {
                     self.stop_writer();
                     ctl.request_shutdown();
-                    Response::json(200, &Json::obj([("ok", Json::Bool(true))]))
+                    (
+                        Response::json(200, &Json::obj([("ok", Json::Bool(true))])),
+                        0,
+                    )
                 } else {
-                    Response::error(
-                        403,
-                        "E-HTTP-FORBIDDEN",
-                        "shutdown endpoint disabled (start with --enable-shutdown)",
+                    (
+                        Response::error(
+                            403,
+                            "E-HTTP-FORBIDDEN",
+                            "shutdown endpoint disabled (start with --enable-shutdown)",
+                        ),
+                        0,
                     )
                 }
             }
-            ("POST" | "GET", "/query" | "/update" | "/stats" | "/health" | "/shutdown") => {
-                Response::error(405, "E-HTTP-METHOD", "wrong method for this endpoint")
-            }
-            _ => Response::error(404, "E-HTTP-NOT-FOUND", "unknown endpoint"),
+            (
+                "POST" | "GET",
+                "/query" | "/update" | "/stats" | "/metrics" | "/version" | "/debug/trace"
+                | "/debug/slow" | "/health" | "/shutdown",
+            ) => (
+                Response::error(405, "E-HTTP-METHOD", "wrong method for this endpoint"),
+                0,
+            ),
+            _ => (
+                Response::error(404, "E-HTTP-NOT-FOUND", "unknown endpoint"),
+                0,
+            ),
         }
+    }
+}
+
+impl Handler for QueryService {
+    /// Per-request instrumentation around the endpoint dispatch:
+    /// assigns the request id, attributes this thread's spans to it,
+    /// opens a `request` span, times the request into the latency
+    /// histogram, ticks the per-status counter, emits one access-log
+    /// line (when an event sink is configured), and stamps the
+    /// `X-Request-Id` response header.
+    fn handle(&self, req: &Request, ctl: &ServerControl) -> Response {
+        let rid = self.next_request.fetch_add(1, Ordering::Relaxed) + 1;
+        obs::set_context(rid);
+        let started = Instant::now();
+        let (resp, batched) = {
+            let rec: &dyn Recorder = &*self.telemetry;
+            let _span = obs::span(rec, "request", rid);
+            self.dispatch(req, ctl, rid)
+        };
+        obs::set_context(0);
+        let latency = started.elapsed();
+        self.request_hist.observe(latency.as_nanos() as u64);
+        *self
+            .requests_by_status
+            .lock()
+            .expect("status counters poisoned")
+            .entry(resp.status)
+            .or_insert(0) += 1;
+        if self.telemetry.events().enabled() {
+            self.telemetry.events().log(&Json::obj([
+                ("event", Json::str("access")),
+                ("id", Json::U64(rid)),
+                ("method", Json::str(&req.method)),
+                ("path", Json::str(&req.path)),
+                ("status", Json::U64(resp.status as u64)),
+                ("latency_us", Json::U64(latency.as_micros() as u64)),
+                ("bytes", Json::U64(resp.body.len() as u64)),
+                ("batched", Json::U64(batched)),
+            ]));
+        }
+        resp.with_header("X-Request-Id", rid.to_string())
     }
 }
 

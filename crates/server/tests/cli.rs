@@ -124,6 +124,55 @@ fn update_mode_applies_incremental_batches() {
 }
 
 #[test]
+fn profile_flag_prints_phase_table_for_one_shot_commands() {
+    let g = write_temp("g_prof.ttl", GRAPH);
+    let rules = write_temp(
+        "prof.dl",
+        "triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> query(?X).\n",
+    );
+    let out = cli()
+        .args([
+            "--profile",
+            "rules",
+            g.to_str().unwrap(),
+            rules.to_str().unwrap(),
+            "query",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("profile:"), "{stderr}");
+    // The chase ran under the profiler: per-phase rows and the
+    // by-stratum breakdown both appear.
+    assert!(stderr.contains("chase_stratum_ns"), "{stderr}");
+    assert!(stderr.contains("chase by stratum:"), "{stderr}");
+    // The answers themselves are untouched.
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("Jeffrey Ullman"));
+}
+
+#[test]
+fn profile_flag_is_rejected_for_serve() {
+    let g = write_temp("g_prof2.ttl", "a p b .\n");
+    let rules = write_temp("prof2.dl", "triple(?X, p, ?Y) -> query(?X).\n");
+    let out = cli()
+        .args([
+            "--profile",
+            "serve",
+            g.to_str().unwrap(),
+            rules.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("--profile is only supported for one-shot commands"));
+}
+
+#[test]
 fn update_mode_rejects_malformed_lines() {
     let g = write_temp("g_upd2.ttl", "a knows b .\n");
     let rules = write_temp("r_upd2.dl", "triple(?X, knows, ?Y) -> query(?X).\n");
@@ -202,6 +251,41 @@ fn serve_smoke_starts_serves_and_shuts_down_cleanly() {
     let resp = client.get("/stats").unwrap();
     assert_eq!(resp.status, 200);
     assert!(resp.body.contains("\"updates_applied\":1"), "{}", resp.body);
+    assert!(resp.body.contains("\"uptime_seconds\""), "{}", resp.body);
+    assert!(
+        resp.body.contains("\"requests_by_status\""),
+        "{}",
+        resp.body
+    );
+    assert!(
+        resp.header("x-request-id").is_some(),
+        "responses must carry X-Request-Id"
+    );
+
+    // The scrape endpoint serves the required metric families.
+    let resp = client.get("/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    for family in [
+        "# TYPE triq_http_request_ns histogram",
+        "# TYPE triq_chase_stratum_ns histogram",
+        "# TYPE triq_wal_append_ns histogram",
+        "# TYPE triq_checkpoint_write_ns histogram",
+        "triq_http_requests_total{status=\"200\"}",
+        "triq_http_request_ns_p99",
+        "triq_uptime_seconds",
+        "triq_engine_executions",
+    ] {
+        assert!(
+            resp.body.contains(family),
+            "missing {family}:\n{}",
+            resp.body
+        );
+    }
+
+    let resp = client.get("/version").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"version\""), "{}", resp.body);
+    assert!(resp.body.contains("\"profile\""), "{}", resp.body);
 
     // Clean shutdown: the endpoint answers, the process exits 0.
     assert_eq!(client.post("/shutdown", "").unwrap().status, 200);
