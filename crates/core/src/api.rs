@@ -49,8 +49,8 @@ use std::sync::{Arc, Mutex, RwLock};
 use triq_common::json::Json;
 use triq_common::{Delta, Fact, Result, Symbol, TriqError, VarId};
 use triq_datalog::{
-    classify_program, AnswerIter, Answers, ChaseConfig, ChaseOutcome, ChaseRunner, Database,
-    ExistentialStrategy, MaterializedView, Program, ProgramClassification,
+    classify_program, demand, AnswerIter, Answers, ChaseConfig, ChaseOutcome, ChaseRunner,
+    Database, DemandMode, ExistentialStrategy, MaterializedView, Program, ProgramClassification,
 };
 use triq_obs::{Phase, Recorder, Timer};
 use triq_owl2ql::tau_db;
@@ -148,6 +148,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the demand-evaluation mode for all query kinds: whether
+    /// point queries may be answered by chasing the magic-set rewrite of
+    /// the program (`triq_datalog::demand`) instead of materializing the
+    /// full fixpoint. The default is [`DemandMode::Auto`].
+    pub fn demand(mut self, mode: DemandMode) -> EngineBuilder {
+        self.plain_config.demand = mode;
+        self.regime_config.demand = mode;
+        self
+    }
+
     /// Sets the semantics used when a SPARQL query is prepared without an
     /// explicit one.
     pub fn default_semantics(mut self, semantics: Semantics) -> EngineBuilder {
@@ -213,6 +223,9 @@ struct EngineCounters {
     last_checkpoint_version: AtomicU64,
     recovery_replayed_ops: AtomicU64,
     checkpoint_failures: AtomicU64,
+    demand_rewrites: AtomicU64,
+    demand_fallbacks: AtomicU64,
+    demand_atoms_saved: AtomicU64,
 }
 
 impl EngineCounters {
@@ -340,6 +353,20 @@ pub struct EngineStats {
     /// non-zero value that keeps growing means the data directory's
     /// disk needs attention.
     pub checkpoint_failures: u64,
+    /// Successful magic-set rewrites: prepared queries that carry a
+    /// demand plan (`triq_datalog::demand`) and can answer from the
+    /// demanded cone instead of the full fixpoint.
+    pub demand_rewrites: u64,
+    /// Rewrite attempts that declined (unbound query, demanded ∃-rule,
+    /// lost stratification, program shape) plus demand chases that fell
+    /// back to a full build at execution time.
+    pub demand_fallbacks: u64,
+    /// Atoms the demand evaluations did *not* derive, summed over demand
+    /// view builds whose full-fixpoint baseline is known (the same plan
+    /// was also chased in full at some point — e.g. under
+    /// [`DemandMode::Off`] in an A/B run). Purely informational: `0`
+    /// when no baseline was ever observed.
+    pub demand_atoms_saved: u64,
 }
 
 impl EngineStats {
@@ -376,6 +403,9 @@ impl EngineStats {
                 Json::U64(self.recovery_replayed_ops),
             ),
             ("checkpoint_failures", Json::U64(self.checkpoint_failures)),
+            ("demand_rewrites", Json::U64(self.demand_rewrites)),
+            ("demand_fallbacks", Json::U64(self.demand_fallbacks)),
+            ("demand_atoms_saved", Json::U64(self.demand_atoms_saved)),
         ])
     }
 }
@@ -441,6 +471,9 @@ impl Engine {
             last_checkpoint_version: s.last_checkpoint_version.load(Ordering::Relaxed),
             recovery_replayed_ops: s.recovery_replayed_ops.load(Ordering::Relaxed),
             checkpoint_failures: s.checkpoint_failures.load(Ordering::Relaxed),
+            demand_rewrites: s.demand_rewrites.load(Ordering::Relaxed),
+            demand_fallbacks: s.demand_fallbacks.load(Ordering::Relaxed),
+            demand_atoms_saved: s.demand_atoms_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -587,6 +620,7 @@ impl Engine {
             .fetch_add(1, Ordering::Relaxed);
         let fingerprint =
             triq_datalog::persist::plan_fingerprint(runner.program(), &runner.config());
+        let demand = self.attach_demand(&runner, output);
         Ok(PreparedQuery {
             engine: self.clone(),
             plan_id: NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed),
@@ -595,8 +629,71 @@ impl Engine {
             output,
             classification,
             decode,
+            demand,
+            full_derived: Arc::new(AtomicU64::new(0)),
         })
     }
+
+    /// Attempts the magic-set rewrite for a freshly compiled plan.
+    /// `None` means "evaluate the original program" — either demand is
+    /// off for this plan or the rewrite reported a fallback (counted in
+    /// `demand_fallbacks`).
+    fn attach_demand(&self, runner: &ChaseRunner, output: Symbol) -> Option<Arc<DemandPlan>> {
+        let config = runner.config();
+        if config.demand == DemandMode::Off {
+            return None;
+        }
+        let rewritten = match demand::rewrite(runner.program(), output) {
+            Ok(r) => r,
+            Err(_fallback) => {
+                self.inner
+                    .stats
+                    .demand_fallbacks
+                    .fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        // The rewrite is validated and stratified, so compilation only
+        // fails on resource-class issues; treat any failure as one more
+        // fallback rather than failing the prepare.
+        match ChaseRunner::new(rewritten.program, config) {
+            Ok(mut drunner) => {
+                drunner.set_recorder(self.inner.recorder.clone());
+                let fingerprint =
+                    triq_datalog::persist::plan_fingerprint(drunner.program(), &config);
+                self.inner
+                    .stats
+                    .demand_rewrites
+                    .fetch_add(1, Ordering::Relaxed);
+                Some(Arc::new(DemandPlan {
+                    runner: drunner,
+                    seed: rewritten.seed,
+                    fingerprint,
+                }))
+            }
+            Err(_) => {
+                self.inner
+                    .stats
+                    .demand_fallbacks
+                    .fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+}
+
+/// The compiled magic-set rewrite of a prepared query: a runner over the
+/// rewritten program, the extensional seed fact its demand propagation
+/// fires from, and the rewrite's own durable fingerprint. Two queries
+/// that differ only in their bound constants compile to different
+/// rewritten program texts (the constants appear in the seed rules), so
+/// their fingerprints — and therefore their persisted views — never
+/// collide.
+#[derive(Debug)]
+struct DemandPlan {
+    runner: ChaseRunner,
+    seed: Fact,
+    fingerprint: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -1078,16 +1175,20 @@ impl Session {
         query.execute(self)
     }
 
-    /// The maintained outcome for `plan`, building or delta-syncing its
+    /// The maintained outcome for `query`, building or delta-syncing its
     /// view as needed. The session-wide map lock is held only for the
     /// lookup; the (possibly long) chase or delta application runs under
     /// the plan's own entry lock.
-    fn outcome_for(
-        &self,
-        plan_id: u64,
-        fingerprint: u64,
-        runner: &ChaseRunner,
-    ) -> Result<(Arc<ChaseOutcome>, SyncKind)> {
+    ///
+    /// When the query carries a magic-set rewrite ([`DemandPlan`]) and no
+    /// live view exists yet, the first build chases the rewritten program
+    /// over the database extended with the demand seed fact instead of
+    /// chasing the full program — later mutations delta-sync that view
+    /// exactly like any other. Under [`DemandMode::Force`] a demand-build
+    /// failure is the caller's error; under [`DemandMode::Auto`] it falls
+    /// back to the full chase (counted in `demand_fallbacks`).
+    fn outcome_for(&self, query: &PreparedQuery) -> Result<(Arc<ChaseOutcome>, SyncKind)> {
+        let plan_id = query.plan_id;
         // `&self` executions can race each other, but mutations take
         // `&mut self`, so the log version is stable for this call.
         let version = self.ops.version();
@@ -1132,13 +1233,34 @@ impl Session {
         }
         // No live view: before chasing from scratch, try to adopt a view
         // recovered from a persistence snapshot. Lock order is views-map →
-        // entry → restored, matching every other path.
-        if let Some(mut rv) = self
-            .restored
-            .lock()
-            .expect("restored views poisoned")
-            .remove(&fingerprint)
-        {
+        // entry → restored, matching every other path. A demand-built
+        // view persists under the *rewritten* program's fingerprint, so
+        // both plan identities are adoption candidates; `force` skips the
+        // full-plan candidate because it must not serve a full-chase view.
+        let counters = &self.engine.inner.stats;
+        let mode = query.runner.config().demand;
+        let plan = if mode == DemandMode::Off {
+            None
+        } else {
+            query.demand.as_deref()
+        };
+        let force = mode == DemandMode::Force && plan.is_some();
+        let mut candidates = Vec::new();
+        if !force {
+            candidates.push(query.fingerprint);
+        }
+        if let Some(plan) = plan {
+            candidates.push(plan.fingerprint);
+        }
+        for fp in candidates {
+            let Some(mut rv) = self
+                .restored
+                .lock()
+                .expect("restored views poisoned")
+                .remove(&fp)
+            else {
+                continue;
+            };
             if rv.synced == version {
                 let outcome = rv.view.outcome().clone();
                 entry.view = Some(rv.view);
@@ -1153,11 +1275,40 @@ impl Session {
                     return Ok((outcome, SyncKind::Delta(summary)));
                 }
             }
-            // The suffix it needs was pruned, or the apply failed: fall
-            // through to a full build (the recovered view is discarded).
+            // The suffix it needs was pruned, or the apply failed: the
+            // recovered view is discarded and the next candidate (or a
+            // fresh build) takes over.
         }
-        let view = MaterializedView::new(runner.clone(), self.db.clone())?;
+        if let Some(plan) = plan {
+            let mut db = self.db.clone();
+            db.add_row(plan.seed.pred, &plan.seed.args);
+            match MaterializedView::new(plan.runner.clone(), db) {
+                Ok(view) => {
+                    let outcome = view.outcome().clone();
+                    let derived = outcome.stats.derived as u64;
+                    let baseline = query.full_derived.load(Ordering::Relaxed);
+                    if baseline > derived {
+                        counters
+                            .demand_atoms_saved
+                            .fetch_add(baseline - derived, Ordering::Relaxed);
+                    }
+                    entry.view = Some(view);
+                    entry.synced = version;
+                    return Ok((outcome, SyncKind::Built));
+                }
+                Err(e) if force => return Err(e),
+                Err(_) => {
+                    // Budget exhausted or the rewritten chase failed at
+                    // runtime: count the fallback and serve the full plan.
+                    counters.demand_fallbacks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let view = MaterializedView::new(query.runner.clone(), self.db.clone())?;
         let outcome = view.outcome().clone();
+        query
+            .full_derived
+            .store(outcome.stats.derived as u64, Ordering::Relaxed);
         entry.view = Some(view);
         entry.synced = version;
         Ok((outcome, SyncKind::Built))
@@ -1485,6 +1636,15 @@ pub struct PreparedQuery {
     output: Symbol,
     classification: ProgramClassification,
     decode: Option<SparqlDecode>,
+    /// The magic-set rewrite, when one exists for this plan (see
+    /// [`Engine::attach_demand`]); `None` means executions always chase
+    /// the original program.
+    demand: Option<Arc<DemandPlan>>,
+    /// Atoms the most recent *full* chase of this plan derived — the
+    /// baseline for the `demand_atoms_saved` counter. Shared by clones;
+    /// reset by [`PreparedQuery::with_config`] (a config change can
+    /// change the count). `0` = no baseline yet.
+    full_derived: Arc<AtomicU64>,
 }
 
 impl PreparedQuery {
@@ -1526,6 +1686,11 @@ impl PreparedQuery {
                 self.runner.program(),
                 &self.runner.config(),
             );
+            // The demand rewrite depends on the config (mode, budgets),
+            // and the saved-atoms baseline on the full chase it ran
+            // under — recompute both for the new identity.
+            self.demand = self.engine.attach_demand(&self.runner, self.output);
+            self.full_derived = Arc::new(AtomicU64::new(0));
         }
         self
     }
@@ -1538,6 +1703,22 @@ impl PreparedQuery {
         self.fingerprint
     }
 
+    /// Whether a magic-set rewrite is attached: executions without a
+    /// usable cached view will chase the demand-rewritten program instead
+    /// of the full one (unless the mode is [`DemandMode::Off`]).
+    pub fn uses_demand(&self) -> bool {
+        self.runner.config().demand != DemandMode::Off && self.demand.is_some()
+    }
+
+    /// The durable fingerprint of the demand-rewritten plan, when one is
+    /// attached. Distinct queries over the same rules but different bound
+    /// constants get distinct fingerprints (the constants appear in the
+    /// rewritten program's seed rules), so persisted demand views can
+    /// never be adopted by the wrong query.
+    pub fn demand_fingerprint(&self) -> Option<u64> {
+        self.demand.as_ref().map(|p| p.fingerprint)
+    }
+
     /// The chase outcome for this query over `session` — served from
     /// the session's maintained view: a lookup when nothing changed, an
     /// incremental delta application when mutations are pending, and a
@@ -1548,7 +1729,7 @@ impl PreparedQuery {
         let rec = &*self.engine.inner.recorder;
         let _span = triq_obs::span(rec, "execute", self.plan_id);
         let _t = Timer::start(rec, Phase::Execute);
-        let (outcome, sync) = session.outcome_for(self.plan_id, self.fingerprint, &self.runner)?;
+        let (outcome, sync) = session.outcome_for(self)?;
         match sync {
             SyncKind::Hit => {
                 stats.cache_hits.fetch_add(1, Ordering::Relaxed);

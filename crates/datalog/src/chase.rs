@@ -104,6 +104,14 @@ pub struct ChaseConfig {
     /// [`JoinPlanner::ReverseOrder`] setting exists purely for the
     /// differential planner harness).
     pub planner: JoinPlanner,
+    /// Whether the *facade* (`triq-core`'s `Engine`) may answer point
+    /// queries by chasing the magic-set rewrite of the program instead
+    /// of the program itself (see `crate::demand`). The chase proper
+    /// ignores this field — it evaluates whatever program it is given —
+    /// but it lives here so the knob rides along with every prepared
+    /// plan, is covered by plan fingerprints, and survives the
+    /// persistence round-trip.
+    pub demand: crate::demand::DemandMode,
 }
 
 impl Default for ChaseConfig {
@@ -116,6 +124,7 @@ impl Default for ChaseConfig {
             morsel_size: 2048,
             chase_threads: 0,
             planner: JoinPlanner::CostBased,
+            demand: crate::demand::DemandMode::Auto,
         }
     }
 }

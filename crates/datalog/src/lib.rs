@@ -32,6 +32,7 @@ mod atom;
 pub mod builders;
 mod chase;
 mod classify;
+pub mod demand;
 mod eval;
 pub mod incremental;
 mod instance;
@@ -57,6 +58,7 @@ pub use chase::{
 pub use classify::{
     classify_program, rule_variable_classes, LanguageClass, ProgramClassification, RuleClasses,
 };
+pub use demand::{DemandFallback, DemandMode, DemandProgram};
 pub use eval::{AnswerIter, Answers, Query};
 pub use incremental::{DeltaSummary, MaintenanceStats, MaterializedView};
 pub use instance::{AtomId, Database, Derivation, GroundAtom, Instance, Relation};

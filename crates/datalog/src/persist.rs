@@ -31,6 +31,7 @@
 //! queries across process restarts.
 
 use crate::chase::{ChaseOutcome, ChaseRunner, ChaseStats, SkolemMemo};
+use crate::demand::DemandMode;
 use crate::incremental::MaterializedView;
 use crate::instance::{AtomId, Database, Derivation, Instance};
 use crate::parser::parse_program;
@@ -39,7 +40,7 @@ use crate::program::Program;
 use crate::{ChaseConfig, ExistentialStrategy};
 use std::sync::Arc;
 use triq_common::codec::{Decoder, Encoder, SymbolRemap};
-use triq_common::{Result, TermId, TriqError};
+use triq_common::{Result, Symbol, TermId, TriqError};
 
 fn corrupt(what: &str) -> TriqError {
     TriqError::Persist(format!("corrupt snapshot: {what}"))
@@ -219,6 +220,11 @@ pub fn encode_config(enc: &mut Encoder, config: &ChaseConfig) {
     enc.varint(config.parallel_threshold as u64);
     enc.varint(config.morsel_size as u64);
     enc.varint(config.chase_threads as u64);
+    enc.u8(match config.demand {
+        DemandMode::Auto => 0,
+        DemandMode::Off => 1,
+        DemandMode::Force => 2,
+    });
 }
 
 /// Decodes a chase configuration written by [`encode_config`].
@@ -243,6 +249,12 @@ pub fn decode_config(dec: &mut Decoder<'_>) -> Result<ChaseConfig> {
         usize::try_from(dec.varint()?).map_err(|_| corrupt("morsel_size overflow"))?;
     let chase_threads =
         usize::try_from(dec.varint()?).map_err(|_| corrupt("chase_threads overflow"))?;
+    let demand = match dec.u8()? {
+        0 => DemandMode::Auto,
+        1 => DemandMode::Off,
+        2 => DemandMode::Force,
+        _ => return Err(corrupt("unknown demand mode")),
+    };
     Ok(ChaseConfig {
         strategy,
         max_null_depth,
@@ -251,6 +263,7 @@ pub fn decode_config(dec: &mut Decoder<'_>) -> Result<ChaseConfig> {
         morsel_size,
         chase_threads,
         planner,
+        demand,
     })
 }
 
@@ -322,6 +335,21 @@ pub fn decode_view(
     };
     let instance = decode_instance(dec, remap)?;
     let skolem = decode_memo(dec, remap)?;
+    // The encoding carries the instance but not the base the view was
+    // chased over, and the caller re-attaches the *session* database —
+    // which can be a strict subset of that base (the demand rewrite
+    // chases over `D ∪ {seed}`). Every underived fully-ground atom of
+    // the instance is by construction an extensional input, so re-assert
+    // any the session database lacks: a later full-rebuild fallback must
+    // recompute the same fixpoint.
+    let mut base = base;
+    for (id, atom) in instance.iter() {
+        if instance.derivation(id).is_some() || !atom.is_fully_ground() {
+            continue;
+        }
+        let args: Vec<Symbol> = atom.terms.iter().map(|t| t.as_const().unwrap()).collect();
+        base.add_row(atom.pred, &args);
+    }
     let outcome = Arc::new(ChaseOutcome {
         instance,
         inconsistent,
@@ -464,6 +492,7 @@ mod tests {
                 morsel_size: 1,
                 chase_threads: 7,
                 planner: JoinPlanner::ReverseOrder,
+                demand: DemandMode::Force,
             },
         ] {
             let mut enc = Encoder::new();

@@ -623,6 +623,21 @@ impl QueryService {
                 "Failed checkpoint attempts",
                 s.checkpoint_failures,
             ),
+            (
+                "triq_engine_demand_rewrites",
+                "Plans prepared with a magic-set demand rewrite",
+                s.demand_rewrites,
+            ),
+            (
+                "triq_engine_demand_fallbacks",
+                "Demand rewrites declined or abandoned for the full chase",
+                s.demand_fallbacks,
+            ),
+            (
+                "triq_engine_demand_atoms_saved",
+                "Atoms a demand-driven chase avoided deriving versus the full-chase baseline",
+                s.demand_atoms_saved,
+            ),
         ] {
             e.counter(name, help, value);
         }

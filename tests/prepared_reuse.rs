@@ -137,6 +137,54 @@ fn prepared_rules_agree_with_triq_lite_one_shot() {
     }
 }
 
+/// Demand cache keys: two prepared queries over the *same* rule set
+/// differing only in their bound constants must not collide — each gets
+/// its own demand rewrite (the constants live in the rewritten program's
+/// seed rules, so the durable fingerprints differ) and its own cached
+/// view, and executing both against one session serves each query its
+/// own answers.
+#[test]
+fn demand_plans_differing_only_in_constants_do_not_collide() {
+    let rules = |start: &str| {
+        format!(
+            "e(?X, ?Y) -> t(?X, ?Y).\n t(?X, ?Z), e(?Z, ?Y) -> t(?X, ?Y).\n\
+             t({start}, ?Y) -> query(?Y)."
+        )
+    };
+    let engine = Engine::new();
+    let from_a = engine.prepare(Datalog(&rules("a0"), "query")).unwrap();
+    let from_b = engine.prepare(Datalog(&rules("b0"), "query")).unwrap();
+    assert!(from_a.uses_demand() && from_b.uses_demand());
+    assert_ne!(
+        from_a.demand_fingerprint(),
+        from_b.demand_fingerprint(),
+        "bound constants must reach the demand plan's durable identity"
+    );
+    let mut session = engine.session();
+    // Two disjoint chains: a0→a1→a2 and b0→b1→b2→b3.
+    for i in 0..2 {
+        session.add_fact("e", &[&format!("a{i}"), &format!("a{}", i + 1)]);
+    }
+    for i in 0..3 {
+        session.add_fact("e", &[&format!("b{i}"), &format!("b{}", i + 1)]);
+    }
+    // Interleave executions both ways: each plan must keep serving its
+    // own component, from its own cached view.
+    for _ in 0..2 {
+        let a = from_a.execute(&session).unwrap();
+        let b = from_b.execute(&session).unwrap();
+        assert_eq!(a.len(), 2, "a0 reaches a1, a2");
+        assert_eq!(b.len(), 3, "b0 reaches b1, b2, b3");
+        assert!(a.contains(&["a2"]) && !a.contains(&["b1"]));
+        assert!(b.contains(&["b3"]) && !b.contains(&["a1"]));
+    }
+    // Mutations delta-sync both demand views without crosstalk.
+    let mut session = session;
+    session.add_fact("e", &["a2", "a3"]);
+    assert_eq!(from_a.execute(&session).unwrap().len(), 3);
+    assert_eq!(from_b.execute(&session).unwrap().len(), 3);
+}
+
 /// Sessions are independent: executing a prepared query on one session
 /// does not leak state into another.
 #[test]
