@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod deadline;
 mod delta;
 mod error;
 mod interner;

@@ -226,6 +226,8 @@ struct EngineCounters {
     demand_rewrites: AtomicU64,
     demand_fallbacks: AtomicU64,
     demand_atoms_saved: AtomicU64,
+    requests_rejected: AtomicU64,
+    deadline_exceeded: AtomicU64,
 }
 
 impl EngineCounters {
@@ -367,6 +369,14 @@ pub struct EngineStats {
     /// [`DemandMode::Off`] in an A/B run). Purely informational: `0`
     /// when no baseline was ever observed.
     pub demand_atoms_saved: u64,
+    /// Read requests rejected up front by the serving layer's concurrency
+    /// gate (`max_concurrent_reads`) — each was answered `503 E-RESOURCE`
+    /// without touching the chase.
+    pub requests_rejected: u64,
+    /// Read requests aborted mid-evaluation because their wall-clock
+    /// deadline (`read_deadline_ms`) passed — each was answered
+    /// `503 E-RESOURCE`; completed answers are never affected.
+    pub deadline_exceeded: u64,
 }
 
 impl EngineStats {
@@ -406,6 +416,8 @@ impl EngineStats {
             ("demand_rewrites", Json::U64(self.demand_rewrites)),
             ("demand_fallbacks", Json::U64(self.demand_fallbacks)),
             ("demand_atoms_saved", Json::U64(self.demand_atoms_saved)),
+            ("requests_rejected", Json::U64(self.requests_rejected)),
+            ("deadline_exceeded", Json::U64(self.deadline_exceeded)),
         ])
     }
 }
@@ -474,6 +486,8 @@ impl Engine {
             demand_rewrites: s.demand_rewrites.load(Ordering::Relaxed),
             demand_fallbacks: s.demand_fallbacks.load(Ordering::Relaxed),
             demand_atoms_saved: s.demand_atoms_saved.load(Ordering::Relaxed),
+            requests_rejected: s.requests_rejected.load(Ordering::Relaxed),
+            deadline_exceeded: s.deadline_exceeded.load(Ordering::Relaxed),
         }
     }
 
@@ -524,6 +538,25 @@ impl Engine {
             .stats
             .recovery_replayed_ops
             .fetch_add(ops, Ordering::Relaxed);
+    }
+
+    /// Serving hook: a read request was rejected up front by the
+    /// concurrency gate (`max_concurrent_reads`) with `503 E-RESOURCE`.
+    pub fn record_read_rejected(&self) {
+        self.inner
+            .stats
+            .requests_rejected
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Serving hook: a read request blew its wall-clock deadline
+    /// (`read_deadline_ms`) mid-evaluation and was answered
+    /// `503 E-RESOURCE`.
+    pub fn record_deadline_exceeded(&self) {
+        self.inner
+            .stats
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// An empty session.

@@ -165,7 +165,7 @@ pub mod prelude {
         ontology_from_graph, ontology_to_graph, parse_functional, tau_db, tau_owl2ql_core, Axiom,
         BasicClass, BasicProperty, EntailmentOracle, Ontology,
     };
-    pub use triq_rdf::{parse_turtle, to_turtle, Graph, Triple};
+    pub use triq_rdf::{parse_turtle, parse_turtle_parallel, to_turtle, Graph, Triple};
     pub use triq_sparql::{
         evaluate as evaluate_sparql, parse_construct, parse_pattern, parse_select,
     };

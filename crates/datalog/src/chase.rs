@@ -1367,6 +1367,15 @@ impl<'a> Engine<'a> {
                         self.config.max_atoms
                     )));
                 }
+                // Amortized ambient-deadline poll beside the atom budget:
+                // a request-scoped wall-clock limit installed by the
+                // serving layer (thread-local, not part of ChaseConfig —
+                // it must not split the plan fingerprint). Checked every
+                // 1024 fresh derivations so huge apply batches cannot
+                // overshoot a deadline by a whole round.
+                if self.stats.derived & 1023 == 0 {
+                    triq_common::deadline::check()?;
+                }
             }
         }
         // Clear existential slots for the next application of this rule.
@@ -1663,6 +1672,10 @@ impl<'a> Engine<'a> {
         let mut went_parallel = false;
         let mut delta_start: AtomId = initial_delta_start;
         loop {
+            // Honor an ambient read deadline (installed by the serving
+            // layer on this thread) between rounds; E-RESOURCE here maps
+            // to 503 like any other exhausted budget.
+            triq_common::deadline::check()?;
             self.stats.rounds += 1;
             let prev_len = self.instance.len() as AtomId;
             if delta_start == prev_len && delta_start != 0 {

@@ -15,6 +15,7 @@
 //! (see `tests/probe_alloc.rs` for the enforced guarantee).
 
 use crate::Atom;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -1096,6 +1097,50 @@ impl Database {
     pub fn add_row(&mut self, pred: Symbol, constants: &[Symbol]) -> bool {
         let key: Vec<TermId> = constants.iter().copied().map(TermId::from_const).collect();
         self.instance.insert_ids(pred, &key, None).1
+    }
+
+    /// Bulk ingest: adopts pre-interned rows of a single predicate
+    /// straight into the columnar store, the way the persistence decoder
+    /// does — one sized pass per column instead of a per-row
+    /// [`Database::add_row`] probe against an ever-growing dedup table.
+    /// `columns` is column-major (`columns[c][r]` is row `r`'s term in
+    /// position `c`); duplicate rows fold into the first occurrence's
+    /// support count, so the result is byte-identical (under re-encoding)
+    /// to `add_row`-ing every input row in order. Errors only on ragged
+    /// columns.
+    pub fn bulk_rows(pred: Symbol, columns: Vec<Vec<Symbol>>) -> Result<Database> {
+        let arity = columns.len();
+        let rows = columns.first().map_or(0, |c| c.len());
+        if columns.iter().any(|c| c.len() != rows) {
+            return Err(TriqError::InvalidProgram(format!(
+                "bulk rows for {pred} have ragged columns"
+            )));
+        }
+        // Dedup in insert order, folding repeats into support counts —
+        // exactly what replaying add_row would have produced.
+        let mut first_of: FxHashMap<Vec<TermId>, u32> = FxHashMap::default();
+        first_of.reserve(rows);
+        let mut out: Vec<Vec<TermId>> = (0..arity).map(|_| Vec::with_capacity(rows)).collect();
+        let mut supports: Vec<u32> = Vec::with_capacity(rows);
+        let mut key: Vec<TermId> = Vec::with_capacity(arity);
+        for r in 0..rows {
+            key.clear();
+            key.extend(columns.iter().map(|c| TermId::from_const(c[r])));
+            match first_of.entry(key.clone()) {
+                Entry::Occupied(e) => supports[*e.get() as usize] += 1,
+                Entry::Vacant(e) => {
+                    e.insert(supports.len() as u32);
+                    for (c, col) in out.iter_mut().enumerate() {
+                        col.push(key[c]);
+                    }
+                    supports.push(1);
+                }
+            }
+        }
+        let directory = supports.iter().map(|&s| (0, s, None)).collect();
+        let instance = Instance::bulk_load(Vec::new(), vec![(pred, arity, out)], directory)
+            .map_err(|m| TriqError::InvalidProgram(format!("bulk load: {m}")))?;
+        Ok(Database { instance })
     }
 
     /// Removes a fact given as interned symbols; returns `true` if it was

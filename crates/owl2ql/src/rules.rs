@@ -13,16 +13,23 @@ use triq_rdf::Graph;
 /// `τ_db(G)`: the database `{triple(a,b,c) | (a,b,c) ∈ G}` (§5.1).
 ///
 /// The graph's subjects/predicates/objects are already interned
-/// [`Symbol`](triq_common::Symbol)s, so the bridge feeds encoded rows
-/// straight into the columnar store — no string round-trip, no
-/// re-interning per triple.
+/// [`Symbol`](triq_common::Symbol)s, so the bridge adopts three
+/// pre-built s/p/o columns wholesale via [`Database::bulk_rows`] — no
+/// string round-trip, no per-row dedup probe against the growing store
+/// (the graph is already a set). Byte-identical (under re-encoding) to
+/// the old per-row `add_row` loop, in graph iteration order.
 pub fn tau_db(graph: &Graph) -> Database {
     let triple = intern("triple");
-    let mut db = Database::new();
+    let n = graph.len();
+    let mut s = Vec::with_capacity(n);
+    let mut p = Vec::with_capacity(n);
+    let mut o = Vec::with_capacity(n);
     for t in graph.iter() {
-        db.add_row(triple, &[t.s, t.p, t.o]);
+        s.push(t.s);
+        p.push(t.p);
+        o.push(t.o);
     }
-    db
+    Database::bulk_rows(triple, vec![s, p, o]).expect("three equal-length columns cannot be ragged")
 }
 
 /// The fixed program `τ_owl2ql_core` (§5.2), with the predicate `C`

@@ -1,0 +1,303 @@
+//! Parallel bulk parsing for Turtle-lite input.
+//!
+//! [`parse_turtle_parallel`] splits the input at *statement boundaries*
+//! found by a single conservative byte scan, parses the chunks on scoped
+//! worker threads with the ordinary [`parse_turtle`] (the global interner
+//! is thread-safe), and merges the per-chunk graphs in chunk order — so
+//! the result is the *same graph in the same insertion order* as a serial
+//! parse. Anything the scanner is not sure about (a prefix declaration
+//! after the first triple, a quote or `<` glued mid-word, an unterminated
+//! literal/IRI) falls back to the serial parser, as does any chunk parse
+//! error — errors are always the serial parser's canonical messages.
+//!
+//! Same no-external-deps discipline as the morsel chase:
+//! `std::thread::scope` only.
+
+use crate::{parse_turtle, Graph};
+use triq_common::Result;
+
+/// Inputs below this size are parsed serially — thread spawn + rescan
+/// overhead beats any parallel win on small fixtures.
+const MIN_PARALLEL_BYTES: usize = 64 * 1024;
+
+/// The byte scanner's view of the lexer's context.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Outside any literal/IRI/comment; `at_token_start` tracked aside.
+    Normal,
+    /// Inside `"…"` (entered only at token start, like the lexer).
+    Literal,
+    /// Inside `<…>` (entered only at token start, like the lexer).
+    Iri,
+    /// Inside a `#` line comment.
+    Comment,
+}
+
+struct Scan {
+    /// Byte offset where the prefix prologue (leading `@prefix` block,
+    /// with interleaved comments/whitespace) ends.
+    prologue_end: usize,
+    /// Byte offsets just past each statement-terminating `.` after the
+    /// prologue. Always ends with `input.len()` when non-empty.
+    boundaries: Vec<usize>,
+}
+
+/// One conservative pass over the bytes. Returns `None` whenever the
+/// input does something the scanner cannot mirror against the real lexer
+/// with certainty — the caller then parses serially.
+fn scan(input: &str) -> Option<Scan> {
+    let bytes = input.as_bytes();
+    let mut state = State::Normal;
+    // Whether the next non-trivia byte starts a new token (start of
+    // input, or preceded by whitespace / an end-of-statement dot).
+    let mut at_token_start = true;
+    // Offset of the first non-trivia byte of the current statement, and
+    // whether that byte was '@' (a prefix declaration).
+    let mut stmt_started = false;
+    let mut stmt_is_prefix = false;
+    let mut saw_triple = false;
+    let mut escaped = false;
+    let mut prologue_end = 0usize;
+    let mut boundaries = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        match state {
+            State::Comment => {
+                if b == b'\n' {
+                    state = State::Normal;
+                    at_token_start = true;
+                }
+            }
+            State::Literal => {
+                if escaped {
+                    escaped = false;
+                } else if b == b'\\' {
+                    escaped = true;
+                } else if b == b'"' {
+                    state = State::Normal;
+                    at_token_start = false;
+                }
+            }
+            State::Iri => {
+                if b == b'>' {
+                    state = State::Normal;
+                    at_token_start = false;
+                }
+            }
+            State::Normal => match b {
+                b' ' | b'\t' | b'\r' | b'\n' => at_token_start = true,
+                b'#' if at_token_start => state = State::Comment,
+                b'"' | b'<' if !at_token_start => {
+                    // The lexer would treat this as a word character; our
+                    // literal/IRI tracking would diverge. Bail out.
+                    return None;
+                }
+                b'"' => {
+                    state = State::Literal;
+                    if !stmt_started {
+                        stmt_started = true;
+                        stmt_is_prefix = false;
+                    }
+                    at_token_start = false;
+                }
+                b'<' => {
+                    state = State::Iri;
+                    if !stmt_started {
+                        stmt_started = true;
+                        stmt_is_prefix = false;
+                    }
+                    at_token_start = false;
+                }
+                b'.' if bytes
+                    .get(i + 1)
+                    .is_none_or(|&n| matches!(n, b' ' | b'\t' | b'\r' | b'\n')) =>
+                {
+                    // Statement terminator: a '.' at end of input or
+                    // followed by whitespace (the lexer splits a trailing
+                    // '.' off a bare word, so mid-word position is fine).
+                    if stmt_is_prefix {
+                        if saw_triple {
+                            // Chunk-local prefix scope would differ from
+                            // the serial parse; let serial handle it.
+                            return None;
+                        }
+                        prologue_end = i + 1;
+                    } else if stmt_started {
+                        saw_triple = true;
+                        boundaries.push(i + 1);
+                    }
+                    stmt_started = false;
+                    at_token_start = true;
+                }
+                _ => {
+                    if !stmt_started {
+                        stmt_started = true;
+                        stmt_is_prefix = b == b'@';
+                    }
+                    at_token_start = false;
+                }
+            },
+        }
+    }
+    if state == State::Literal || state == State::Iri || stmt_started {
+        // Unterminated literal/IRI or trailing garbage: serial parse
+        // produces the canonical error.
+        return None;
+    }
+    if let Some(last) = boundaries.last_mut() {
+        // Extend the final chunk over any trailing trivia.
+        *last = input.len();
+    }
+    Some(Scan {
+        prologue_end,
+        boundaries,
+    })
+}
+
+/// Parses Turtle-lite text into a [`Graph`] using up to `threads` worker
+/// threads, yielding the same graph (same triples, same insertion order)
+/// as [`parse_turtle`] and identical errors on malformed input.
+pub fn parse_turtle_parallel(input: &str, threads: usize) -> Result<Graph> {
+    if threads <= 1 || input.len() < MIN_PARALLEL_BYTES {
+        return parse_turtle(input);
+    }
+    let Some(scan) = scan(input) else {
+        return parse_turtle(input);
+    };
+    if scan.boundaries.len() < 2 {
+        return parse_turtle(input);
+    }
+    let prologue = &input[..scan.prologue_end];
+    // Cut the statement list into ~equal-byte chunks, one per worker.
+    let body_start = scan.prologue_end;
+    let chunks = threads.min(scan.boundaries.len());
+    let total = input.len() - body_start;
+    let target = total.div_ceil(chunks);
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(chunks);
+    let mut start = body_start;
+    for &end in &scan.boundaries {
+        if end - start >= target || end == input.len() {
+            spans.push((start, end));
+            start = end;
+        }
+    }
+    if spans.len() < 2 {
+        return parse_turtle(input);
+    }
+    let parsed: Vec<Result<Graph>> = std::thread::scope(|s| {
+        let handles: Vec<_> = spans
+            .iter()
+            .map(|&(a, b)| {
+                s.spawn(move || {
+                    if prologue.is_empty() {
+                        parse_turtle(&input[a..b])
+                    } else {
+                        parse_turtle(&format!("{prologue}\n{}", &input[a..b]))
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut merged = Graph::new();
+    for result in parsed {
+        match result {
+            // Merge in chunk order = serial insertion order.
+            Ok(g) => merged.extend_from(&g),
+            // A chunk failed where the scan thought it was clean; the
+            // serial parser owns the canonical error message.
+            Err(_) => return parse_turtle(input),
+        }
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_turtle;
+
+    /// Big enough to clear MIN_PARALLEL_BYTES with room to spare.
+    fn big_input(prefixed: bool) -> String {
+        let mut s = String::new();
+        if prefixed {
+            s.push_str("@prefix ex: <http://example.org/> .\n");
+        }
+        for i in 0..6000 {
+            if prefixed {
+                s.push_str(&format!("ex:n{i} ex:edge ex:n{} .\n", i + 1));
+            } else {
+                s.push_str(&format!("n{i} edge \"label {i}. dot\" .\n"));
+            }
+        }
+        s
+    }
+
+    fn assert_same_as_serial(input: &str, threads: usize) {
+        let serial = parse_turtle(input).unwrap();
+        let parallel = parse_turtle_parallel(input, threads).unwrap();
+        assert_eq!(parallel.len(), serial.len());
+        // Same triples in the same insertion order.
+        assert_eq!(to_turtle(&parallel), to_turtle(&serial));
+    }
+
+    #[test]
+    fn matches_serial_with_prefixes() {
+        assert_same_as_serial(&big_input(true), 4);
+    }
+
+    #[test]
+    fn matches_serial_with_literals_containing_dots() {
+        assert_same_as_serial(&big_input(false), 4);
+    }
+
+    #[test]
+    fn matches_serial_with_comments_and_glued_dots() {
+        let mut s = String::from("# header comment with a dot. here\n");
+        for i in 0..6000 {
+            s.push_str(&format!("s{i} p o{i}. # trailing. comment\n"));
+        }
+        assert_same_as_serial(&s, 3);
+    }
+
+    #[test]
+    fn small_inputs_parse_serially() {
+        let g = parse_turtle_parallel("s p o .", 8).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn late_prefix_falls_back_to_serial() {
+        let mut s = big_input(false);
+        s.push_str("@prefix ex: <http://example.org/> .\nex:a ex:p ex:b .\n");
+        assert_same_as_serial(&s, 4);
+    }
+
+    #[test]
+    fn errors_match_serial() {
+        let mut s = big_input(true);
+        s.push_str("dangling terms without a dot");
+        let serial = parse_turtle(&s).unwrap_err();
+        let parallel = parse_turtle_parallel(&s, 4).unwrap_err();
+        assert_eq!(format!("{serial}"), format!("{parallel}"));
+
+        let mut torn = big_input(true);
+        torn.truncate(torn.len() / 2 + 7); // mid-statement cut
+        let serial = parse_turtle(&torn);
+        let parallel = parse_turtle_parallel(&torn, 4);
+        assert_eq!(serial.is_err(), parallel.is_err());
+        if let (Err(a), Err(b)) = (serial, parallel) {
+            assert_eq!(format!("{a}"), format!("{b}"));
+        }
+    }
+
+    #[test]
+    fn iris_with_dots_and_spaces() {
+        let mut s = String::from("@prefix ex: <http://ex.org/a. b/> .\n");
+        for i in 0..6000 {
+            s.push_str(&format!(
+                "<http://ex.org/s.{i}> ex:p <http://ex.org/o. {i}> .\n"
+            ));
+        }
+        assert_same_as_serial(&s, 4);
+    }
+}

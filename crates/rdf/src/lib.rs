@@ -7,12 +7,14 @@
 //! store used by the SPARQL evaluator and by the `triple(·,·,·)` database
 //! bridge into the Datalog engine (the paper's τ_db, §5.1).
 
+mod bulk;
 mod generator;
 mod graph;
 mod parser;
 pub mod vocab;
 mod writer;
 
+pub use bulk::parse_turtle_parallel;
 pub use generator::{
     chain_ontology_graph, random_graph, transport_graph, university_graph, TransportSpec,
     UniversitySpec,

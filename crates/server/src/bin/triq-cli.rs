@@ -8,7 +8,9 @@
 //! triq-cli [--stats] serve <graph.ttl> <rules.dl> [--addr HOST:PORT] [--threads N]
 //!          [--chase-threads N] [--data-dir DIR] [--fsync per-batch|interval:<ms>|off]
 //!          [--checkpoint-ops N] [--checkpoint-bytes N] [--queue-cap N]
+//!          [--read-deadline-ms N] [--max-concurrent-reads N]
 //!          [--slow-query-ms N] [--access-log off|stderr|FILE] [--trace-buffer N]
+//! triq-cli [--stats] load <graph.ttl> [--threads N] [--serial]
 //! triq-cli classify <rules.dl>
 //! triq-cli entail <graph.ttl> <s> <p> <o>
 //! triq-cli explain <graph.ttl> <s> <p> <o>
@@ -46,6 +48,20 @@
 //! E-RESOURCE`). See the "Durability" section of
 //! `docs/ARCHITECTURE.md`.
 //!
+//! Read-side sustained-load guards: `--read-deadline-ms N` bounds both
+//! how long one request may take to *arrive* (slow-client trickle
+//! protection in the HTTP layer) and how long one `POST /query` may
+//! *evaluate* (an ambient chase deadline); `--max-concurrent-reads N`
+//! caps in-flight query evaluations. Both answer `503 E-RESOURCE` on
+//! exhaustion, mirroring the bounded update queue, and tick the
+//! `deadline_exceeded` / `requests_rejected` engine counters. `0`
+//! (the default) disables each guard.
+//!
+//! `load` bulk-parses a Turtle file with the parallel chunked parser
+//! and builds the `τ_db` session through columnar adoption, printing
+//! parse/build timings and throughput — the offline twin of
+//! `POST /load`.
+//!
 //! `serve` exposes its telemetry over HTTP: `GET /metrics` (Prometheus
 //! text), `GET /version`, `GET /debug/trace?last=N` (the span ring,
 //! sized by `--trace-buffer N`) and `GET /debug/slow` (queries at or
@@ -64,10 +80,11 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use triq::obs::{EventLog, Phase, Telemetry};
 use triq::prelude::*;
 use triq_persist::{PersistConfig, Persistence};
-use triq_server::{parse_update_line, QueryService, Server, ServiceConfig};
+use triq_server::{parse_update_line, QueryService, Server, ServerOptions, ServiceConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -82,7 +99,9 @@ fn usage() -> ExitCode {
          [--chase-threads N] [--enable-shutdown] [--data-dir DIR] \
          [--fsync per-batch|interval:<ms>|off] \
          [--checkpoint-ops N] [--checkpoint-bytes N] [--queue-cap N] \
+         [--read-deadline-ms N] [--max-concurrent-reads N] \
          [--slow-query-ms N] [--access-log off|stderr|FILE] [--trace-buffer N]\n  \
+         triq-cli [--stats] load <graph.ttl> [--threads N] [--serial]\n  \
          triq-cli classify <rules.dl>\n  \
          triq-cli entail <graph.ttl> <s> <p> <o>\n  \
          triq-cli explain <graph.ttl> <s> <p> <o>\n  \
@@ -120,6 +139,8 @@ fn print_stats(engine: &Engine) {
     eprintln!("  demand rewrites:  {}", s.demand_rewrites);
     eprintln!("  demand fallbacks: {}", s.demand_fallbacks);
     eprintln!("  demand atoms saved:{}", s.demand_atoms_saved);
+    eprintln!("  reads rejected:   {}", s.requests_rejected);
+    eprintln!("  deadlines blown:  {}", s.deadline_exceeded);
 }
 
 /// Prints the `--profile` per-phase timing table to stderr: every phase
@@ -198,7 +219,9 @@ fn main() -> ExitCode {
     let tel = profile.then(Telemetry::new);
     let dm = demand.unwrap_or_default();
     let result = match args.first().map(String::as_str) {
-        Some(cmd @ ("serve" | "classify" | "entail" | "explain" | "saturate")) if profile => {
+        Some(cmd @ ("serve" | "load" | "classify" | "entail" | "explain" | "saturate"))
+            if profile =>
+        {
             Err(TriqError::Other(format!(
                 "--profile is only supported for one-shot commands (sparql, rules, update), \
                  not `{cmd}` — for serve, scrape GET /metrics instead"
@@ -208,11 +231,16 @@ fn main() -> ExitCode {
         Some("rules") => cmd_rules(&args[1..], stats, tel.as_ref(), dm),
         Some("update") => cmd_update(&args[1..], stats, tel.as_ref(), dm),
         Some("serve") => cmd_serve(&args[1..], stats, dm),
+        Some(cmd @ ("load" | "classify" | "entail" | "explain" | "saturate"))
+            if demand.is_some() =>
+        {
+            Err(TriqError::Other(format!(
+                "--demand is not supported for `{cmd}`"
+            )))
+        }
+        Some("load") => cmd_load(&args[1..], stats),
         Some(cmd @ ("classify" | "entail" | "explain" | "saturate")) if stats => Err(
             TriqError::Other(format!("--stats is not supported for `{cmd}`")),
-        ),
-        Some(cmd @ ("classify" | "entail" | "explain" | "saturate")) if demand.is_some() => Err(
-            TriqError::Other(format!("--demand is not supported for `{cmd}`")),
         ),
         Some("classify") => cmd_classify(&args[1..]),
         Some("entail") => cmd_entail(&args[1..]),
@@ -239,7 +267,57 @@ fn read_file(path: &str) -> Result<String, TriqError> {
 }
 
 fn load_graph(path: &str) -> Result<Graph, TriqError> {
-    parse_turtle(&read_file(path)?)
+    // Large graphs parse on all hardware threads; small ones fall back
+    // to the serial parser inside parse_turtle_parallel.
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    parse_turtle_parallel(&read_file(path)?, threads)
+}
+
+/// `load`: bulk-parse a Turtle file and build the τ_db session,
+/// reporting parse/build timings and end-to-end throughput. `--serial`
+/// forces the one-thread parser (the baseline the parallel path is
+/// measured against); `--threads N` caps the parse workers.
+fn cmd_load(args: &[String], stats: bool) -> Result<(), TriqError> {
+    let [graph_path, rest @ ..] = args else {
+        return Err(TriqError::Other(
+            "load needs <graph.ttl> [--threads N] [--serial]".into(),
+        ));
+    };
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--serial" => threads = 1,
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| TriqError::Other("--threads needs a positive count".into()))?;
+            }
+            other => return Err(TriqError::Other(format!("unknown load flag `{other}`"))),
+        }
+    }
+    let text = read_file(graph_path)?;
+    let t0 = Instant::now();
+    let graph = parse_turtle_parallel(&text, threads)?;
+    let parsed = t0.elapsed();
+    let triples = graph.len();
+    let engine = Engine::new();
+    let t1 = Instant::now();
+    let _session = engine.load_graph(graph);
+    let built = t1.elapsed();
+    let total = parsed + built;
+    let per_sec = triples as f64 / total.as_secs_f64().max(1e-9);
+    println!(
+        "loaded {triples} triples in {total:?} \
+         (parse {parsed:?} on {threads} thread(s), τ_db build {built:?}; \
+         {per_sec:.0} triples/s end-to-end)"
+    );
+    if stats {
+        print_stats(&engine);
+    }
+    Ok(())
 }
 
 /// Applies the `--profile` telemetry (if any) to an engine builder.
@@ -427,6 +505,7 @@ fn cmd_serve(args: &[String], stats: bool, demand: DemandMode) -> Result<(), Tri
              [--chase-threads N] [--enable-shutdown] [--data-dir DIR] \
              [--fsync per-batch|interval:<ms>|off] \
              [--checkpoint-ops N] [--checkpoint-bytes N] [--queue-cap N] \
+             [--read-deadline-ms N] [--max-concurrent-reads N] \
              [--slow-query-ms N] [--access-log off|stderr|FILE] [--trace-buffer N]"
                 .into(),
         ));
@@ -439,6 +518,8 @@ fn cmd_serve(args: &[String], stats: bool, demand: DemandMode) -> Result<(), Tri
     let mut pconfig = PersistConfig::default();
     let mut queue_cap = ServiceConfig::default().queue_cap;
     let mut slow_query_ms = ServiceConfig::default().slow_query_ms;
+    let mut read_deadline_ms = ServiceConfig::default().read_deadline_ms;
+    let mut max_concurrent_reads = ServiceConfig::default().max_concurrent_reads;
     let mut access_log = String::from("off");
     let mut trace_buffer = triq::obs::DEFAULT_TRACE_BUFFER;
     let mut rest = rest.iter();
@@ -479,6 +560,18 @@ fn cmd_serve(args: &[String], stats: bool, demand: DemandMode) -> Result<(), Tri
                 pconfig.checkpoint_bytes = next_num(&mut rest, "--checkpoint-bytes")?;
             }
             "--queue-cap" => queue_cap = next_num(&mut rest, "--queue-cap")? as usize,
+            "--read-deadline-ms" => {
+                // 0 is meaningful for both read-side guards: disabled.
+                read_deadline_ms = rest.next().and_then(|n| n.parse().ok()).ok_or_else(|| {
+                    TriqError::Other("--read-deadline-ms needs a millisecond count".into())
+                })?;
+            }
+            "--max-concurrent-reads" => {
+                max_concurrent_reads =
+                    rest.next().and_then(|n| n.parse().ok()).ok_or_else(|| {
+                        TriqError::Other("--max-concurrent-reads needs a count".into())
+                    })?;
+            }
             "--slow-query-ms" => {
                 // Unlike the other numeric flags, 0 is meaningful here:
                 // capture every query.
@@ -515,6 +608,8 @@ fn cmd_serve(args: &[String], stats: bool, demand: DemandMode) -> Result<(), Tri
         enable_shutdown,
         queue_cap,
         slow_query_ms,
+        read_deadline_ms,
+        max_concurrent_reads,
         telemetry: Some(telemetry),
     };
     let service = match &data_dir {
@@ -553,7 +648,13 @@ fn cmd_serve(args: &[String], stats: bool, demand: DemandMode) -> Result<(), Tri
             QueryService::from_shared(engine.clone(), shared, Some(persistence), config)
         }
     };
-    let server = Server::serve(service.clone(), &addr, threads)
+    // The receive deadline shares the read-deadline budget: a client
+    // must deliver its request within the same window a query may
+    // evaluate in.
+    let options = ServerOptions {
+        read_deadline: (read_deadline_ms > 0).then(|| Duration::from_millis(read_deadline_ms)),
+    };
+    let server = Server::serve_with(service.clone(), &addr, threads, options)
         .map_err(|e| TriqError::Other(format!("cannot bind {addr}: {e}")))?;
     // The bound address on stdout is the machine-readable contract the
     // smoke tests (and scripts using --addr …:0) rely on.

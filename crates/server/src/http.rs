@@ -9,18 +9,28 @@
 //! * methods with an optional `Content-Length` body (no chunked
 //!   transfer-encoding, no trailers);
 //! * query strings with percent-decoding;
-//! * persistent connections (`keep-alive` by default, honoring
-//!   `Connection: close`), with an idle read timeout so worker threads
-//!   re-check the shutdown flag;
+//! * persistent connections (`keep-alive` by default, honoring a
+//!   `close` token in the `Connection` list), with an idle read timeout
+//!   so worker threads re-check the shutdown flag;
 //! * bounded request sizes (64 KiB of head, 16 MiB of body) — oversized
-//!   requests get `413` instead of unbounded buffering.
+//!   requests get `413` instead of unbounded buffering;
+//! * an optional per-request *receive deadline*
+//!   ([`ServerOptions::read_deadline`]): the socket's idle timeout is
+//!   per-`read(2)`, so a client trickling one byte per poll interval
+//!   could otherwise hold a worker forever; with a deadline armed at a
+//!   request's first byte, such a request is answered
+//!   `503 E-RESOURCE` and the connection closed.
+//!
+//! Requests with conflicting duplicate `Content-Length` headers are
+//! rejected with `400` (request-smuggling hygiene; equal duplicates are
+//! tolerated).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use triq_common::json::Json;
 
 /// Maximum size of the request line + headers.
@@ -193,6 +203,20 @@ fn parse_query(qs: &str) -> Vec<(String, String)> {
         .collect()
 }
 
+/// Tuning knobs beyond the compiled-in size bounds, passed to
+/// [`Server::serve_with`]. The [`Default`] (`read_deadline: None`)
+/// reproduces [`Server::serve`]'s behavior exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerOptions {
+    /// Wall-clock budget for *receiving* one request, armed at its first
+    /// byte. The socket's idle timeout is per-`read(2)`, so without this
+    /// a client trickling bytes just under the idle interval holds a
+    /// worker thread indefinitely; past the deadline the request is
+    /// answered `503 E-RESOURCE` and the connection closed. `None`
+    /// disables the bound.
+    pub read_deadline: Option<Duration>,
+}
+
 /// The outcome of reading one request off a connection.
 enum Read1 {
     /// A complete request.
@@ -203,26 +227,103 @@ enum Read1 {
     Bad(Response),
 }
 
-fn read_request(reader: &mut BufReader<TcpStream>) -> Read1 {
-    // Request line + headers, bounded. Each `read_line` goes through a
-    // `Take` capped at the remaining head budget, so a client streaming
-    // bytes without a newline hits the 413 instead of growing the line
-    // buffer without limit.
-    let mut head = String::new();
-    let mut line = String::new();
+/// The outcome of reading one head line.
+enum LineRead {
+    /// A line (possibly unterminated at EOF or the head budget) is in
+    /// the buffer.
+    Line,
+    /// EOF with nothing buffered.
+    Eof,
+    /// The per-read idle timeout fired.
+    Idle,
+    /// The request's receive deadline passed.
+    Deadline,
+}
+
+/// Reads one `\n`-terminated line into `line`, stopping at `budget`
+/// bytes. Works on the `BufReader`'s own buffer (`fill_buf`/`consume`)
+/// so the receive deadline can be polled between socket reads; the first
+/// byte that arrives arms the deadline via `limit`.
+fn read_head_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+    budget: usize,
+    deadline: &mut Option<Instant>,
+    limit: Option<Duration>,
+) -> LineRead {
     loop {
-        line.clear();
-        let budget = (MAX_HEAD + 2).saturating_sub(head.len()) as u64;
-        match reader.by_ref().take(budget).read_line(&mut line) {
-            Ok(0) => return Read1::Closed,
-            Ok(_) => {}
+        if line.len() >= budget {
+            // Budget ran out mid-line: the caller answers 413.
+            return LineRead::Line;
+        }
+        let available = match reader.fill_buf() {
+            Ok([]) => {
+                return if line.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line
+                }
+            }
+            Ok(buf) => buf,
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                // Idle between requests (head empty) is a clean close;
-                // mid-request it is a client error.
-                return if head.is_empty() {
+                return if deadline.is_some_and(|at| Instant::now() >= at) {
+                    LineRead::Deadline
+                } else {
+                    LineRead::Idle
+                };
+            }
+            Err(_) => return LineRead::Eof,
+        };
+        if deadline.is_none() {
+            // First byte of the request: arm the receive deadline.
+            *deadline = limit.map(|d| Instant::now() + d);
+        }
+        let take = available.len().min(budget - line.len());
+        let (consumed, done) = match available[..take].iter().position(|&b| b == b'\n') {
+            Some(nl) => (nl + 1, true),
+            None => (take, false),
+        };
+        line.extend_from_slice(&available[..consumed]);
+        reader.consume(consumed);
+        if done {
+            return LineRead::Line;
+        }
+        if deadline.is_some_and(|at| Instant::now() >= at) {
+            return LineRead::Deadline;
+        }
+    }
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>, options: &ServerOptions) -> Read1 {
+    // Request line + headers, bounded: each line read is capped at the
+    // remaining head budget, so a client streaming bytes without a
+    // newline hits the 413 instead of growing the line buffer without
+    // limit.
+    let mut head = String::new();
+    let mut line: Vec<u8> = Vec::new();
+    // Incremental header-line count — the accumulated head is never
+    // rescanned (a 64 KiB head of short lines used to cost O(n²)).
+    let mut header_lines = 0usize;
+    let mut deadline: Option<Instant> = None;
+    loop {
+        line.clear();
+        let budget = (MAX_HEAD + 2).saturating_sub(head.len());
+        match read_head_line(
+            reader,
+            &mut line,
+            budget,
+            &mut deadline,
+            options.read_deadline,
+        ) {
+            LineRead::Line => {}
+            LineRead::Eof => return Read1::Closed,
+            LineRead::Idle => {
+                // Idle between requests (nothing received) is a clean
+                // close; mid-request it is a client error.
+                return if head.is_empty() && line.is_empty() {
                     Read1::Closed
                 } else {
                     Read1::Bad(Response::error(
@@ -232,12 +333,21 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Read1 {
                     ))
                 };
             }
-            Err(_) => return Read1::Closed,
+            LineRead::Deadline => {
+                return Read1::Bad(Response::error(
+                    503,
+                    "E-RESOURCE",
+                    "read deadline exceeded while receiving the request",
+                ));
+            }
         }
-        if line == "\r\n" || line == "\n" {
+        let Ok(text) = std::str::from_utf8(&line) else {
+            return Read1::Closed;
+        };
+        if text == "\r\n" || text == "\n" {
             break;
         }
-        if !line.ends_with('\n') && line.len() as u64 == budget {
+        if !text.ends_with('\n') && line.len() == budget {
             // The budget ran out mid-line: an oversized (or never
             // newline-terminated) head.
             return Read1::Bad(Response::error(
@@ -246,7 +356,8 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Read1 {
                 "request head exceeds 64 KiB",
             ));
         }
-        head.push_str(&line);
+        head.push_str(text);
+        header_lines += 1;
         if head.len() > MAX_HEAD {
             return Read1::Bad(Response::error(
                 413,
@@ -254,7 +365,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Read1 {
                 "request head exceeds 64 KiB",
             ));
         }
-        if head.lines().count() == 1 && !head.contains("HTTP/") {
+        if header_lines == 1 && !head.contains("HTTP/") {
             return Read1::Bad(Response::error(
                 400,
                 "E-HTTP-BAD-REQUEST",
@@ -275,7 +386,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Read1 {
         ));
     };
     // Headers we care about: Content-Length, Connection.
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut keep_alive = true; // HTTP/1.1 default
     for h in lines {
         let Some((name, value)) = h.split_once(':') else {
@@ -284,7 +395,19 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Read1 {
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
             match value.parse::<usize>() {
-                Ok(n) => content_length = n,
+                Ok(n) => {
+                    // Conflicting duplicates are a request-smuggling
+                    // vector — never pick one silently. Equal duplicates
+                    // are tolerated (RFC 9110 §8.6).
+                    if content_length.is_some_and(|prev| prev != n) {
+                        return Read1::Bad(Response::error(
+                            400,
+                            "E-HTTP-BAD-REQUEST",
+                            "conflicting Content-Length headers",
+                        ));
+                    }
+                    content_length = Some(n);
+                }
                 Err(_) => {
                     return Read1::Bad(Response::error(
                         400,
@@ -294,9 +417,17 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Read1 {
                 }
             }
         } else if name.eq_ignore_ascii_case("connection") {
-            keep_alive = !value.eq_ignore_ascii_case("close");
+            // `Connection` is a comma-separated token list (e.g.
+            // `close, te`); a `close` token anywhere wins.
+            if value
+                .split(',')
+                .any(|t| t.trim().eq_ignore_ascii_case("close"))
+            {
+                keep_alive = false;
+            }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
         return Read1::Bad(Response::error(
             413,
@@ -305,14 +436,49 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Read1 {
         ));
     }
     let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        if let Err(e) = reader.read_exact(&mut body) {
-            let _ = e;
+    let mut got = 0usize;
+    while got < content_length {
+        if deadline.is_some_and(|at| Instant::now() >= at) {
             return Read1::Bad(Response::error(
-                400,
-                "E-HTTP-BAD-REQUEST",
-                "body shorter than Content-Length",
+                503,
+                "E-RESOURCE",
+                "read deadline exceeded while receiving the request body",
             ));
+        }
+        match reader.read(&mut body[got..]) {
+            Ok(0) => {
+                return Read1::Bad(Response::error(
+                    400,
+                    "E-HTTP-BAD-REQUEST",
+                    "body shorter than Content-Length",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if deadline.is_some_and(|at| Instant::now() >= at) {
+                    return Read1::Bad(Response::error(
+                        503,
+                        "E-RESOURCE",
+                        "read deadline exceeded while receiving the request body",
+                    ));
+                }
+                return Read1::Bad(Response::error(
+                    400,
+                    "E-HTTP-BAD-REQUEST",
+                    "body shorter than Content-Length",
+                ));
+            }
+            Err(_) => {
+                return Read1::Bad(Response::error(
+                    400,
+                    "E-HTTP-BAD-REQUEST",
+                    "body shorter than Content-Length",
+                ))
+            }
         }
     }
     let (path, qs) = target.split_once('?').unwrap_or((target, ""));
@@ -358,8 +524,19 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
-    /// starts serving `handler` on `threads` worker threads.
+    /// starts serving `handler` on `threads` worker threads with the
+    /// default [`ServerOptions`].
     pub fn serve(handler: Arc<dyn Handler>, addr: &str, threads: usize) -> std::io::Result<Server> {
+        Server::serve_with(handler, addr, threads, ServerOptions::default())
+    }
+
+    /// [`Server::serve`] with explicit [`ServerOptions`].
+    pub fn serve_with(
+        handler: Arc<dyn Handler>,
+        addr: &str,
+        threads: usize,
+        options: ServerOptions,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -376,7 +553,7 @@ impl Server {
                         guard.recv()
                     };
                     match stream {
-                        Ok(stream) => serve_connection(stream, &*handler, &stop),
+                        Ok(stream) => serve_connection(stream, &*handler, &stop, &options),
                         Err(_) => break, // accept loop gone: drain done
                     }
                 })
@@ -457,7 +634,12 @@ impl Drop for Server {
 
 /// Serves one connection until EOF, `Connection: close`, a protocol
 /// error, or server shutdown.
-fn serve_connection(stream: TcpStream, handler: &dyn Handler, stop: &Arc<AtomicBool>) {
+fn serve_connection(
+    stream: TcpStream,
+    handler: &dyn Handler,
+    stop: &Arc<AtomicBool>,
+    options: &ServerOptions,
+) {
     let ctl = ServerControl { stop: stop.clone() };
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -468,7 +650,7 @@ fn serve_connection(stream: TcpStream, handler: &dyn Handler, stop: &Arc<AtomicB
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        match read_request(&mut reader) {
+        match read_request(&mut reader, options) {
             Read1::Ok(req) => {
                 let resp = handler.handle(&req, &ctl);
                 let keep = req.keep_alive && !stop.load(Ordering::SeqCst);

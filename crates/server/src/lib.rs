@@ -63,5 +63,5 @@ mod http;
 mod service;
 
 pub use client::{Client, ClientResponse};
-pub use http::{Handler, Request, Response, Server, ServerControl};
+pub use http::{Handler, Request, Response, Server, ServerControl, ServerOptions};
 pub use service::{http_status, parse_update_line, parse_update_text, QueryService, ServiceConfig};

@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use triq::prelude::*;
 use triq_common::json::Json;
 use triq_obs::{self as obs, Exposition, Histogram, Recorder, Telemetry};
@@ -32,6 +32,11 @@ const MAX_PREPARED: usize = 64;
 
 /// Upper bound on retained slow-query entries (oldest evicted first).
 const MAX_SLOW_QUERIES: usize = 64;
+
+/// Triples per writer batch for `POST /load`: large enough to amortize
+/// the per-batch snapshot publish, small enough that concurrent
+/// `POST /update` traffic interleaves between batches.
+const LOAD_BATCH: usize = 4096;
 
 /// Service tuning knobs.
 #[derive(Clone, Debug)]
@@ -53,6 +58,20 @@ pub struct ServiceConfig {
     /// chase spans and request spans land in one tracer; when `None`
     /// the service creates a private one (HTTP metrics only).
     pub telemetry: Option<Arc<Telemetry>>,
+    /// Wall-clock budget for one `POST /query` evaluation, in
+    /// milliseconds (`0` = unlimited, the default). The deadline is
+    /// installed as the handler thread's ambient deadline
+    /// (`triq_common::deadline`) and polled by the chase between rounds
+    /// and every ~1024 derivations; exceeding it answers
+    /// `503 E-RESOURCE` and ticks the engine's `deadline_exceeded`
+    /// counter. Requests that complete are byte-identical to an
+    /// unbounded run.
+    pub read_deadline_ms: u64,
+    /// Upper bound on `POST /query` requests evaluated concurrently
+    /// (`0` = unlimited, the default). Excess requests fail fast with
+    /// `503 E-RESOURCE` — the same contract as the bounded update
+    /// queue — and tick the engine's `requests_rejected` counter.
+    pub max_concurrent_reads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -62,6 +81,8 @@ impl Default for ServiceConfig {
             queue_cap: 1024,
             slow_query_ms: 500,
             telemetry: None,
+            read_deadline_ms: 0,
+            max_concurrent_reads: 0,
         }
     }
 }
@@ -74,6 +95,16 @@ struct UpdateJob {
     reply: mpsc::SyncSender<Result<(AppliedDelta, usize), TriqError>>,
 }
 
+/// An in-flight-reads token (see [`ServiceConfig::max_concurrent_reads`]);
+/// releases its slot on drop, error paths included.
+struct ReadPermit<'a>(&'a AtomicU64);
+
+impl Drop for ReadPermit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// The serving layer's application object; implements [`Handler`].
 pub struct QueryService {
     engine: Engine,
@@ -84,6 +115,7 @@ pub struct QueryService {
     writer: Mutex<Option<JoinHandle<()>>>,
     queries_served: AtomicU64,
     updates_applied: AtomicU64,
+    active_reads: AtomicU64,
     telemetry: Arc<Telemetry>,
     started: Instant,
     next_request: AtomicU64,
@@ -138,6 +170,7 @@ impl QueryService {
             writer: Mutex::new(None),
             queries_served: AtomicU64::new(0),
             updates_applied: AtomicU64::new(0),
+            active_reads: AtomicU64::new(0),
             telemetry,
             started: Instant::now(),
             next_request: AtomicU64::new(0),
@@ -169,7 +202,42 @@ impl QueryService {
 
     // -- /query ---------------------------------------------------------
 
+    /// Takes an in-flight-reads token, or the ready-to-send `503` when
+    /// the concurrency gate is full.
+    fn read_permit(&self) -> Result<Option<ReadPermit<'_>>, Response> {
+        let cap = self.config.max_concurrent_reads;
+        if cap == 0 {
+            return Ok(None);
+        }
+        if self.active_reads.fetch_add(1, Ordering::AcqRel) >= cap as u64 {
+            self.active_reads.fetch_sub(1, Ordering::AcqRel);
+            self.engine.record_read_rejected();
+            return Err(Response::error(
+                503,
+                "E-RESOURCE",
+                &format!("read concurrency limit ({cap}) reached — retry later"),
+            ));
+        }
+        Ok(Some(ReadPermit(&self.active_reads)))
+    }
+
+    /// Installs this request's ambient evaluation deadline on the
+    /// handler thread (a snapshot miss materializes right here, so the
+    /// chase sees it), or `None` when deadlines are off.
+    fn install_deadline(&self) -> Option<triq_common::deadline::DeadlineGuard> {
+        (self.config.read_deadline_ms > 0).then(|| {
+            triq_common::deadline::install(
+                Instant::now() + Duration::from_millis(self.config.read_deadline_ms),
+            )
+        })
+    }
+
     fn handle_query(&self, req: &Request, rid: u64) -> Response {
+        let _permit = match self.read_permit() {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        let deadline = self.install_deadline();
         let text = match req.body_str() {
             Ok(t) => t,
             Err(resp) => return resp,
@@ -229,7 +297,18 @@ impl QueryService {
                 self.queries_served.fetch_add(1, Ordering::Relaxed);
                 Response::json(200, &json)
             }
-            Err(e) => triq_error_response(&e),
+            Err(e) => {
+                // Attribute the failure to the deadline only when the
+                // installed deadline has actually passed — an atom-budget
+                // E-RESOURCE inside the same request stays distinct.
+                if e.code() == "E-RESOURCE"
+                    && deadline.is_some()
+                    && triq_common::deadline::expired()
+                {
+                    self.engine.record_deadline_exceeded();
+                }
+                triq_error_response(&e)
+            }
         }
     }
 
@@ -407,6 +486,102 @@ impl QueryService {
                 0,
             ),
         }
+    }
+
+    // -- /load ----------------------------------------------------------
+
+    /// Bulk-ingests a Turtle-lite body: the whole stream is parsed first
+    /// (in parallel for large bodies) so a torn or malformed stream is
+    /// rejected with `400` and **nothing** applied, then the triples go
+    /// through the writer thread in batches with *blocking* sends — the
+    /// bounded queue throttles a large load instead of failing it the
+    /// way `POST /update` fails fast.
+    fn handle_load(&self, req: &Request) -> (Response, u64) {
+        let text = match req.body_str() {
+            Ok(t) => t,
+            Err(resp) => return (resp, 0),
+        };
+        if text.trim().is_empty() {
+            return (
+                Response::error(400, "E-HTTP-BAD-REQUEST", "empty load body"),
+                0,
+            );
+        }
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let graph = match parse_turtle_parallel(text, threads) {
+            Ok(g) => g,
+            Err(e) => return (triq_error_response(&e), 0),
+        };
+        let triple = intern("triple");
+        let facts: Vec<Fact> = graph
+            .iter()
+            .map(|t| Fact::new(triple, vec![t.s, t.p, t.o]))
+            .collect();
+        let mut inserted = 0u64;
+        let mut batches = 0u64;
+        let mut version = self.shared.version();
+        for chunk in facts.chunks(LOAD_BATCH) {
+            let mut delta = Delta::new();
+            for f in chunk {
+                delta.add_insert(f.clone());
+            }
+            // Clone the sender out of the lock before the blocking send:
+            // a full queue must never hold the mutex against /update's
+            // fail-fast try_send.
+            let tx = self
+                .update_tx
+                .lock()
+                .expect("update channel poisoned")
+                .clone();
+            let Some(tx) = tx else {
+                return (
+                    Response::error(503, "E-HTTP-UNAVAILABLE", "writer is shut down"),
+                    batches,
+                );
+            };
+            let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+            if tx
+                .send(UpdateJob {
+                    delta,
+                    reply: reply_tx,
+                })
+                .is_err()
+            {
+                return (
+                    Response::error(503, "E-HTTP-UNAVAILABLE", "writer is shut down"),
+                    batches,
+                );
+            }
+            match reply_rx.recv() {
+                Ok(Ok((applied, _))) => {
+                    inserted += applied.inserted as u64;
+                    version = applied.version;
+                    batches += 1;
+                }
+                // The WAL rejected a batch: earlier batches are applied
+                // (and recoverable), this one and later ones are not.
+                Ok(Err(e)) => return (triq_error_response(&e), batches),
+                Err(_) => {
+                    return (
+                        Response::error(503, "E-HTTP-UNAVAILABLE", "writer stopped mid-load"),
+                        batches,
+                    )
+                }
+            }
+        }
+        self.updates_applied.fetch_add(1, Ordering::Relaxed);
+        (
+            Response::json(
+                200,
+                &Json::obj([
+                    ("version", Json::U64(version)),
+                    ("triples", Json::U64(graph.len() as u64)),
+                    ("inserted", Json::U64(inserted)),
+                    ("batches", Json::U64(batches)),
+                ]),
+            ),
+            batches,
+        )
     }
 
     // -- /stats ---------------------------------------------------------
@@ -638,6 +813,16 @@ impl QueryService {
                 "Atoms a demand-driven chase avoided deriving versus the full-chase baseline",
                 s.demand_atoms_saved,
             ),
+            (
+                "triq_engine_requests_rejected",
+                "Read requests rejected by the concurrency gate",
+                s.requests_rejected,
+            ),
+            (
+                "triq_engine_deadline_exceeded",
+                "Read requests aborted past their evaluation deadline",
+                s.deadline_exceeded,
+            ),
         ] {
             e.counter(name, help, value);
         }
@@ -705,6 +890,7 @@ impl QueryService {
         match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/query") => (self.handle_query(req, rid), 0),
             ("POST", "/update") => self.handle_update(req),
+            ("POST", "/load") => self.handle_load(req),
             ("GET", "/stats") => (self.handle_stats(), 0),
             ("GET", "/metrics") => (self.handle_metrics(), 0),
             ("GET", "/version") => (self.handle_version(), 0),
@@ -735,8 +921,8 @@ impl QueryService {
             }
             (
                 "POST" | "GET",
-                "/query" | "/update" | "/stats" | "/metrics" | "/version" | "/debug/trace"
-                | "/debug/slow" | "/health" | "/shutdown",
+                "/query" | "/update" | "/load" | "/stats" | "/metrics" | "/version"
+                | "/debug/trace" | "/debug/slow" | "/health" | "/shutdown",
             ) => (
                 Response::error(405, "E-HTTP-METHOD", "wrong method for this endpoint"),
                 0,
